@@ -1,0 +1,49 @@
+// F10 — Write-path study: FeFET program/erase energy vs pulse voltage and
+// width (the energy/endurance/write-latency trade-off), with ReRAM and SRAM
+// reference points.
+#include "bench_util.hpp"
+
+using namespace fetcam;
+
+int main() {
+    bench::banner("F10", "write energy vs pulse voltage/width",
+                  "FeFET writes complete only above the coercive tail (Merz dynamics: "
+                  "higher voltage switches exponentially faster); energy grows with both "
+                  "voltage and width, so the cheapest *reliable* write sits just above "
+                  "the switching boundary; ReRAM writes cost ~100x more (current-driven), "
+                  "SRAM the least but is volatile and 16T-large");
+
+    const auto tech = device::TechCard::cmos45();
+
+    core::Table t({"V write [V]", "10 ns", "25 ns", "50 ns", "100 ns"});
+    const double widths[] = {10e-9, 25e-9, 50e-9, 100e-9};
+    for (const double v : {1.8, 2.0, 2.3, 2.6, 2.9, 3.2}) {
+        std::vector<std::string> row{core::numFormat(v, 1)};
+        for (const double w : widths) {
+            const auto r = tcam::measureFeFetWrite(tech, v, w);
+            row.push_back(core::engFormat(r.energyPerBit, "J") +
+                          (r.verified ? "" : " (FAIL)"));
+        }
+        t.addRow(row);
+    }
+    std::printf("FeFET erase+program energy per bit (FAIL = polarization did not fully "
+                "switch):\n%s\n", t.toAligned().c_str());
+
+    const auto reram = tcam::measureReramWrite(tech, tech.vWriteReram, tech.tWriteReram);
+    const auto sram = tcam::measureSramWrite(tech);
+    std::printf("references: ReRAM RESET+SET %s (%s, verified=%s), SRAM 6T flip %s "
+                "(%s, verified=%s)\n",
+                core::engFormat(reram.energyPerBit, "J").c_str(),
+                core::engFormat(reram.writeLatency, "s").c_str(),
+                reram.verified ? "yes" : "no",
+                core::engFormat(sram.energyPerBit, "J").c_str(),
+                core::engFormat(sram.writeLatency, "s").c_str(),
+                sram.verified ? "yes" : "no");
+
+    // Endurance proxy: field across the 8 nm film per write voltage.
+    std::printf("\nendurance proxy (field across 8 nm HZO film):\n");
+    for (const double v : {2.3, 2.6, 2.9, 3.2})
+        std::printf("  %.1f V -> %.2f MV/cm\n", v,
+                    v / tech.fefet.ferro.thickness / 1e8);
+    return 0;
+}

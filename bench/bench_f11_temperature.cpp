@@ -1,0 +1,51 @@
+// F11 — Temperature sweep (-40C .. 125C): search energy, delay, margin and
+// leakage for the FeFET designs and the CMOS baseline.
+#include "bench_util.hpp"
+
+using namespace fetcam;
+
+int main() {
+    bench::banner("F11", "operating-temperature sweep, 32-bit words x 64 rows",
+                  "hot silicon is slower (mobility loss beats VT drop at logic overdrive) "
+                  "and leakier; margins shrink monotonically. The FeFET designs hold to "
+                  "85 C but FAIL at 125 C: the low-VT stored state (VT ~ 0.05 V when hot) "
+                  "leaks subthreshold current at Vgs=0 and discharges matching MLs — the "
+                  "known high-temperature hazard of wide-memory-window FeFET TCAMs "
+                  "(mitigations: higher mid-VT, negative SL idle bias, or an ML keeper)");
+
+    const double tempsC[] = {-40.0, 0.0, 27.0, 85.0, 125.0};
+    const auto base = device::TechCard::cmos45();
+
+    core::Table t({"T [C]", "design", "E/search [fJ]", "delay [ps]", "margin [V]",
+                   "ML(match) sag [mV]", "ok"});
+    for (const double tc : tempsC) {
+        const auto tech = base.atTemperature(tc + 273.15);
+        struct Dut {
+            const char* name;
+            tcam::CellKind cell;
+            array::SenseScheme sense;
+        };
+        const Dut duts[] = {
+            {"CMOS-16T", tcam::CellKind::Cmos16T, array::SenseScheme::FullSwing},
+            {"FeFET-2T", tcam::CellKind::FeFet2, array::SenseScheme::FullSwing},
+            {"EA-FeFET", tcam::CellKind::FeFet2, array::SenseScheme::LowSwing},
+        };
+        for (const auto& d : duts) {
+            array::ArrayConfig cfg;
+            cfg.cell = d.cell;
+            cfg.sense = d.sense;
+            cfg.wordBits = 32;
+            cfg.rows = 64;
+            const auto m = evaluateArray(tech, cfg);
+            const double sag =
+                (m.matchWord.vPrecharge - m.matchWord.mlAtSense) * 1e3;
+            t.addRow({core::numFormat(tc, 0), d.name,
+                      core::numFormat(m.perSearch.total() * 1e15, 1),
+                      core::numFormat(m.searchDelay * 1e12, 0),
+                      core::numFormat(m.senseMarginV, 3), core::numFormat(sag, 1),
+                      m.functional ? "yes" : "NO"});
+        }
+    }
+    std::printf("%s", t.toAligned().c_str());
+    return 0;
+}

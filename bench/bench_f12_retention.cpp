@@ -1,0 +1,57 @@
+// F12 — Retention: FeFET polarization decay over storage time and its effect
+// on VT window and search margin (simulated with depolarized stored states).
+#include <cmath>
+
+#include "bench_util.hpp"
+
+using namespace fetcam;
+
+int main() {
+    bench::banner("F12", "FeFET retention: stored-state decay over time",
+                  "polarization decays exponentially at zero field (~10% loss at the "
+                  "10-year spec point): the VT window closes symmetrically and the search "
+                  "margin follows; the 10-year point retains a comfortable margin, the "
+                  "failure wall sits decades out");
+
+    const auto tech = device::TechCard::cmos45();
+    const double tauR = tech.fefet.ferro.tauRetention;
+    std::printf("tauRetention = %s (~%.1f years)\n\n", core::engFormat(tauR, "s").c_str(),
+                tauR / 3.15e7);
+
+    core::Table t({"storage time", "pnorm", "VT_low [V]", "VT_high [V]", "window [V]",
+                   "margin [V]", "ok"});
+    const double times[] = {0.0,    3600.0,  86400.0, 3.15e7,
+                            3.15e8, 9.46e8,  3.15e9};  // 0, 1h, 1d, 1y, 10y, 30y, 100y
+    for (const double secs : times) {
+        const double p = std::exp(-secs / tauR);
+
+        // Degrade every stored cell's polarization magnitude by the decay.
+        array::WordSimOptions o;
+        o.tech = tech;
+        o.config.cell = tcam::CellKind::FeFet2;
+        o.config.wordBits = 16;
+        o.stored = array::calibrationWord(16);
+        o.variations.resize(16);
+        // Encode aged states: enabled branch +p, disabled branch -p.
+        for (std::size_t i = 0; i < o.stored.size(); ++i) {
+            const auto enc = tcam::encodeTrit(o.stored[i]);
+            o.variations[i].stateA = enc.aEnabled ? p : -p;
+            o.variations[i].stateB = enc.bEnabled ? p : -p;
+        }
+        o.key = o.stored;
+        const auto match = simulateWordSearch(o);
+        o.key = array::keyWithMismatches(o.stored, 1);
+        const auto mism = simulateWordSearch(o);
+
+        const double vtLow = tech.fefet.mos.vt0 - tech.fefet.deltaVt * p;
+        const double vtHigh = tech.fefet.mos.vt0 + tech.fefet.deltaVt * p;
+        const bool ok = match.correct() && mism.correct();
+        t.addRow({secs == 0.0 ? "fresh" : core::engFormat(secs, "s"),
+                  core::numFormat(p, 3), core::numFormat(vtLow, 3),
+                  core::numFormat(vtHigh, 3), core::numFormat(vtHigh - vtLow, 3),
+                  core::numFormat(match.mlAtSense - mism.mlAtSense, 3),
+                  ok ? "yes" : "NO"});
+    }
+    std::printf("%s", t.toAligned().c_str());
+    return 0;
+}

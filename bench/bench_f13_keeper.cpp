@@ -1,0 +1,42 @@
+// F13 — Matchline keeper ablation: the keeper removes match-state leakage
+// sag (rescuing wide ReRAM words) at the cost of mismatch-detection delay
+// and contention energy.
+#include "bench_util.hpp"
+
+using namespace fetcam;
+
+int main() {
+    bench::banner("F13", "ML keeper ablation (full-swing sensing)",
+                  "without the keeper the ReRAM match-state ML sags with width until the "
+                  "sense margin collapses; the keeper pins matching MLs at the rail for "
+                  "every width, paying a delay penalty on mismatch detection");
+
+    core::Table t({"cell", "width", "keeper", "ML(match) [V]", "margin [V]",
+                   "detect delay [ps]", "E mism word [fJ]", "ok"});
+    for (const auto cell : {tcam::CellKind::ReRam2T2R, tcam::CellKind::FeFet2}) {
+        for (const int bits : {16, 32, 64, 128}) {
+            for (const bool keeper : {false, true}) {
+                array::WordSimOptions o;
+                o.config.cell = cell;
+                o.config.wordBits = bits;
+                o.config.mlKeeper = keeper;
+                o.stored = array::calibrationWord(bits);
+                o.key = o.stored;
+                const auto match = simulateWordSearch(o);
+                o.key = array::keyWithMismatches(o.stored, 1);
+                const auto mism = simulateWordSearch(o);
+                const bool ok = match.correct() && mism.correct();
+                t.addRow({cellKindName(cell), std::to_string(bits), keeper ? "on" : "off",
+                          core::numFormat(match.mlAtSense, 3),
+                          core::numFormat(match.mlAtSense - mism.mlAtSense, 3),
+                          mism.detectDelay
+                              ? core::numFormat(*mism.detectDelay * 1e12, 0)
+                              : "-",
+                          core::numFormat(mism.energyTotal * 1e15, 1),
+                          ok ? "yes" : "NO"});
+            }
+        }
+    }
+    std::printf("%s", t.toAligned().c_str());
+    return 0;
+}

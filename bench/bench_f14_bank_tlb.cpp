@@ -1,0 +1,73 @@
+// F14 — Bank scaling and the TLB case study: capacity scaling through
+// parallel sub-arrays + priority encoding, and a superpage-aware
+// fully-associative TLB priced on the proposed design.
+#include "bench_util.hpp"
+
+using namespace fetcam;
+
+int main() {
+    bench::banner("F14", "bank-level capacity scaling + TLB case study",
+                  "bank energy grows linearly with capacity (parallel sub-arrays), delay "
+                  "only logarithmically (encoder depth); a 64-entry superpage TLB on the "
+                  "proposed design costs ~fJ-scale per translation");
+
+    const auto tech = device::TechCard::cmos45();
+
+    // --- capacity scaling ---
+    core::Table t({"capacity", "sub-arrays", "E/search", "delay", "area [MF^2]"});
+    array::ArrayConfig sub;
+    sub.cell = tcam::CellKind::FeFet2;
+    sub.sense = array::SenseScheme::LowSwing;
+    sub.wordBits = 32;
+    sub.rows = 128;
+    for (const int entries : {128, 512, 2048, 8192}) {
+        const auto b = evaluateBank(tech, sub, entries);
+        t.addRow({std::to_string(entries), std::to_string(b.subArrays),
+                  core::engFormat(b.totalPerSearch(), "J"),
+                  core::engFormat(b.searchDelay, "s"),
+                  core::numFormat(b.areaF2 / 1e6, 2)});
+    }
+    std::printf("%s\n", t.toAligned().c_str());
+
+    // --- TLB functional study: mixed page sizes, localized address stream ---
+    apps::Tlb tlb(64);
+    numeric::Rng rng(17);
+    // Hot 1G region, a few 2M heaps, a spread of 4K pages.
+    tlb.insert(0, apps::PageSize::Page1G, 0);
+    for (int i = 0; i < 8; ++i)
+        tlb.insert((1ULL << 18) + (static_cast<std::uint64_t>(i) << 9),
+                   apps::PageSize::Page2M, 1000 + i);
+    for (int i = 0; i < 40; ++i)
+        tlb.insert((1ULL << 20) + i, apps::PageSize::Page4K, 2000 + i);
+
+    int translations = 0;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t vaddr;
+        const double u = rng.uniform();
+        if (u < 0.5) {  // hot gigapage
+            vaddr = rng.nextU64() & ((1ULL << 30) - 1);
+        } else if (u < 0.8) {  // 2M heaps
+            vaddr = ((1ULL << 18) << 12) + (rng.nextU64() & ((8ULL << 21) - 1));
+        } else {  // 4K pages, some missing
+            vaddr = ((1ULL << 20) + static_cast<std::uint64_t>(rng.uniformInt(0, 59)))
+                    << 12;
+        }
+        translations += tlb.translate(vaddr).has_value();
+    }
+    std::printf("TLB: %zu entries, 10000 translations, hit rate %.1f%%\n", tlb.size(),
+                100.0 * tlb.hitRate());
+
+    // --- hardware price of one translation on a 64x36 CAM ---
+    core::Table t2({"design", "E/translation", "latency"});
+    for (const auto& d : {core::standardDesigns(apps::Tlb::kVpnBits, 64)[0],
+                          core::standardDesigns(apps::Tlb::kVpnBits, 64)[2],
+                          core::proposedDesign(apps::Tlb::kVpnBits, 64)}) {
+        array::WorkloadProfile wl;
+        wl.matchRowFraction = tlb.hitRate() / 64.0;
+        const auto m = evaluateArray(tech, d.config, wl);
+        t2.addRow({d.name, core::engFormat(m.perSearch.total(), "J"),
+                   core::engFormat(m.searchDelay, "s")});
+    }
+    std::printf("\n%s", t2.toAligned().c_str());
+    return 0;
+}

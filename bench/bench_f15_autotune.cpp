@@ -1,0 +1,47 @@
+// F15 — Auto-tuning: let the simulator pick the minimum-EDP supply voltage
+// and the energy-optimal segmentation under a latency budget, closing the
+// energy-aware design loop.
+#include "bench_util.hpp"
+
+using namespace fetcam;
+
+int main() {
+    bench::banner("F15", "auto-tuned operating points (golden-section over circuit sims)",
+                  "the tuner lands near the F6 sweep's EDP minimum without a grid sweep; "
+                  "segmentation tuning picks deeper segmentation as the latency budget "
+                  "relaxes");
+
+    const auto tech = device::TechCard::cmos45();
+
+    core::Table t({"design", "tuned VDD [V]", "EDP [fJ*ns]", "E/search [fJ]",
+                   "delay [ps]", "sim evals"});
+    for (const bool lowSwing : {false, true}) {
+        array::ArrayConfig cfg;
+        cfg.cell = tcam::CellKind::FeFet2;
+        cfg.sense = lowSwing ? array::SenseScheme::LowSwing : array::SenseScheme::FullSwing;
+        cfg.wordBits = 16;
+        cfg.rows = 64;
+        const auto r = core::tuneVddForMinEdp(tech, cfg, 0.7, 1.2);
+        t.addRow({lowSwing ? "EA low-swing" : "full-swing", core::numFormat(r.vdd, 3),
+                  core::numFormat(r.edp * 1e24, 1),
+                  core::numFormat(r.metrics.perSearch.total() * 1e15, 1),
+                  core::numFormat(r.metrics.searchDelay * 1e12, 0),
+                  std::to_string(r.evaluations)});
+    }
+    std::printf("%s\n", t.toAligned().c_str());
+
+    core::Table t2({"latency budget", "chosen segments", "E/search [fJ]", "delay [ps]"});
+    array::ArrayConfig cfg;
+    cfg.cell = tcam::CellKind::FeFet2;
+    cfg.wordBits = 32;
+    cfg.rows = 128;
+    for (const double budget : {0.3e-9, 0.6e-9, 1.2e-9, 0.0}) {
+        const auto r = core::tuneSegments(tech, cfg, budget);
+        t2.addRow({budget == 0.0 ? "none" : core::engFormat(budget, "s"),
+                   std::to_string(r.segments),
+                   core::numFormat(r.energy * 1e15, 1),
+                   core::numFormat(r.metrics.searchDelay * 1e12, 0)});
+    }
+    std::printf("%s", t2.toAligned().c_str());
+    return 0;
+}

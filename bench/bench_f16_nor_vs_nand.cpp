@@ -1,0 +1,38 @@
+// F16 — NOR vs NAND FeFET TCAM organizations: energy, delay and margin vs
+// word length (the density/energy vs speed/length trade).
+#include "bench_util.hpp"
+
+using namespace fetcam;
+
+int main() {
+    bench::banner("F16", "NOR vs NAND FeFET TCAM organization (64 rows)",
+                  "NAND spends far less matchline energy (only the matching chain "
+                  "discharges; mismatching rows stay precharged) and is ~1/3 smaller, but "
+                  "the series chain makes match detection slow — delay grows steeply with "
+                  "word length, which is why NAND CAM words stay short (<= ~16 bits) or "
+                  "get segmented");
+
+    const auto tech = device::TechCard::cmos45();
+    core::Table t({"org", "bits", "E/search/row [fJ]", "array E/search [fJ]",
+                   "event delay [ps]", "margin [V]", "area/cell [F^2]", "ok"});
+    for (const int bits : {4, 8, 12, 16}) {
+        for (const auto cell : {tcam::CellKind::FeFet2, tcam::CellKind::FeFet2Nand}) {
+            array::ArrayConfig cfg;
+            cfg.cell = cell;
+            cfg.wordBits = bits;
+            cfg.rows = 64;
+            const auto m = evaluateArray(tech, cfg);
+            t.addRow({cellKindName(cell), std::to_string(bits),
+                      core::numFormat(m.mismatchWord.energyTotal * 1e15, 2),
+                      core::numFormat(m.perSearch.total() * 1e15, 1),
+                      core::numFormat(m.searchDelay * 1e12, 0),
+                      core::numFormat(m.senseMarginV, 3),
+                      core::numFormat(cellAreaF2(cell, tech), 0),
+                      m.functional ? "yes" : "NO"});
+        }
+    }
+    std::printf("%s\n", t.toAligned().c_str());
+    std::printf("note: for NAND the reported event delay is MATCH detection (the chain "
+                "discharging), for NOR it is mismatch detection.\n");
+    return 0;
+}

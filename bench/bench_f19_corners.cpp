@@ -1,0 +1,44 @@
+// F19 — Process corners: search energy, delay and margin across TT/FF/SS/
+// FS/SF for the FeFET designs and the CMOS baseline.
+#include "bench_util.hpp"
+
+using namespace fetcam;
+
+int main() {
+    bench::banner("F19", "process-corner sweep (32-bit words, 64 rows)",
+                  "FF is fast and slightly more energetic (higher on-current, more "
+                  "leakage sag), SS the opposite; the FeFET search path tracks the NMOS "
+                  "skew; every corner stays functional — margin, not speed, is the "
+                  "binding constraint");
+
+    const auto base = device::TechCard::cmos45();
+    core::Table t({"corner", "design", "E/search [fJ]", "delay [ps]", "margin [V]", "ok"});
+    for (const auto corner : {device::Corner::TT, device::Corner::FF, device::Corner::SS,
+                              device::Corner::FS, device::Corner::SF}) {
+        const auto tech = base.atCorner(corner);
+        struct Dut {
+            const char* name;
+            tcam::CellKind cell;
+            array::SenseScheme sense;
+        };
+        const Dut duts[] = {
+            {"CMOS-16T", tcam::CellKind::Cmos16T, array::SenseScheme::FullSwing},
+            {"FeFET-2T", tcam::CellKind::FeFet2, array::SenseScheme::FullSwing},
+            {"EA-FeFET", tcam::CellKind::FeFet2, array::SenseScheme::LowSwing},
+        };
+        for (const auto& d : duts) {
+            array::ArrayConfig cfg;
+            cfg.cell = d.cell;
+            cfg.sense = d.sense;
+            cfg.wordBits = 32;
+            cfg.rows = 64;
+            const auto m = evaluateArray(tech, cfg);
+            t.addRow({cornerName(corner), d.name,
+                      core::numFormat(m.perSearch.total() * 1e15, 1),
+                      core::numFormat(m.searchDelay * 1e12, 0),
+                      core::numFormat(m.senseMarginV, 3), m.functional ? "yes" : "NO"});
+        }
+    }
+    std::printf("%s", t.toAligned().c_str());
+    return 0;
+}

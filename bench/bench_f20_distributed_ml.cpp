@@ -1,0 +1,45 @@
+// F20 — Modelling-accuracy ablation: lumped vs distributed matchline RC.
+// Quantifies when the cheap lumped model that the main benches use is good
+// enough, and what the wire adds at large word widths.
+#include "bench_util.hpp"
+
+using namespace fetcam;
+
+int main() {
+    bench::banner("F20", "lumped vs distributed matchline model (far-end mismatch)",
+                  "at today's per-cell wire parasitics the lumped model tracks the "
+                  "distributed one within a few percent up to 64 bits; at 128 bits the "
+                  "wire RC adds measurable worst-case (far-end) detection delay — the "
+                  "point where the lumped shortcut starts flattering the design");
+
+    core::Table t({"width", "model", "detect delay [ps]", "E(ML) [fJ]", "ML@sense [V]",
+                   "delay err"});
+    for (const int bits : {16, 32, 64, 128}) {
+        double lumpedDelay = 0.0;
+        for (const bool dist : {false, true}) {
+            array::WordSimOptions o;
+            o.config.cell = tcam::CellKind::FeFet2;
+            o.config.wordBits = bits;
+            o.config.distributedMl = dist;
+            o.stored = array::calibrationWord(bits);
+            // Far-end single mismatch: worst case for the distributed line.
+            o.key = o.stored;
+            for (std::size_t i = o.stored.size(); i-- > 0;) {
+                o.key[i] = o.stored[i] == tcam::Trit::One ? tcam::Trit::Zero
+                                                          : tcam::Trit::One;
+                break;
+            }
+            const auto r = simulateWordSearch(o);
+            const double d = r.detectDelay.value_or(0.0) * 1e12;
+            if (!dist) lumpedDelay = d;
+            t.addRow({std::to_string(bits), dist ? "distributed" : "lumped",
+                      core::numFormat(d, 1), core::numFormat(r.energyMl * 1e15, 2),
+                      core::numFormat(r.mlAtSense, 3),
+                      dist ? core::numFormat(100.0 * (d - lumpedDelay) /
+                                                 std::max(1.0, lumpedDelay), 1) + "%"
+                           : "-"});
+        }
+    }
+    std::printf("%s", t.toAligned().c_str());
+    return 0;
+}

@@ -1,0 +1,34 @@
+// F3 — Array search energy vs word width for all designs (64 rows).
+#include "bench_util.hpp"
+
+using namespace fetcam;
+
+int main() {
+    bench::banner("F3", "search energy per bit vs word width (64 rows)",
+                  "energy/bit roughly flat-to-rising with width for all designs; FeFET "
+                  "below ReRAM below CMOS at every width; energy-aware variants a further "
+                  "2-4x down; gap widens slightly at large widths (ML capacitance)");
+
+    const auto tech = device::TechCard::cmos45();
+    const std::vector<double> widths{8, 16, 32, 64, 128};
+    const auto catalog = core::standardDesigns(8, 64);
+
+    std::vector<std::pair<std::string, std::vector<double>>> fjPerBit;
+    std::vector<std::pair<std::string, std::vector<double>>> pjPerSearch;
+    for (const auto& d : catalog) {
+        std::vector<double> perBit, perSearch;
+        for (const double w : widths) {
+            auto cfg = d.config;
+            cfg.wordBits = static_cast<int>(w);
+            const auto m = evaluateArray(tech, cfg);
+            perBit.push_back(m.energyPerBitFj);
+            perSearch.push_back(m.perSearch.total() * 1e12);
+        }
+        fjPerBit.push_back({d.name, perBit});
+        pjPerSearch.push_back({d.name, perSearch});
+    }
+
+    bench::printSeries("width[bits]", widths, fjPerBit, "fJ/bit/search");
+    bench::printSeries("width[bits]", widths, pjPerSearch, "pJ/search");
+    return 0;
+}

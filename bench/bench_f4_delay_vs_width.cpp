@@ -1,0 +1,36 @@
+// F4 — Search (mismatch-detect) delay vs word width for all designs.
+#include "bench_util.hpp"
+
+using namespace fetcam;
+
+int main() {
+    bench::banner("F4", "search delay vs word width",
+                  "full-swing delays grow with width (one pulldown fights a growing ML "
+                  "capacitance); FeFET fastest per width; low-swing delay is strobe-bound "
+                  "(flat) and selective precharge serializes two stages");
+
+    const auto tech = device::TechCard::cmos45();
+    const std::vector<double> widths{8, 16, 32, 64, 128};
+    const auto catalog = core::standardDesigns(8, 64);
+
+    std::vector<std::pair<std::string, std::vector<double>>> delays;
+    std::vector<std::pair<std::string, std::vector<double>>> margins;
+    for (const auto& d : catalog) {
+        std::vector<double> ds, ms;
+        for (const double w : widths) {
+            auto cfg = d.config;
+            cfg.wordBits = static_cast<int>(w);
+            const auto m = evaluateArray(tech, cfg);
+            ds.push_back(m.searchDelay * 1e12);
+            ms.push_back(m.senseMarginV);
+        }
+        delays.push_back({d.name, ds});
+        margins.push_back({d.name, ms});
+    }
+
+    bench::printSeries("width[bits]", widths, delays, "ps");
+    std::printf("sense margin falls with width for ReRAM (HRS leakage) — the 2T2R word-"
+                "width wall:\n\n");
+    bench::printSeries("width[bits]", widths, margins, "V");
+    return 0;
+}

@@ -1,0 +1,51 @@
+// F6 — Supply-voltage scaling: energy, delay and EDP vs VDD for the plain
+// FeFET design and the energy-aware variant; locates the minimum-EDP point
+// and the functional floor.
+#include "bench_util.hpp"
+
+using namespace fetcam;
+
+int main() {
+    bench::banner("F6", "VDD scaling (FeFET full-swing vs energy-aware low-swing)",
+                  "search energy scales ~VDD^2, delay grows as VDD approaches VT "
+                  "(overdrive shrinks), EDP has a minimum below nominal VDD; the "
+                  "functional floor is set by the sense margin collapsing");
+
+    const std::vector<double> vdds{0.7, 0.8, 0.9, 1.0, 1.1, 1.2};
+
+    core::Table t({"VDD [V]", "design", "E/search [fJ]", "delay [ps]", "EDP [fJ*ns]",
+                   "margin [V]", "functional"});
+    struct Best {
+        double vdd = 0.0;
+        double edp = 1e30;
+    };
+    Best bestFull, bestLow;
+
+    for (const double vdd : vdds) {
+        auto tech = device::TechCard::cmos45();
+        tech.vdd = vdd;
+        for (const bool lowSwing : {false, true}) {
+            array::ArrayConfig cfg;
+            cfg.cell = tcam::CellKind::FeFet2;
+            cfg.sense = lowSwing ? array::SenseScheme::LowSwing
+                                 : array::SenseScheme::FullSwing;
+            cfg.wordBits = 32;
+            cfg.rows = 64;
+            const auto m = evaluateArray(tech, cfg);
+            const double e = m.perSearch.total() * 1e15;
+            const double d = m.searchDelay * 1e12;
+            const double edp = e * d / 1e3;  // fJ*ns
+            t.addRow({core::numFormat(vdd, 1), lowSwing ? "EA low-swing" : "full-swing",
+                      core::numFormat(e, 1), core::numFormat(d, 0),
+                      core::numFormat(edp, 1), core::numFormat(m.senseMarginV, 3),
+                      m.functional ? "yes" : "NO"});
+            Best& b = lowSwing ? bestLow : bestFull;
+            if (m.functional && edp < b.edp) b = {vdd, edp};
+        }
+    }
+    std::printf("%s\n", t.toAligned().c_str());
+    std::printf("minimum-EDP points: full-swing at VDD=%.1f V (%.1f fJ*ns), "
+                "EA low-swing at VDD=%.1f V (%.1f fJ*ns)\n",
+                bestFull.vdd, bestFull.edp, bestLow.vdd, bestLow.edp);
+    return 0;
+}

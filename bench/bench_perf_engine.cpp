@@ -1,0 +1,90 @@
+// Engine microbenchmarks (google-benchmark): how fast the substrate itself
+// runs — sparse LU factorization on MNA-like matrices, RC transient stepping,
+// and complete TCAM word-search simulations.
+#include <benchmark/benchmark.h>
+
+#include "core/fetcam.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+numeric::SparseMatrixCsc mnaLikeMatrix(int n, std::uint64_t seed) {
+    numeric::Rng rng(seed);
+    numeric::TripletList t(n, n);
+    for (int i = 0; i < n; ++i) {
+        double off = 0.0;
+        for (int k = 0; k < 3; ++k) {
+            const int j = rng.uniformInt(0, n - 1);
+            if (j == i) continue;
+            const double v = rng.uniform(-1e-3, 1e-3);
+            t.add(i, j, v);
+            t.add(j, i, v);  // near-symmetric, like nodal conductance stamps
+            off += std::abs(v);
+        }
+        t.add(i, i, off + rng.uniform(1e-4, 1e-2));
+    }
+    return numeric::SparseMatrixCsc::fromTriplets(t);
+}
+
+void BM_SparseLuFactorize(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const auto m = mnaLikeMatrix(n, 42);
+    std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+    for (auto _ : state) {
+        numeric::SparseLu lu(m);
+        benchmark::DoNotOptimize(lu.solve(b));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SparseLuFactorize)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RcTransient(benchmark::State& state) {
+    for (auto _ : state) {
+        spice::Circuit c;
+        const auto vin = c.node("in");
+        const auto out = c.node("out");
+        c.add<device::VoltageSource>(
+            "V1", c, vin, spice::kGround,
+            device::SourceWave::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0));
+        c.add<device::Resistor>("R1", vin, out, 10e3);
+        c.add<device::Capacitor>("C1", out, spice::kGround, 100e-15);
+        spice::TransientSpec spec;
+        spec.tstop = 8e-9;
+        spec.dtMax = 20e-12;
+        const auto r = runTransient(c, spec);
+        benchmark::DoNotOptimize(r.acceptedSteps);
+    }
+}
+BENCHMARK(BM_RcTransient);
+
+void BM_WordSearch(benchmark::State& state) {
+    const int bits = static_cast<int>(state.range(0));
+    array::WordSimOptions o;
+    o.config.cell = tcam::CellKind::FeFet2;
+    o.config.wordBits = bits;
+    o.stored = array::calibrationWord(bits);
+    o.key = array::keyWithMismatches(o.stored, 1);
+    for (auto _ : state) {
+        const auto r = simulateWordSearch(o);
+        benchmark::DoNotOptimize(r.energyTotal);
+    }
+    state.SetItemsProcessed(state.iterations() * bits);
+}
+BENCHMARK(BM_WordSearch)->Arg(8)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_PreisachAdvance(benchmark::State& state) {
+    device::PreisachBank bank(device::TechCard::cmos45().fefet.ferro);
+    double v = 0.0;
+    for (auto _ : state) {
+        v = v > 0.0 ? -3.0 : 3.0;
+        bank.advance(v, 1e-9);
+        benchmark::DoNotOptimize(bank.pnorm());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PreisachAdvance);
+
+}  // namespace
+
+BENCHMARK_MAIN();

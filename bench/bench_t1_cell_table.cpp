@@ -1,0 +1,93 @@
+// T1 — Cell-level comparison table: device counts, area, search energy and
+// delay (16-bit word), write energy and latency, match-state standby cost.
+#include "bench_util.hpp"
+
+using namespace fetcam;
+
+int main() {
+    bench::banner("T1", "cell comparison across technologies",
+                  "FeFET wins device count, area, search energy and write energy vs 16T "
+                  "CMOS; ReRAM is compact but pays HRS leakage on matches and high write "
+                  "energy; CMOS has the fastest, lowest-voltage writes");
+
+    const auto tech = device::TechCard::cmos45();
+    constexpr int kBits = 16;
+
+    core::Table t({"metric", "CMOS-16T", "ReRAM-2T2R", "FeFET-2T"});
+    const tcam::CellKind kinds[] = {tcam::CellKind::Cmos16T, tcam::CellKind::ReRam2T2R,
+                                    tcam::CellKind::FeFet2};
+
+    auto rowOf = [&](const char* name, auto fn) {
+        std::vector<std::string> cells{name};
+        for (const auto k : kinds) cells.push_back(fn(k));
+        t.addRow(cells);
+    };
+
+    rowOf("devices / cell", [&](tcam::CellKind k) {
+        const auto c = cellDeviceCount(k);
+        std::string s;
+        if (c.transistors) s += std::to_string(c.transistors) + "T";
+        if (c.fefets) s += std::to_string(c.fefets) + "FeFET";
+        if (c.rerams) s += (s.empty() ? "" : "+") + std::to_string(c.rerams) + "R";
+        return s;
+    });
+    rowOf("cell area [F^2]", [&](tcam::CellKind k) {
+        return core::numFormat(cellAreaF2(k, tech), 0);
+    });
+
+    struct SearchNums {
+        array::WordSimResult match, mism;
+    };
+    std::vector<SearchNums> search;
+    for (const auto k : kinds) {
+        array::WordSimOptions o;
+        o.config.cell = k;
+        o.config.wordBits = kBits;
+        o.stored = array::calibrationWord(kBits);
+        o.key = o.stored;
+        SearchNums n;
+        n.match = simulateWordSearch(o);
+        o.key = array::keyWithMismatches(o.stored, 1);
+        n.mism = simulateWordSearch(o);
+        search.push_back(n);
+    }
+    std::size_t idx = 0;
+    auto searchRow = [&](const char* name, auto fn) {
+        std::vector<std::string> cells{name};
+        for (idx = 0; idx < search.size(); ++idx) cells.push_back(fn(search[idx]));
+        t.addRow(cells);
+    };
+    searchRow("search E, mismatch word [fJ/bit]", [&](const SearchNums& n) {
+        return core::numFormat(n.mism.energyTotal / kBits * 1e15, 2);
+    });
+    searchRow("search E, match word [fJ/bit]", [&](const SearchNums& n) {
+        return core::numFormat(n.match.energyTotal / kBits * 1e15, 2);
+    });
+    searchRow("mismatch detect delay", [&](const SearchNums& n) {
+        return n.mism.detectDelay ? core::engFormat(*n.mism.detectDelay, "s") : "-";
+    });
+    searchRow("ML sense margin [V]", [&](const SearchNums& n) {
+        return core::numFormat(n.match.mlAtSense - n.mism.mlAtSense, 3);
+    });
+
+    std::vector<tcam::WriteEnergyResult> writes;
+    for (const auto k : kinds) writes.push_back(measureWriteEnergy(k, tech));
+    idx = 0;
+    auto writeRow = [&](const char* name, auto fn) {
+        std::vector<std::string> cells{name};
+        for (idx = 0; idx < writes.size(); ++idx) cells.push_back(fn(writes[idx]));
+        t.addRow(cells);
+    };
+    writeRow("write energy / bit", [&](const tcam::WriteEnergyResult& w) {
+        return core::engFormat(w.energyPerBit, "J");
+    });
+    writeRow("write latency", [&](const tcam::WriteEnergyResult& w) {
+        return core::engFormat(w.writeLatency, "s");
+    });
+    writeRow("write verified", [&](const tcam::WriteEnergyResult& w) {
+        return std::string(w.verified ? "yes" : "NO");
+    });
+
+    std::printf("%s", t.toAligned().c_str());
+    return 0;
+}

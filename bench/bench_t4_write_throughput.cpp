@@ -1,0 +1,43 @@
+// T4 — Write scheduling: word-update latency/energy and full-table load cost
+// per technology (update-rate side of the TCAM story).
+#include "bench_util.hpp"
+
+using namespace fetcam;
+
+int main() {
+    bench::banner("T4", "write scheduling: word updates and full-table loads (64b x 256)",
+                  "CMOS writes in a ns (volatile); FeFET pays ~200 ns two-phase pulses "
+                  "but is width-independent; ReRAM serializes groups under the write-"
+                  "current budget so wide words get slow; energies follow T1's per-bit "
+                  "costs");
+
+    const auto tech = device::TechCard::cmos45();
+    constexpr int kBits = 64;
+    constexpr int kRows = 256;
+
+    core::Table t({"cell", "word latency", "word energy", "pulse phases",
+                   "updates/s", "table load", "table energy"});
+    for (const auto kind :
+         {tcam::CellKind::Cmos16T, tcam::CellKind::ReRam2T2R, tcam::CellKind::FeFet2}) {
+        const auto r = planArrayWrite(kind, tech, kBits, kRows);
+        t.addRow({cellKindName(kind), core::engFormat(r.perWord.latency, "s"),
+                  core::engFormat(r.perWord.energy, "J"),
+                  std::to_string(r.perWord.pulsePhases),
+                  core::engFormat(r.wordsPerSecond, ""),
+                  core::engFormat(r.fullArrayLatency, "s"),
+                  core::engFormat(r.fullArrayEnergy, "J")});
+    }
+    std::printf("%s\n", t.toAligned().c_str());
+
+    // ReRAM current-budget sensitivity.
+    std::printf("ReRAM word latency vs parallel-write budget (64-bit word):\n");
+    const auto perBit = measureWriteEnergy(tcam::CellKind::ReRam2T2R, tech);
+    for (const int par : {2, 4, 8, 16, 32}) {
+        tcam::WriteScheduleParams p;
+        p.reramParallelBits = par;
+        const auto w = planWordWrite(tcam::CellKind::ReRam2T2R, perBit, kBits, p);
+        std::printf("  %2d bits/group -> %s\n", par,
+                    core::engFormat(w.latency, "s").c_str());
+    }
+    return 0;
+}

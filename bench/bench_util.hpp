@@ -1,0 +1,35 @@
+// Shared helpers for the experiment benches (one binary per reconstructed
+// table/figure; see DESIGN.md for the experiment index).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/fetcam.hpp"
+
+namespace fetcam::bench {
+
+/// Standard experiment banner: what this bench reproduces and which shape
+/// from the paper it should exhibit.
+inline void banner(const char* id, const char* title, const char* expectedShape) {
+    std::printf("=== %s: %s ===\n", id, title);
+    std::printf("expected shape: %s\n\n", expectedShape);
+}
+
+/// Print a labelled series block (figure data as columns).
+inline void printSeries(const std::string& xLabel, const std::vector<double>& xs,
+                        const std::vector<std::pair<std::string, std::vector<double>>>& ys,
+                        const char* yUnit) {
+    std::printf("%-12s", xLabel.c_str());
+    for (const auto& [name, _] : ys) std::printf("  %-22s", name.c_str());
+    std::printf("   [%s]\n", yUnit);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        std::printf("%-12g", xs[i]);
+        for (const auto& [_, v] : ys) std::printf("  %-22.6g", v[i]);
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+}  // namespace fetcam::bench

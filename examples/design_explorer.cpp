@@ -1,0 +1,35 @@
+// Design-space explorer: sweep the (sensing x search-voltage x segmentation)
+// grid for the FeFET cell, print every point, and mark the energy/delay
+// Pareto front.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/fetcam.hpp"
+
+using namespace fetcam;
+
+int main() {
+    const auto tech = device::TechCard::cmos45();
+    const auto designs = core::parametricSweep(tcam::CellKind::FeFet2, /*wordBits=*/32,
+                                               /*rows=*/64);
+    std::printf("exploring %zu FeFET design points (32-bit words, 64 rows)...\n\n",
+                designs.size());
+    const auto results = exploreDesigns(tech, designs);
+
+    const auto energyOf = [](const array::ArrayMetrics& m) { return m.perSearch.total(); };
+    const auto delayOf = [](const array::ArrayMetrics& m) { return m.searchDelay; };
+    const auto front = core::paretoFront(results, energyOf, delayOf);
+
+    core::Table out({"design point", "E/search", "delay", "EDP", "pareto"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        const bool onFront = std::find(front.begin(), front.end(), i) != front.end();
+        out.addRow({r.design.name, core::engFormat(energyOf(r.metrics), "J"),
+                    core::engFormat(delayOf(r.metrics), "s"),
+                    core::engFormat(energyOf(r.metrics) * delayOf(r.metrics), "Js"),
+                    onFront ? "  *" : ""});
+    }
+    std::printf("%s\n", out.toAligned().c_str());
+    std::printf("%zu of %zu points are Pareto-optimal (*)\n", front.size(), results.size());
+    return 0;
+}

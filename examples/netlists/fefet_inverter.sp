@@ -1,0 +1,5 @@
+* FeFET driving a resistive load: stored state gates the transfer curve
+Vdd vdd 0 DC 1.0
+Vin in 0 PULSE 0 1 0.2n 50p 50p 1n
+RL vdd out 20k
+F1 in out 0 P=1

@@ -1,0 +1,4 @@
+* RC low-pass driven by a step: corner at 1/(2*pi*RC) ~ 159 MHz
+V1 in 0 PULSE 0 1 0 10p 10p 1
+R1 in out 10k
+C1 out 0 100f

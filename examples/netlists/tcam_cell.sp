@@ -1,0 +1,13 @@
+* One 2-FeFET NOR TCAM cell storing '1' (subcircuit demo).
+* Run: fetcam_sim tran examples/netlists/tcam_cell.sp --tstop 1.5n \
+*        --ic ml=1.0 --probe ml
+* The matchline starts precharged (--ic) and the key-0 search (SLB pulse)
+* discharges it through the low-VT FeFET: a mismatch.
+.SUBCKT fefet_cell ml sl slb
+Fa sl  ml 0 P=-1   ; SL branch blocks  (stored 1)
+Fb slb ml 0 P=1    ; SLB branch pulls  (mismatch on key 0)
+.ENDS
+Vsl  sl  0 PULSE 0 0 0.2n 50p 50p 1n    ; key=0: SL low...
+Vslb slb 0 PULSE 0 1 0.2n 50p 50p 1n    ; ...SLB high -> discharge
+X1 ml sl slb fefet_cell
+Cml ml 0 5f

@@ -1,0 +1,62 @@
+#include "apps/dictionary.hpp"
+
+#include <stdexcept>
+
+namespace fetcam::apps {
+
+namespace {
+
+void compileChar(tcam::TernaryWord& w, std::size_t charIndex, unsigned char c) {
+    for (int b = 0; b < 8; ++b)
+        w[charIndex * 8 + static_cast<std::size_t>(b)] =
+            ((c >> (7 - b)) & 1) ? tcam::Trit::One : tcam::Trit::Zero;
+}
+
+}  // namespace
+
+tcam::TernaryWord compileToken(const std::string& token, std::size_t width) {
+    if (token.size() > width)
+        throw std::invalid_argument("compileToken: token longer than dictionary width");
+    tcam::TernaryWord w(width * 8, tcam::Trit::X);
+    for (std::size_t i = 0; i < token.size(); ++i) {
+        if (token[i] == '?') continue;  // single-character wildcard
+        compileChar(w, i, static_cast<unsigned char>(token[i]));
+    }
+    return w;
+}
+
+tcam::TernaryWord compileText(const std::string& text, std::size_t width) {
+    tcam::TernaryWord w(width * 8, tcam::Trit::Zero);
+    for (std::size_t i = 0; i < width; ++i)
+        compileChar(w, i, i < text.size() ? static_cast<unsigned char>(text[i]) : 0);
+    return w;
+}
+
+void Dictionary::add(const std::string& token, int tag) {
+    compileToken(token, width_);  // validate
+    entries_.push_back({token, tag});
+}
+
+std::optional<int> Dictionary::match(const std::string& text) const {
+    const auto key = compileText(text, width_);
+    for (const auto& e : entries_)
+        if (compileToken(e.token, width_).matches(key)) return e.tag;
+    return std::nullopt;
+}
+
+std::vector<int> Dictionary::matchAll(const std::string& text) const {
+    const auto key = compileText(text, width_);
+    std::vector<int> out;
+    for (const auto& e : entries_)
+        if (compileToken(e.token, width_).matches(key)) out.push_back(e.tag);
+    return out;
+}
+
+std::vector<tcam::TernaryWord> Dictionary::patterns() const {
+    std::vector<tcam::TernaryWord> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.push_back(compileToken(e.token, width_));
+    return out;
+}
+
+}  // namespace fetcam::apps

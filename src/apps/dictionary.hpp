@@ -1,0 +1,52 @@
+// Fixed-width dictionary / signature matching: ASCII tokens with '?'
+// single-character wildcards compiled to ternary words (8 trits per
+// character) — the TCAM pattern behind deep-packet-inspection signature
+// engines and fixed-field database predicates.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tcam/ternary.hpp"
+
+namespace fetcam::apps {
+
+/// Compile a token to trits: 8 per character, MSB first; '?' compiles to
+/// eight X trits (matches any character). The token is padded with trailing
+/// wildcards up to `width` characters. Throws if longer than `width`.
+tcam::TernaryWord compileToken(const std::string& token, std::size_t width);
+
+/// Exact-width key from input text (truncated/padded with NULs to width).
+tcam::TernaryWord compileText(const std::string& text, std::size_t width);
+
+struct DictionaryEntry {
+    std::string token;
+    int tag = 0;
+};
+
+/// Priority-ordered signature dictionary.
+class Dictionary {
+public:
+    explicit Dictionary(std::size_t width) : width_(width) {}
+
+    /// Earlier additions have higher match priority.
+    void add(const std::string& token, int tag);
+
+    /// First (highest-priority) entry matching the text; TCAM semantics.
+    std::optional<int> match(const std::string& text) const;
+
+    /// Every matching entry's tag, in priority order ("multi-hit" readout).
+    std::vector<int> matchAll(const std::string& text) const;
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t width() const { return width_; }
+    const std::vector<DictionaryEntry>& entries() const { return entries_; }
+    std::vector<tcam::TernaryWord> patterns() const;
+
+private:
+    std::size_t width_;
+    std::vector<DictionaryEntry> entries_;
+};
+
+}  // namespace fetcam::apps

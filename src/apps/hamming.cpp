@@ -1,0 +1,67 @@
+#include "apps/hamming.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace fetcam::apps {
+
+void AssociativeMemory::add(const tcam::TernaryWord& word) {
+    if (word.size() != bits_)
+        throw std::invalid_argument("AssociativeMemory::add: width mismatch");
+    if (word.wildcardCount() != 0)
+        throw std::invalid_argument("AssociativeMemory::add: wildcards not allowed");
+    rows_.push_back(word);
+}
+
+std::vector<std::size_t> AssociativeMemory::distances(const tcam::TernaryWord& query) const {
+    std::vector<std::size_t> out;
+    out.reserve(rows_.size());
+    for (const auto& row : rows_) out.push_back(row.mismatchCount(query));
+    return out;
+}
+
+NearestResult AssociativeMemory::nearest(const tcam::TernaryWord& query) const {
+    if (rows_.empty()) throw std::logic_error("AssociativeMemory::nearest: empty memory");
+    const auto d = distances(query);
+    NearestResult best{0, d[0], true};
+    for (std::size_t i = 1; i < d.size(); ++i) {
+        if (d[i] < best.distance) {
+            best = {i, d[i], true};
+        } else if (d[i] == best.distance) {
+            best.unique = false;
+        }
+    }
+    return best;
+}
+
+std::vector<double> AssociativeMemory::dischargeTimes(const tcam::TernaryWord& query,
+                                                      double tauUnit) const {
+    std::vector<double> out;
+    out.reserve(rows_.size());
+    for (const auto& row : rows_) {
+        const auto d = row.mismatchCount(query);
+        out.push_back(d == 0 ? std::numeric_limits<double>::infinity()
+                             : tauUnit / static_cast<double>(d));
+    }
+    return out;
+}
+
+NearestResult AssociativeMemory::nearestViaDischarge(const tcam::TernaryWord& query,
+                                                     double tauUnit) const {
+    if (rows_.empty())
+        throw std::logic_error("AssociativeMemory::nearestViaDischarge: empty memory");
+    const auto times = dischargeTimes(query, tauUnit);
+    NearestResult best{0, rows_[0].mismatchCount(query), true};
+    double bestTime = times[0];
+    for (std::size_t i = 1; i < times.size(); ++i) {
+        if (times[i] > bestTime) {
+            bestTime = times[i];
+            best = {i, rows_[i].mismatchCount(query), true};
+        } else if (times[i] == bestTime) {
+            best.unique = false;
+        }
+    }
+    return best;
+}
+
+}  // namespace fetcam::apps

@@ -1,0 +1,59 @@
+// Approximate (nearest-neighbour) associative search.
+//
+// FeFET TCAMs are attractive beyond exact match: on a mismatch the matchline
+// discharge rate is proportional to the number of mismatching cells, so the
+// row whose ML falls last is the Hamming-nearest entry — the primitive
+// behind hyperdimensional-computing and few-shot-learning accelerators.
+//
+// This module provides the exact functional model plus the analog
+// discharge-time model that maps distances to ML fall times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tcam/ternary.hpp"
+
+namespace fetcam::apps {
+
+struct NearestResult {
+    std::size_t index = 0;      ///< winning row
+    std::size_t distance = 0;   ///< its Hamming distance
+    bool unique = true;         ///< no tie with another row
+};
+
+class AssociativeMemory {
+public:
+    explicit AssociativeMemory(std::size_t bits) : bits_(bits) {}
+
+    /// Store a fully-definite word. Throws on width mismatch or wildcards.
+    void add(const tcam::TernaryWord& word);
+
+    std::size_t size() const { return rows_.size(); }
+    std::size_t bits() const { return bits_; }
+    const std::vector<tcam::TernaryWord>& rows() const { return rows_; }
+
+    /// Exact nearest row by Hamming distance (golden model).
+    NearestResult nearest(const tcam::TernaryWord& query) const;
+
+    /// All distances (for distribution studies).
+    std::vector<std::size_t> distances(const tcam::TernaryWord& query) const;
+
+    /// Analog model: per-row matchline discharge time constants, inversely
+    /// proportional to mismatch count:  t_row = tauUnit / max(d, epsilon).
+    /// A winner-take-all on the *latest* discharge recovers the nearest row;
+    /// the ordering is identical to the exact model except exact matches,
+    /// which never discharge (represented as +inf).
+    std::vector<double> dischargeTimes(const tcam::TernaryWord& query,
+                                       double tauUnit = 1e-9) const;
+
+    /// Winner via the analog model (latest discharge wins).
+    NearestResult nearestViaDischarge(const tcam::TernaryWord& query,
+                                      double tauUnit = 1e-9) const;
+
+private:
+    std::size_t bits_;
+    std::vector<tcam::TernaryWord> rows_;
+};
+
+}  // namespace fetcam::apps

@@ -1,0 +1,58 @@
+#include "apps/lpm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fetcam::apps {
+
+tcam::TernaryWord Route::pattern() const {
+    tcam::TernaryWord w(32, tcam::Trit::X);
+    for (int i = 0; i < prefixLength; ++i) {
+        const bool bit = (address >> (31 - i)) & 1u;
+        w[static_cast<std::size_t>(i)] = bit ? tcam::Trit::One : tcam::Trit::Zero;
+    }
+    return w;
+}
+
+bool Route::covers(std::uint32_t addr) const {
+    if (prefixLength == 0) return true;
+    const std::uint32_t mask = prefixLength == 32 ? ~0u : ~0u << (32 - prefixLength);
+    return (addr & mask) == (address & mask);
+}
+
+void RoutingTable::addRoute(std::uint32_t address, int prefixLength, int nextHop) {
+    if (prefixLength < 0 || prefixLength > 32)
+        throw std::invalid_argument("RoutingTable::addRoute: bad prefix length");
+    const Route r{address, prefixLength, nextHop};
+    // Insert keeping longest-prefix-first order (stable within equal lengths:
+    // earlier insertions win, matching TCAM overwrite-free behaviour).
+    const auto pos = std::find_if(routes_.begin(), routes_.end(), [&](const Route& x) {
+        return x.prefixLength < prefixLength;
+    });
+    routes_.insert(pos, r);
+}
+
+std::optional<int> RoutingTable::lookup(std::uint32_t address) const {
+    const auto key = tcam::TernaryWord::fromBits(address, 32);
+    for (const Route& r : routes_)
+        if (r.pattern().matches(key)) return r.nextHop;
+    return std::nullopt;
+}
+
+std::optional<int> RoutingTable::lookupLinear(std::uint32_t address) const {
+    const Route* best = nullptr;
+    for (const Route& r : routes_) {
+        if (!r.covers(address)) continue;
+        if (!best || r.prefixLength > best->prefixLength) best = &r;
+    }
+    return best ? std::optional<int>(best->nextHop) : std::nullopt;
+}
+
+std::vector<tcam::TernaryWord> RoutingTable::patterns() const {
+    std::vector<tcam::TernaryWord> out;
+    out.reserve(routes_.size());
+    for (const Route& r : routes_) out.push_back(r.pattern());
+    return out;
+}
+
+}  // namespace fetcam::apps

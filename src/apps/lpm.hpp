@@ -1,0 +1,51 @@
+// Longest-prefix-match IP routing — the classic TCAM application.
+//
+// Prefixes map to ternary words (prefix bits definite, the rest X) stored in
+// decreasing prefix-length order, so the first matching row (the hardware
+// priority encoder's output) is the longest match.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tcam/ternary.hpp"
+
+namespace fetcam::apps {
+
+struct Route {
+    std::uint32_t address = 0;  ///< prefix value (host-order, upper bits used)
+    int prefixLength = 0;       ///< 0..32
+    int nextHop = 0;
+
+    /// 32-trit ternary pattern: prefixLength definite bits, the rest X.
+    tcam::TernaryWord pattern() const;
+    bool covers(std::uint32_t addr) const;
+};
+
+class RoutingTable {
+public:
+    /// Insert a route. Throws on invalid prefix length. Keeps the table in
+    /// TCAM priority order (longest prefix first).
+    void addRoute(std::uint32_t address, int prefixLength, int nextHop);
+
+    /// TCAM-semantics lookup: first matching row in priority order.
+    std::optional<int> lookup(std::uint32_t address) const;
+
+    /// Reference implementation: scan everything, pick the longest match.
+    /// Used to cross-check the TCAM ordering invariant.
+    std::optional<int> lookupLinear(std::uint32_t address) const;
+
+    std::size_t size() const { return routes_.size(); }
+    const std::vector<Route>& routes() const { return routes_; }
+
+    /// The table as ternary words, in stored (priority) order.
+    std::vector<tcam::TernaryWord> patterns() const;
+
+    static constexpr int kWordBits = 32;
+
+private:
+    std::vector<Route> routes_;  // sorted: longest prefix first
+};
+
+}  // namespace fetcam::apps

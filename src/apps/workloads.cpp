@@ -1,0 +1,157 @@
+#include "apps/workloads.hpp"
+
+#include <stdexcept>
+
+namespace fetcam::apps {
+
+namespace {
+
+/// Empirical-ish BGP prefix-length distribution: (length, weight).
+constexpr struct {
+    int length;
+    double weight;
+} kPrefixMix[] = {
+    {8, 0.01}, {12, 0.02}, {16, 0.10}, {18, 0.05}, {20, 0.10},
+    {22, 0.15}, {24, 0.50}, {28, 0.04}, {32, 0.03},
+};
+
+int samplePrefixLength(numeric::Rng& rng) {
+    double total = 0.0;
+    for (const auto& p : kPrefixMix) total += p.weight;
+    double u = rng.uniform(0.0, total);
+    for (const auto& p : kPrefixMix) {
+        if (u < p.weight) return p.length;
+        u -= p.weight;
+    }
+    return 24;
+}
+
+}  // namespace
+
+RoutingTable syntheticRoutingTable(std::size_t entries, std::uint64_t seed) {
+    numeric::Rng rng(seed);
+    RoutingTable table;
+    while (table.size() < entries) {
+        const int len = samplePrefixLength(rng);
+        const std::uint32_t addr =
+            static_cast<std::uint32_t>(rng.nextU64()) &
+            (len == 32 ? ~0u : (len == 0 ? 0u : ~0u << (32 - len)));
+        table.addRoute(addr, len, rng.uniformInt(0, 63));
+    }
+    return table;
+}
+
+std::vector<std::uint32_t> syntheticQueryStream(const RoutingTable& table,
+                                                std::size_t queries, double hitFraction,
+                                                std::uint64_t seed) {
+    if (table.size() == 0) throw std::invalid_argument("syntheticQueryStream: empty table");
+    numeric::Rng rng(seed);
+    std::vector<std::uint32_t> out;
+    out.reserve(queries);
+    const auto& routes = table.routes();
+    for (std::size_t i = 0; i < queries; ++i) {
+        if (rng.bernoulli(hitFraction)) {
+            // Address inside a random prefix: prefix bits + random host bits.
+            const auto& r = routes[static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<int>(routes.size()) - 1))];
+            const std::uint32_t hostMask =
+                r.prefixLength == 32 ? 0u : ~0u >> r.prefixLength;
+            out.push_back(r.address | (static_cast<std::uint32_t>(rng.nextU64()) & hostMask));
+        } else {
+            out.push_back(static_cast<std::uint32_t>(rng.nextU64()));
+        }
+    }
+    return out;
+}
+
+PacketClassifier syntheticClassifier(std::size_t rules, std::uint64_t seed) {
+    numeric::Rng rng(seed);
+    PacketClassifier cls;
+    for (std::size_t i = 0; i < rules; ++i) {
+        RuleBuilder b;
+        b.srcPrefix(static_cast<std::uint32_t>(rng.nextU64()), rng.uniformInt(8, 24));
+        b.dstPrefix(static_cast<std::uint32_t>(rng.nextU64()), rng.uniformInt(8, 24));
+        if (rng.bernoulli(0.5))
+            b.dstPort(static_cast<std::uint16_t>(rng.uniformInt(0, 1023)));
+        if (rng.bernoulli(0.7)) b.protocol(rng.bernoulli(0.5) ? 6 : 17);  // TCP/UDP
+        cls.addRule(b.build(rng.uniformInt(0, 3), "rule" + std::to_string(i)));
+    }
+    return cls;
+}
+
+std::vector<PacketHeader> syntheticPackets(const PacketClassifier& cls, std::size_t packets,
+                                           double hitFraction, std::uint64_t seed) {
+    numeric::Rng rng(seed);
+    std::vector<PacketHeader> out;
+    out.reserve(packets);
+    for (std::size_t i = 0; i < packets; ++i) {
+        PacketHeader h;
+        if (!cls.rules().empty() && rng.bernoulli(hitFraction)) {
+            // Materialize a packet from a random rule: definite bits copied,
+            // wildcards randomized.
+            const auto& rule = cls.rules()[static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<int>(cls.size()) - 1))];
+            tcam::TernaryWord w(PacketHeader::kBits);
+            for (std::size_t b = 0; b < w.size(); ++b) {
+                const auto t = rule.pattern[b];
+                w[b] = t == tcam::Trit::X ? (rng.bernoulli(0.5) ? tcam::Trit::One
+                                                                : tcam::Trit::Zero)
+                                          : t;
+            }
+            auto field = [&](int off, int bits) {
+                std::uint64_t v = 0;
+                for (int b = 0; b < bits; ++b)
+                    v = (v << 1) |
+                        (w[static_cast<std::size_t>(off + b)] == tcam::Trit::One ? 1u : 0u);
+                return v;
+            };
+            h.srcIp = static_cast<std::uint32_t>(field(0, 32));
+            h.dstIp = static_cast<std::uint32_t>(field(32, 32));
+            h.srcPort = static_cast<std::uint16_t>(field(64, 16));
+            h.dstPort = static_cast<std::uint16_t>(field(80, 16));
+            h.protocol = static_cast<std::uint8_t>(field(96, 8));
+        } else {
+            h.srcIp = static_cast<std::uint32_t>(rng.nextU64());
+            h.dstIp = static_cast<std::uint32_t>(rng.nextU64());
+            h.srcPort = static_cast<std::uint16_t>(rng.uniformInt(0, 65535));
+            h.dstPort = static_cast<std::uint16_t>(rng.uniformInt(0, 65535));
+            h.protocol = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+        }
+        out.push_back(h);
+    }
+    return out;
+}
+
+std::vector<tcam::TernaryWord> randomHypervectors(std::size_t count, std::size_t bits,
+                                                  std::uint64_t seed) {
+    numeric::Rng rng(seed);
+    std::vector<tcam::TernaryWord> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        tcam::TernaryWord w(bits);
+        for (std::size_t b = 0; b < bits; ++b)
+            w[b] = rng.bernoulli(0.5) ? tcam::Trit::One : tcam::Trit::Zero;
+        out.push_back(w);
+    }
+    return out;
+}
+
+tcam::TernaryWord perturbWord(const tcam::TernaryWord& word, std::size_t flips,
+                              numeric::Rng& rng) {
+    tcam::TernaryWord out = word;
+    if (flips > word.size()) throw std::invalid_argument("perturbWord: too many flips");
+    // Sample distinct positions by rejection (fine for sparse flips).
+    std::vector<bool> used(word.size(), false);
+    std::size_t done = 0;
+    while (done < flips) {
+        const auto pos = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(word.size()) - 1));
+        if (used[pos] || out[pos] == tcam::Trit::X) continue;
+        used[pos] = true;
+        out[pos] = out[pos] == tcam::Trit::One ? tcam::Trit::Zero : tcam::Trit::One;
+        ++done;
+    }
+    return out;
+}
+
+}  // namespace fetcam::apps

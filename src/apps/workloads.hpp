@@ -1,0 +1,39 @@
+// Synthetic workload generators for the application case studies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/classifier.hpp"
+#include "apps/lpm.hpp"
+#include "numeric/stats.hpp"
+#include "tcam/ternary.hpp"
+
+namespace fetcam::apps {
+
+/// Synthetic routing table with a realistic prefix-length mix (mass around
+/// /16-/24, peak at /24 — the published BGP table shape).
+RoutingTable syntheticRoutingTable(std::size_t entries, std::uint64_t seed = 1);
+
+/// Query stream: a mix of addresses covered by table prefixes (hits) and
+/// uniform random addresses (mostly misses).
+std::vector<std::uint32_t> syntheticQueryStream(const RoutingTable& table,
+                                                std::size_t queries, double hitFraction,
+                                                std::uint64_t seed = 2);
+
+/// Synthetic firewall-style rule set over the 104-bit header.
+PacketClassifier syntheticClassifier(std::size_t rules, std::uint64_t seed = 3);
+
+/// Random packet headers, a fraction crafted to hit classifier rules.
+std::vector<PacketHeader> syntheticPackets(const PacketClassifier& cls, std::size_t packets,
+                                           double hitFraction, std::uint64_t seed = 4);
+
+/// Random fully-definite words (hypervector-style) for associative search.
+std::vector<tcam::TernaryWord> randomHypervectors(std::size_t count, std::size_t bits,
+                                                  std::uint64_t seed = 5);
+
+/// Perturb a word by flipping `flips` random definite positions.
+tcam::TernaryWord perturbWord(const tcam::TernaryWord& word, std::size_t flips,
+                              numeric::Rng& rng);
+
+}  // namespace fetcam::apps

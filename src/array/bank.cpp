@@ -1,0 +1,45 @@
+#include "array/bank.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fetcam::array {
+
+double PriorityEncoderModel::delay(int rows) const {
+    if (rows <= 1) return delayPerLevel;
+    return std::ceil(std::log2(static_cast<double>(rows))) * delayPerLevel;
+}
+
+BankMetrics evaluateBank(const device::TechCard& tech, const ArrayConfig& arrayConfig,
+                         int entries, const WorkloadProfile& workload,
+                         const PriorityEncoderModel& encoder) {
+    if (entries < 1) throw std::invalid_argument("evaluateBank: entries must be >= 1");
+    if (arrayConfig.rows < 1) throw std::invalid_argument("evaluateBank: bad array rows");
+
+    const int n = (entries + arrayConfig.rows - 1) / arrayConfig.rows;
+
+    // The per-row match probability dilutes across sub-arrays: at most one
+    // sub-array holds the matching row, the others see pure-mismatch traffic.
+    // Splitting matchRowFraction across n arrays models exactly that.
+    WorkloadProfile wl = workload;
+    wl.matchRowFraction = workload.matchRowFraction / n;
+    const auto sub = evaluateArray(tech, arrayConfig, wl);
+
+    BankMetrics m;
+    m.subArrays = n;
+    m.rowsPerArray = arrayConfig.rows;
+    m.totalEntries = n * arrayConfig.rows;
+    m.perSearch.ml = sub.perSearch.ml * n;
+    m.perSearch.sl = sub.perSearch.sl * n;
+    m.perSearch.sa = sub.perSearch.sa * n;
+    m.perSearch.staticRail = sub.perSearch.staticRail * n;
+    m.encoderEnergy = encoder.energy(m.totalEntries);
+    m.searchDelay = sub.searchDelay + encoder.delay(m.totalEntries);
+    m.cycleTime = sub.cycleTime;
+    m.throughput = 1.0 / m.cycleTime;
+    m.areaF2 = sub.areaF2 * n;
+    m.functional = sub.functional;
+    return m;
+}
+
+}  // namespace fetcam::array

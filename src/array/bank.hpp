@@ -1,0 +1,43 @@
+// Bank-level model: a capacity too large for one array is split across
+// parallel sub-arrays sharing a search bus, with a priority encoder reducing
+// the per-row match flags to one address. This is the standard TCAM macro
+// organization and what the application studies size against.
+#pragma once
+
+#include "array/energy_model.hpp"
+
+namespace fetcam::array {
+
+/// Priority-encoder cost proxy, calibrated as a log-depth CMOS reduction
+/// tree: ~0.02 fJ of switched capacitance per row flag per search and ~15 ps
+/// per tree level.
+struct PriorityEncoderModel {
+    double energyPerRowFj = 0.02;
+    double delayPerLevel = 15e-12;
+
+    double energy(int rows) const { return rows * energyPerRowFj * 1e-15; }
+    double delay(int rows) const;
+};
+
+struct BankMetrics {
+    int subArrays = 0;
+    int rowsPerArray = 0;
+    int totalEntries = 0;       ///< capacity actually provisioned (rounded up)
+    EnergyBreakdown perSearch;  ///< whole-bank energy per search [J]
+    double encoderEnergy = 0.0; ///< priority-encoder share [J]
+    double searchDelay = 0.0;   ///< array delay + encoder depth [s]
+    double cycleTime = 0.0;
+    double throughput = 0.0;
+    double areaF2 = 0.0;
+    bool functional = false;
+    double totalPerSearch() const { return perSearch.total() + encoderEnergy; }
+};
+
+/// Evaluate a bank holding at least `entries` words, split into sub-arrays of
+/// `arrayConfig.rows` rows each (all searched in parallel). Runs one
+/// evaluateArray for the sub-array and scales.
+BankMetrics evaluateBank(const device::TechCard& tech, const ArrayConfig& arrayConfig,
+                         int entries, const WorkloadProfile& workload = {},
+                         const PriorityEncoderModel& encoder = {});
+
+}  // namespace fetcam::array

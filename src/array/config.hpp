@@ -1,0 +1,90 @@
+// Array-level configuration: sensing scheme, geometry, drive voltages,
+// search-cycle timing. These knobs are the "energy-aware design" space the
+// benches sweep.
+#pragma once
+
+#include "device/tech.hpp"
+#include "tcam/cell.hpp"
+
+namespace fetcam::array {
+
+/// Matchline precharge/sense strategy.
+enum class SenseScheme {
+    /// Conventional: precharge ML to VDD through a PMOS, sense with a skewed
+    /// CMOS inverter. Robust, but every mismatching ML burns C*VDD^2.
+    FullSwing,
+    /// Energy-aware: precharge ML to a reduced level (~0.4*VDD) through an
+    /// NMOS, sense with a ratioed PMOS-input amplifier. ML energy scales with
+    /// Vpre^2; the price is amplifier static current during evaluation.
+    LowSwing,
+};
+
+constexpr const char* senseSchemeName(SenseScheme s) {
+    return s == SenseScheme::FullSwing ? "full-swing" : "low-swing";
+}
+
+/// Search-cycle phase durations.
+struct SearchTiming {
+    double tSetup = 100e-12;      ///< quiet time before evaluation
+    double tEval = 1.0e-9;        ///< searchlines asserted, ML evaluated
+    double tGap = 100e-12;        ///< searchlines released
+    double tPrecharge = 500e-12;  ///< ML recharged for the next search
+    double tTail = 200e-12;       ///< settle time at the end of the cycle
+    double slEdge = 50e-12;       ///< searchline rise/fall time
+    /// Low-swing sense strobe window, relative to evaluation start. The
+    /// strobe must open after the slowest single-bit mismatch discharge.
+    double saStrobeDelay = 500e-12;
+    double saStrobeLen = 120e-12;
+
+    double evalStart() const { return tSetup; }
+    double evalEnd() const { return tSetup + tEval; }
+    double strobeEnd() const { return evalStart() + saStrobeDelay + saStrobeLen; }
+    double prechargeStart() const { return evalEnd() + tGap; }
+    double prechargeEnd() const { return prechargeStart() + tPrecharge; }
+    double cycle() const { return prechargeEnd() + tTail; }
+};
+
+struct ArrayConfig {
+    tcam::CellKind cell = tcam::CellKind::FeFet2;
+    SenseScheme sense = SenseScheme::FullSwing;
+    int wordBits = 64;
+    int rows = 64;
+
+    /// Searchline high level; 0 -> tech.vdd. Reducing it below VDD is viable
+    /// for FeFET cells (gate-input sensing with VT_low ~ 0.15 V keeps plenty
+    /// of overdrive) and is one of the energy-aware techniques.
+    double vSearch = 0.0;
+    /// Matchline precharge level; 0 -> VDD for FullSwing, 0.4 V for LowSwing.
+    double vPrecharge = 0.0;
+
+    /// Weak feedback keeper PMOS on the matchline (full-swing sensing only):
+    /// gate driven by the sense stage, so it holds a matching ML at the rail
+    /// (kills leakage sag — rescues wide ReRAM words) and releases once a
+    /// mismatch discharge flips the sense stage. Costs contention energy and
+    /// detection delay.
+    bool mlKeeper = false;
+
+    /// Model the matchline as a distributed RC ladder (one segment per cell,
+    /// using the tech card's per-cell wire R/C) instead of a single lumped
+    /// node. More accurate for wide words at the cost of a larger system.
+    bool distributedMl = false;
+
+    /// Matchline segmentation with early termination (1 = off).
+    int mlSegments = 1;
+    /// Selective precharge: evaluate `prefilterBits` first and precharge the
+    /// main ML only for rows that pass.
+    bool selectivePrecharge = false;
+    int prefilterBits = 2;
+
+    SearchTiming timing;
+
+    double effectiveVSearch(const device::TechCard& tech) const {
+        return vSearch > 0.0 ? vSearch : tech.vdd;
+    }
+    double effectiveVPrecharge(const device::TechCard& tech) const {
+        if (vPrecharge > 0.0) return vPrecharge;
+        return sense == SenseScheme::FullSwing ? tech.vdd : 0.4;
+    }
+};
+
+}  // namespace fetcam::array

@@ -1,0 +1,145 @@
+#include "array/energy_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "numeric/stats.hpp"
+
+namespace fetcam::array {
+
+tcam::TernaryWord calibrationWord(int bits, std::uint64_t seed) {
+    numeric::Rng rng(seed);
+    tcam::TernaryWord w(static_cast<std::size_t>(bits));
+    for (int i = 0; i < bits; ++i)
+        w[static_cast<std::size_t>(i)] = rng.bernoulli(0.5) ? tcam::Trit::One : tcam::Trit::Zero;
+    return w;
+}
+
+tcam::TernaryWord keyWithMismatches(const tcam::TernaryWord& stored, int mismatches) {
+    tcam::TernaryWord key(stored.size());
+    for (std::size_t i = 0; i < stored.size(); ++i)
+        key[i] = stored[i] == tcam::Trit::X ? tcam::Trit::Zero : stored[i];
+    int left = mismatches;
+    for (std::size_t i = 0; i < stored.size() && left > 0; ++i) {
+        if (stored[i] == tcam::Trit::X) continue;
+        key[i] = stored[i] == tcam::Trit::One ? tcam::Trit::Zero : tcam::Trit::One;
+        --left;
+    }
+    if (left > 0)
+        throw std::invalid_argument("keyWithMismatches: not enough definite positions");
+    return key;
+}
+
+namespace {
+
+/// Stage widths implied by the configuration.
+std::vector<int> stageWidths(const ArrayConfig& cfg) {
+    if (cfg.selectivePrecharge) {
+        const int pre = std::min(cfg.prefilterBits, cfg.wordBits - 1);
+        return {pre, cfg.wordBits - pre};
+    }
+    if (cfg.mlSegments > 1) {
+        const int k = std::min(cfg.mlSegments, cfg.wordBits);
+        std::vector<int> w(static_cast<std::size_t>(k), cfg.wordBits / k);
+        for (int i = 0; i < cfg.wordBits % k; ++i) ++w[static_cast<std::size_t>(i)];
+        return w;
+    }
+    return {cfg.wordBits};
+}
+
+struct StageSims {
+    WordSimResult match;
+    WordSimResult mismatch;
+};
+
+}  // namespace
+
+ArrayMetrics evaluateArray(const device::TechCard& tech, const ArrayConfig& config,
+                           const WorkloadProfile& workload) {
+    if (config.wordBits < 1 || config.rows < 1)
+        throw std::invalid_argument("evaluateArray: bad geometry");
+
+    const auto widths = stageWidths(config);
+
+    // --- calibration circuit simulations, one pair per distinct stage width ---
+    std::map<int, StageSims> sims;
+    for (int w : widths) {
+        if (sims.contains(w)) continue;
+        WordSimOptions o;
+        o.tech = tech;
+        o.config = config;
+        o.config.wordBits = w;
+        o.stored = calibrationWord(w);
+        o.key = o.stored;  // exact match
+        StageSims s;
+        s.match = simulateWordSearch(o);
+        o.key = keyWithMismatches(o.stored, 1);  // worst-case single mismatch
+        s.mismatch = simulateWordSearch(o);
+        sims.emplace(w, std::move(s));
+    }
+
+    ArrayMetrics m;
+    const auto& first = sims.at(widths.front());
+    m.matchWord = first.match;
+    m.mismatchWord = first.mismatch;
+    // NAND chains invert the ML polarity, so report the magnitude.
+    m.senseMarginV = std::abs(first.match.mlAtSense - first.mismatch.mlAtSense);
+    m.functional = true;
+    for (const auto& [w, s] : sims)
+        m.functional = m.functional && s.match.correct() && s.mismatch.correct();
+
+    // --- analytic scaling to the array ---
+    const double rows = config.rows;
+    const double nMatchRows = workload.matchRowFraction * rows;
+    const double q = workload.bitMatchProbability;
+
+    double delay = 0.0;
+    int cumBits = 0;
+    for (std::size_t j = 0; j < widths.size(); ++j) {
+        const int w = widths[j];
+        const auto& s = sims.at(w);
+
+        // Probability a random (ultimately non-matching) row is still alive
+        // entering stage j, i.e. it matched every earlier stage.
+        const double aliveProb = std::pow(q, static_cast<double>(cumBits));
+        const double activeNonMatch = (rows - nMatchRows) * aliveProb;
+        // Of the active non-matching rows, those matching this stage too.
+        const double stageMatchFrac = std::pow(q, static_cast<double>(w));
+        const double nStageMatch = activeNonMatch * stageMatchFrac;
+        const double nStageMismatch = activeNonMatch - nStageMatch;
+
+        // Searchlines of every stage broadcast across all rows each search.
+        m.perSearch.sl += rows * s.match.energySl;
+        // Matchline + sense energy only for rows whose stage evaluates.
+        const double eMlMatch = s.match.energyMl;
+        const double eMlMismatch = s.mismatch.energyMl;
+        m.perSearch.ml += (nMatchRows + nStageMatch) * eMlMatch + nStageMismatch * eMlMismatch;
+        m.perSearch.sa += (nMatchRows + nStageMatch) * s.match.energySa +
+                          nStageMismatch * s.mismatch.energySa;
+        m.perSearch.staticRail +=
+            (nMatchRows + nStageMatch) * s.match.energyStatic +
+            nStageMismatch * s.mismatch.energyStatic;
+
+        // Stage decision latency: the sense event when one occurred (mismatch
+        // discharge for NOR, match discharge for NAND), else the full
+        // evaluation window.
+        const double event = s.mismatch.detectDelay.value_or(
+            s.match.detectDelay.value_or(config.timing.tEval));
+        const double stageDelay = event + config.timing.tSetup;
+        delay += stageDelay;
+        cumBits += w;
+    }
+
+    m.searchDelay = delay;
+    m.cycleTime = static_cast<double>(widths.size()) * config.timing.cycle();
+    m.throughput = 1.0 / m.cycleTime;
+    const double cells = rows * config.wordBits;
+    m.energyPerBitFj = m.perSearch.total() / cells * 1e15;
+    // Cell area plus ~15% periphery (drivers, sense amps, prechargers).
+    m.areaF2 = cells * tcam::cellAreaF2(config.cell, tech) * 1.15;
+    return m;
+}
+
+}  // namespace fetcam::array

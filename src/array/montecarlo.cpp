@@ -1,0 +1,83 @@
+#include "array/montecarlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "array/energy_model.hpp"
+
+namespace fetcam::array {
+
+namespace {
+
+/// Sample one cell's perturbations. Storage-state overrides are expressed in
+/// the cell technology's native state variable.
+tcam::CellVariation sampleCell(numeric::Rng& rng, const MonteCarloSpec& spec,
+                               tcam::Trit stored, tcam::CellKind kind) {
+    tcam::CellVariation v;
+    v.vtOffsetA = rng.normal(0.0, spec.sigmaVt);
+    v.vtOffsetB = rng.normal(0.0, spec.sigmaVt);
+    if (spec.sigmaState <= 0.0) return v;
+
+    const auto enc =
+        tcam::isNandKind(kind) ? tcam::nandEncodeTrit(stored) : tcam::encodeTrit(stored);
+    const double degA = std::abs(rng.normal(0.0, spec.sigmaState));
+    const double degB = std::abs(rng.normal(0.0, spec.sigmaState));
+    switch (kind) {
+        case tcam::CellKind::FeFet2Nand:
+        case tcam::CellKind::FeFet2:
+            // Polarization magnitude loss toward 0 (imprint / partial switch).
+            v.stateA = enc.aEnabled ? 1.0 - degA : -1.0 + degA;
+            v.stateB = enc.bEnabled ? 1.0 - degB : -1.0 + degB;
+            break;
+        case tcam::CellKind::ReRam2T2R:
+            // Filament variation: LRS weakens, HRS strengthens (leakier).
+            v.stateA = enc.aEnabled ? 1.0 - degA : degA;
+            v.stateB = enc.bEnabled ? 1.0 - degB : degB;
+            break;
+        case tcam::CellKind::Cmos16T:
+            break;  // SRAM state is digital; only VT varies
+    }
+    v.stateA = std::clamp(v.stateA, -1.0, 1.0);
+    v.stateB = std::clamp(v.stateB, -1.0, 1.0);
+    return v;
+}
+
+}  // namespace
+
+MonteCarloResult runMonteCarlo(const MonteCarloSpec& spec) {
+    MonteCarloResult result;
+    result.trials = spec.trials;
+    numeric::Rng rng(spec.seed);
+
+    const auto stored = calibrationWord(spec.config.wordBits,
+                                        /*seed=*/spec.seed ^ 0x5bd1e995u);
+    const auto matchKey = stored;
+    const auto mismatchKey = keyWithMismatches(stored, spec.mismatchBits);
+
+    for (int trial = 0; trial < spec.trials; ++trial) {
+        auto trialRng = rng.split();
+        std::vector<tcam::CellVariation> vars;
+        vars.reserve(stored.size());
+        for (std::size_t i = 0; i < stored.size(); ++i)
+            vars.push_back(sampleCell(trialRng, spec, stored[i], spec.config.cell));
+
+        WordSimOptions o;
+        o.tech = spec.tech;
+        o.config = spec.config;
+        o.stored = stored;
+        o.variations = vars;
+
+        o.key = matchKey;
+        const auto match = simulateWordSearch(o);
+        result.mlMatch.add(match.mlAtSense);
+        if (!match.matchDetected) ++result.matchErrors;
+
+        o.key = mismatchKey;
+        const auto mism = simulateWordSearch(o);
+        result.mlMismatch.add(mism.mlAtSense);
+        if (mism.matchDetected) ++result.mismatchErrors;
+    }
+    return result;
+}
+
+}  // namespace fetcam::array

@@ -1,0 +1,45 @@
+// Monte Carlo variation analysis: sample per-device threshold-voltage and
+// storage-state variations, re-simulate the word search, and collect the
+// sense-margin distribution and search error rates.
+#pragma once
+
+#include <cstdint>
+
+#include "array/word_sim.hpp"
+#include "numeric/stats.hpp"
+
+namespace fetcam::array {
+
+struct MonteCarloSpec {
+    device::TechCard tech = device::TechCard::cmos45();
+    ArrayConfig config;
+    int trials = 100;
+    std::uint64_t seed = 1;
+
+    double sigmaVt = 0.030;     ///< per-device VT sigma [V] (local mismatch)
+    /// Storage-state degradation sigma: FeFET |pnorm| and ReRAM filament w
+    /// are reduced by |N(0, sigma)| from their nominal +/-1 / {0,1} values.
+    double sigmaState = 0.05;
+    int mismatchBits = 1;       ///< mismatch severity for the error analysis
+};
+
+struct MonteCarloResult {
+    int trials = 0;
+    numeric::RunningStats mlMatch;     ///< ML voltage at sense, match case
+    numeric::RunningStats mlMismatch;  ///< ML voltage at sense, mismatch case
+    int matchErrors = 0;      ///< matches read as mismatches (false negatives)
+    int mismatchErrors = 0;   ///< mismatches read as matches (false positives)
+
+    double senseMarginMean() const { return mlMatch.mean() - mlMismatch.mean(); }
+    /// Worst-case margin: closest approach of the two distributions observed.
+    double senseMarginWorst() const { return mlMatch.min() - mlMismatch.max(); }
+    double errorRate() const {
+        return trials == 0 ? 0.0
+                           : static_cast<double>(matchErrors + mismatchErrors) /
+                                 (2.0 * static_cast<double>(trials));
+    }
+};
+
+MonteCarloResult runMonteCarlo(const MonteCarloSpec& spec);
+
+}  // namespace fetcam::array

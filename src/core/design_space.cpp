@@ -1,0 +1,119 @@
+#include "core/design_space.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace fetcam::core {
+
+std::vector<DesignPoint> standardDesigns(int wordBits, int rows) {
+    using array::SenseScheme;
+    using tcam::CellKind;
+
+    auto base = [&](CellKind cell) {
+        array::ArrayConfig c;
+        c.cell = cell;
+        c.wordBits = wordBits;
+        c.rows = rows;
+        return c;
+    };
+
+    std::vector<DesignPoint> designs;
+    designs.push_back({"CMOS-16T", base(CellKind::Cmos16T)});
+    designs.push_back({"ReRAM-2T2R", base(CellKind::ReRam2T2R)});
+    designs.push_back({"FeFET-2T", base(CellKind::FeFet2)});
+
+    auto ls = base(CellKind::FeFet2);
+    ls.sense = SenseScheme::LowSwing;
+    designs.push_back({"EA-FeFET (+LS)", ls});
+
+    auto lsvs = ls;
+    lsvs.vSearch = 0.8;
+    designs.push_back({"EA-FeFET (+LS+VS)", lsvs});
+
+    auto lsvssp = lsvs;
+    lsvssp.selectivePrecharge = true;
+    lsvssp.prefilterBits = 2;
+    designs.push_back({"EA-FeFET (+LS+VS+SP)", lsvssp});
+    return designs;
+}
+
+DesignPoint proposedDesign(int wordBits, int rows) {
+    auto all = standardDesigns(wordBits, rows);
+    return all.back();
+}
+
+std::vector<ExplorationResult> exploreDesigns(const device::TechCard& tech,
+                                              const std::vector<DesignPoint>& designs,
+                                              const array::WorkloadProfile& workload) {
+    std::vector<ExplorationResult> out;
+    out.reserve(designs.size());
+    for (const auto& d : designs)
+        out.push_back({d, evaluateArray(tech, d.config, workload)});
+    return out;
+}
+
+std::vector<DesignPoint> parametricSweep(tcam::CellKind cell, int wordBits, int rows) {
+    std::vector<DesignPoint> out;
+    for (const auto sense : {array::SenseScheme::FullSwing, array::SenseScheme::LowSwing}) {
+        for (const double vSearch : {0.0, 0.8}) {
+            for (const int segments : {1, 2, 4}) {
+                array::ArrayConfig c;
+                c.cell = cell;
+                c.wordBits = wordBits;
+                c.rows = rows;
+                c.sense = sense;
+                c.vSearch = vSearch;
+                c.mlSegments = segments;
+                std::string name = std::string(senseSchemeName(sense));
+                name += vSearch > 0.0 ? "/vs0.8" : "/vs1.0";
+                name += "/seg" + std::to_string(segments);
+                out.push_back({std::move(name), c});
+            }
+        }
+    }
+    return out;
+}
+
+Table explorationTable(const std::vector<ExplorationResult>& results) {
+    Table t({"design", "E_per_search_J", "fJ_per_bit", "delay_s", "cycle_s",
+             "throughput_per_s", "area_F2", "margin_V", "functional"});
+    for (const auto& r : results) {
+        const auto& m = r.metrics;
+        t.addRow({r.design.name, numFormat(m.perSearch.total() * 1e15, 4) + "e-15",
+                  numFormat(m.energyPerBitFj, 4), numFormat(m.searchDelay * 1e12, 2) + "e-12",
+                  numFormat(m.cycleTime * 1e9, 3) + "e-9", numFormat(m.throughput, 0),
+                  numFormat(m.areaF2, 0), numFormat(m.senseMarginV, 4),
+                  m.functional ? "1" : "0"});
+    }
+    return t;
+}
+
+void exportExplorationCsv(const std::vector<ExplorationResult>& results,
+                          const std::string& path) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("exportExplorationCsv: cannot open '" + path + "'");
+    os << explorationTable(results).toCsv();
+    if (!os) throw std::runtime_error("exportExplorationCsv: write failed");
+}
+
+std::vector<std::size_t> paretoFront(
+    const std::vector<ExplorationResult>& points,
+    const std::function<double(const array::ArrayMetrics&)>& objectiveX,
+    const std::function<double(const array::ArrayMetrics&)>& objectiveY) {
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const double xi = objectiveX(points[i].metrics);
+        const double yi = objectiveY(points[i].metrics);
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+            if (i == j) continue;
+            const double xj = objectiveX(points[j].metrics);
+            const double yj = objectiveY(points[j].metrics);
+            dominated = xj <= xi && yj <= yi && (xj < xi || yj < yi);
+        }
+        if (!dominated) front.push_back(i);
+    }
+    return front;
+}
+
+}  // namespace fetcam::core

@@ -1,0 +1,61 @@
+// Energy-aware design-space exploration: named design points (baselines and
+// proposed energy-aware FeFET variants), full-space sweeps, and Pareto
+// extraction.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "array/energy_model.hpp"
+#include "core/report.hpp"
+
+namespace fetcam::core {
+
+struct DesignPoint {
+    std::string name;
+    array::ArrayConfig config;
+};
+
+/// The designs every comparison table/figure reports:
+///   three baselines (CMOS-16T, ReRAM-2T2R, plain FeFET-2T full-swing) and
+///   three cumulative energy-aware FeFET variants:
+///     +LS  : low-swing matchline (precharge 0.4 V, clocked ratioed sense)
+///     +VS  : reduced searchline swing (0.8 V — viable because of the FeFET's
+///            0.15 V low-VT gate-input search)
+///     +SP  : selective precharge (2-bit prefilter stage)
+std::vector<DesignPoint> standardDesigns(int wordBits, int rows);
+
+/// Proposed (best energy-aware) design alone.
+DesignPoint proposedDesign(int wordBits, int rows);
+
+struct ExplorationResult {
+    DesignPoint design;
+    array::ArrayMetrics metrics;
+};
+
+/// Evaluate a list of designs (2 circuit sims per distinct stage width each).
+std::vector<ExplorationResult> exploreDesigns(const device::TechCard& tech,
+                                              const std::vector<DesignPoint>& designs,
+                                              const array::WorkloadProfile& workload = {});
+
+/// Full parametric sweep over (sense scheme x vSearch x segmentation) for a
+/// given cell: the ablation grid bench F8/T2 draw from.
+std::vector<DesignPoint> parametricSweep(tcam::CellKind cell, int wordBits, int rows);
+
+/// Indices of the Pareto-optimal points when minimizing both objectives.
+std::vector<std::size_t> paretoFront(
+    const std::vector<ExplorationResult>& points,
+    const std::function<double(const array::ArrayMetrics&)>& objectiveX,
+    const std::function<double(const array::ArrayMetrics&)>& objectiveY);
+
+/// Render exploration results as a metrics table (shared by benches and the
+/// CSV exporter): one row per design with the standard metric columns.
+Table explorationTable(const std::vector<ExplorationResult>& results);
+
+/// Dump exploration results to a CSV file for external plotting. Throws
+/// std::runtime_error on I/O failure.
+void exportExplorationCsv(const std::vector<ExplorationResult>& results,
+                          const std::string& path);
+
+}  // namespace fetcam::core

@@ -1,0 +1,113 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace fetcam::core {
+
+std::string engFormat(double value, const std::string& unit, int significant) {
+    if (value == 0.0) return "0 " + unit;
+    if (!std::isfinite(value)) return value > 0 ? "inf" : "-inf";
+    static constexpr struct {
+        double scale;
+        const char* prefix;
+    } kPrefixes[] = {
+        {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+        {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"}, {1e-18, "a"},
+        {1e-21, "z"}, {1e-24, "y"},
+    };
+    const double mag = std::abs(value);
+    if (mag < 1e-24) {  // below the smallest SI prefix: scientific notation
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.*e %s", significant - 1, value, unit.c_str());
+        return buf;
+    }
+    for (const auto& p : kPrefixes) {
+        if (mag >= p.scale || p.scale == 1e-24) {
+            const double scaled = value / p.scale;
+            const int intDigits =
+                std::max(1, static_cast<int>(std::floor(std::log10(std::abs(scaled)))) + 1);
+            const int decimals = std::max(0, significant - intDigits);
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "%.*f %s%s", decimals, scaled, p.prefix,
+                          unit.c_str());
+            return buf;
+        }
+    }
+    return std::to_string(value) + " " + unit;
+}
+
+std::string numFormat(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    if (headers_.empty()) throw std::invalid_argument("Table: need at least one column");
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size())
+        throw std::invalid_argument("Table::addRow: wrong cell count");
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::toAligned() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c] << std::string(width[c] - cells[c].size(), ' ');
+            os << (c + 1 < cells.size() ? "  " : "");
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (const std::size_t w : width) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+std::string Table::toMarkdown() const {
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        os << "|";
+        for (const auto& c : cells) os << ' ' << c << " |";
+        os << '\n';
+    };
+    emit(headers_);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) os << "---|";
+    os << '\n';
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+std::string Table::toCsv() const {
+    std::ostringstream os;
+    auto cell = [](const std::string& s) {
+        if (s.find(',') == std::string::npos) return s;
+        return '"' + s + '"';
+    };
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << cell(cells[c]) << (c + 1 < cells.size() ? "," : "");
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+}  // namespace fetcam::core

@@ -1,0 +1,35 @@
+// Reporting helpers: engineering-unit formatting and aligned/markdown/CSV
+// tables, so every bench prints its table or figure series uniformly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fetcam::core {
+
+/// Format with an engineering (SI) prefix: 1.23e-14 J -> "12.3 fJ".
+std::string engFormat(double value, const std::string& unit, int significant = 3);
+
+/// Fixed-precision decimal.
+std::string numFormat(double value, int decimals = 2);
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    std::size_t rows() const { return rows_.size(); }
+
+    /// Aligned monospace rendering (what benches print).
+    std::string toAligned() const;
+    /// GitHub-flavoured markdown.
+    std::string toMarkdown() const;
+    /// Comma-separated values (quotes cells containing commas).
+    std::string toCsv() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fetcam::core

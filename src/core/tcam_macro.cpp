@@ -1,0 +1,76 @@
+#include "core/tcam_macro.hpp"
+
+#include <stdexcept>
+
+namespace fetcam::core {
+
+TcamMacro::TcamMacro(const device::TechCard& tech, const array::ArrayConfig& subArray,
+                     std::size_t capacity, const array::WorkloadProfile& workload)
+    : config_(subArray) {
+    if (capacity == 0) throw std::invalid_argument("TcamMacro: capacity must be > 0");
+    bank_ = evaluateBank(tech, subArray, static_cast<int>(capacity), workload);
+    entries_.resize(static_cast<std::size_t>(bank_.totalEntries));
+    const auto perBit = measureWriteEnergy(subArray.cell, tech);
+    wordWrite_ = planWordWrite(subArray.cell, perBit, subArray.wordBits);
+}
+
+void TcamMacro::checkRow(int row) const {
+    if (row < 0 || static_cast<std::size_t>(row) >= entries_.size())
+        throw std::out_of_range("TcamMacro: row out of range");
+}
+
+int TcamMacro::write(const tcam::TernaryWord& word) {
+    if (static_cast<int>(word.size()) != config_.wordBits)
+        throw std::invalid_argument("TcamMacro::write: word width mismatch");
+    for (std::size_t r = 0; r < entries_.size(); ++r) {
+        if (!entries_[r]) {
+            writeAt(static_cast<int>(r), word);
+            return static_cast<int>(r);
+        }
+    }
+    throw std::length_error("TcamMacro::write: macro full");
+}
+
+void TcamMacro::writeAt(int row, const tcam::TernaryWord& word) {
+    checkRow(row);
+    if (static_cast<int>(word.size()) != config_.wordBits)
+        throw std::invalid_argument("TcamMacro::writeAt: word width mismatch");
+    auto& slot = entries_[static_cast<std::size_t>(row)];
+    if (!slot) ++occupied_;
+    slot = word;
+    ++stats_.writes;
+    stats_.writeEnergy += wordWrite_.energy;
+}
+
+void TcamMacro::erase(int row) {
+    checkRow(row);
+    auto& slot = entries_[static_cast<std::size_t>(row)];
+    if (slot) {
+        slot.reset();
+        --occupied_;
+        ++stats_.erases;
+        // Erasing is a write of the all-X pattern (same pulse budget).
+        stats_.writeEnergy += wordWrite_.energy;
+    }
+}
+
+const std::optional<tcam::TernaryWord>& TcamMacro::entryAt(int row) const {
+    checkRow(row);
+    return entries_[static_cast<std::size_t>(row)];
+}
+
+std::optional<int> TcamMacro::search(const tcam::TernaryWord& key) {
+    if (static_cast<int>(key.size()) != config_.wordBits)
+        throw std::invalid_argument("TcamMacro::search: key width mismatch");
+    ++stats_.searches;
+    stats_.searchEnergy += bank_.totalPerSearch();
+    for (std::size_t r = 0; r < entries_.size(); ++r) {
+        if (entries_[r] && entries_[r]->matches(key)) {
+            ++stats_.hits;
+            return static_cast<int>(r);
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace fetcam::core

@@ -1,0 +1,67 @@
+// TcamMacro: the deployable unit. Combines functional entry management
+// (allocate / write / erase / priority search) with hardware cost accounting
+// from the calibrated bank model and the write scheduler, so applications
+// can run real workloads and read off energy/latency totals.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "array/bank.hpp"
+#include "tcam/write_schedule.hpp"
+
+namespace fetcam::core {
+
+struct MacroStats {
+    std::uint64_t searches = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t erases = 0;
+    double searchEnergy = 0.0;  ///< [J] accumulated
+    double writeEnergy = 0.0;   ///< [J] accumulated
+    double totalEnergy() const { return searchEnergy + writeEnergy; }
+};
+
+class TcamMacro {
+public:
+    /// Build a macro of at least `capacity` words. Runs the calibration
+    /// circuit simulations once, up front.
+    TcamMacro(const device::TechCard& tech, const array::ArrayConfig& subArray,
+              std::size_t capacity, const array::WorkloadProfile& workload = {});
+
+    std::size_t capacity() const { return entries_.size(); }
+    std::size_t occupancy() const { return occupied_; }
+    int wordBits() const { return config_.wordBits; }
+
+    /// Store a word in the first free row; returns the row. Throws
+    /// std::length_error when full, std::invalid_argument on width mismatch.
+    int write(const tcam::TernaryWord& word);
+    /// Store at a specific row (TCAM priority is the row index).
+    void writeAt(int row, const tcam::TernaryWord& word);
+    void erase(int row);
+    const std::optional<tcam::TernaryWord>& entryAt(int row) const;
+
+    /// Priority search: lowest matching row index, as the hardware priority
+    /// encoder would report. Accounts one search worth of energy.
+    std::optional<int> search(const tcam::TernaryWord& key);
+
+    const MacroStats& stats() const { return stats_; }
+    const array::BankMetrics& hardware() const { return bank_; }
+    double energyPerSearch() const { return bank_.totalPerSearch(); }
+    double energyPerWrite() const { return wordWrite_.energy; }
+    double searchLatency() const { return bank_.searchDelay; }
+    double writeLatency() const { return wordWrite_.latency; }
+
+private:
+    void checkRow(int row) const;
+
+    array::ArrayConfig config_;
+    std::vector<std::optional<tcam::TernaryWord>> entries_;
+    std::size_t occupied_ = 0;
+    array::BankMetrics bank_;
+    tcam::WordWriteResult wordWrite_;
+    MacroStats stats_;
+};
+
+}  // namespace fetcam::core

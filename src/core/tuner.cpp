@@ -1,0 +1,58 @@
+#include "core/tuner.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "numeric/optimize.hpp"
+
+namespace fetcam::core {
+
+VddTuneResult tuneVddForMinEdp(const device::TechCard& tech300,
+                               const array::ArrayConfig& cfg, double vLo, double vHi,
+                               const array::WorkloadProfile& workload) {
+    // Cache metrics per probed voltage: golden-section re-probes endpoints.
+    std::map<double, array::ArrayMetrics> cache;
+    auto metricsAt = [&](double vdd) -> const array::ArrayMetrics& {
+        const double key = std::round(vdd * 1e4) / 1e4;
+        if (auto it = cache.find(key); it != cache.end()) return it->second;
+        device::TechCard t = tech300;
+        t.vdd = key;
+        return cache.emplace(key, evaluateArray(t, cfg, workload)).first->second;
+    };
+
+    const auto objective = [&](double vdd) {
+        const auto& m = metricsAt(vdd);
+        const double edp = m.perSearch.total() * m.searchDelay;
+        // Penalize broken designs hard but smoothly enough to steer away.
+        return m.functional ? edp : edp * 1e3;
+    };
+    const auto r = numeric::minimizeGolden(objective, vLo, vHi, /*xTol=*/0.025);
+
+    VddTuneResult out;
+    out.vdd = std::round(r.x * 1e4) / 1e4;
+    out.metrics = metricsAt(out.vdd);
+    out.edp = out.metrics.perSearch.total() * out.metrics.searchDelay;
+    out.evaluations = r.evaluations;
+    return out;
+}
+
+SegmentTuneResult tuneSegments(const device::TechCard& tech, array::ArrayConfig cfg,
+                               double maxDelay, const array::WorkloadProfile& workload) {
+    SegmentTuneResult best;
+    bool first = true;
+    for (const int k : {1, 2, 4, 8}) {
+        if (k > cfg.wordBits) break;
+        cfg.mlSegments = k;
+        const auto m = evaluateArray(tech, cfg, workload);
+        if (!m.functional) continue;
+        if (maxDelay > 0.0 && m.searchDelay > maxDelay) continue;
+        const double e = m.perSearch.total();
+        if (first || e < best.energy) {
+            best = {k, e, m};
+            first = false;
+        }
+    }
+    return best;
+}
+
+}  // namespace fetcam::core

@@ -1,0 +1,37 @@
+// Auto-tuner: searches single design knobs against circuit-simulated
+// objectives (the "energy-aware" closing loop — instead of hand-picking
+// VDD or a segment count, let the simulator find it).
+#pragma once
+
+#include "array/energy_model.hpp"
+
+namespace fetcam::core {
+
+struct VddTuneResult {
+    double vdd = 0.0;
+    double edp = 0.0;            ///< J*s at the optimum
+    array::ArrayMetrics metrics; ///< full metrics at the optimum
+    int evaluations = 0;
+};
+
+/// Find the supply voltage minimizing energy-delay product over [vLo, vHi].
+/// Non-functional points (sense failure at low VDD) are penalized so the
+/// optimum is always a working design. Each evaluation runs circuit sims,
+/// so the tolerance is deliberately coarse (25 mV).
+VddTuneResult tuneVddForMinEdp(const device::TechCard& tech300, const array::ArrayConfig& cfg,
+                               double vLo = 0.7, double vHi = 1.2,
+                               const array::WorkloadProfile& workload = {});
+
+struct SegmentTuneResult {
+    int segments = 1;
+    double energy = 0.0;         ///< J/search at the optimum
+    array::ArrayMetrics metrics;
+};
+
+/// Pick the matchline segment count (from {1,2,4,8}) minimizing search
+/// energy subject to a latency budget (0 = unconstrained).
+SegmentTuneResult tuneSegments(const device::TechCard& tech, array::ArrayConfig cfg,
+                               double maxDelay = 0.0,
+                               const array::WorkloadProfile& workload = {});
+
+}  // namespace fetcam::core

@@ -1,0 +1,133 @@
+#include "device/extras.hpp"
+
+#include <stdexcept>
+
+#include "spice/ac.hpp"
+
+namespace fetcam::device {
+
+Inductor::Inductor(std::string name, spice::Circuit& circuit, spice::NodeId a,
+                   spice::NodeId b, double inductance)
+    : Device(std::move(name)), a_(a), b_(b), branch_(circuit.allocateBranch()),
+      l_(inductance) {
+    if (inductance <= 0.0) throw std::invalid_argument("Inductor: inductance must be > 0");
+}
+
+void Inductor::stamp(spice::Mna& mna, const spice::SimContext& ctx) {
+    const int br = mna.branchIndex(branch_);
+    // KCL coupling: branch current leaves a, enters b.
+    if (a_ != spice::kGround) {
+        mna.addRawJacobian(a_ - 1, br, 1.0);
+        mna.addRawJacobian(br, a_ - 1, 1.0);
+    }
+    if (b_ != spice::kGround) {
+        mna.addRawJacobian(b_ - 1, br, -1.0);
+        mna.addRawJacobian(br, b_ - 1, -1.0);
+    }
+    if (ctx.mode == spice::AnalysisMode::Dc || ctx.dt <= 0.0) {
+        // DC: ideal short, v(a)-v(b) = 0. (Row already has the voltage terms.)
+        return;
+    }
+    if (ctx.method == spice::IntegrationMethod::Trapezoidal) {
+        const double req = 2.0 * l_ / ctx.dt;
+        mna.addRawJacobian(br, br, -req);
+        mna.addRawRhs(br, -vPrev_ - req * iPrev_);
+    } else {
+        const double req = l_ / ctx.dt;
+        mna.addRawJacobian(br, br, -req);
+        mna.addRawRhs(br, -req * iPrev_);
+    }
+}
+
+void Inductor::stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const {
+    (void)opCtx;
+    const int br = mna.branchIndex(branch_);
+    mna.addRawJacobian(mna.nodeUnknown(a_), br, 1.0);
+    mna.addRawJacobian(br, mna.nodeUnknown(a_), 1.0);
+    mna.addRawJacobian(mna.nodeUnknown(b_), br, -1.0);
+    mna.addRawJacobian(br, mna.nodeUnknown(b_), -1.0);
+    mna.addRawJacobian(br, br, numeric::Complex{0.0, -mna.omega() * l_});
+}
+
+void Inductor::acceptStep(const spice::SimContext& ctx) {
+    iPrev_ = ctx.branchCurrent(branch_);
+    vPrev_ = ctx.v(a_) - ctx.v(b_);
+    energy_.add(vPrev_ * iPrev_, ctx.dt);
+}
+
+void Inductor::beginTransient(const spice::SimContext& ctx) {
+    (void)ctx;
+    iPrev_ = 0.0;
+    vPrev_ = 0.0;
+    energy_.reset();
+}
+
+Vcvs::Vcvs(std::string name, spice::Circuit& circuit, spice::NodeId p, spice::NodeId n,
+           spice::NodeId cp, spice::NodeId cn, double gain)
+    : Device(std::move(name)), p_(p), n_(n), cp_(cp), cn_(cn),
+      branch_(circuit.allocateBranch()), gain_(gain) {}
+
+void Vcvs::stamp(spice::Mna& mna, const spice::SimContext& ctx) {
+    (void)ctx;
+    const int br = mna.branchIndex(branch_);
+    // v(p) - v(n) - gain*(v(cp) - v(cn)) = 0, branch current into KCL rows.
+    if (p_ != spice::kGround) {
+        mna.addRawJacobian(p_ - 1, br, 1.0);
+        mna.addRawJacobian(br, p_ - 1, 1.0);
+    }
+    if (n_ != spice::kGround) {
+        mna.addRawJacobian(n_ - 1, br, -1.0);
+        mna.addRawJacobian(br, n_ - 1, -1.0);
+    }
+    if (cp_ != spice::kGround) mna.addRawJacobian(br, cp_ - 1, -gain_);
+    if (cn_ != spice::kGround) mna.addRawJacobian(br, cn_ - 1, gain_);
+}
+
+void Vcvs::stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const {
+    (void)opCtx;
+    const int br = mna.branchIndex(branch_);
+    mna.addRawJacobian(mna.nodeUnknown(p_), br, 1.0);
+    mna.addRawJacobian(br, mna.nodeUnknown(p_), 1.0);
+    mna.addRawJacobian(mna.nodeUnknown(n_), br, -1.0);
+    mna.addRawJacobian(br, mna.nodeUnknown(n_), -1.0);
+    mna.addRawJacobian(br, mna.nodeUnknown(cp_), -gain_);
+    mna.addRawJacobian(br, mna.nodeUnknown(cn_), gain_);
+}
+
+void Vcvs::acceptStep(const spice::SimContext& ctx) {
+    lastCurrent_ = ctx.branchCurrent(branch_);
+    energy_.add((ctx.v(p_) - ctx.v(n_)) * lastCurrent_, ctx.dt);
+}
+
+void Vcvs::beginTransient(const spice::SimContext& ctx) {
+    (void)ctx;
+    lastCurrent_ = 0.0;
+    energy_.reset();
+}
+
+Vccs::Vccs(std::string name, spice::NodeId p, spice::NodeId n, spice::NodeId cp,
+           spice::NodeId cn, double transconductance)
+    : Device(std::move(name)), p_(p), n_(n), cp_(cp), cn_(cn), gm_(transconductance) {}
+
+void Vccs::stamp(spice::Mna& mna, const spice::SimContext& ctx) {
+    (void)ctx;
+    mna.stampVccs(p_, n_, cp_, cn_, gm_);
+}
+
+void Vccs::stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const {
+    (void)opCtx;
+    mna.stampVccs(p_, n_, cp_, cn_, gm_);
+}
+
+void Vccs::acceptStep(const spice::SimContext& ctx) {
+    lastCurrent_ = gm_ * (ctx.v(cp_) - ctx.v(cn_));
+    energy_.add((ctx.v(p_) - ctx.v(n_)) * lastCurrent_, ctx.dt);
+}
+
+void Vccs::beginTransient(const spice::SimContext& ctx) {
+    (void)ctx;
+    lastCurrent_ = 0.0;
+    energy_.reset();
+}
+
+}  // namespace fetcam::device

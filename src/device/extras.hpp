@@ -1,0 +1,80 @@
+// Additional linear elements completing the simulator's palette: inductor
+// (branch-based companion model) and linear controlled sources (VCVS/VCCS),
+// used for behavioral modelling and driver/package parasitics.
+#pragma once
+
+#include "spice/circuit.hpp"
+#include "spice/device.hpp"
+
+namespace fetcam::device {
+
+/// Inductor with its current as an extra MNA branch unknown.
+/// Transient: trapezoidal/BE companion; DC: ideal short (0 V source).
+class Inductor : public spice::Device {
+public:
+    Inductor(std::string name, spice::Circuit& circuit, spice::NodeId a, spice::NodeId b,
+             double inductance);
+
+    void stamp(spice::Mna& mna, const spice::SimContext& ctx) override;
+    void stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const override;
+    void acceptStep(const spice::SimContext& ctx) override;
+    void beginTransient(const spice::SimContext& ctx) override;
+
+    double energy() const override { return energy_.energy(); }
+    double current() const override { return iPrev_; }
+    double inductance() const { return l_; }
+
+private:
+    spice::NodeId a_, b_;
+    int branch_;
+    double l_;
+    double iPrev_ = 0.0;
+    double vPrev_ = 0.0;
+    spice::EnergyIntegrator energy_;
+};
+
+/// Voltage-controlled voltage source: v(p,n) = gain * v(cp,cn).
+class Vcvs : public spice::Device {
+public:
+    Vcvs(std::string name, spice::Circuit& circuit, spice::NodeId p, spice::NodeId n,
+         spice::NodeId cp, spice::NodeId cn, double gain);
+
+    void stamp(spice::Mna& mna, const spice::SimContext& ctx) override;
+    void stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const override;
+    void acceptStep(const spice::SimContext& ctx) override;
+    void beginTransient(const spice::SimContext& ctx) override;
+
+    double energy() const override { return energy_.energy(); }
+    double current() const override { return lastCurrent_; }
+    double gain() const { return gain_; }
+
+private:
+    spice::NodeId p_, n_, cp_, cn_;
+    int branch_;
+    double gain_;
+    double lastCurrent_ = 0.0;
+    spice::EnergyIntegrator energy_;
+};
+
+/// Voltage-controlled current source: i(p->n) = gm * v(cp,cn).
+class Vccs : public spice::Device {
+public:
+    Vccs(std::string name, spice::NodeId p, spice::NodeId n, spice::NodeId cp,
+         spice::NodeId cn, double transconductance);
+
+    void stamp(spice::Mna& mna, const spice::SimContext& ctx) override;
+    void stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const override;
+    void acceptStep(const spice::SimContext& ctx) override;
+    void beginTransient(const spice::SimContext& ctx) override;
+
+    double energy() const override { return energy_.energy(); }
+    double current() const override { return lastCurrent_; }
+
+private:
+    spice::NodeId p_, n_, cp_, cn_;
+    double gm_;
+    double lastCurrent_ = 0.0;
+    spice::EnergyIntegrator energy_;
+};
+
+}  // namespace fetcam::device

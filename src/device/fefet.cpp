@@ -1,0 +1,88 @@
+#include "device/fefet.hpp"
+
+#include "spice/ac.hpp"
+
+namespace fetcam::device {
+
+FeFet::FeFet(std::string name, spice::NodeId g, spice::NodeId d, spice::NodeId s,
+             FeFetParams params)
+    : Device(std::move(name)), g_(g), d_(d), s_(s), params_(params), bank_(params.ferro),
+      cgs_(params.mos.gateCap()), cgd_(params.mos.gateCap()),
+      cdb_(params.mos.junctionCap()), csb_(params.mos.junctionCap()) {}
+
+void FeFet::stamp(spice::Mna& mna, const spice::SimContext& ctx) {
+    const double vg = ctx.v(g_);
+    const double vd = ctx.v(d_);
+    const double vs = ctx.v(s_);
+    const MosEval e = ekvChannel(params_.mos, vg - vs, vd - vs, vtEff());
+
+    mna.addNodeJacobian(d_, g_, e.gm);
+    mna.addNodeJacobian(d_, d_, e.gds);
+    mna.addNodeJacobian(d_, s_, -(e.gm + e.gds));
+    mna.addNodeJacobian(s_, g_, -e.gm);
+    mna.addNodeJacobian(s_, d_, -e.gds);
+    mna.addNodeJacobian(s_, s_, e.gm + e.gds);
+    const double ieq = e.id - e.gm * vg - e.gds * vd + (e.gm + e.gds) * vs;
+    mna.stampCurrentSource(d_, s_, ieq);
+
+    cgs_.stamp(mna, ctx, g_, s_);
+    cgd_.stamp(mna, ctx, g_, d_);
+    cdb_.stamp(mna, ctx, d_, spice::kGround);
+    csb_.stamp(mna, ctx, s_, spice::kGround);
+
+    // Explicit polarization displacement current into the gate.
+    if (ctx.mode == spice::AnalysisMode::Transient && ctx.dt > 0.0)
+        mna.stampCurrentSource(g_, s_, ipPrev_);
+}
+
+void FeFet::stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const {
+    // Polarization is frozen at small signal (sub-coercive excitation): the
+    // device is a MOSFET at VT_eff plus its (background) gate capacitances.
+    const double vg = opCtx.v(g_);
+    const double vd = opCtx.v(d_);
+    const double vs = opCtx.v(s_);
+    const MosEval e = ekvChannel(params_.mos, vg - vs, vd - vs, vtEff());
+    mna.stampVccs(d_, s_, g_, s_, e.gm);
+    mna.stampConductance(d_, s_, e.gds);
+    mna.stampCapacitance(g_, s_, cgs_.capacitance());
+    mna.stampCapacitance(g_, d_, cgd_.capacitance());
+    mna.stampCapacitance(d_, spice::kGround, cdb_.capacitance());
+    mna.stampCapacitance(s_, spice::kGround, csb_.capacitance());
+}
+
+void FeFet::acceptStep(const spice::SimContext& ctx) {
+    const double vg = ctx.v(g_);
+    const double vd = ctx.v(d_);
+    const double vs = ctx.v(s_);
+    const MosEval e = ekvChannel(params_.mos, vg - vs, vd - vs, vtEff());
+    lastId_ = e.id;
+
+    double power = e.id * (vd - vs);
+    power += cgs_.accept(vg - vs, ctx) * (vg - vs);
+    power += cgd_.accept(vg - vd, ctx) * (vg - vd);
+    power += cdb_.accept(vd, ctx) * vd;
+    power += csb_.accept(vs, ctx) * vs;
+    power += ipPrev_ * (vg - vs);  // polarization-switching energy
+    energy_.add(power, ctx.dt);
+
+    // Advance the hysteron bank with the accepted gate-source voltage.
+    const double qs = params_.effectiveFeArea() * params_.ferro.ps;
+    const double pBefore = bank_.pnorm();
+    bank_.advance(vg - vs, ctx.dt);
+    ipPrev_ = ctx.dt > 0.0 ? qs * (bank_.pnorm() - pBefore) / ctx.dt : 0.0;
+}
+
+void FeFet::beginTransient(const spice::SimContext& ctx) {
+    const double vg = ctx.v(g_);
+    const double vd = ctx.v(d_);
+    const double vs = ctx.v(s_);
+    cgs_.reset(vg - vs);
+    cgd_.reset(vg - vd);
+    cdb_.reset(vd);
+    csb_.reset(vs);
+    energy_.reset();
+    lastId_ = 0.0;
+    ipPrev_ = 0.0;
+}
+
+}  // namespace fetcam::device

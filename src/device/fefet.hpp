@@ -1,0 +1,81 @@
+// FeFET: ferroelectric-gate field-effect transistor.
+//
+// Modelled as an n-type EKV channel whose effective threshold voltage is
+// shifted by the normalized remanent polarization of a Preisach hysteron
+// bank in the gate stack:
+//
+//     VT_eff = VT_mid - deltaVt * pnorm,     pnorm in [-1, 1]
+//
+// pnorm = +1 (programmed "low-VT" / erased) makes the device conduct at
+// logic-level gate voltages; pnorm = -1 ("high-VT") keeps it off. The
+// memory window is 2*deltaVt. The hysteron bank sees the gate-source
+// voltage (gate-referred coercive voltage), so logic-level search pulses
+// (|Vgs| <= VDD < Vc) never disturb the stored state, while +/-Vwrite gate
+// pulses switch it with Merz-law dynamics.
+//
+// Polarization switching also injects a gate charge Qp = area * Ps * pnorm;
+// its current is stepped explicitly like FerroCap's, which is what makes
+// FeFET *write* energy visible to the energy probes.
+#pragma once
+
+#include "device/ferro.hpp"
+#include "device/mosfet.hpp"
+#include "spice/circuit.hpp"
+#include "spice/device.hpp"
+
+namespace fetcam::device {
+
+struct FeFetParams {
+    MosfetParams mos;     ///< underlying transistor; mos.vt0 is the mid VT
+    FerroParams ferro;    ///< gate-stack hysteresis
+    double deltaVt = 0.55;///< VT shift per unit pnorm -> memory window 1.1 V
+    double feArea = 0.0;  ///< ferroelectric area [m^2]; 0 -> W*L
+
+    double effectiveFeArea() const { return feArea > 0.0 ? feArea : mos.w * mos.l; }
+    double vtLow() const { return mos.vt0 - deltaVt; }
+    double vtHigh() const { return mos.vt0 + deltaVt; }
+};
+
+class FeFet : public spice::Device {
+public:
+    FeFet(std::string name, spice::NodeId g, spice::NodeId d, spice::NodeId s,
+          FeFetParams params);
+
+    void stamp(spice::Mna& mna, const spice::SimContext& ctx) override;
+    void stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const override;
+    void acceptStep(const spice::SimContext& ctx) override;
+    void beginTransient(const spice::SimContext& ctx) override;
+
+    double energy() const override { return energy_.energy(); }
+    double current() const override { return lastId_; }
+
+    /// Normalized polarization in [-1, 1].
+    double pnorm() const { return bank_.pnorm(); }
+    /// Directly set the stored state (models a completed write; tests and
+    /// array builders use this, the write sequencer drives real pulses).
+    void setPolarization(double pnorm) { bank_.reset(pnorm); }
+    /// Effective threshold at the current polarization.
+    double vtEff() const { return params_.mos.vt0 - params_.deltaVt * bank_.pnorm(); }
+
+    /// Retention ageing: depolarize the stored state by `seconds` of
+    /// zero-field dwell (see PreisachBank::relax).
+    void ageBy(double seconds) { bank_.relax(seconds); }
+
+    /// Endurance: record `cycles` accumulated program/erase cycles (wake-up
+    /// then fatigue scaling of the available polarization).
+    void setCyclingHistory(double cycles) { bank_.setCyclingHistory(cycles); }
+    double enduranceFactor(double cycles) const { return bank_.enduranceFactor(cycles); }
+
+    const FeFetParams& params() const { return params_; }
+
+private:
+    spice::NodeId g_, d_, s_;
+    FeFetParams params_;
+    PreisachBank bank_;
+    spice::CompanionCap cgs_, cgd_, cdb_, csb_;
+    spice::EnergyIntegrator energy_;
+    double lastId_ = 0.0;
+    double ipPrev_ = 0.0;  ///< committed polarization gate current
+};
+
+}  // namespace fetcam::device

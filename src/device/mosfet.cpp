@@ -1,0 +1,135 @@
+#include "device/mosfet.hpp"
+
+#include <cmath>
+
+#include "spice/ac.hpp"
+
+namespace fetcam::device {
+
+namespace {
+
+/// Numerically stable softplus ln(1+e^u) and logistic sigmoid.
+double softplus(double u) {
+    if (u > 34.0) return u;
+    if (u < -34.0) return std::exp(u);
+    return std::log1p(std::exp(u));
+}
+
+double sigmoid(double u) {
+    if (u > 34.0) return 1.0;
+    if (u < -34.0) return std::exp(u);
+    return 1.0 / (1.0 + std::exp(-u));
+}
+
+}  // namespace
+
+MosEval ekvChannel(const MosfetParams& p, double vgs, double vds, double vtEff) {
+    // EKV interpolation: Id = Is * (if - ir) * (1 + lambda*vds), with
+    //   if = ln(1+exp((vp      )/(2*Ut)))^2,  ir = ln(1+exp((vp - vds)/(2*Ut)))^2,
+    //   vp = (vgs - VT)/n   (pinch-off voltage, source-referenced).
+    const double is = p.specificCurrent();
+    const double vp = (vgs - vtEff) / p.n;
+    const double twoUt = 2.0 * p.ut;
+
+    const double uF = vp / twoUt;
+    const double uR = (vp - vds) / twoUt;
+    const double fF = softplus(uF);
+    const double fR = softplus(uR);
+    const double sF = sigmoid(uF);
+    const double sR = sigmoid(uR);
+
+    const double iF = fF * fF;
+    const double iR = fR * fR;
+    const double clm = 1.0 + p.lambda * vds;
+
+    MosEval e;
+    e.id = is * (iF - iR) * clm;
+    // d(if)/d(vp) = 2*fF*sF/(2Ut) = fF*sF/Ut ; same shape for ir.
+    const double diF = fF * sF / p.ut;
+    const double diR = fR * sR / p.ut;
+    e.gm = is * clm * (diF - diR) / p.n;
+    e.gds = is * clm * diR + is * (iF - iR) * p.lambda;
+    return e;
+}
+
+Mosfet::Mosfet(std::string name, spice::NodeId g, spice::NodeId d, spice::NodeId s,
+               MosfetParams params)
+    : Device(std::move(name)), g_(g), d_(d), s_(s), params_(params),
+      cgs_(params.gateCap()), cgd_(params.gateCap()), cdb_(params.junctionCap()),
+      csb_(params.junctionCap()) {}
+
+MosEval Mosfet::evaluate(const spice::SimContext& ctx) const {
+    const double vg = ctx.v(g_);
+    const double vd = ctx.v(d_);
+    const double vs = ctx.v(s_);
+    if (params_.type == MosType::Nmos) return ekvChannel(params_, vg - vs, vd - vs, params_.vt0);
+    // PMOS: mirror voltages into N-space, then negate the current.
+    MosEval e = ekvChannel(params_, vs - vg, vs - vd, params_.vt0);
+    e.id = -e.id;  // drain->source current flips sign; conductances stay positive
+    return e;
+}
+
+void Mosfet::stamp(spice::Mna& mna, const spice::SimContext& ctx) {
+    const double vg = ctx.v(g_);
+    const double vd = ctx.v(d_);
+    const double vs = ctx.v(s_);
+    const MosEval e = evaluate(ctx);
+
+    // Linearized channel: id(v) ~ id0 + gm*dvg + gds*dvd - (gm+gds)*dvs.
+    // (For PMOS the mirrored evaluation already folds the sign of gm/gds into
+    // the same node-space form: d(id)/d(vg) = gm holds in both cases because
+    // both the current and the controlling voltages were negated.)
+    mna.addNodeJacobian(d_, g_, e.gm);
+    mna.addNodeJacobian(d_, d_, e.gds);
+    mna.addNodeJacobian(d_, s_, -(e.gm + e.gds));
+    mna.addNodeJacobian(s_, g_, -e.gm);
+    mna.addNodeJacobian(s_, d_, -e.gds);
+    mna.addNodeJacobian(s_, s_, e.gm + e.gds);
+    const double ieq = e.id - e.gm * vg - e.gds * vd + (e.gm + e.gds) * vs;
+    mna.stampCurrentSource(d_, s_, ieq);
+
+    cgs_.stamp(mna, ctx, g_, s_);
+    cgd_.stamp(mna, ctx, g_, d_);
+    cdb_.stamp(mna, ctx, d_, spice::kGround);
+    csb_.stamp(mna, ctx, s_, spice::kGround);
+}
+
+void Mosfet::stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const {
+    const MosEval e = evaluate(opCtx);
+    // Channel: gm from the gate, gds across d-s, source terms by KCL.
+    mna.stampVccs(d_, s_, g_, s_, e.gm);
+    mna.stampConductance(d_, s_, e.gds);
+    mna.stampCapacitance(g_, s_, cgs_.capacitance());
+    mna.stampCapacitance(g_, d_, cgd_.capacitance());
+    mna.stampCapacitance(d_, spice::kGround, cdb_.capacitance());
+    mna.stampCapacitance(s_, spice::kGround, csb_.capacitance());
+}
+
+void Mosfet::acceptStep(const spice::SimContext& ctx) {
+    const double vg = ctx.v(g_);
+    const double vd = ctx.v(d_);
+    const double vs = ctx.v(s_);
+    const MosEval e = evaluate(ctx);
+    lastId_ = e.id;
+
+    double power = e.id * (vd - vs);  // channel dissipation
+    power += cgs_.accept(vg - vs, ctx) * (vg - vs);
+    power += cgd_.accept(vg - vd, ctx) * (vg - vd);
+    power += cdb_.accept(vd, ctx) * vd;
+    power += csb_.accept(vs, ctx) * vs;
+    energy_.add(power, ctx.dt);
+}
+
+void Mosfet::beginTransient(const spice::SimContext& ctx) {
+    const double vg = ctx.v(g_);
+    const double vd = ctx.v(d_);
+    const double vs = ctx.v(s_);
+    cgs_.reset(vg - vs);
+    cgd_.reset(vg - vd);
+    cdb_.reset(vd);
+    csb_.reset(vs);
+    energy_.reset();
+    lastId_ = 0.0;
+}
+
+}  // namespace fetcam::device

@@ -1,0 +1,73 @@
+// MOSFET compact model.
+//
+// A source-referenced EKV-flavoured model: a single smooth expression covers
+// subthreshold, triode and saturation, which keeps Newton iterations stable
+// (no piecewise region boundaries). Channel-length modulation is first-order;
+// gate capacitances are constant (Meyer-style split plus overlap), junction
+// capacitances are lumped to ground. Accuracy target is "representative
+// 45 nm logic", adequate for comparative TCAM energy/delay studies.
+#pragma once
+
+#include "spice/circuit.hpp"
+#include "spice/device.hpp"
+
+namespace fetcam::device {
+
+enum class MosType { Nmos, Pmos };
+
+struct MosfetParams {
+    MosType type = MosType::Nmos;
+    double w = 90e-9;        ///< channel width [m]
+    double l = 45e-9;        ///< channel length [m]
+    double vt0 = 0.4;        ///< threshold voltage magnitude [V]
+    double kp = 4.0e-4;      ///< transconductance factor mu*Cox [A/V^2]
+    double n = 1.35;         ///< subthreshold slope factor
+    double lambda = 0.15;    ///< channel-length modulation [1/V]
+    double cox = 2.9e-2;     ///< gate oxide capacitance per area [F/m^2]
+    double cOverlap = 3e-10; ///< gate overlap capacitance per width [F/m]
+    double cJunction = 8e-10;///< junction capacitance per width [F/m]
+    double ut = 0.02585;     ///< thermal voltage at 300 K [V]
+
+    double specificCurrent() const { return 2.0 * n * kp * (w / l) * ut * ut; }
+    double gateCap() const { return 0.5 * cox * w * l + cOverlap * w; }  ///< per Cgs/Cgd half
+    double junctionCap() const { return cJunction * w; }
+};
+
+/// Channel current evaluation shared by Mosfet and FeFet.
+struct MosEval {
+    double id;   ///< drain->source channel current [A]
+    double gm;   ///< dId/dVgs
+    double gds;  ///< dId/dVds
+};
+
+/// Evaluate the (N-type normalized) EKV channel current for given terminal
+/// voltages and effective threshold. PMOS callers mirror the voltages.
+MosEval ekvChannel(const MosfetParams& p, double vgs, double vds, double vtEff);
+
+/// Four-terminal-less MOSFET (bulk implicit: ground for NMOS energy wells are
+/// not modelled; junction caps go to ground).
+class Mosfet : public spice::Device {
+public:
+    Mosfet(std::string name, spice::NodeId g, spice::NodeId d, spice::NodeId s,
+           MosfetParams params);
+
+    void stamp(spice::Mna& mna, const spice::SimContext& ctx) override;
+    void stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const override;
+    void acceptStep(const spice::SimContext& ctx) override;
+    void beginTransient(const spice::SimContext& ctx) override;
+
+    double energy() const override { return energy_.energy(); }
+    double current() const override { return lastId_; }  ///< channel current d->s
+    const MosfetParams& params() const { return params_; }
+
+private:
+    MosEval evaluate(const spice::SimContext& ctx) const;
+
+    spice::NodeId g_, d_, s_;
+    MosfetParams params_;
+    spice::CompanionCap cgs_, cgd_, cdb_, csb_;
+    spice::EnergyIntegrator energy_;
+    double lastId_ = 0.0;
+};
+
+}  // namespace fetcam::device

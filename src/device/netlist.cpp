@@ -1,0 +1,385 @@
+#include "device/netlist.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "device/extras.hpp"
+#include "device/fefet.hpp"
+#include "device/ferro.hpp"
+#include "device/mosfet.hpp"
+#include "device/passives.hpp"
+#include "device/reram.hpp"
+#include "device/sources.hpp"
+
+namespace fetcam::device {
+
+namespace {
+
+std::string lowered(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return s;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> out;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok) {
+        if (tok[0] == '*' || tok[0] == ';') break;  // trailing comment
+        out.push_back(tok);
+    }
+    return out;
+}
+
+[[noreturn]] void fail(int lineNo, const std::string& what) {
+    throw std::invalid_argument("netlist line " + std::to_string(lineNo) + ": " + what);
+}
+
+bool isOption(const std::string& token) { return token.find('=') != std::string::npos; }
+
+double optionValue(const std::vector<std::string>& tokens, std::size_t from,
+                   const std::string& key, double fallback) {
+    for (std::size_t i = from; i < tokens.size(); ++i) {
+        const auto t = lowered(tokens[i]);
+        const auto eq = t.find('=');
+        if (eq == std::string::npos) continue;
+        if (t.substr(0, eq) == key) return parseSpiceNumber(t.substr(eq + 1));
+    }
+    return fallback;
+}
+
+void checkOptionKeys(const std::vector<std::string>& tokens, std::size_t from,
+                     const std::vector<std::string>& allowed, int lineNo) {
+    for (std::size_t i = from; i < tokens.size(); ++i) {
+        const auto t = lowered(tokens[i]);
+        const auto eq = t.find('=');
+        if (eq == std::string::npos) fail(lineNo, "expected key=value option, got '" + t + "'");
+        const auto key = t.substr(0, eq);
+        if (std::find(allowed.begin(), allowed.end(), key) == allowed.end())
+            fail(lineNo, "unknown option '" + key + "'");
+    }
+}
+
+struct SourceLine {
+    int lineNo;
+    std::vector<std::string> tokens;
+};
+
+struct Subcircuit {
+    std::vector<std::string> ports;  // local port node names
+    std::vector<SourceLine> body;
+};
+
+/// Parser state shared across subcircuit expansion.
+struct ParseState {
+    spice::Circuit& circuit;
+    const TechCard& tech;
+    std::map<std::string, Subcircuit> subcircuits;
+    int created = 0;
+    int depth = 0;
+};
+
+/// Map a local node name through the instantiation scope.
+/// Ports map to outer nodes; other names get the instance prefix.
+std::string mapNode(const std::string& raw, const std::map<std::string, std::string>& scope,
+                    const std::string& prefix) {
+    const auto low = lowered(raw);
+    if (low == "0" || low == "gnd") return "0";
+    if (const auto it = scope.find(raw); it != scope.end()) return it->second;
+    return prefix.empty() ? raw : prefix + "." + raw;
+}
+
+void parseElement(ParseState& st, const SourceLine& src,
+                  const std::map<std::string, std::string>& scope,
+                  const std::string& prefix);
+
+/// Expand an X instantiation of a named subcircuit.
+void expandSubcircuit(ParseState& st, const SourceLine& src, const Subcircuit& sub,
+                      const std::vector<std::string>& outerNodes,
+                      const std::map<std::string, std::string>& scope,
+                      const std::string& prefix) {
+    if (outerNodes.size() != sub.ports.size())
+        fail(src.lineNo, "subcircuit expects " + std::to_string(sub.ports.size()) +
+                             " ports, got " + std::to_string(outerNodes.size()));
+    if (++st.depth > 20) fail(src.lineNo, "subcircuit nesting too deep");
+    const std::string instPrefix =
+        (prefix.empty() ? std::string() : prefix + ".") + src.tokens[0];
+    std::map<std::string, std::string> inner;
+    for (std::size_t i = 0; i < sub.ports.size(); ++i)
+        inner[sub.ports[i]] = mapNode(outerNodes[i], scope, prefix);
+    for (const auto& line : sub.body) parseElement(st, line, inner, instPrefix);
+    --st.depth;
+}
+
+void parseElement(ParseState& st, const SourceLine& src,
+                  const std::map<std::string, std::string>& scope,
+                  const std::string& prefix) {
+    const auto& tokens = src.tokens;
+    const int lineNo = src.lineNo;
+    const std::string name =
+        prefix.empty() ? tokens[0] : prefix + "." + tokens[0];
+    const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(tokens[0][0])));
+    auto& circuit = st.circuit;
+
+    auto node = [&](std::size_t i) -> spice::NodeId {
+        if (i >= tokens.size()) fail(lineNo, "missing node operand");
+        return circuit.node(mapNode(tokens[i], scope, prefix));
+    };
+    auto number = [&](std::size_t i) -> double {
+        if (i >= tokens.size()) fail(lineNo, "missing numeric operand");
+        try {
+            return parseSpiceNumber(tokens[i]);
+        } catch (const std::invalid_argument& e) {
+            fail(lineNo, e.what());
+        }
+    };
+
+    switch (kind) {
+        case 'r': {
+            if (tokens.size() != 4) fail(lineNo, "R expects: R<name> a b <ohms>");
+            circuit.add<Resistor>(name, node(1), node(2), number(3));
+            break;
+        }
+        case 'c': {
+            if (tokens.size() != 4) fail(lineNo, "C expects: C<name> a b <farads>");
+            circuit.add<Capacitor>(name, node(1), node(2), number(3));
+            break;
+        }
+        case 'l': {
+            if (tokens.size() != 4) fail(lineNo, "L expects: L<name> a b <henries>");
+            circuit.add<Inductor>(name, circuit, node(1), node(2), number(3));
+            break;
+        }
+        case 'e': {
+            if (tokens.size() != 6) fail(lineNo, "E expects: E<name> p n cp cn <gain>");
+            circuit.add<Vcvs>(name, circuit, node(1), node(2), node(3), node(4), number(5));
+            break;
+        }
+        case 'g': {
+            if (tokens.size() != 6) fail(lineNo, "G expects: G<name> p n cp cn <gm>");
+            circuit.add<Vccs>(name, node(1), node(2), node(3), node(4), number(5));
+            break;
+        }
+        case 'v': {
+            if (tokens.size() < 5) fail(lineNo, "V expects: V<name> p n <kind> ...");
+            const auto p = node(1);
+            const auto n = node(2);
+            const auto mode = lowered(tokens[3]);
+            if (mode == "dc") {
+                circuit.add<VoltageSource>(name, circuit, p, n, SourceWave::dc(number(4)));
+            } else if (mode == "pulse") {
+                if (tokens.size() < 10)
+                    fail(lineNo, "PULSE expects v0 v1 tdelay trise tfall twidth [tperiod]");
+                const double period = tokens.size() > 10 ? number(10) : 0.0;
+                circuit.add<VoltageSource>(
+                    name, circuit, p, n,
+                    SourceWave::pulse(number(4), number(5), number(6), number(7), number(8),
+                                      number(9), period));
+            } else if (mode == "pwl") {
+                if (tokens.size() < 8 || (tokens.size() - 4) % 2 != 0)
+                    fail(lineNo, "PWL expects t/v pairs (at least two)");
+                std::vector<double> ts, vs;
+                for (std::size_t i = 4; i < tokens.size(); i += 2) {
+                    ts.push_back(number(i));
+                    vs.push_back(number(i + 1));
+                }
+                try {
+                    circuit.add<VoltageSource>(name, circuit, p, n,
+                                               SourceWave::pwl(ts, vs));
+                } catch (const std::invalid_argument& e) {
+                    fail(lineNo, e.what());
+                }
+            } else {
+                fail(lineNo, "unknown source kind '" + tokens[3] + "'");
+            }
+            break;
+        }
+        case 'i': {
+            if (tokens.size() != 5 || lowered(tokens[3]) != "dc")
+                fail(lineNo, "I expects: I<name> from to DC <amps>");
+            circuit.add<CurrentSource>(name, node(1), node(2), SourceWave::dc(number(4)));
+            break;
+        }
+        case 'm': {
+            if (tokens.size() < 5) fail(lineNo, "M expects: M<name> g d s NMOS|PMOS");
+            const auto model = lowered(tokens[4]);
+            if (model != "nmos" && model != "pmos")
+                fail(lineNo, "unknown MOS model '" + tokens[4] + "'");
+            checkOptionKeys(tokens, 5, {"w"}, lineNo);
+            const double wMult = optionValue(tokens, 5, "w", 1.0);
+            const auto params =
+                model == "nmos" ? st.tech.sizedNmos(wMult) : st.tech.sizedPmos(wMult);
+            circuit.add<Mosfet>(name, node(1), node(2), node(3), params);
+            break;
+        }
+        case 'f': {
+            if (tokens.size() < 4) fail(lineNo, "F expects: F<name> g d s [P=<pnorm>]");
+            checkOptionKeys(tokens, 4, {"p"}, lineNo);
+            const double pnorm = optionValue(tokens, 4, "p", -1.0);
+            if (pnorm < -1.0 || pnorm > 1.0) fail(lineNo, "P must be in [-1,1]");
+            auto& fet = circuit.add<FeFet>(name, node(1), node(2), node(3), st.tech.fefet);
+            fet.setPolarization(pnorm);
+            break;
+        }
+        case 'y': {
+            if (tokens.size() < 4 || lowered(tokens[3]) != "reram")
+                fail(lineNo, "Y expects: Y<name> a b RERAM [W=<state>]");
+            checkOptionKeys(tokens, 4, {"w"}, lineNo);
+            const double w = optionValue(tokens, 4, "w", 0.0);
+            try {
+                circuit.add<Reram>(name, node(1), node(2), st.tech.reram, w);
+            } catch (const std::invalid_argument& e) {
+                fail(lineNo, e.what());
+            }
+            break;
+        }
+        case 'x': {
+            // X is either the built-in FERRO element (X<name> a b FERRO ...)
+            // or a subcircuit instantiation (X<name> nodes... <subckt>).
+            if (tokens.size() >= 4 && lowered(tokens[3]) == "ferro") {
+                checkOptionKeys(tokens, 4, {"area", "p"}, lineNo);
+                const double area =
+                    optionValue(tokens, 4, "area", st.tech.fefet.effectiveFeArea());
+                const double pnorm = optionValue(tokens, 4, "p", -1.0);
+                try {
+                    auto& fe = circuit.add<FerroCap>(name, node(1), node(2),
+                                                     st.tech.fefet.ferro, area);
+                    fe.setPolarization(pnorm);
+                } catch (const std::invalid_argument& e) {
+                    fail(lineNo, e.what());
+                }
+                break;
+            }
+            // Subcircuit: nodes..., last non-option token is the subckt name.
+            std::size_t last = tokens.size();
+            while (last > 1 && isOption(tokens[last - 1])) --last;
+            if (last < 3) fail(lineNo, "X expects: X<name> <nodes...> <subckt>");
+            const std::string subName = lowered(tokens[last - 1]);
+            const auto it = st.subcircuits.find(subName);
+            if (it == st.subcircuits.end())
+                fail(lineNo, "unknown subcircuit '" + tokens[last - 1] + "'");
+            std::vector<std::string> outerNodes(tokens.begin() + 1,
+                                                tokens.begin() + (last - 1));
+            expandSubcircuit(st, src, it->second, outerNodes, scope, prefix);
+            break;
+        }
+        default:
+            fail(lineNo, std::string("unknown element letter '") + tokens[0][0] + "'");
+    }
+    ++st.created;
+}
+
+}  // namespace
+
+double parseSpiceNumber(const std::string& token) {
+    if (token.empty()) throw std::invalid_argument("parseSpiceNumber: empty token");
+    const char* begin = token.c_str();
+    char* end = nullptr;
+    const double base = std::strtod(begin, &end);
+    if (end == begin) throw std::invalid_argument("parseSpiceNumber: bad number '" + token + "'");
+    const std::string suffix = lowered(std::string(end));
+    if (suffix.empty()) return base;
+    if (suffix == "meg") return base * 1e6;
+    // Single-letter magnitudes; trailing unit letters after the magnitude are
+    // tolerated SPICE-style ("10kohm", "100ns").
+    switch (suffix[0]) {
+        case 'a': return base * 1e-18;
+        case 'f': return base * 1e-15;
+        case 'p': return base * 1e-12;
+        case 'n': return base * 1e-9;
+        case 'u': return base * 1e-6;
+        case 'm': return base * 1e-3;
+        case 'k': return base * 1e3;
+        case 'g': return base * 1e9;
+        case 't': return base * 1e12;
+        default:
+            throw std::invalid_argument("parseSpiceNumber: bad suffix '" + suffix + "'");
+    }
+}
+
+int parseNetlist(const std::string& text, spice::Circuit& circuit, const TechCard& tech) {
+    ParseState st{circuit, tech, {}, 0, 0};
+
+    // Pass 1: split lines, collect .subckt bodies.
+    std::istringstream lines(text);
+    std::string line;
+    int lineNo = 0;
+    std::vector<SourceLine> top;
+    Subcircuit* current = nullptr;
+    std::string currentName;
+    while (std::getline(lines, line)) {
+        ++lineNo;
+        auto tokens = tokenize(line);
+        if (tokens.empty()) continue;
+        const auto head = lowered(tokens[0]);
+        if (head == ".subckt") {
+            if (current) fail(lineNo, ".subckt may not nest inside a definition");
+            if (tokens.size() < 3) fail(lineNo, ".subckt expects a name and >=1 port");
+            currentName = lowered(tokens[1]);
+            Subcircuit sub;
+            sub.ports.assign(tokens.begin() + 2, tokens.end());
+            current = &st.subcircuits.emplace(currentName, std::move(sub)).first->second;
+            continue;
+        }
+        if (head == ".ends") {
+            if (!current) fail(lineNo, ".ends without .subckt");
+            current = nullptr;
+            continue;
+        }
+        if (head[0] == '.') fail(lineNo, "unknown directive '" + tokens[0] + "'");
+        if (current) {
+            current->body.push_back({lineNo, std::move(tokens)});
+        } else {
+            top.push_back({lineNo, std::move(tokens)});
+        }
+    }
+    if (current) throw std::invalid_argument("netlist: unterminated .subckt '" +
+                                             currentName + "'");
+
+    // Pass 2: build elements, expanding instantiations.
+    const std::map<std::string, std::string> emptyScope;
+    for (const auto& src : top) parseElement(st, src, emptyScope, "");
+    return st.created;
+}
+
+std::string describeCircuit(const spice::Circuit& circuit) {
+    std::ostringstream os;
+    os << "* " << circuit.numNodes() - 1 << " nodes, " << circuit.numBranches()
+       << " branches, " << circuit.devices().size() << " devices\n";
+    for (const auto& d : circuit.devices()) {
+        os << d->name();
+        if (const auto* r = dynamic_cast<const Resistor*>(d.get()))
+            os << "  R " << r->resistance() << " ohm";
+        else if (const auto* c = dynamic_cast<const Capacitor*>(d.get()))
+            os << "  C " << c->capacitance() << " F";
+        else if (const auto* l = dynamic_cast<const Inductor*>(d.get()))
+            os << "  L " << l->inductance() << " H";
+        else if (const auto* e = dynamic_cast<const Vcvs*>(d.get()))
+            os << "  VCVS gain=" << e->gain();
+        else if (dynamic_cast<const Vccs*>(d.get()))
+            os << "  VCCS";
+        else if (dynamic_cast<const VoltageSource*>(d.get()))
+            os << "  V source";
+        else if (dynamic_cast<const CurrentSource*>(d.get()))
+            os << "  I source";
+        else if (const auto* f = dynamic_cast<const FeFet*>(d.get()))
+            os << "  FeFET pnorm=" << f->pnorm() << " vt=" << f->vtEff();
+        else if (const auto* fe = dynamic_cast<const FerroCap*>(d.get()))
+            os << "  FerroCap pnorm=" << fe->pnorm();
+        else if (const auto* y = dynamic_cast<const Reram*>(d.get()))
+            os << "  ReRAM w=" << y->state() << " R=" << y->resistance() << " ohm";
+        else if (const auto* m = dynamic_cast<const Mosfet*>(d.get()))
+            os << "  MOS " << (m->params().type == MosType::Nmos ? "nmos" : "pmos")
+               << " W=" << m->params().w;
+        os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace fetcam::device

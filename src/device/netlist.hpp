@@ -1,0 +1,44 @@
+// SPICE-like netlist text format: parse into a Circuit, and describe a
+// Circuit back as text. Lets tests and users define circuits in files
+// instead of C++, and makes simulator state inspectable.
+//
+// Grammar (one element per line; '*' or ';' start comments; case-insensitive
+// element letters and keywords; node names are free-form tokens, "0"/"gnd"
+// is ground):
+//
+//   R<name> a b <ohms>
+//   C<name> a b <farads>
+//   V<name> p n DC <volts>
+//   V<name> p n PULSE <v0> <v1> <tdelay> <trise> <tfall> <twidth> [tperiod]
+//   V<name> p n PWL <t0> <v0> <t1> <v1> ...
+//   I<name> from to DC <amps>              (current flows from -> to)
+//   M<name> g d s NMOS|PMOS [W=<mult>]     (width as multiple of minimum)
+//   F<name> g d s [P=<pnorm>]              (FeFET, tech-card parameters)
+//   X<name> a b FERRO [AREA=<m^2>] [P=<pnorm>]   (ferroelectric capacitor)
+//   Y<name> a b RERAM [W=<state>]          (bipolar ReRAM, state in [0,1])
+//
+// Numeric literals accept SPICE magnitude suffixes: f p n u m k meg g t
+// (e.g. "10k", "100f", "4.5meg").
+#pragma once
+
+#include <string>
+
+#include "device/tech.hpp"
+#include "spice/circuit.hpp"
+
+namespace fetcam::device {
+
+/// Parse a numeric literal with SPICE magnitude suffixes. Throws
+/// std::invalid_argument on malformed input.
+double parseSpiceNumber(const std::string& token);
+
+/// Parse a netlist into `circuit`, using `tech` for M/F/X/Y parameters.
+/// Returns the number of elements created. Throws std::invalid_argument with
+/// a line-numbered message on any syntax error.
+int parseNetlist(const std::string& text, spice::Circuit& circuit, const TechCard& tech);
+
+/// One-line-per-element inventory of a circuit (for diagnostics; waveforms
+/// and full device parameters are summarized, not round-tripped).
+std::string describeCircuit(const spice::Circuit& circuit);
+
+}  // namespace fetcam::device

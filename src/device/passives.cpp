@@ -1,0 +1,65 @@
+#include "device/passives.hpp"
+
+#include <stdexcept>
+
+#include "spice/ac.hpp"
+
+namespace fetcam::device {
+
+Resistor::Resistor(std::string name, spice::NodeId a, spice::NodeId b, double resistance)
+    : Device(std::move(name)), a_(a), b_(b), r_(resistance) {
+    if (resistance <= 0.0) throw std::invalid_argument("Resistor: resistance must be > 0");
+}
+
+void Resistor::stamp(spice::Mna& mna, const spice::SimContext& ctx) {
+    (void)ctx;
+    mna.stampConductance(a_, b_, 1.0 / r_);
+}
+
+void Resistor::stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const {
+    (void)opCtx;
+    mna.stampConductance(a_, b_, 1.0 / r_);
+}
+
+void Resistor::acceptStep(const spice::SimContext& ctx) {
+    const double v = ctx.v(a_) - ctx.v(b_);
+    lastCurrent_ = v / r_;
+    energy_.add(v * lastCurrent_, ctx.dt);
+}
+
+void Resistor::beginTransient(const spice::SimContext& ctx) {
+    (void)ctx;
+    energy_.reset();
+    lastCurrent_ = 0.0;
+}
+
+Capacitor::Capacitor(std::string name, spice::NodeId a, spice::NodeId b, double capacitance)
+    : Device(std::move(name)), a_(a), b_(b), cap_(capacitance) {
+    if (capacitance < 0.0) throw std::invalid_argument("Capacitor: capacitance must be >= 0");
+}
+
+void Capacitor::stamp(spice::Mna& mna, const spice::SimContext& ctx) {
+    cap_.stamp(mna, ctx, a_, b_);
+}
+
+void Capacitor::stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const {
+    (void)opCtx;
+    mna.stampCapacitance(a_, b_, cap_.capacitance());
+}
+
+void Capacitor::acceptStep(const spice::SimContext& ctx) {
+    const double v = ctx.v(a_) - ctx.v(b_);
+    lastCurrent_ = cap_.accept(v, ctx);
+    vLast_ = v;
+    energy_.add(v * lastCurrent_, ctx.dt);
+}
+
+void Capacitor::beginTransient(const spice::SimContext& ctx) {
+    const double v = ctx.v(a_) - ctx.v(b_);
+    cap_.reset(v);
+    vLast_ = v;
+    lastCurrent_ = 0.0;
+    energy_.reset();
+}
+
+}  // namespace fetcam::device

@@ -1,0 +1,54 @@
+// Linear passive elements.
+#pragma once
+
+#include "spice/circuit.hpp"
+#include "spice/device.hpp"
+
+namespace fetcam::device {
+
+class Resistor : public spice::Device {
+public:
+    Resistor(std::string name, spice::NodeId a, spice::NodeId b, double resistance);
+
+    void stamp(spice::Mna& mna, const spice::SimContext& ctx) override;
+    void stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const override;
+    void acceptStep(const spice::SimContext& ctx) override;
+    void beginTransient(const spice::SimContext& ctx) override;
+
+    double energy() const override { return energy_.energy(); }
+    double current() const override { return lastCurrent_; }
+    double resistance() const { return r_; }
+
+private:
+    spice::NodeId a_, b_;
+    double r_;
+    spice::EnergyIntegrator energy_;
+    double lastCurrent_ = 0.0;
+};
+
+/// Linear capacitor. energy() is the absorbed energy since the start of the
+/// transient (equals the change in stored energy: lossless element).
+class Capacitor : public spice::Device {
+public:
+    Capacitor(std::string name, spice::NodeId a, spice::NodeId b, double capacitance);
+
+    void stamp(spice::Mna& mna, const spice::SimContext& ctx) override;
+    void stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const override;
+    void acceptStep(const spice::SimContext& ctx) override;
+    void beginTransient(const spice::SimContext& ctx) override;
+
+    double energy() const override { return energy_.energy(); }
+    double current() const override { return lastCurrent_; }
+    double capacitance() const { return cap_.capacitance(); }
+    /// Instantaneous stored energy 0.5*C*V^2 at the last accepted point.
+    double storedEnergy() const { return 0.5 * cap_.capacitance() * vLast_ * vLast_; }
+
+private:
+    spice::NodeId a_, b_;
+    spice::CompanionCap cap_;
+    spice::EnergyIntegrator energy_;
+    double lastCurrent_ = 0.0;
+    double vLast_ = 0.0;
+};
+
+}  // namespace fetcam::device

@@ -1,0 +1,67 @@
+#include "device/reram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/ac.hpp"
+
+namespace fetcam::device {
+
+Reram::Reram(std::string name, spice::NodeId a, spice::NodeId b, ReramParams params,
+             double initialState)
+    : Device(std::move(name)), a_(a), b_(b), params_(params), w_(initialState),
+      cPar_(params.cPar) {
+    if (initialState < 0.0 || initialState > 1.0)
+        throw std::invalid_argument("Reram: state must be in [0,1]");
+}
+
+void Reram::setState(double w) {
+    if (w < 0.0 || w > 1.0) throw std::invalid_argument("Reram::setState: out of range");
+    w_ = w;
+}
+
+double Reram::resistance() const {
+    // Log-linear interpolation between HRS and LRS.
+    return params_.rOff * std::pow(params_.rOn / params_.rOff, w_);
+}
+
+void Reram::stamp(spice::Mna& mna, const spice::SimContext& ctx) {
+    mna.stampConductance(a_, b_, 1.0 / resistance());
+    cPar_.stamp(mna, ctx, a_, b_);
+}
+
+void Reram::stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const {
+    (void)opCtx;  // filament frozen at small signal
+    mna.stampConductance(a_, b_, 1.0 / resistance());
+    mna.stampCapacitance(a_, b_, cPar_.capacitance());
+}
+
+void Reram::acceptStep(const spice::SimContext& ctx) {
+    const double v = ctx.v(a_) - ctx.v(b_);
+    const double iR = v / resistance();
+    const double iC = cPar_.accept(v, ctx);
+    lastCurrent_ = iR + iC;
+    energy_.add(v * lastCurrent_, ctx.dt);
+
+    // Explicit filament dynamics with exponential voltage acceleration.
+    if (ctx.dt > 0.0) {
+        if (v > params_.vSet) {
+            const double tau = params_.tauSet * std::exp(-(v - params_.vSet) / params_.vAccel);
+            w_ += (1.0 - w_) * (1.0 - std::exp(-ctx.dt / tau));
+        } else if (v < params_.vReset) {
+            const double tau =
+                params_.tauReset * std::exp(-(params_.vReset - v) / params_.vAccel);
+            w_ += (0.0 - w_) * (1.0 - std::exp(-ctx.dt / tau));
+        }
+        w_ = std::clamp(w_, 0.0, 1.0);
+    }
+}
+
+void Reram::beginTransient(const spice::SimContext& ctx) {
+    cPar_.reset(ctx.v(a_) - ctx.v(b_));
+    energy_.reset();
+    lastCurrent_ = 0.0;
+}
+
+}  // namespace fetcam::device

@@ -1,0 +1,56 @@
+// Bipolar resistive RAM (memristive) element.
+//
+// Filament state w in [0, 1] maps log-linearly between rOff (w=0, HRS) and
+// rOn (w=1, LRS). SET (w -> 1) above +vSet, RESET (w -> 0) below vReset,
+// with exponential voltage acceleration; below threshold the state holds,
+// so logic-level read/search voltages are non-destructive. Conductance is
+// frozen at the step-start state (explicit state integration), which keeps
+// Newton iterations linear in this element.
+#pragma once
+
+#include "spice/circuit.hpp"
+#include "spice/device.hpp"
+
+namespace fetcam::device {
+
+struct ReramParams {
+    double rOn = 10e3;        ///< low-resistance state [ohm]
+    double rOff = 10e6;       ///< high-resistance state [ohm] (HRS leakage
+                              ///< through rOff is what limits 2T2R word width)
+    double vSet = 1.6;        ///< SET threshold [V]
+    double vReset = -1.6;     ///< RESET threshold [V] (negative)
+    double tauSet = 5e-9;     ///< base SET time constant [s]
+    double tauReset = 10e-9;  ///< base RESET time constant [s]
+    double vAccel = 0.25;     ///< exponential voltage acceleration [V]
+    double cPar = 0.2e-15;    ///< electrode parasitic capacitance [F]
+};
+
+class Reram : public spice::Device {
+public:
+    Reram(std::string name, spice::NodeId a, spice::NodeId b, ReramParams params,
+          double initialState = 0.0);
+
+    void stamp(spice::Mna& mna, const spice::SimContext& ctx) override;
+    void stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const override;
+    void acceptStep(const spice::SimContext& ctx) override;
+    void beginTransient(const spice::SimContext& ctx) override;
+
+    double energy() const override { return energy_.energy(); }
+    double current() const override { return lastCurrent_; }
+
+    double state() const { return w_; }
+    void setState(double w);
+    void setLrs() { setState(1.0); }
+    void setHrs() { setState(0.0); }
+    double resistance() const;
+
+private:
+    spice::NodeId a_, b_;
+    ReramParams params_;
+    double w_;
+    spice::CompanionCap cPar_;
+    spice::EnergyIntegrator energy_;
+    double lastCurrent_ = 0.0;
+};
+
+}  // namespace fetcam::device

@@ -1,0 +1,148 @@
+#include "device/sources.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/ac.hpp"
+
+namespace fetcam::device {
+
+SourceWave SourceWave::dc(double value) {
+    SourceWave w;
+    w.kind_ = Kind::Dc;
+    w.dc_ = value;
+    return w;
+}
+
+SourceWave SourceWave::pulse(double v0, double v1, double tDelay, double tRise, double tFall,
+                             double tWidth, double tPeriod) {
+    if (tRise <= 0.0 || tFall <= 0.0)
+        throw std::invalid_argument("SourceWave::pulse: rise/fall must be > 0");
+    SourceWave w;
+    w.kind_ = Kind::Pulse;
+    w.v0_ = v0;
+    w.v1_ = v1;
+    w.tDelay_ = tDelay;
+    w.tRise_ = tRise;
+    w.tFall_ = tFall;
+    w.tWidth_ = tWidth;
+    w.tPeriod_ = tPeriod;
+    return w;
+}
+
+SourceWave SourceWave::pwl(std::vector<double> times, std::vector<double> values) {
+    SourceWave w;
+    w.kind_ = Kind::Pwl;
+    w.pwl_ = numeric::PiecewiseLinear(std::move(times), std::move(values));
+    return w;
+}
+
+double SourceWave::at(double t) const {
+    switch (kind_) {
+        case Kind::Dc:
+            return dc_;
+        case Kind::Pwl:
+            return pwl_(t);
+        case Kind::Pulse: {
+            double tt = t - tDelay_;
+            if (tt < 0.0) return v0_;
+            if (tPeriod_ > 0.0) tt = std::fmod(tt, tPeriod_);
+            if (tt < tRise_) return v0_ + (v1_ - v0_) * (tt / tRise_);
+            tt -= tRise_;
+            if (tt < tWidth_) return v1_;
+            tt -= tWidth_;
+            if (tt < tFall_) return v1_ + (v0_ - v1_) * (tt / tFall_);
+            return v0_;
+        }
+    }
+    return 0.0;
+}
+
+void SourceWave::collectBreakpoints(double tstop, std::vector<double>& bps) const {
+    auto push = [&](double t) {
+        if (t > 0.0 && t <= tstop) bps.push_back(t);
+    };
+    switch (kind_) {
+        case Kind::Dc:
+            break;
+        case Kind::Pwl:
+            for (double t : pwl_.xs()) push(t);
+            break;
+        case Kind::Pulse: {
+            const double cycle = tRise_ + tWidth_ + tFall_;
+            const double period = tPeriod_ > 0.0 ? tPeriod_ : tstop + cycle + 1.0;
+            for (double base = tDelay_; base <= tstop; base += period) {
+                push(base);
+                push(base + tRise_);
+                push(base + tRise_ + tWidth_);
+                push(base + cycle);
+                if (tPeriod_ <= 0.0) break;
+            }
+            break;
+        }
+    }
+}
+
+VoltageSource::VoltageSource(std::string name, spice::Circuit& circuit, spice::NodeId p,
+                             spice::NodeId n, SourceWave wave)
+    : Device(std::move(name)), p_(p), n_(n), branch_(circuit.allocateBranch()),
+      wave_(std::move(wave)) {}
+
+void VoltageSource::stamp(spice::Mna& mna, const spice::SimContext& ctx) {
+    mna.stampVoltageSource(p_, n_, branch_, wave_.at(ctx.time));
+}
+
+void VoltageSource::stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const {
+    (void)opCtx;
+    // Ideal source: an AC short with its own (possibly zero) stimulus.
+    mna.stampVoltageSource(p_, n_, branch_, acMagnitude_);
+}
+
+void VoltageSource::acceptStep(const spice::SimContext& ctx) {
+    // Branch current is defined flowing p -> (through source) -> n, so it
+    // enters the + terminal: passive-sign absorbed power is v*(i).
+    const double v = ctx.v(p_) - ctx.v(n_);
+    lastCurrent_ = ctx.branchCurrent(branch_);
+    energy_.add(v * lastCurrent_, ctx.dt);
+}
+
+void VoltageSource::beginTransient(const spice::SimContext& ctx) {
+    (void)ctx;
+    energy_.reset();
+    lastCurrent_ = 0.0;
+}
+
+void VoltageSource::collectBreakpoints(double tstop, std::vector<double>& bps) const {
+    wave_.collectBreakpoints(tstop, bps);
+}
+
+CurrentSource::CurrentSource(std::string name, spice::NodeId from, spice::NodeId to,
+                             SourceWave wave)
+    : Device(std::move(name)), from_(from), to_(to), wave_(std::move(wave)) {}
+
+void CurrentSource::stamp(spice::Mna& mna, const spice::SimContext& ctx) {
+    mna.stampCurrentSource(from_, to_, wave_.at(ctx.time));
+}
+
+void CurrentSource::stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const {
+    (void)opCtx;
+    if (acMagnitude_ != 0.0) mna.stampCurrentSource(from_, to_, acMagnitude_);
+}
+
+void CurrentSource::acceptStep(const spice::SimContext& ctx) {
+    lastCurrent_ = wave_.at(ctx.time);
+    const double v = ctx.v(from_) - ctx.v(to_);
+    energy_.add(v * lastCurrent_, ctx.dt);
+}
+
+void CurrentSource::beginTransient(const spice::SimContext& ctx) {
+    (void)ctx;
+    energy_.reset();
+    lastCurrent_ = 0.0;
+}
+
+void CurrentSource::collectBreakpoints(double tstop, std::vector<double>& bps) const {
+    wave_.collectBreakpoints(tstop, bps);
+}
+
+}  // namespace fetcam::device

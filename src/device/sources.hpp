@@ -1,0 +1,101 @@
+// Independent sources and their drive waveforms.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "numeric/interp.hpp"
+#include "spice/circuit.hpp"
+#include "spice/device.hpp"
+
+namespace fetcam::device {
+
+/// Value-semantic description of a source waveform: DC, pulse train, or PWL.
+class SourceWave {
+public:
+    /// Constant level.
+    static SourceWave dc(double value);
+
+    /// SPICE-style pulse: v0 before tDelay, rising over tRise to v1, holding
+    /// tWidth, falling over tFall back to v0. Repeats with tPeriod if > 0.
+    static SourceWave pulse(double v0, double v1, double tDelay, double tRise, double tFall,
+                            double tWidth, double tPeriod = 0.0);
+
+    /// Piecewise-linear (time, value) points; clamped outside the range.
+    static SourceWave pwl(std::vector<double> times, std::vector<double> values);
+
+    double at(double t) const;
+
+    /// Waveform corner times in (0, tstop] — the transient engine lands steps
+    /// exactly on these.
+    void collectBreakpoints(double tstop, std::vector<double>& bps) const;
+
+private:
+    enum class Kind { Dc, Pulse, Pwl };
+    Kind kind_ = Kind::Dc;
+    double dc_ = 0.0;
+    // pulse
+    double v0_ = 0.0, v1_ = 0.0, tDelay_ = 0.0, tRise_ = 0.0, tFall_ = 0.0, tWidth_ = 0.0,
+           tPeriod_ = 0.0;
+    numeric::PiecewiseLinear pwl_;
+};
+
+/// Ideal voltage source between p (+) and n (-); its branch current is an
+/// extra MNA unknown. energy() is the energy ABSORBED (negative when the
+/// source delivers energy to the circuit).
+class VoltageSource : public spice::Device {
+public:
+    VoltageSource(std::string name, spice::Circuit& circuit, spice::NodeId p, spice::NodeId n,
+                  SourceWave wave);
+
+    void stamp(spice::Mna& mna, const spice::SimContext& ctx) override;
+    void stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const override;
+    void acceptStep(const spice::SimContext& ctx) override;
+    void beginTransient(const spice::SimContext& ctx) override;
+    void collectBreakpoints(double tstop, std::vector<double>& bps) const override;
+
+    double energy() const override { return energy_.energy(); }
+    /// Energy delivered to the circuit so far (convenience for benches).
+    double deliveredEnergy() const { return -energy_.energy(); }
+    double current() const override { return lastCurrent_; }
+    int branch() const { return branch_; }
+    double valueAt(double t) const { return wave_.at(t); }
+
+    /// Small-signal stimulus amplitude (0 by default: an AC short).
+    void setAcMagnitude(double mag) { acMagnitude_ = mag; }
+    double acMagnitude() const { return acMagnitude_; }
+
+private:
+    spice::NodeId p_, n_;
+    int branch_;
+    SourceWave wave_;
+    spice::EnergyIntegrator energy_;
+    double lastCurrent_ = 0.0;
+    double acMagnitude_ = 0.0;
+};
+
+/// Ideal current source driving `wave` amperes from node `from` to `to`.
+class CurrentSource : public spice::Device {
+public:
+    CurrentSource(std::string name, spice::NodeId from, spice::NodeId to, SourceWave wave);
+
+    void stamp(spice::Mna& mna, const spice::SimContext& ctx) override;
+    void stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const override;
+    void acceptStep(const spice::SimContext& ctx) override;
+    void beginTransient(const spice::SimContext& ctx) override;
+    void collectBreakpoints(double tstop, std::vector<double>& bps) const override;
+
+    double energy() const override { return energy_.energy(); }
+    double current() const override { return lastCurrent_; }
+
+    void setAcMagnitude(double mag) { acMagnitude_ = mag; }
+
+private:
+    spice::NodeId from_, to_;
+    SourceWave wave_;
+    spice::EnergyIntegrator energy_;
+    double lastCurrent_ = 0.0;
+    double acMagnitude_ = 0.0;
+};
+
+}  // namespace fetcam::device

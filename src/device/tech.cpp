@@ -1,0 +1,123 @@
+#include "device/tech.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fetcam::device {
+
+MosfetParams TechCard::sizedNmos(double widthMultiple) const {
+    MosfetParams p = nmos;
+    p.w = nmos.w * widthMultiple;
+    return p;
+}
+
+MosfetParams TechCard::sizedPmos(double widthMultiple) const {
+    MosfetParams p = pmos;
+    p.w = pmos.w * widthMultiple;
+    return p;
+}
+
+TechCard TechCard::atTemperature(double kelvin) const {
+    if (kelvin <= 0.0) throw std::invalid_argument("TechCard::atTemperature: bad T");
+    if (std::abs(temperatureK - 300.0) > 1e-9)
+        throw std::logic_error("TechCard::atTemperature: derive from the 300 K card");
+    TechCard t = *this;
+    t.temperatureK = kelvin;
+    const double dT = kelvin - 300.0;
+    const double mobility = std::pow(kelvin / 300.0, -1.5);
+
+    auto adjustMos = [&](MosfetParams& m) {
+        m.ut = 0.02585 * kelvin / 300.0;
+        m.vt0 = std::max(0.05, m.vt0 - 1.0e-3 * dT);  // |VT| drift, both types
+        m.kp *= mobility;
+    };
+    adjustMos(t.nmos);
+    adjustMos(t.pmos);
+    adjustMos(t.fefet.mos);
+
+    // Ferroelectric softening with temperature (approach to Curie point).
+    t.fefet.ferro.vcMean *= std::max(0.5, 1.0 - 1.0e-3 * dT);
+    t.fefet.ferro.ps *= std::max(0.5, 1.0 - 0.5e-3 * dT);
+    t.fefet.ferro.tau0 *= std::exp(-dT / 150.0);  // thermally assisted switching
+
+    // ReRAM: thermally activated filament dynamics; HRS leakage grows.
+    t.reram.tauSet *= std::exp(-dT / 100.0);
+    t.reram.tauReset *= std::exp(-dT / 100.0);
+    t.reram.rOff *= std::exp(-dT / 120.0);
+    return t;
+}
+
+TechCard TechCard::atCorner(Corner corner) const {
+    TechCard t = *this;
+    const double dVt = 0.030;
+    const double mobility = 0.10;
+    auto fast = [&](MosfetParams& m) {
+        m.vt0 = std::max(0.05, m.vt0 - dVt);
+        m.kp *= 1.0 + mobility;
+    };
+    auto slow = [&](MosfetParams& m) {
+        m.vt0 += dVt;
+        m.kp *= 1.0 - mobility;
+    };
+    switch (corner) {
+        case Corner::TT: break;
+        case Corner::FF:
+            fast(t.nmos);
+            fast(t.pmos);
+            fast(t.fefet.mos);
+            break;
+        case Corner::SS:
+            slow(t.nmos);
+            slow(t.pmos);
+            slow(t.fefet.mos);
+            break;
+        case Corner::FS:
+            fast(t.nmos);
+            slow(t.pmos);
+            fast(t.fefet.mos);
+            break;
+        case Corner::SF:
+            slow(t.nmos);
+            fast(t.pmos);
+            slow(t.fefet.mos);
+            break;
+    }
+    return t;
+}
+
+TechCard TechCard::cmos45() {
+    TechCard t;
+
+    t.nmos.type = MosType::Nmos;
+    t.nmos.w = 90e-9;
+    t.nmos.l = 45e-9;
+    t.nmos.vt0 = 0.40;
+    t.nmos.kp = 4.0e-4;
+    t.nmos.n = 1.35;
+    t.nmos.lambda = 0.15;
+
+    t.pmos = t.nmos;
+    t.pmos.type = MosType::Pmos;
+    t.pmos.w = 135e-9;   // ~1.5x for drive balance
+    t.pmos.vt0 = 0.40;
+    t.pmos.kp = 1.7e-4;  // hole mobility penalty
+
+    // FeFET: n-type channel, HfZrO2 gate stack, ~1.1 V memory window.
+    t.fefet.mos = t.nmos;
+    t.fefet.mos.w = 120e-9;      // slightly wider for matchline drive
+    t.fefet.mos.vt0 = 0.70;      // mid VT: VT_low = 0.15 V, VT_high = 1.25 V
+    t.fefet.deltaVt = 0.55;
+    t.fefet.ferro.ps = 0.23;
+    t.fefet.ferro.vcMean = 1.45; // gate-referred; with the +/-3 sigma hysteron
+    t.fefet.ferro.vcSigma = 0.13;// grid the lowest Vc is 1.06 V > VDD: search-safe
+    t.fefet.ferro.tau0 = 2e-9;
+    t.fefet.ferro.kMerz = 2.5;
+    t.fefet.ferro.thickness = 8e-9;
+    t.fefet.ferro.epsR = 28.0;
+
+    t.reram = ReramParams{};
+
+    return t;
+}
+
+}  // namespace fetcam::device

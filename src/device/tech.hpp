@@ -1,0 +1,88 @@
+// Technology card: one place for every device/process parameter the TCAM
+// studies sweep. Values are representative of a 45 nm logic process with a
+// BEOL HfZrO2 FeFET option and a 1T1R-class ReRAM option, assembled from the
+// open literature of the DATE-2021 era (see DESIGN.md for the substitution
+// rationale).
+#pragma once
+
+#include "device/fefet.hpp"
+#include "device/mosfet.hpp"
+#include "device/reram.hpp"
+
+namespace fetcam::device {
+
+/// Global process corners (first letter NMOS, second PMOS).
+enum class Corner { TT, FF, SS, FS, SF };
+
+constexpr const char* cornerName(Corner c) {
+    switch (c) {
+        case Corner::TT: return "TT";
+        case Corner::FF: return "FF";
+        case Corner::SS: return "SS";
+        case Corner::FS: return "FS";
+        case Corner::SF: return "SF";
+    }
+    return "?";
+}
+
+struct TechCard {
+    // Supplies.
+    double vdd = 1.0;          ///< logic supply [V]
+    double vWriteFe = 3.2;     ///< FeFET program/erase gate voltage [V]
+    double tWriteFe = 100e-9;  ///< FeFET write pulse width [s]
+    double vWriteReram = 2.2;  ///< ReRAM SET/RESET magnitude [V]
+    double tWriteReram = 30e-9;///< ReRAM write pulse width [s]
+
+    // Transistors.
+    MosfetParams nmos;
+    MosfetParams pmos;
+
+    // FeFET (n-type) and its gate stack.
+    FeFetParams fefet;
+
+    // ReRAM.
+    ReramParams reram;
+
+    // Interconnect parasitics, per cell pitch.
+    double mlWireCapPerCell = 0.10e-15;  ///< matchline wire cap per cell [F]
+    double mlWireResPerCell = 4.0;       ///< matchline wire res per cell [ohm]
+    double slWireCapPerCell = 0.08e-15;  ///< searchline wire cap per cell [F]
+
+    // Driver output impedances. Real drivers dissipate the full C*V^2 of the
+    // lines they toggle; modelling them as ideal sources would (wrongly) let
+    // the falling edge return energy to the supply.
+    double slDriverRes = 1.0e3;    ///< searchline driver [ohm]
+    double ctrlDriverRes = 500.0;  ///< precharge/strobe gate drivers [ohm]
+
+    // Area proxies (layout footprint per cell, in F^2 of the 45 nm node),
+    // used for iso-capacity comparisons; from published cell layouts.
+    double areaCell16T = 332.0;
+    double areaCell2T2R = 46.0;
+    double areaCell2FeFet = 30.0;
+    double areaCell2FeFetNand = 20.0;  ///< series chain saves the ML contact
+
+    /// Operating temperature [K] the card's parameters are valid at.
+    double temperatureK = 300.0;
+
+    /// NMOS/PMOS with a given width multiple of the minimum width.
+    MosfetParams sizedNmos(double widthMultiple) const;
+    MosfetParams sizedPmos(double widthMultiple) const;
+
+    /// Re-derive the card at a different temperature. First-order models:
+    ///   Ut ~ kT/q;  |VT| drifts -1 mV/K;  mobility ~ (T/300)^-1.5;
+    ///   ferroelectric Vc and Ps soften ~ -0.1%/K and -0.05%/K;
+    ///   ReRAM switching accelerates exponentially (thermally activated).
+    /// Must be called on a 300 K card (cmos45()); throws otherwise.
+    TechCard atTemperature(double kelvin) const;
+
+    /// Re-derive the card at a global process corner: fast devices get
+    /// -30 mV |VT| and +10% mobility, slow devices the opposite. The FeFET
+    /// channel follows the NMOS skew (same front-end), its ferroelectric is
+    /// corner-independent (BEOL module).
+    TechCard atCorner(Corner corner) const;
+
+    /// Default 45 nm-class card (300 K).
+    static TechCard cmos45();
+};
+
+}  // namespace fetcam::device

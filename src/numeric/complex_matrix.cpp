@@ -1,0 +1,55 @@
+#include "numeric/complex_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fetcam::numeric {
+
+std::vector<Complex> ComplexDenseMatrix::multiply(const std::vector<Complex>& x) const {
+    if (x.size() != cols_) throw std::invalid_argument("ComplexDenseMatrix::multiply: size");
+    std::vector<Complex> y(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        Complex acc{};
+        for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+std::vector<Complex> solveComplexDense(ComplexDenseMatrix a, std::vector<Complex> b) {
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n)
+        throw std::invalid_argument("solveComplexDense: shape mismatch");
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Partial pivoting on magnitude.
+        std::size_t pivot = k;
+        double best = std::abs(a(k, k));
+        for (std::size_t r = k + 1; r < n; ++r) {
+            if (std::abs(a(r, k)) > best) {
+                best = std::abs(a(r, k));
+                pivot = r;
+            }
+        }
+        if (best == 0.0) throw std::runtime_error("solveComplexDense: singular matrix");
+        if (pivot != k) {
+            for (std::size_t c = 0; c < n; ++c) std::swap(a(k, c), a(pivot, c));
+            std::swap(b[k], b[pivot]);
+        }
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const Complex factor = a(r, k) / a(k, k);
+            if (factor == Complex{}) continue;
+            for (std::size_t c = k + 1; c < n; ++c) a(r, c) -= factor * a(k, c);
+            b[r] -= factor * b[k];
+        }
+    }
+    std::vector<Complex> x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        Complex acc = b[ii];
+        for (std::size_t c = ii + 1; c < n; ++c) acc -= a(ii, c) * x[c];
+        x[ii] = acc / a(ii, ii);
+    }
+    return x;
+}
+
+}  // namespace fetcam::numeric

@@ -1,0 +1,37 @@
+// Complex dense matrix + LU, for small-signal (AC) circuit analysis.
+// AC systems are assembled dense: the circuits characterized in the
+// frequency domain (sense paths, drivers) are small.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace fetcam::numeric {
+
+using Complex = std::complex<double>;
+
+class ComplexDenseMatrix {
+public:
+    ComplexDenseMatrix() = default;
+    ComplexDenseMatrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    Complex& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    Complex operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+    std::vector<Complex> multiply(const std::vector<Complex>& x) const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<Complex> data_;
+};
+
+/// LU with partial pivoting over the complex field.
+/// Throws std::runtime_error on singular input.
+std::vector<Complex> solveComplexDense(ComplexDenseMatrix a, std::vector<Complex> b);
+
+}  // namespace fetcam::numeric

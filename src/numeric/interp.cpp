@@ -1,0 +1,58 @@
+#include "numeric/interp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fetcam::numeric {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+    if (xs_.size() != ys_.size()) throw std::invalid_argument("PiecewiseLinear: size mismatch");
+    for (std::size_t i = 1; i < xs_.size(); ++i)
+        if (xs_[i] <= xs_[i - 1])
+            throw std::invalid_argument("PiecewiseLinear: x must be strictly increasing");
+}
+
+double PiecewiseLinear::operator()(double x) const {
+    if (xs_.empty()) return 0.0;
+    if (x <= xs_.front()) return ys_.front();
+    if (x >= xs_.back()) return ys_.back();
+    const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+    const std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
+    const std::size_t lo = hi - 1;
+    const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+    return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+}
+
+double PiecewiseLinear::slope(double x) const {
+    if (xs_.size() < 2 || x <= xs_.front() || x >= xs_.back()) return 0.0;
+    const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+    const std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
+    const std::size_t lo = hi - 1;
+    return (ys_[hi] - ys_[lo]) / (xs_[hi] - xs_[lo]);
+}
+
+std::optional<double> firstCrossing(const std::vector<double>& xs, const std::vector<double>& ys,
+                                    double level, bool rising, double from) {
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+        if (xs[i] < from) continue;
+        const double y0 = ys[i - 1];
+        const double y1 = ys[i];
+        const bool crossed = rising ? (y0 < level && y1 >= level) : (y0 > level && y1 <= level);
+        if (!crossed) continue;
+        const double t = (level - y0) / (y1 - y0);
+        const double x = xs[i - 1] + t * (xs[i] - xs[i - 1]);
+        if (x >= from) return x;
+    }
+    return std::nullopt;
+}
+
+double trapezoid(const std::vector<double>& xs, const std::vector<double>& ys) {
+    if (xs.size() != ys.size()) throw std::invalid_argument("trapezoid: size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 1; i < xs.size(); ++i)
+        acc += 0.5 * (ys[i] + ys[i - 1]) * (xs[i] - xs[i - 1]);
+    return acc;
+}
+
+}  // namespace fetcam::numeric

@@ -1,0 +1,44 @@
+// Piecewise-linear interpolation helpers.
+//
+// Used for PWL source waveforms, ReRAM resistance-state interpolation, and
+// post-processing of simulated waveforms (threshold-crossing search).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace fetcam::numeric {
+
+/// A piecewise-linear function y(x) defined by sorted breakpoints.
+/// Outside the covered range the first/last y value is held (clamped).
+class PiecewiseLinear {
+public:
+    PiecewiseLinear() = default;
+
+    /// Points must be sorted by strictly increasing x; throws otherwise.
+    PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+    double operator()(double x) const;
+
+    /// Derivative dy/dx at x (constant per segment; 0 outside the range).
+    double slope(double x) const;
+
+    bool empty() const { return xs_.empty(); }
+    const std::vector<double>& xs() const { return xs_; }
+    const std::vector<double>& ys() const { return ys_; }
+
+private:
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+};
+
+/// First x >= from where the sampled series (xs, ys) crosses `level` in the
+/// given direction (rising: from below to >= level). Linear interpolation
+/// between samples. nullopt if no crossing.
+std::optional<double> firstCrossing(const std::vector<double>& xs, const std::vector<double>& ys,
+                                    double level, bool rising, double from = 0.0);
+
+/// Trapezoidal integral of the sampled series.
+double trapezoid(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace fetcam::numeric

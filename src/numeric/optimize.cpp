@@ -1,0 +1,66 @@
+#include "numeric/optimize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace fetcam::numeric {
+
+ScalarMinResult minimizeGolden(const std::function<double(double)>& f, double lo, double hi,
+                               double xTol, int maxEvaluations) {
+    if (!(lo < hi)) throw std::invalid_argument("minimizeGolden: empty bracket");
+    constexpr double kInvPhi = 0.6180339887498949;
+
+    ScalarMinResult r;
+    double a = lo, b = hi;
+    double x1 = b - kInvPhi * (b - a);
+    double x2 = a + kInvPhi * (b - a);
+    double f1 = f(x1);
+    double f2 = f(x2);
+    r.evaluations = 2;
+
+    while (b - a > xTol && r.evaluations < maxEvaluations) {
+        if (f1 <= f2) {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - kInvPhi * (b - a);
+            f1 = f(x1);
+        } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + kInvPhi * (b - a);
+            f2 = f(x2);
+        }
+        ++r.evaluations;
+    }
+    if (f1 <= f2) {
+        r.x = x1;
+        r.value = f1;
+    } else {
+        r.x = x2;
+        r.value = f2;
+    }
+    return r;
+}
+
+ScalarMinResult minimizeOnGrid(const std::function<double(double)>& f,
+                               const std::vector<double>& candidates) {
+    if (candidates.empty()) throw std::invalid_argument("minimizeOnGrid: empty grid");
+    ScalarMinResult r;
+    r.x = candidates.front();
+    r.value = f(candidates.front());
+    r.evaluations = 1;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+        const double v = f(candidates[i]);
+        ++r.evaluations;
+        if (v < r.value) {
+            r.value = v;
+            r.x = candidates[i];
+        }
+    }
+    return r;
+}
+
+}  // namespace fetcam::numeric

@@ -1,0 +1,28 @@
+// Scalar minimization: golden-section search over a bracket. Used by the
+// core auto-tuner (e.g. minimum-EDP supply voltage).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace fetcam::numeric {
+
+struct ScalarMinResult {
+    double x = 0.0;
+    double value = 0.0;
+    int evaluations = 0;
+};
+
+/// Minimize f over [lo, hi] with golden-section search. The function need
+/// not be smooth, but must be unimodal on the bracket for a guaranteed
+/// result; otherwise a local minimum is returned. Throws on an empty
+/// bracket.
+ScalarMinResult minimizeGolden(const std::function<double(double)>& f, double lo, double hi,
+                               double xTol = 1e-3, int maxEvaluations = 200);
+
+/// Minimize f over an explicit candidate grid (robust companion for rugged
+/// or discrete-ish objectives). Throws on an empty grid.
+ScalarMinResult minimizeOnGrid(const std::function<double(double)>& f,
+                               const std::vector<double>& candidates);
+
+}  // namespace fetcam::numeric

@@ -1,0 +1,235 @@
+#include "numeric/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fetcam::numeric {
+
+SparseMatrixCsc SparseMatrixCsc::fromTriplets(const TripletList& t) {
+    SparseMatrixCsc m;
+    m.rows_ = t.rows();
+    m.cols_ = t.cols();
+    const auto& es = t.entries();
+
+    // Count entries per column (including duplicates for now).
+    std::vector<int> count(t.cols() + 1, 0);
+    for (const auto& e : es) {
+        if (e.row < 0 || e.row >= t.rows() || e.col < 0 || e.col >= t.cols())
+            throw std::out_of_range("SparseMatrixCsc::fromTriplets: index out of range");
+        ++count[e.col + 1];
+    }
+    std::vector<int> colStart(t.cols() + 1, 0);
+    for (int c = 0; c < t.cols(); ++c) colStart[c + 1] = colStart[c] + count[c + 1];
+
+    // Scatter into per-column buckets.
+    std::vector<int> rows(es.size());
+    std::vector<double> vals(es.size());
+    std::vector<int> fill = colStart;
+    for (const auto& e : es) {
+        const int slot = fill[e.col]++;
+        rows[slot] = e.row;
+        vals[slot] = e.value;
+    }
+
+    // Sort each column by row and merge duplicates.
+    m.colPtr_.assign(t.cols() + 1, 0);
+    m.rowIdx_.reserve(es.size());
+    m.values_.reserve(es.size());
+    std::vector<int> order;
+    for (int c = 0; c < t.cols(); ++c) {
+        const int lo = colStart[c];
+        const int hi = colStart[c + 1];
+        order.resize(hi - lo);
+        for (int i = 0; i < hi - lo; ++i) order[i] = lo + i;
+        std::sort(order.begin(), order.end(), [&](int a, int b) { return rows[a] < rows[b]; });
+        int lastRow = -1;
+        for (int idx : order) {
+            if (rows[idx] == lastRow) {
+                m.values_.back() += vals[idx];
+            } else {
+                m.rowIdx_.push_back(rows[idx]);
+                m.values_.push_back(vals[idx]);
+                lastRow = rows[idx];
+            }
+        }
+        m.colPtr_[c + 1] = static_cast<int>(m.rowIdx_.size());
+    }
+    return m;
+}
+
+std::vector<double> SparseMatrixCsc::multiply(const std::vector<double>& x) const {
+    if (static_cast<int>(x.size()) != cols_)
+        throw std::invalid_argument("SparseMatrixCsc::multiply: size mismatch");
+    std::vector<double> y(rows_, 0.0);
+    for (int c = 0; c < cols_; ++c) {
+        const double xc = x[c];
+        if (xc == 0.0) continue;
+        for (int p = colPtr_[c]; p < colPtr_[c + 1]; ++p) y[rowIdx_[p]] += values_[p] * xc;
+    }
+    return y;
+}
+
+double SparseMatrixCsc::at(int row, int col) const {
+    for (int p = colPtr_[col]; p < colPtr_[col + 1]; ++p)
+        if (rowIdx_[p] == row) return values_[p];
+    return 0.0;
+}
+
+namespace {
+
+/// Iterative depth-first search over the pattern of the partially built L,
+/// recording reached nodes in topological order at xi[top-1], xi[top-2], ...
+/// Returns the new top. `pinv` maps original rows to pivot positions (-1 if
+/// the row is not yet pivotal, in which case it has no L column to traverse).
+int luDfs(int start, const std::vector<int>& lp, const std::vector<int>& li,
+          const std::vector<int>& pinv, std::vector<char>& visited, std::vector<int>& xi,
+          std::vector<int>& pstack, int top) {
+    int head = 0;
+    xi[0] = start;
+    while (head >= 0) {
+        const int j = xi[head];
+        const int jPivot = pinv[j];
+        if (!visited[j]) {
+            visited[j] = 1;
+            pstack[head] = (jPivot < 0) ? 0 : lp[jPivot];
+        }
+        bool done = true;
+        const int pEnd = (jPivot < 0) ? 0 : lp[jPivot + 1];
+        for (int p = pstack[head]; p < pEnd; ++p) {
+            const int child = li[p];
+            if (visited[child]) continue;
+            pstack[head] = p;       // resume here (child will be marked visited)
+            xi[++head] = child;     // recurse into child
+            done = false;
+            break;
+        }
+        if (done) {
+            --head;
+            xi[--top] = j;  // postorder: all descendants already emitted
+        }
+    }
+    return top;
+}
+
+}  // namespace
+
+SparseLu::SparseLu(const SparseMatrixCsc& a, double pivotTol) {
+    if (a.rows() != a.cols()) throw std::invalid_argument("SparseLu: matrix must be square");
+    n_ = a.rows();
+    nnzA_ = a.nonZeros();
+    const auto& ap = a.colPtr();
+    const auto& ai = a.rowIdx();
+    const auto& ax = a.values();
+
+    lp_.assign(n_ + 1, 0);
+    up_.assign(n_ + 1, 0);
+    pinv_.assign(n_, -1);
+    li_.clear();
+    lx_.clear();
+    ui_.clear();
+    ux_.clear();
+    li_.reserve(4 * nnzA_);
+    lx_.reserve(4 * nnzA_);
+    ui_.reserve(4 * nnzA_);
+    ux_.reserve(4 * nnzA_);
+
+    std::vector<double> x(n_, 0.0);
+    std::vector<char> visited(n_, 0);
+    std::vector<int> xi(n_), pstack(n_);
+
+    for (int col = 0; col < n_; ++col) {
+        // --- Symbolic: nodes reachable from the pattern of A(:,col) through L.
+        int top = n_;
+        for (int p = ap[col]; p < ap[col + 1]; ++p)
+            if (!visited[ai[p]]) top = luDfs(ai[p], lp_, li_, pinv_, visited, xi, pstack, top);
+
+        // --- Numeric: scatter A(:,col) and run the sparse triangular solve.
+        for (int p = top; p < n_; ++p) x[xi[p]] = 0.0;
+        for (int p = ap[col]; p < ap[col + 1]; ++p) x[ai[p]] = ax[p];
+        for (int p = top; p < n_; ++p) {
+            const int row = xi[p];
+            const int rowPivot = pinv_[row];
+            if (rowPivot < 0) continue;  // not yet pivotal: stays in L
+            // L's columns store the unit diagonal first; divide is by 1.0.
+            const double xj = x[row];
+            for (int q = lp_[rowPivot] + 1; q < lp_[rowPivot + 1]; ++q)
+                x[li_[q]] -= lx_[q] * xj;
+        }
+
+        // --- Pivot selection: largest magnitude among non-pivotal rows, with a
+        // threshold preference for the diagonal.
+        int pivotRow = -1;
+        double pivotMag = -1.0;
+        for (int p = top; p < n_; ++p) {
+            const int row = xi[p];
+            if (pinv_[row] >= 0) continue;
+            const double mag = std::abs(x[row]);
+            if (mag > pivotMag) {
+                pivotMag = mag;
+                pivotRow = row;
+            }
+        }
+        if (pivotRow < 0 || pivotMag <= 0.0) throw std::runtime_error("SparseLu: singular matrix");
+        if (pinv_[col] < 0 && std::abs(x[col]) >= pivotTol * pivotMag) pivotRow = col;
+        const double pivotValue = x[pivotRow];
+
+        // --- Emit U(:,col): all pivotal rows, then the diagonal last.
+        for (int p = top; p < n_; ++p) {
+            const int row = xi[p];
+            if (pinv_[row] >= 0) {
+                ui_.push_back(pinv_[row]);
+                ux_.push_back(x[row]);
+            }
+        }
+        ui_.push_back(col);
+        ux_.push_back(pivotValue);
+        up_[col + 1] = static_cast<int>(ui_.size());
+
+        // --- Emit L(:,col): unit diagonal first, then subdiagonal entries.
+        pinv_[pivotRow] = col;
+        li_.push_back(pivotRow);
+        lx_.push_back(1.0);
+        for (int p = top; p < n_; ++p) {
+            const int row = xi[p];
+            if (pinv_[row] < 0 && row != pivotRow) {
+                li_.push_back(row);
+                lx_.push_back(x[row] / pivotValue);
+            }
+        }
+        lp_[col + 1] = static_cast<int>(li_.size());
+
+        // --- Reset work arrays for the next column.
+        for (int p = top; p < n_; ++p) {
+            visited[xi[p]] = 0;
+            x[xi[p]] = 0.0;
+        }
+    }
+
+    // Remap L's row indices into pivot order so L is genuinely lower triangular.
+    for (auto& row : li_) row = pinv_[row];
+}
+
+std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
+    if (static_cast<int>(b.size()) != n_) throw std::invalid_argument("SparseLu::solve: size");
+    std::vector<double> x(n_);
+    for (int i = 0; i < n_; ++i) x[pinv_[i]] = b[i];  // x = P*b
+    // Forward solve L*y = x (unit diagonal stored first in each column).
+    for (int c = 0; c < n_; ++c) {
+        const double xc = x[c];
+        for (int p = lp_[c] + 1; p < lp_[c + 1]; ++p) x[li_[p]] -= lx_[p] * xc;
+    }
+    // Back solve U*z = y (diagonal stored last in each column).
+    for (int c = n_ - 1; c >= 0; --c) {
+        x[c] /= ux_[up_[c + 1] - 1];
+        const double xc = x[c];
+        for (int p = up_[c]; p < up_[c + 1] - 1; ++p) x[ui_[p]] -= ux_[p] * xc;
+    }
+    return x;
+}
+
+int SparseLu::fillIn() const {
+    return static_cast<int>(li_.size() + ui_.size()) - nnzA_;
+}
+
+}  // namespace fetcam::numeric

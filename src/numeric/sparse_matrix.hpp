@@ -1,0 +1,97 @@
+// Sparse matrices in compressed-sparse-column form plus a left-looking
+// (Gilbert-Peierls) LU factorization with threshold partial pivoting.
+//
+// This is the workhorse linear solver behind the MNA circuit engine: the
+// nonzero pattern of a circuit's Jacobian is fixed across Newton iterations,
+// so the engine rebuilds values in place and refactors each iteration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fetcam::numeric {
+
+/// Coordinate-format accumulator used to assemble a sparse matrix.
+/// Duplicate (row, col) entries are summed when compiled to CSC.
+class TripletList {
+public:
+    TripletList(int rows, int cols) : rows_(rows), cols_(cols) {}
+
+    void add(int row, int col, double value) { entries_.push_back({row, col, value}); }
+    void clear() { entries_.clear(); }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    struct Entry {
+        int row;
+        int col;
+        double value;
+    };
+    const std::vector<Entry>& entries() const { return entries_; }
+
+private:
+    int rows_;
+    int cols_;
+    std::vector<Entry> entries_;
+};
+
+/// Compressed-sparse-column matrix.
+class SparseMatrixCsc {
+public:
+    SparseMatrixCsc() = default;
+
+    /// Compile a triplet list, summing duplicates.
+    static SparseMatrixCsc fromTriplets(const TripletList& t);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    int nonZeros() const { return static_cast<int>(values_.size()); }
+
+    const std::vector<int>& colPtr() const { return colPtr_; }
+    const std::vector<int>& rowIdx() const { return rowIdx_; }
+    const std::vector<double>& values() const { return values_; }
+    std::vector<double>& values() { return values_; }
+
+    /// y = A * x.
+    std::vector<double> multiply(const std::vector<double>& x) const;
+
+    /// Entry lookup (O(column nnz)); returns 0 for structural zeros.
+    double at(int row, int col) const;
+
+private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<int> colPtr_;   // size cols+1
+    std::vector<int> rowIdx_;   // size nnz
+    std::vector<double> values_;
+};
+
+/// Sparse LU with threshold partial pivoting (left-looking Gilbert-Peierls).
+///
+/// Factors P*A = L*U with a row permutation chosen per column: the diagonal
+/// entry is kept as the pivot whenever its magnitude is within `pivotTol` of
+/// the column maximum, which preserves the (mostly) diagonally dominant
+/// structure of MNA matrices and limits fill-in.
+class SparseLu {
+public:
+    explicit SparseLu(const SparseMatrixCsc& a, double pivotTol = 0.1);
+
+    std::vector<double> solve(const std::vector<double>& b) const;
+
+    int size() const { return n_; }
+    int fillIn() const;  ///< nnz(L)+nnz(U) - nnz(A)
+
+private:
+    int n_ = 0;
+    int nnzA_ = 0;
+    // L: unit lower triangular (diagonal stored explicitly as 1.0, first in column).
+    std::vector<int> lp_, li_;
+    std::vector<double> lx_;
+    // U: upper triangular (diagonal stored last in column).
+    std::vector<int> up_, ui_;
+    std::vector<double> ux_;
+    std::vector<int> pinv_;  // row -> pivot position
+};
+
+}  // namespace fetcam::numeric

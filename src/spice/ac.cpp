@@ -1,0 +1,138 @@
+#include "spice/ac.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace fetcam::spice {
+
+AcStamper::AcStamper(int numNodes, int numBranches, double omega)
+    : numNodes_(numNodes), omega_(omega),
+      a_(static_cast<std::size_t>(numNodes - 1 + numBranches),
+         static_cast<std::size_t>(numNodes - 1 + numBranches)),
+      rhs_(static_cast<std::size_t>(numNodes - 1 + numBranches)) {}
+
+void AcStamper::addNodeJacobian(NodeId row, NodeId col, numeric::Complex value) {
+    if (row == kGround || col == kGround) return;
+    a_(static_cast<std::size_t>(nodeIndex(row)), static_cast<std::size_t>(nodeIndex(col))) +=
+        value;
+}
+
+void AcStamper::addRawJacobian(int row, int col, numeric::Complex value) {
+    if (row < 0 || col < 0) return;
+    a_(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += value;
+}
+
+void AcStamper::addRawRhs(int row, numeric::Complex value) {
+    if (row < 0) return;
+    rhs_[static_cast<std::size_t>(row)] += value;
+}
+
+void AcStamper::stampConductance(NodeId a, NodeId b, double g) {
+    addNodeJacobian(a, a, g);
+    addNodeJacobian(b, b, g);
+    addNodeJacobian(a, b, -g);
+    addNodeJacobian(b, a, -g);
+}
+
+void AcStamper::stampCapacitance(NodeId a, NodeId b, double c) {
+    const numeric::Complex y{0.0, omega_ * c};
+    addNodeJacobian(a, a, y);
+    addNodeJacobian(b, b, y);
+    addNodeJacobian(a, b, -y);
+    addNodeJacobian(b, a, -y);
+}
+
+void AcStamper::stampVccs(NodeId from, NodeId to, NodeId cp, NodeId cn, double g) {
+    addNodeJacobian(from, cp, g);
+    addNodeJacobian(from, cn, -g);
+    addNodeJacobian(to, cp, -g);
+    addNodeJacobian(to, cn, g);
+}
+
+void AcStamper::stampCurrentSource(NodeId from, NodeId to, numeric::Complex i) {
+    if (from != kGround) rhs_[static_cast<std::size_t>(nodeIndex(from))] -= i;
+    if (to != kGround) rhs_[static_cast<std::size_t>(nodeIndex(to))] += i;
+}
+
+void AcStamper::stampVoltageSource(NodeId p, NodeId n, int branch, numeric::Complex v) {
+    const auto br = static_cast<std::size_t>(numNodes_ - 1 + branch);
+    if (p != kGround) {
+        a_(static_cast<std::size_t>(nodeIndex(p)), br) += 1.0;
+        a_(br, static_cast<std::size_t>(nodeIndex(p))) += 1.0;
+    }
+    if (n != kGround) {
+        a_(static_cast<std::size_t>(nodeIndex(n)), br) -= 1.0;
+        a_(br, static_cast<std::size_t>(nodeIndex(n))) -= 1.0;
+    }
+    rhs_[br] += v;
+}
+
+std::vector<numeric::Complex> AcStamper::solve() const {
+    return numeric::solveComplexDense(a_, rhs_);
+}
+
+AcSpec AcSpec::logSweep(double fStart, double fStop, int pointsPerDecade) {
+    if (fStart <= 0.0 || fStop <= fStart || pointsPerDecade < 1)
+        throw std::invalid_argument("AcSpec::logSweep: bad sweep bounds");
+    AcSpec spec;
+    const double decades = std::log10(fStop / fStart);
+    const int points = std::max(2, static_cast<int>(std::ceil(decades * pointsPerDecade)) + 1);
+    for (int i = 0; i < points; ++i)
+        spec.frequencies.push_back(
+            fStart * std::pow(10.0, decades * i / static_cast<double>(points - 1)));
+    return spec;
+}
+
+numeric::Complex AcResult::node(std::size_t idx, NodeId n) const {
+    if (n == kGround) return {};
+    return solutions_[idx][static_cast<std::size_t>(n) - 1];
+}
+
+double AcResult::magnitudeDb(std::size_t idx, NodeId n) const {
+    return 20.0 * std::log10(std::max(1e-30, std::abs(node(idx, n))));
+}
+
+double AcResult::phaseDeg(std::size_t idx, NodeId n) const {
+    return std::arg(node(idx, n)) * 180.0 / std::numbers::pi;
+}
+
+std::optional<double> AcResult::cornerFrequency(NodeId n) const {
+    if (freqs_.empty()) return std::nullopt;
+    const double ref = magnitudeDb(0, n);
+    for (std::size_t i = 1; i < freqs_.size(); ++i) {
+        const double db = magnitudeDb(i, n);
+        if (db > ref - 3.0) continue;
+        // Interpolate in (log f, dB) between the bracketing points.
+        const double dbPrev = magnitudeDb(i - 1, n);
+        const double t = (ref - 3.0 - dbPrev) / (db - dbPrev);
+        const double lf =
+            std::log10(freqs_[i - 1]) + t * (std::log10(freqs_[i]) - std::log10(freqs_[i - 1]));
+        return std::pow(10.0, lf);
+    }
+    return std::nullopt;
+}
+
+AcResult runAc(const Circuit& circuit, const DcOpResult& op, const AcSpec& spec) {
+    if (!op.converged) throw std::invalid_argument("runAc: operating point not converged");
+    if (static_cast<int>(op.x.size()) != circuit.numUnknowns())
+        throw std::invalid_argument("runAc: operating point/circuit mismatch");
+
+    SimContext opCtx;
+    opCtx.mode = AnalysisMode::Dc;
+    opCtx.x = &op.x;
+    opCtx.numNodes = circuit.numNodes();
+
+    std::vector<std::vector<numeric::Complex>> sol;
+    sol.reserve(spec.frequencies.size());
+    for (const double f : spec.frequencies) {
+        AcStamper st(circuit.numNodes(), circuit.numBranches(), 2.0 * std::numbers::pi * f);
+        for (const auto& dev : circuit.devices()) dev->stampAc(st, opCtx);
+        // Convergence/nonsingularity aid, as in the DC solve.
+        for (NodeId n = 1; n < circuit.numNodes(); ++n) st.stampConductance(n, kGround, 1e-12);
+        sol.push_back(st.solve());
+    }
+    return AcResult(spec.frequencies, std::move(sol), circuit.numNodes());
+}
+
+}  // namespace fetcam::spice

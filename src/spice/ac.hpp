@@ -1,0 +1,87 @@
+// Small-signal AC analysis.
+//
+// Devices are linearized around a DC operating point and stamped into a
+// complex MNA system at each analysis frequency: conductances and
+// transconductances enter the real part, capacitances as j*omega*C. Sources
+// contribute their AC magnitudes (set VoltageSource/CurrentSource
+// setAcMagnitude; DC values only fix the operating point).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "numeric/complex_matrix.hpp"
+#include "spice/circuit.hpp"
+#include "spice/dcop.hpp"
+
+namespace fetcam::spice {
+
+/// Complex MNA assembler for one frequency point.
+class AcStamper {
+public:
+    AcStamper(int numNodes, int numBranches, double omega);
+
+    double omega() const { return omega_; }
+
+    void addNodeJacobian(NodeId row, NodeId col, numeric::Complex value);
+    /// Raw matrix access for branch-based elements. Negative indices (ground
+    /// rows/columns) are ignored.
+    void addRawJacobian(int row, int col, numeric::Complex value);
+    void addRawRhs(int row, numeric::Complex value);
+    int branchIndex(int branch) const { return numNodes_ - 1 + branch; }
+    int nodeUnknown(NodeId n) const { return n - 1; }  ///< -1 for ground
+    void stampConductance(NodeId a, NodeId b, double g);
+    void stampCapacitance(NodeId a, NodeId b, double c);
+    void stampVccs(NodeId from, NodeId to, NodeId cp, NodeId cn, double g);
+    void stampCurrentSource(NodeId from, NodeId to, numeric::Complex i);
+    void stampVoltageSource(NodeId p, NodeId n, int branch, numeric::Complex v);
+
+    std::vector<numeric::Complex> solve() const;
+
+private:
+    int nodeIndex(NodeId n) const { return n - 1; }
+    int numNodes_;
+    double omega_;
+    numeric::ComplexDenseMatrix a_;
+    std::vector<numeric::Complex> rhs_;
+};
+
+struct AcSpec {
+    std::vector<double> frequencies;  ///< [Hz]
+
+    /// Logarithmic sweep, `pointsPerDecade` points per decade of [fStart, fStop].
+    static AcSpec logSweep(double fStart, double fStop, int pointsPerDecade = 10);
+};
+
+class AcResult {
+public:
+    AcResult(std::vector<double> freqs, std::vector<std::vector<numeric::Complex>> sol,
+             int numNodes)
+        : freqs_(std::move(freqs)), solutions_(std::move(sol)), numNodes_(numNodes) {}
+
+    const std::vector<double>& frequencies() const { return freqs_; }
+    std::size_t points() const { return freqs_.size(); }
+
+    /// Complex node voltage phasor at sweep point `idx`.
+    numeric::Complex node(std::size_t idx, NodeId n) const;
+
+    /// |V(node)| in dB (20*log10) at sweep point `idx`.
+    double magnitudeDb(std::size_t idx, NodeId n) const;
+    /// Phase in degrees.
+    double phaseDeg(std::size_t idx, NodeId n) const;
+
+    /// -3 dB corner of a node relative to its first-point magnitude; nullopt
+    /// if the response never falls 3 dB within the sweep.
+    std::optional<double> cornerFrequency(NodeId n) const;
+
+private:
+    std::vector<double> freqs_;
+    std::vector<std::vector<numeric::Complex>> solutions_;
+    int numNodes_;
+};
+
+/// Run an AC sweep around the given operating point. The operating point's
+/// unknown vector must come from solveDcOp on the same circuit.
+AcResult runAc(const Circuit& circuit, const DcOpResult& op, const AcSpec& spec);
+
+}  // namespace fetcam::spice

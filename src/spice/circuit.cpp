@@ -1,0 +1,48 @@
+#include "spice/circuit.hpp"
+
+namespace fetcam::spice {
+
+Circuit::Circuit() {
+    nodeNames_.push_back("0");
+    nodeIds_.emplace("0", kGround);
+    nodeIds_.emplace("gnd", kGround);
+}
+
+NodeId Circuit::node(const std::string& name) {
+    if (auto it = nodeIds_.find(name); it != nodeIds_.end()) return it->second;
+    const NodeId id = static_cast<NodeId>(nodeNames_.size());
+    nodeNames_.push_back(name);
+    nodeIds_.emplace(name, id);
+    return id;
+}
+
+NodeId Circuit::internalNode(const std::string& hint) {
+    return node("__" + hint + "#" + std::to_string(internalCounter_++));
+}
+
+NodeId Circuit::findNode(const std::string& name) const {
+    if (auto it = nodeIds_.find(name); it != nodeIds_.end()) return it->second;
+    throw std::out_of_range("Circuit::findNode: unknown node '" + name + "'");
+}
+
+bool Circuit::hasNode(const std::string& name) const { return nodeIds_.contains(name); }
+
+const std::string& Circuit::nodeName(NodeId id) const {
+    return nodeNames_.at(static_cast<std::size_t>(id));
+}
+
+int Circuit::allocateBranch() { return numBranches_++; }
+
+Device* Circuit::findDevice(const std::string& name) const {
+    for (const auto& d : devices_)
+        if (d->name() == name) return d.get();
+    return nullptr;
+}
+
+double Circuit::totalEnergy() const {
+    double acc = 0.0;
+    for (const auto& d : devices_) acc += d->energy();
+    return acc;
+}
+
+}  // namespace fetcam::spice

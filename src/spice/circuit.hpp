@@ -1,0 +1,65 @@
+// Circuit: a named-node netlist owning its devices.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "spice/device.hpp"
+#include "spice/types.hpp"
+
+namespace fetcam::spice {
+
+class Circuit {
+public:
+    Circuit();
+
+    /// Get-or-create a named node. "0" and "gnd" map to ground.
+    NodeId node(const std::string& name);
+
+    /// Create a fresh internal node with a unique generated name.
+    NodeId internalNode(const std::string& hint);
+
+    /// Look up an existing node; throws if absent.
+    NodeId findNode(const std::string& name) const;
+    bool hasNode(const std::string& name) const;
+    const std::string& nodeName(NodeId id) const;
+
+    /// Allocate an extra MNA branch unknown (voltage-source current).
+    int allocateBranch();
+
+    int numNodes() const { return static_cast<int>(nodeNames_.size()); }  // incl. ground
+    int numBranches() const { return numBranches_; }
+    int numUnknowns() const { return numNodes() - 1 + numBranches_; }
+
+    /// Construct a device in place; the circuit owns it. Returns a reference
+    /// that stays valid for the circuit's lifetime.
+    template <typename D, typename... Args>
+    D& add(Args&&... args) {
+        auto dev = std::make_unique<D>(std::forward<Args>(args)...);
+        D& ref = *dev;
+        devices_.push_back(std::move(dev));
+        return ref;
+    }
+
+    const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
+
+    /// Find a device by name; nullptr if absent.
+    Device* findDevice(const std::string& name) const;
+
+    /// Sum of energy() over all devices (should be ~0 by Tellegen's theorem
+    /// when every device integrates with the same quadrature).
+    double totalEnergy() const;
+
+private:
+    std::vector<std::unique_ptr<Device>> devices_;
+    std::unordered_map<std::string, NodeId> nodeIds_;
+    std::vector<std::string> nodeNames_;
+    int numBranches_ = 0;
+    int internalCounter_ = 0;
+};
+
+}  // namespace fetcam::spice

@@ -1,0 +1,42 @@
+#include "spice/dcop.hpp"
+
+namespace fetcam::spice {
+
+DcOpResult solveDcOp(const Circuit& circuit, const DcOpOptions& options) {
+    DcOpResult result;
+    result.x.assign(static_cast<std::size_t>(circuit.numUnknowns()), 0.0);
+
+    SimContext ctx;
+    ctx.mode = AnalysisMode::Dc;
+    ctx.x = &result.x;
+    ctx.numNodes = circuit.numNodes();
+
+    // Attempt 1: direct solve at the target gmin.
+    ctx.gmin = options.gminTarget;
+    NewtonResult nr = solveNewton(circuit, ctx, result.x, options.newton);
+    result.totalIterations += nr.iterations;
+    if (nr.converged) {
+        result.converged = true;
+        result.finalGmin = options.gminTarget;
+        return result;
+    }
+
+    // Attempt 2: gmin continuation, re-using each level's solution as the
+    // starting point for the next.
+    std::fill(result.x.begin(), result.x.end(), 0.0);
+    for (double gmin = options.gminStart; gmin >= options.gminTarget * 0.999;
+         gmin *= options.gminShrink) {
+        ctx.gmin = gmin;
+        nr = solveNewton(circuit, ctx, result.x, options.newton);
+        result.totalIterations += nr.iterations;
+        if (!nr.converged) {
+            result.converged = false;
+            return result;
+        }
+        result.finalGmin = gmin;
+    }
+    result.converged = true;
+    return result;
+}
+
+}  // namespace fetcam::spice

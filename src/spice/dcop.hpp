@@ -1,0 +1,31 @@
+// DC operating-point analysis with gmin stepping.
+#pragma once
+
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/newton.hpp"
+
+namespace fetcam::spice {
+
+struct DcOpResult {
+    bool converged = false;
+    std::vector<double> x;      ///< solved unknowns
+    double finalGmin = 0.0;     ///< gmin at which the solution converged
+    int totalIterations = 0;
+
+    double v(NodeId n) const { return n == kGround ? 0.0 : x[static_cast<std::size_t>(n) - 1]; }
+};
+
+struct DcOpOptions {
+    NewtonOptions newton;
+    double gminStart = 1e-3;
+    double gminTarget = 1e-12;
+    double gminShrink = 0.1;   ///< multiplier per continuation step
+};
+
+/// Solve the DC operating point. Tries a direct solve at gminTarget first,
+/// then falls back to gmin continuation from gminStart.
+DcOpResult solveDcOp(const Circuit& circuit, const DcOpOptions& options = {});
+
+}  // namespace fetcam::spice

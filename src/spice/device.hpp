@@ -1,0 +1,159 @@
+// Device interface for the MNA engine, plus the companion-model capacitor
+// helper every charge-storing device builds on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/mna.hpp"
+#include "spice/types.hpp"
+
+namespace fetcam::spice {
+
+class AcStamper;  // small-signal assembler (spice/ac.hpp)
+
+/// Base class for all circuit elements.
+///
+/// Lifecycle per transient step:
+///   1. The solver proposes a candidate solution x at time t+dt.
+///   2. stamp() is called (possibly many times, once per Newton iteration)
+///      to add the device's linearized companion model into the MNA system.
+///   3. When Newton converges and the step is accepted, acceptStep() is
+///      called exactly once so the device can commit internal state
+///      (capacitor charge, ferroelectric polarization, ReRAM filament, ...)
+///      and integrate its energy.
+class Device {
+public:
+    explicit Device(std::string name) : name_(std::move(name)) {}
+    virtual ~Device() = default;
+
+    Device(const Device&) = delete;
+    Device& operator=(const Device&) = delete;
+
+    const std::string& name() const { return name_; }
+
+    /// Stamp the linearized model at the candidate solution in `ctx`.
+    virtual void stamp(Mna& mna, const SimContext& ctx) = 0;
+
+    /// Stamp the small-signal model linearized at the operating point in
+    /// `opCtx` (conductances real, capacitances as j*omega*C). Devices that
+    /// don't override this are invisible to AC analysis.
+    virtual void stampAc(AcStamper& mna, const SimContext& opCtx) const {
+        (void)mna;
+        (void)opCtx;
+    }
+
+    /// Commit state after an accepted step (no-op for memoryless devices).
+    virtual void acceptStep(const SimContext& ctx) { (void)ctx; }
+
+    /// Called once before a transient run starts (reset per-run accumulators
+    /// that depend on the initial condition).
+    virtual void beginTransient(const SimContext& ctx) { (void)ctx; }
+
+    /// Append waveform discontinuity times in (0, tstop] (source edges).
+    virtual void collectBreakpoints(double tstop, std::vector<double>& bps) const {
+        (void)tstop;
+        (void)bps;
+    }
+
+    /// Energy absorbed by the device since the start of the transient, in
+    /// joules: integral of v(t)*i(t) with the passive sign convention.
+    /// Negative for elements delivering energy (sources).
+    virtual double energy() const { return 0.0; }
+
+    /// Terminal current at the last accepted solution (device-defined
+    /// reference direction); used by probes and tests.
+    virtual double current() const { return 0.0; }
+
+private:
+    std::string name_;
+};
+
+/// Two-terminal linear capacitor companion model, usable standalone or
+/// embedded inside a composite device (MOSFET gate caps, FeFET stack, ...).
+///
+/// Integration: trapezoidal by default; the owner can force backward Euler
+/// for the step following a discontinuity.
+class CompanionCap {
+public:
+    CompanionCap() = default;
+    explicit CompanionCap(double capacitance) : c_(capacitance) {}
+
+    void setCapacitance(double c) { c_ = c; }
+    double capacitance() const { return c_; }
+
+    /// Reset history to a known initial voltage (start of transient).
+    void reset(double v0) {
+        vPrev_ = v0;
+        iPrev_ = 0.0;
+    }
+
+    /// Stamp the companion model for voltage v(a)-v(b).
+    /// In DC mode stamps nothing (open circuit).
+    void stamp(Mna& mna, const SimContext& ctx, NodeId a, NodeId b) const {
+        if (ctx.mode == AnalysisMode::Dc || ctx.dt <= 0.0 || c_ <= 0.0) return;
+        const auto [geq, ieq] = companion(ctx);
+        mna.stampConductance(a, b, geq);
+        // Equivalent current source from a to b of value ieq.
+        mna.stampCurrentSource(a, b, ieq);
+    }
+
+    /// Current through the capacitor (a->b) at candidate voltage vab.
+    double currentAt(double vab, const SimContext& ctx) const {
+        if (ctx.mode == AnalysisMode::Dc || ctx.dt <= 0.0 || c_ <= 0.0) return 0.0;
+        const auto [geq, ieq] = companion(ctx);
+        return geq * vab + ieq;
+    }
+
+    /// Commit the accepted voltage; returns the current at the accepted point.
+    double accept(double vab, const SimContext& ctx) {
+        const double i = currentAt(vab, ctx);
+        vPrev_ = vab;
+        iPrev_ = i;
+        return i;
+    }
+
+    double vPrev() const { return vPrev_; }
+    double iPrev() const { return iPrev_; }
+
+private:
+    /// Companion pair (geq, ieq): i = geq*v + ieq.
+    std::pair<double, double> companion(const SimContext& ctx) const {
+        if (ctx.method == IntegrationMethod::Trapezoidal) {
+            const double geq = 2.0 * c_ / ctx.dt;
+            return {geq, -(geq * vPrev_ + iPrev_)};
+        }
+        const double geq = c_ / ctx.dt;  // backward Euler
+        return {geq, -geq * vPrev_};
+    }
+
+    double c_ = 0.0;
+    double vPrev_ = 0.0;
+    double iPrev_ = 0.0;
+};
+
+/// Trapezoidal power integrator: devices call add() once per accepted step
+/// with their instantaneous absorbed power; it accumulates joules.
+class EnergyIntegrator {
+public:
+    void reset() {
+        energy_ = 0.0;
+        pPrev_ = 0.0;
+        primed_ = false;
+    }
+
+    void add(double power, double dt) {
+        if (primed_) energy_ += 0.5 * (power + pPrev_) * dt;
+        pPrev_ = power;
+        primed_ = true;
+    }
+
+    double energy() const { return energy_; }
+
+private:
+    double energy_ = 0.0;
+    double pPrev_ = 0.0;
+    bool primed_ = false;
+};
+
+}  // namespace fetcam::spice

@@ -1,0 +1,82 @@
+#include "spice/mna.hpp"
+
+#include <algorithm>
+
+namespace fetcam::spice {
+
+Mna::Mna(int numNodes, int numBranches)
+    : numNodes_(numNodes),
+      unknowns_(numNodes - 1 + numBranches),
+      triplets_(unknowns_, unknowns_),
+      rhs_(static_cast<std::size_t>(unknowns_), 0.0) {}
+
+void Mna::clear() {
+    triplets_.clear();
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+}
+
+void Mna::addNodeJacobian(NodeId row, NodeId col, double value) {
+    if (row == kGround || col == kGround) return;
+    triplets_.add(nodeIndex(row), nodeIndex(col), value);
+}
+
+void Mna::addNodeRhs(NodeId node, double value) {
+    if (node == kGround) return;
+    rhs_[nodeIndex(node)] += value;
+}
+
+void Mna::addBranchJacobian(int branchRow, int colIndex, double value) {
+    triplets_.add(branchIndex(branchRow), colIndex, value);
+}
+
+void Mna::addRawJacobian(int row, int col, double value) {
+    if (row < 0 || col < 0) return;
+    triplets_.add(row, col, value);
+}
+
+void Mna::addRawRhs(int row, double value) {
+    if (row < 0) return;
+    rhs_[row] += value;
+}
+
+void Mna::stampConductance(NodeId a, NodeId b, double g) {
+    addNodeJacobian(a, a, g);
+    addNodeJacobian(b, b, g);
+    addNodeJacobian(a, b, -g);
+    addNodeJacobian(b, a, -g);
+}
+
+void Mna::stampCurrentSource(NodeId from, NodeId to, double i) {
+    addNodeRhs(from, -i);
+    addNodeRhs(to, i);
+}
+
+void Mna::stampVccs(NodeId from, NodeId to, NodeId cp, NodeId cn, double g) {
+    addNodeJacobian(from, cp, g);
+    addNodeJacobian(from, cn, -g);
+    addNodeJacobian(to, cp, -g);
+    addNodeJacobian(to, cn, g);
+}
+
+void Mna::stampVoltageSource(NodeId p, NodeId n, int branch, double voltage) {
+    const int br = branchIndex(branch);
+    if (p != kGround) {
+        triplets_.add(nodeIndex(p), br, 1.0);
+        triplets_.add(br, nodeIndex(p), 1.0);
+    }
+    if (n != kGround) {
+        triplets_.add(nodeIndex(n), br, -1.0);
+        triplets_.add(br, nodeIndex(n), -1.0);
+    }
+    rhs_[br] += voltage;
+}
+
+void Mna::stampGminAllNodes(double gmin) {
+    for (NodeId n = 1; n < numNodes_; ++n) addNodeJacobian(n, n, gmin);
+}
+
+numeric::SparseMatrixCsc Mna::buildMatrix() const {
+    return numeric::SparseMatrixCsc::fromTriplets(triplets_);
+}
+
+}  // namespace fetcam::spice

@@ -1,0 +1,68 @@
+// Modified nodal analysis assembler.
+//
+// Devices stamp their linearized companion models into this structure every
+// Newton iteration. Ground (node 0) rows/columns are skipped automatically.
+#pragma once
+
+#include "numeric/sparse_matrix.hpp"
+#include "spice/types.hpp"
+
+namespace fetcam::spice {
+
+class Mna {
+public:
+    Mna(int numNodes, int numBranches);
+
+    /// Zero the matrix and right-hand side, keeping capacity.
+    void clear();
+
+    int unknowns() const { return unknowns_; }
+    int numNodes() const { return numNodes_; }
+
+    // --- raw access (indices are node/branch ids; ground rows are dropped) ---
+
+    /// Add to the Jacobian at (row-node, col-node).
+    void addNodeJacobian(NodeId row, NodeId col, double value);
+    /// Add to the right-hand side of a node's KCL row. Positive means current
+    /// flowing INTO the node from the stamped element's equivalent source.
+    void addNodeRhs(NodeId node, double value);
+
+    int branchIndex(int branch) const { return numNodes_ - 1 + branch; }
+    void addBranchJacobian(int branchRow, int colIndex, double value);
+    void addRawJacobian(int row, int col, double value);
+    void addRawRhs(int row, double value);
+
+    // --- common element stamps ---
+
+    /// Linear conductance g between nodes a and b.
+    void stampConductance(NodeId a, NodeId b, double g);
+
+    /// Independent current source: current i flows from node `from` through
+    /// the element to node `to` (i.e. leaves `from`, enters `to`).
+    void stampCurrentSource(NodeId from, NodeId to, double i);
+
+    /// Voltage-controlled current source: current g*(v(cp)-v(cn)) flows from
+    /// `from` to `to`.
+    void stampVccs(NodeId from, NodeId to, NodeId cp, NodeId cn, double g);
+
+    /// Ideal voltage source of value `voltage` between p (+) and n (-),
+    /// with its branch current as extra unknown `branch`.
+    void stampVoltageSource(NodeId p, NodeId n, int branch, double voltage);
+
+    /// Convergence aid: small conductance from every node to ground.
+    void stampGminAllNodes(double gmin);
+
+    // --- assembly ---
+    numeric::SparseMatrixCsc buildMatrix() const;
+    const std::vector<double>& rhs() const { return rhs_; }
+
+private:
+    int nodeIndex(NodeId n) const { return n - 1; }  // ground -> -1
+
+    int numNodes_;
+    int unknowns_;
+    numeric::TripletList triplets_;
+    std::vector<double> rhs_;
+};
+
+}  // namespace fetcam::spice

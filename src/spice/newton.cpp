@@ -1,0 +1,62 @@
+#include "spice/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/sparse_matrix.hpp"
+#include "spice/mna.hpp"
+
+namespace fetcam::spice {
+
+NewtonResult solveNewton(const Circuit& circuit, const SimContext& ctx, std::vector<double>& x,
+                         const NewtonOptions& options) {
+    const int numNodeUnknowns = circuit.numNodes() - 1;
+    Mna mna(circuit.numNodes(), circuit.numBranches());
+
+    NewtonResult result;
+    for (int iter = 1; iter <= options.maxIterations; ++iter) {
+        result.iterations = iter;
+        mna.clear();
+        for (const auto& dev : circuit.devices()) dev->stamp(mna, ctx);
+        mna.stampGminAllNodes(ctx.gmin);
+
+        std::vector<double> xNew;
+        try {
+            const auto matrix = mna.buildMatrix();
+            numeric::SparseLu lu(matrix);
+            xNew = lu.solve(mna.rhs());
+        } catch (const std::runtime_error&) {
+            result.converged = false;  // singular matrix: let the caller react
+            return result;
+        }
+
+        // Damping: clamp the largest node-voltage change per iteration.
+        double maxNodeDelta = 0.0;
+        for (int i = 0; i < numNodeUnknowns; ++i)
+            maxNodeDelta = std::max(maxNodeDelta, std::abs(xNew[i] - x[i]));
+        const double scale =
+            maxNodeDelta > options.maxUpdate ? options.maxUpdate / maxNodeDelta : 1.0;
+
+        bool converged = scale == 1.0;
+        double maxDelta = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const double delta = scale * (xNew[i] - x[i]);
+            x[i] += delta;
+            maxDelta = std::max(maxDelta, std::abs(delta));
+            const double absTol =
+                static_cast<int>(i) < numNodeUnknowns ? options.vAbsTol : options.iAbsTol;
+            if (std::abs(delta) > absTol + options.relTol * std::abs(x[i])) converged = false;
+        }
+        result.maxDelta = maxDelta;
+        if (converged && iter > 1) {
+            // Require one extra confirming iteration after full (undamped)
+            // steps so strongly nonlinear devices re-evaluate at the solution.
+            result.converged = true;
+            return result;
+        }
+        if (!std::isfinite(maxDelta)) return result;  // diverged
+    }
+    return result;
+}
+
+}  // namespace fetcam::spice

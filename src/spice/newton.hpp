@@ -1,0 +1,30 @@
+// Damped Newton-Raphson solver for the nonlinear MNA system.
+#pragma once
+
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/types.hpp"
+
+namespace fetcam::spice {
+
+struct NewtonOptions {
+    int maxIterations = 100;
+    double vAbsTol = 1e-6;    ///< volts
+    double iAbsTol = 1e-9;    ///< amperes (branch unknowns)
+    double relTol = 1e-4;
+    double maxUpdate = 0.6;   ///< max per-iteration node-voltage change (damping)
+};
+
+struct NewtonResult {
+    bool converged = false;
+    int iterations = 0;
+    double maxDelta = 0.0;  ///< largest unknown change in the final iteration
+};
+
+/// Iterate devices' linearized stamps until the unknown vector x converges.
+/// `ctx.x` must point at `x`. On failure x holds the last iterate.
+NewtonResult solveNewton(const Circuit& circuit, const SimContext& ctx, std::vector<double>& x,
+                         const NewtonOptions& options);
+
+}  // namespace fetcam::spice

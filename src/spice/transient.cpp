@@ -1,0 +1,115 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fetcam::spice {
+
+namespace {
+
+/// Merge, sort and dedupe breakpoints into (0, tstop].
+std::vector<double> collectBreakpoints(const Circuit& circuit, double tstop) {
+    std::vector<double> bps;
+    for (const auto& dev : circuit.devices()) dev->collectBreakpoints(tstop, bps);
+    bps.push_back(tstop);
+    std::sort(bps.begin(), bps.end());
+    std::vector<double> out;
+    for (double t : bps) {
+        if (t <= 0.0 || t > tstop) continue;
+        if (!out.empty() && t - out.back() < 1e-18) continue;
+        out.push_back(t);
+    }
+    return out;
+}
+
+}  // namespace
+
+TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
+    if (spec.tstop <= 0.0) throw std::invalid_argument("runTransient: tstop must be > 0");
+    if (spec.dtMax <= 0.0) throw std::invalid_argument("runTransient: dtMax must be > 0");
+    const double dtInitial = spec.dtInitial > 0.0 ? spec.dtInitial : spec.dtMax / 100.0;
+
+    std::vector<double> x(static_cast<std::size_t>(circuit.numUnknowns()), 0.0);
+    for (const auto& [node, v] : spec.initialConditions) {
+        if (node != kGround) x[static_cast<std::size_t>(node) - 1] = v;
+    }
+
+    SimContext ctx;
+    ctx.mode = AnalysisMode::Transient;
+    ctx.method = spec.method;
+    ctx.x = &x;
+    ctx.time = 0.0;
+    ctx.dt = 0.0;
+    ctx.gmin = spec.gmin;
+    ctx.numNodes = circuit.numNodes();
+
+    for (const auto& dev : circuit.devices()) dev->beginTransient(ctx);
+
+    TransientResult result;
+    result.waveforms = Waveforms(circuit.numNodes(), circuit.numBranches());
+    result.waveforms.record(0.0, x);
+
+    const std::vector<double> breakpoints = collectBreakpoints(circuit, spec.tstop);
+    std::size_t nextBp = 0;
+
+    double t = 0.0;
+    double dt = dtInitial;
+    // Backward Euler for a couple of steps after t=0 and after every source
+    // discontinuity: damps the trapezoidal rule's tendency to ring on steps.
+    int beStepsLeft = 2;
+
+    std::vector<double> xBackup;
+    while (t < spec.tstop - 1e-21) {
+        // Clamp to the next breakpoint, snapping when nearly there.
+        double dtStep = std::min(dt, spec.dtMax);
+        if (nextBp < breakpoints.size()) {
+            const double toBp = breakpoints[nextBp] - t;
+            if (dtStep >= toBp - spec.dtMin) dtStep = toBp;
+        }
+        dtStep = std::min(dtStep, spec.tstop - t);
+
+        ctx.dt = dtStep;
+        ctx.time = t + dtStep;
+        ctx.method = beStepsLeft > 0 ? IntegrationMethod::BackwardEuler : spec.method;
+
+        xBackup = x;
+        const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton);
+        result.newtonIterations += nr.iterations;
+
+        if (!nr.converged) {
+            ++result.rejectedSteps;
+            x = xBackup;
+            dt = dtStep / 4.0;
+            if (dt < spec.dtMin)
+                throw std::runtime_error("runTransient: time step underflow at t=" +
+                                         std::to_string(t));
+            beStepsLeft = std::max(beStepsLeft, 1);
+            continue;
+        }
+
+        // Accepted: commit device state, record, advance.
+        for (const auto& dev : circuit.devices()) dev->acceptStep(ctx);
+        t = ctx.time;
+        result.waveforms.record(t, x);
+        ++result.acceptedSteps;
+        if (beStepsLeft > 0) --beStepsLeft;
+
+        const bool hitBp = nextBp < breakpoints.size() &&
+                           std::abs(t - breakpoints[nextBp]) <= spec.dtMin;
+        if (hitBp) {
+            ++nextBp;
+            dt = dtInitial;   // restart small after a discontinuity
+            beStepsLeft = 2;
+        } else if (nr.iterations <= 8) {
+            dt = std::min(dtStep * 1.5, spec.dtMax);
+        } else {
+            dt = dtStep;  // struggling: hold the step size
+        }
+    }
+
+    result.finished = true;
+    return result;
+}
+
+}  // namespace fetcam::spice

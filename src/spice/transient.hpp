@@ -1,0 +1,43 @@
+// Adaptive-step transient analysis.
+//
+// TCAM simulations are pulse-driven, so the engine starts from user-provided
+// initial conditions (UIC, the default) rather than a DC operating point:
+// ferroelectric gates sit on capacitive dividers that have no DC solution
+// worth speaking of. A DC-seeded mode is available for conventional circuits.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/newton.hpp"
+#include "spice/waveform.hpp"
+
+namespace fetcam::spice {
+
+struct TransientSpec {
+    double tstop = 0.0;
+    double dtMax = 0.0;       ///< required; also the plotting resolution
+    double dtMin = 1e-18;
+    double dtInitial = 0.0;   ///< 0 -> dtMax / 100
+    IntegrationMethod method = IntegrationMethod::Trapezoidal;
+    NewtonOptions newton;
+    double gmin = 1e-12;
+
+    /// Initial node voltages (UIC). Unlisted nodes start at 0 V.
+    std::vector<std::pair<NodeId, double>> initialConditions;
+};
+
+struct TransientResult {
+    Waveforms waveforms;
+    int acceptedSteps = 0;
+    int rejectedSteps = 0;
+    int newtonIterations = 0;
+    bool finished = false;  ///< reached tstop
+};
+
+/// Run a transient; device internal state (polarization, filament, energy
+/// accumulators) is mutated in place, so query devices after the run.
+TransientResult runTransient(Circuit& circuit, const TransientSpec& spec);
+
+}  // namespace fetcam::spice

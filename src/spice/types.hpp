@@ -1,0 +1,44 @@
+// Core types shared across the circuit-simulation engine.
+//
+// Conventions (SI units throughout):
+//   volts, amperes, seconds, farads, ohms, joules.
+//   Node 0 is ground. MNA unknowns are node voltages 1..N-1 followed by
+//   branch currents (one per voltage source).
+#pragma once
+
+#include <vector>
+
+namespace fetcam::spice {
+
+/// Node identifier. 0 is ground.
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+enum class AnalysisMode {
+    Dc,         ///< operating point: capacitors open, state frozen
+    Transient,  ///< time stepping with companion models
+};
+
+enum class IntegrationMethod {
+    BackwardEuler,
+    Trapezoidal,
+};
+
+/// Everything a device needs to evaluate and stamp itself at a candidate
+/// solution point. Owned by the solver; devices only read from it.
+struct SimContext {
+    AnalysisMode mode = AnalysisMode::Dc;
+    IntegrationMethod method = IntegrationMethod::Trapezoidal;
+    const std::vector<double>* x = nullptr;  ///< candidate unknown vector
+    double time = 0.0;                       ///< time at end of the candidate step
+    double dt = 0.0;                         ///< candidate step size (0 in DC)
+    double gmin = 1e-12;                     ///< convergence-aid conductance to ground
+    int numNodes = 0;                        ///< including ground
+
+    /// Candidate voltage of a node (ground reads as 0).
+    double v(NodeId n) const { return n == kGround ? 0.0 : (*x)[n - 1]; }
+    /// Candidate branch current.
+    double branchCurrent(int branch) const { return (*x)[numNodes - 1 + branch]; }
+};
+
+}  // namespace fetcam::spice

@@ -1,0 +1,46 @@
+#include "spice/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fetcam::spice {
+
+std::vector<double> Waveforms::node(NodeId n) const {
+    std::vector<double> out(time_.size());
+    for (std::size_t i = 0; i < time_.size(); ++i) out[i] = sampleValue(i, n);
+    return out;
+}
+
+std::vector<double> Waveforms::branch(int branch) const {
+    std::vector<double> out(time_.size());
+    const std::size_t idx = static_cast<std::size_t>(numNodes_ - 1 + branch);
+    for (std::size_t i = 0; i < time_.size(); ++i) out[i] = samples_[i][idx];
+    return out;
+}
+
+double Waveforms::nodeAt(NodeId n, double t) const {
+    if (time_.empty()) throw std::runtime_error("Waveforms::nodeAt: empty record");
+    if (t <= time_.front()) return sampleValue(0, n);
+    if (t >= time_.back()) return sampleValue(time_.size() - 1, n);
+    const auto it = std::upper_bound(time_.begin(), time_.end(), t);
+    const std::size_t hi = static_cast<std::size_t>(it - time_.begin());
+    const std::size_t lo = hi - 1;
+    const double span = time_[hi] - time_[lo];
+    const double frac = span > 0.0 ? (t - time_[lo]) / span : 0.0;
+    return sampleValue(lo, n) + frac * (sampleValue(hi, n) - sampleValue(lo, n));
+}
+
+double Waveforms::finalNode(NodeId n) const {
+    if (time_.empty()) throw std::runtime_error("Waveforms::finalNode: empty record");
+    return sampleValue(time_.size() - 1, n);
+}
+
+double Waveforms::peakNode(NodeId n) const {
+    double peak = 0.0;
+    for (std::size_t i = 0; i < time_.size(); ++i)
+        peak = std::max(peak, std::abs(sampleValue(i, n)));
+    return peak;
+}
+
+}  // namespace fetcam::spice

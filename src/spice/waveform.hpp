@@ -1,0 +1,53 @@
+// Waveform storage for transient results.
+#pragma once
+
+#include <vector>
+
+#include "spice/types.hpp"
+
+namespace fetcam::spice {
+
+/// Time-indexed record of the full unknown vector at every accepted step.
+class Waveforms {
+public:
+    Waveforms() = default;
+    Waveforms(int numNodes, int numBranches)
+        : numNodes_(numNodes), numBranches_(numBranches) {}
+
+    void record(double t, const std::vector<double>& x) {
+        time_.push_back(t);
+        samples_.push_back(x);
+    }
+
+    std::size_t size() const { return time_.size(); }
+    const std::vector<double>& time() const { return time_; }
+
+    /// Voltage series of a node across all recorded steps.
+    std::vector<double> node(NodeId n) const;
+
+    /// Branch-current series.
+    std::vector<double> branch(int branch) const;
+
+    /// Node voltage at an arbitrary time (linear interpolation, clamped).
+    double nodeAt(NodeId n, double t) const;
+
+    /// Final (last recorded) node voltage.
+    double finalNode(NodeId n) const;
+
+    /// Peak absolute node voltage over the run.
+    double peakNode(NodeId n) const;
+
+    int numNodes() const { return numNodes_; }
+
+private:
+    double sampleValue(std::size_t step, NodeId n) const {
+        return n == kGround ? 0.0 : samples_[step][static_cast<std::size_t>(n) - 1];
+    }
+
+    int numNodes_ = 0;
+    int numBranches_ = 0;
+    std::vector<double> time_;
+    std::vector<std::vector<double>> samples_;
+};
+
+}  // namespace fetcam::spice

@@ -1,0 +1,79 @@
+#include "spice/waveform_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fetcam::spice {
+
+namespace {
+
+void writeHeader(std::ostream& os, const WaveColumns& columns) {
+    os << "time";
+    for (const auto& [name, _] : columns) os << ',' << name;
+    os << '\n';
+}
+
+}  // namespace
+
+void writeCsv(std::ostream& os, const Waveforms& waves, const WaveColumns& columns) {
+    writeHeader(os, columns);
+    const auto& ts = waves.time();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        os << ts[i];
+        for (const auto& [_, node] : columns) os << ',' << waves.nodeAt(node, ts[i]);
+        os << '\n';
+    }
+}
+
+void writeCsvUniform(std::ostream& os, const Waveforms& waves, const WaveColumns& columns,
+                     std::size_t points) {
+    if (points < 2) throw std::invalid_argument("writeCsvUniform: need >= 2 points");
+    if (waves.time().empty()) throw std::invalid_argument("writeCsvUniform: empty record");
+    writeHeader(os, columns);
+    const double t0 = waves.time().front();
+    const double t1 = waves.time().back();
+    for (std::size_t i = 0; i < points; ++i) {
+        const double t = t0 + (t1 - t0) * static_cast<double>(i) /
+                                  static_cast<double>(points - 1);
+        os << t;
+        for (const auto& [_, node] : columns) os << ',' << waves.nodeAt(node, t);
+        os << '\n';
+    }
+}
+
+void writeCsvFile(const std::string& path, const Waveforms& waves,
+                  const WaveColumns& columns) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("writeCsvFile: cannot open '" + path + "'");
+    writeCsv(os, waves, columns);
+    if (!os) throw std::runtime_error("writeCsvFile: write failed for '" + path + "'");
+}
+
+CsvData readCsv(std::istream& is) {
+    CsvData data;
+    std::string line;
+    if (!std::getline(is, line)) throw std::runtime_error("readCsv: empty input");
+    std::istringstream hs(line);
+    std::string cell;
+    while (std::getline(hs, cell, ',')) data.header.push_back(cell);
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        std::istringstream rs(line);
+        std::vector<double> row;
+        while (std::getline(rs, cell, ',')) {
+            try {
+                row.push_back(std::stod(cell));
+            } catch (const std::exception&) {
+                throw std::runtime_error("readCsv: non-numeric cell '" + cell + "'");
+            }
+        }
+        if (row.size() != data.header.size())
+            throw std::runtime_error("readCsv: ragged row");
+        data.rows.push_back(std::move(row));
+    }
+    return data;
+}
+
+}  // namespace fetcam::spice

@@ -1,0 +1,36 @@
+// Waveform export: CSV emission (and a small reader for round-trip tests),
+// so bench results can be plotted with external tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spice/waveform.hpp"
+
+namespace fetcam::spice {
+
+/// Named node columns to export.
+using WaveColumns = std::vector<std::pair<std::string, NodeId>>;
+
+/// Write "time,<name1>,<name2>,..." rows at the recorder's native steps.
+void writeCsv(std::ostream& os, const Waveforms& waves, const WaveColumns& columns);
+
+/// Same, resampled on a uniform grid of `points` samples (plot-friendly).
+void writeCsvUniform(std::ostream& os, const Waveforms& waves, const WaveColumns& columns,
+                     std::size_t points);
+
+/// Convenience: write to a file path. Throws std::runtime_error on I/O error.
+void writeCsvFile(const std::string& path, const Waveforms& waves,
+                  const WaveColumns& columns);
+
+/// Minimal CSV reader for tests/tools: returns the header names and the
+/// numeric rows. Throws std::runtime_error on malformed input.
+struct CsvData {
+    std::vector<std::string> header;
+    std::vector<std::vector<double>> rows;
+};
+CsvData readCsv(std::istream& is);
+
+}  // namespace fetcam::spice

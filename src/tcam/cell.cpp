@@ -1,0 +1,61 @@
+#include "tcam/cell.hpp"
+
+namespace fetcam::tcam {
+
+CellDeviceCount cellDeviceCount(CellKind k) {
+    switch (k) {
+        case CellKind::Cmos16T: return {.transistors = 16, .fefets = 0, .rerams = 0};
+        case CellKind::ReRam2T2R: return {.transistors = 2, .fefets = 0, .rerams = 2};
+        case CellKind::FeFet2: return {.transistors = 0, .fefets = 2, .rerams = 0};
+        case CellKind::FeFet2Nand: return {.transistors = 0, .fefets = 2, .rerams = 0};
+    }
+    return {};
+}
+
+double cellAreaF2(CellKind k, const device::TechCard& tech) {
+    switch (k) {
+        case CellKind::Cmos16T: return tech.areaCell16T;
+        case CellKind::ReRam2T2R: return tech.areaCell2T2R;
+        case CellKind::FeFet2: return tech.areaCell2FeFet;
+        case CellKind::FeFet2Nand: return tech.areaCell2FeFetNand;
+    }
+    return 0.0;
+}
+
+BranchEncoding encodeTrit(Trit stored) {
+    switch (stored) {
+        case Trit::One: return {.aEnabled = false, .bEnabled = true};
+        case Trit::Zero: return {.aEnabled = true, .bEnabled = false};
+        case Trit::X: return {.aEnabled = false, .bEnabled = false};
+    }
+    return {};
+}
+
+SearchDrive searchDrive(Trit key) {
+    switch (key) {
+        case Trit::One: return {.sl = true, .slb = false};
+        case Trit::Zero: return {.sl = false, .slb = true};
+        case Trit::X: return {.sl = false, .slb = false};
+    }
+    return {};
+}
+
+BranchEncoding nandEncodeTrit(Trit stored) {
+    switch (stored) {
+        case Trit::One: return {.aEnabled = true, .bEnabled = false};
+        case Trit::Zero: return {.aEnabled = false, .bEnabled = true};
+        case Trit::X: return {.aEnabled = true, .bEnabled = true};
+    }
+    return {};
+}
+
+SearchDrive nandSearchDrive(Trit key) {
+    switch (key) {
+        case Trit::One: return {.sl = true, .slb = false};
+        case Trit::Zero: return {.sl = false, .slb = true};
+        case Trit::X: return {.sl = true, .slb = true};
+    }
+    return {};
+}
+
+}  // namespace fetcam::tcam

@@ -1,0 +1,82 @@
+// TCAM cell designs: enumerations, static metadata, storage encodings.
+//
+// All three cells are NOR-type: matchlines precharge high and a mismatching
+// cell pulls its matchline down. The per-design search-path topologies are
+// documented in cell_builder.hpp.
+#pragma once
+
+#include <string>
+
+#include "device/tech.hpp"
+#include "tcam/ternary.hpp"
+
+namespace fetcam::tcam {
+
+enum class CellKind {
+    Cmos16T,     ///< SRAM-based 16T NOR cell (4T search path + 2x 6T storage)
+    ReRam2T2R,   ///< 2 transistors + 2 bipolar ReRAM
+    FeFet2,      ///< 2 FeFETs (Yin-style), gate-input search, no DC storage path
+    FeFet2Nand,  ///< 2 FeFETs per cell in a series (NAND) chain: the matchline
+                 ///< discharges only when EVERY cell conducts, i.e. on a full
+                 ///< match. Denser and cheaper per search (one discharging ML
+                 ///< per array instead of rows-1), but the series chain limits
+                 ///< word length and slows detection.
+};
+
+constexpr const char* cellKindName(CellKind k) {
+    switch (k) {
+        case CellKind::Cmos16T: return "CMOS-16T";
+        case CellKind::ReRam2T2R: return "ReRAM-2T2R";
+        case CellKind::FeFet2: return "FeFET-2T";
+        case CellKind::FeFet2Nand: return "FeFET-NAND";
+    }
+    return "?";
+}
+
+/// NAND organizations invert the matchline polarity: discharge signals MATCH.
+constexpr bool isNandKind(CellKind k) { return k == CellKind::FeFet2Nand; }
+
+/// Devices in the cell (transistor-equivalent count; resistive elements
+/// counted separately).
+struct CellDeviceCount {
+    int transistors = 0;
+    int fefets = 0;
+    int rerams = 0;
+};
+
+CellDeviceCount cellDeviceCount(CellKind k);
+
+/// Layout footprint proxy in F^2 (from published cell layouts, via the tech card).
+double cellAreaF2(CellKind k, const device::TechCard& tech);
+
+/// Per-branch storage encoding of a trit. Each NOR cell has two pulldown
+/// branches: branch A gated by SL, branch B gated by SLB. `aEnabled` means
+/// branch A's storage element is conductive (LRS / low-VT / storage NMOS on).
+struct BranchEncoding {
+    bool aEnabled = false;
+    bool bEnabled = false;
+};
+
+/// NOR-cell encoding: stored '1' enables the SLB branch (discharge on key 0),
+/// stored '0' enables the SL branch, X enables neither.
+BranchEncoding encodeTrit(Trit stored);
+
+/// Searchline levels for a key trit: SL asserted on key '1', SLB on key '0',
+/// neither on key X (masked search bit).
+struct SearchDrive {
+    bool sl = false;
+    bool slb = false;
+};
+
+SearchDrive searchDrive(Trit key);
+
+/// NAND-chain encoding: a cell must CONDUCT iff its bit matches, so the
+/// branch gated by the *matching* searchline is enabled (low-VT) and the
+/// opposing one blocks; stored X enables both.
+BranchEncoding nandEncodeTrit(Trit stored);
+
+/// NAND search drive: key '1' asserts SL, key '0' asserts SLB, key X asserts
+/// BOTH (a masked bit must conduct through every stored value).
+SearchDrive nandSearchDrive(Trit key);
+
+}  // namespace fetcam::tcam

@@ -1,0 +1,121 @@
+#include "tcam/cell_builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "device/fefet.hpp"
+#include "device/mosfet.hpp"
+#include "device/reram.hpp"
+
+namespace fetcam::tcam {
+
+namespace {
+
+using device::FeFet;
+using device::Mosfet;
+using device::Reram;
+
+bool hasStateOverride(double s) { return s >= -1.0; }
+
+/// CMOS 16T: one series pulldown branch.
+void buildCmosBranch(spice::Circuit& ckt, const device::TechCard& tech, const CellPorts& ports,
+                     spice::NodeId searchGate, bool storeOn, double vtOffset,
+                     const std::string& prefix, BuiltCell& out) {
+    const auto mid = ckt.internalNode(prefix + "_mid");
+    auto search = tech.sizedNmos(2.0);
+    search.vt0 += vtOffset;
+    auto store = tech.sizedNmos(2.0);
+    store.vt0 += vtOffset;
+    const spice::NodeId storeGate = storeOn ? ports.storeVdd : spice::kGround;
+    out.devices.push_back(
+        &ckt.add<Mosfet>(prefix + "_Msearch", searchGate, ports.ml, mid, search));
+    out.devices.push_back(
+        &ckt.add<Mosfet>(prefix + "_Mstore", storeGate, mid, spice::kGround, store));
+}
+
+/// ReRAM 2T2R: resistor-then-access-transistor pulldown branch.
+void buildReramBranch(spice::Circuit& ckt, const device::TechCard& tech, const CellPorts& ports,
+                      spice::NodeId searchGate, bool enabled, double vtOffset, double stateOvr,
+                      const std::string& prefix, BuiltCell& out) {
+    const auto mid = ckt.internalNode(prefix + "_mid");
+    double w = enabled ? 1.0 : 0.0;
+    if (hasStateOverride(stateOvr)) w = std::clamp(stateOvr, 0.0, 1.0);
+    auto access = tech.sizedNmos(2.0);
+    access.vt0 += vtOffset;
+    out.devices.push_back(&ckt.add<Reram>(prefix + "_R", ports.ml, mid, tech.reram, w));
+    out.devices.push_back(
+        &ckt.add<Mosfet>(prefix + "_Macc", searchGate, mid, spice::kGround, access));
+    out.mlCoupledNodes.push_back(mid);
+}
+
+/// FeFET: single-device pulldown branch, polarization is the storage.
+void buildFeFetBranch(spice::Circuit& ckt, const device::TechCard& tech, const CellPorts& ports,
+                      spice::NodeId searchGate, bool enabled, double vtOffset, double stateOvr,
+                      const std::string& prefix, BuiltCell& out) {
+    auto params = tech.fefet;
+    params.mos.vt0 += vtOffset;
+    auto& fet = ckt.add<FeFet>(prefix + "_F", searchGate, ports.ml, spice::kGround, params);
+    double pnorm = enabled ? 1.0 : -1.0;  // low-VT when the branch is enabled
+    if (hasStateOverride(stateOvr)) pnorm = std::clamp(stateOvr, -1.0, 1.0);
+    fet.setPolarization(pnorm);
+    out.devices.push_back(&fet);
+}
+
+}  // namespace
+
+BuiltCell buildNandSearchCell(spice::Circuit& ckt, const device::TechCard& tech, Trit stored,
+                              const NandCellPorts& ports, const std::string& prefix,
+                              const CellVariation* variation) {
+    const BranchEncoding enc = nandEncodeTrit(stored);
+    const CellVariation var = variation ? *variation : CellVariation{};
+    BuiltCell out;
+    auto addFet = [&](spice::NodeId gate, bool enabled, double vtOffset, double stateOvr,
+                      const std::string& suffix) {
+        auto params = tech.fefet;
+        params.mos.vt0 += vtOffset;
+        auto& fet = ckt.add<FeFet>(prefix + suffix, gate, ports.chainIn, ports.chainOut,
+                                   params);
+        double pnorm = enabled ? 1.0 : -1.0;
+        if (hasStateOverride(stateOvr)) pnorm = std::clamp(stateOvr, -1.0, 1.0);
+        fet.setPolarization(pnorm);
+        out.devices.push_back(&fet);
+    };
+    addFet(ports.sl, enc.aEnabled, var.vtOffsetA, var.stateA, "_a_F");
+    addFet(ports.slb, enc.bEnabled, var.vtOffsetB, var.stateB, "_b_F");
+    return out;
+}
+
+BuiltCell buildSearchCell(spice::Circuit& ckt, const device::TechCard& tech, CellKind kind,
+                          Trit stored, const CellPorts& ports, const std::string& prefix,
+                          const CellVariation* variation) {
+    if (isNandKind(kind))
+        throw std::invalid_argument("buildSearchCell: NAND kinds use buildNandSearchCell");
+    const BranchEncoding enc = encodeTrit(stored);
+    const CellVariation var = variation ? *variation : CellVariation{};
+    BuiltCell out;
+    switch (kind) {
+        case CellKind::Cmos16T:
+            buildCmosBranch(ckt, tech, ports, ports.sl, enc.aEnabled, var.vtOffsetA,
+                            prefix + "_a", out);
+            buildCmosBranch(ckt, tech, ports, ports.slb, enc.bEnabled, var.vtOffsetB,
+                            prefix + "_b", out);
+            break;
+        case CellKind::ReRam2T2R:
+            buildReramBranch(ckt, tech, ports, ports.sl, enc.aEnabled, var.vtOffsetA,
+                             var.stateA, prefix + "_a", out);
+            buildReramBranch(ckt, tech, ports, ports.slb, enc.bEnabled, var.vtOffsetB,
+                             var.stateB, prefix + "_b", out);
+            break;
+        case CellKind::FeFet2:
+            buildFeFetBranch(ckt, tech, ports, ports.sl, enc.aEnabled, var.vtOffsetA,
+                             var.stateA, prefix + "_a", out);
+            buildFeFetBranch(ckt, tech, ports, ports.slb, enc.bEnabled, var.vtOffsetB,
+                             var.stateB, prefix + "_b", out);
+            break;
+        case CellKind::FeFet2Nand:
+            break;  // unreachable: rejected above
+    }
+    return out;
+}
+
+}  // namespace fetcam::tcam

@@ -1,0 +1,80 @@
+// Netlist builders for TCAM search cells.
+//
+// Topologies (NOR-type; ML precharged high, mismatch pulls down):
+//
+//   CMOS-16T    branch A: ML -- Msearch(g=SL)  -- mid -- Mstore(g=QA) -- gnd
+//               branch B: ML -- Msearch(g=SLB) -- mid -- Mstore(g=QB) -- gnd
+//               QA/QB are static SRAM outputs, modelled as rails (the SRAM
+//               bistable is exercised separately by the write sequencer).
+//
+//   ReRAM-2T2R  branch A: ML -- R_A -- mid -- T(g=SL)  -- gnd
+//               branch B: ML -- R_B -- mid -- T(g=SLB) -- gnd
+//               enabled branch in LRS, disabled in HRS. Note the HRS branch
+//               still leaks (finite rOff): matchline sag on matches is real
+//               and is what limits word width for this design.
+//
+//   FeFET-2T    branch A: FeFET(g=SL,  d=ML, s=gnd), low-VT when enabled
+//               branch B: FeFET(g=SLB, d=ML, s=gnd)
+//               Gate-input search: the stored state gates conduction with no
+//               resistive storage element, so matches draw only junction
+//               leakage — the root of the FeFET TCAM energy advantage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/tech.hpp"
+#include "spice/circuit.hpp"
+#include "tcam/cell.hpp"
+
+namespace fetcam::tcam {
+
+/// External connections of one search cell.
+struct CellPorts {
+    spice::NodeId ml;        ///< matchline
+    spice::NodeId sl;        ///< searchline (asserted on key '1')
+    spice::NodeId slb;       ///< complement searchline (asserted on key '0')
+    spice::NodeId storeVdd;  ///< static rail for SRAM storage gates (16T only)
+};
+
+/// Per-cell Monte Carlo perturbations. `state*` overrides the stored element
+/// state when >= -1 (FeFET pnorm in [-1,1]; ReRAM w in [0,1]); the sentinel
+/// kNominal leaves the encoding-derived nominal state.
+struct CellVariation {
+    static constexpr double kNominal = -2.0;
+    double vtOffsetA = 0.0;  ///< [V] added to branch-A transistor/FeFET VT
+    double vtOffsetB = 0.0;
+    double stateA = kNominal;
+    double stateB = kNominal;
+};
+
+/// Handles to the devices a builder created (for probing in tests/benches).
+struct BuiltCell {
+    std::vector<spice::Device*> devices;
+    /// Internal nodes resistively coupled to the matchline while searchlines
+    /// are idle (ReRAM mid-nodes). In steady state these float to the ML
+    /// precharge level, so word simulations must initialize them there —
+    /// otherwise spurious charge sharing corrupts the first evaluation.
+    std::vector<spice::NodeId> mlCoupledNodes;
+};
+
+/// Append one NOR-type search cell storing `stored` to the circuit.
+/// `kind` must not be a NAND kind (use buildNandSearchCell for chains).
+BuiltCell buildSearchCell(spice::Circuit& ckt, const device::TechCard& tech, CellKind kind,
+                          Trit stored, const CellPorts& ports, const std::string& prefix,
+                          const CellVariation* variation = nullptr);
+
+/// External connections of one NAND-chain cell: two FeFETs in parallel
+/// between the chain-in and chain-out nodes (FeFET-NAND topology).
+struct NandCellPorts {
+    spice::NodeId chainIn;
+    spice::NodeId chainOut;
+    spice::NodeId sl;
+    spice::NodeId slb;
+};
+
+BuiltCell buildNandSearchCell(spice::Circuit& ckt, const device::TechCard& tech, Trit stored,
+                              const NandCellPorts& ports, const std::string& prefix,
+                              const CellVariation* variation = nullptr);
+
+}  // namespace fetcam::tcam

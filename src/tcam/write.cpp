@@ -1,0 +1,187 @@
+#include "tcam/write.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include "device/ferro.hpp"
+
+#include "device/fefet.hpp"
+#include "device/mosfet.hpp"
+#include "device/passives.hpp"
+#include "device/reram.hpp"
+#include "device/sources.hpp"
+#include "spice/transient.hpp"
+
+namespace fetcam::tcam {
+
+namespace {
+
+using namespace fetcam::device;
+
+constexpr double kDriverRes = 500.0;  // write-driver output impedance [ohm]
+
+struct PulseOutcome {
+    double endState = 0.0;  ///< FeFET pnorm or ReRAM w after the pulse
+    double energy = 0.0;    ///< energy delivered by the write driver [J]
+    double duration = 0.0;  ///< simulated time [s]
+};
+
+/// One gate pulse on a grounded-source/drain FeFET starting from `p0`.
+PulseOutcome feFetPulse(const device::TechCard& tech, double p0, double vPulse,
+                        double pulseWidth) {
+    spice::Circuit c;
+    const auto drv = c.node("drv");
+    const auto g = c.node("g");
+    const double edge = 1e-9;
+    const double t0 = 1e-9;
+    c.add<Resistor>("Rdrv", drv, g, kDriverRes);
+    auto& vs = c.add<VoltageSource>("Vw", c, drv, spice::kGround,
+                                    SourceWave::pulse(0.0, vPulse, t0, edge, edge, pulseWidth));
+    auto& fet = c.add<FeFet>("F1", g, spice::kGround, spice::kGround, tech.fefet);
+    fet.setPolarization(p0);
+
+    spice::TransientSpec spec;
+    spec.tstop = t0 + pulseWidth + 2.0 * edge + 3e-9;
+    spec.dtMax = std::min(1e-9, pulseWidth / 20.0);
+    runTransient(c, spec);
+    return {.endState = fet.pnorm(), .energy = vs.deliveredEnergy(), .duration = spec.tstop};
+}
+
+/// One pulse across ReRAM + access transistor starting from filament `w0`.
+PulseOutcome reramPulse(const device::TechCard& tech, double w0, double vPulse,
+                        double pulseWidth) {
+    spice::Circuit c;
+    const auto drv = c.node("drv");
+    const auto te = c.node("te");
+    const auto mid = c.node("mid");
+    const auto wl = c.node("wl");
+    const double edge = 0.5e-9;
+    const double t0 = 1e-9;
+    auto& vs = c.add<VoltageSource>("Vw", c, drv, spice::kGround,
+                                    SourceWave::pulse(0.0, vPulse, t0, edge, edge, pulseWidth));
+    // Boosted wordline keeps the access device on for both polarities.
+    auto& vwl = c.add<VoltageSource>(
+        "Vwl", c, wl, spice::kGround,
+        SourceWave::dc(std::abs(vPulse) + tech.nmos.vt0 + 0.4));
+    c.add<Resistor>("Rdrv", drv, te, kDriverRes);
+    auto& ram = c.add<Reram>("R1", te, mid, tech.reram, w0);
+    c.add<Mosfet>("Macc", wl, mid, spice::kGround, tech.sizedNmos(4.0));
+
+    spice::TransientSpec spec;
+    spec.tstop = t0 + pulseWidth + 2.0 * edge + 2e-9;
+    spec.dtMax = std::min(0.5e-9, pulseWidth / 20.0);
+    runTransient(c, spec);
+    return {.endState = ram.state(),
+            .energy = vs.deliveredEnergy() + vwl.deliveredEnergy(),
+            .duration = spec.tstop};
+}
+
+}  // namespace
+
+WriteEnergyResult measureFeFetWrite(const device::TechCard& tech, double vWrite,
+                                    double pulseWidth) {
+    // Erase (to high-VT) then program (to low-VT): the worst-case sequence a
+    // TCAM bit update applies to one FeFET of the pair.
+    const auto erase = feFetPulse(tech, +1.0, -vWrite, pulseWidth);
+    const bool erased = erase.endState < -0.9;
+    const auto program = feFetPulse(tech, erase.endState, +vWrite, pulseWidth);
+
+    WriteEnergyResult r;
+    r.pulseWidth = pulseWidth;
+    r.writeLatency = erase.duration + program.duration;
+    r.phase1Energy = erase.energy;
+    r.phase2Energy = program.energy;
+    r.energyPerBit = erase.energy + program.energy;
+    r.verified = erased && program.endState > 0.9;
+    return r;
+}
+
+WriteEnergyResult measureReramWrite(const device::TechCard& tech, double vWrite,
+                                    double pulseWidth) {
+    // RESET (LRS -> HRS) then SET (HRS -> LRS).
+    const auto reset = reramPulse(tech, 1.0, -vWrite, pulseWidth);
+    const bool resetOk = reset.endState < 0.1;
+    const auto set = reramPulse(tech, reset.endState, +vWrite, pulseWidth);
+
+    WriteEnergyResult r;
+    r.pulseWidth = pulseWidth;
+    r.writeLatency = reset.duration + set.duration;
+    r.phase1Energy = reset.energy;
+    r.phase2Energy = set.energy;
+    r.energyPerBit = reset.energy + set.energy;
+    r.verified = resetOk && set.endState > 0.9;
+    return r;
+}
+
+WriteEnergyResult measureSramWrite(const device::TechCard& tech) {
+    // 6T bistable: flip q from 0 to VDD through the access transistors.
+    spice::Circuit c;
+    const double vdd = tech.vdd;
+    const auto nvdd = c.node("vdd");
+    const auto q = c.node("q");
+    const auto qb = c.node("qb");
+    const auto bl = c.node("bl");
+    const auto blb = c.node("blb");
+    const auto wl = c.node("wl");
+
+    auto& vddSrc = c.add<VoltageSource>("Vdd", c, nvdd, spice::kGround, SourceWave::dc(vdd));
+    // Cross-coupled inverters (weak PMOS for writability).
+    c.add<Mosfet>("MPq", qb, q, nvdd, tech.sizedPmos(0.7));
+    c.add<Mosfet>("MNq", qb, q, spice::kGround, tech.sizedNmos(1.5));
+    c.add<Mosfet>("MPqb", q, qb, nvdd, tech.sizedPmos(0.7));
+    c.add<Mosfet>("MNqb", q, qb, spice::kGround, tech.sizedNmos(1.5));
+    // Access transistors.
+    c.add<Mosfet>("MAq", wl, bl, q, tech.sizedNmos(2.0));
+    c.add<Mosfet>("MAqb", wl, blb, qb, tech.sizedNmos(2.0));
+    // Write drivers.
+    auto& vbl = c.add<VoltageSource>("Vbl", c, bl, spice::kGround, SourceWave::dc(vdd));
+    auto& vblb = c.add<VoltageSource>("Vblb", c, blb, spice::kGround, SourceWave::dc(0.0));
+    auto& vwl = c.add<VoltageSource>("Vwl", c, wl, spice::kGround,
+                                     SourceWave::pulse(0.0, vdd, 0.2e-9, 50e-12, 50e-12, 1e-9));
+
+    spice::TransientSpec spec;
+    spec.tstop = 2.5e-9;
+    spec.dtMax = 10e-12;
+    spec.initialConditions = {{q, 0.0}, {qb, vdd}, {bl, vdd}};
+    const auto res = runTransient(c, spec);
+
+    WriteEnergyResult r;
+    r.pulseWidth = 1e-9;
+    r.writeLatency = spec.tstop;
+    r.energyPerBit = vddSrc.deliveredEnergy() + vbl.deliveredEnergy() +
+                     vblb.deliveredEnergy() + vwl.deliveredEnergy();
+    r.verified = res.waveforms.finalNode(q) > 0.9 * vdd &&
+                 res.waveforms.finalNode(qb) < 0.1 * vdd;
+    return r;
+}
+
+double measureWriteDisturb(const device::TechCard& tech, double vDisturb, int pulses,
+                           double pulseWidth) {
+    if (pulses < 0) throw std::invalid_argument("measureWriteDisturb: negative pulse count");
+    device::PreisachBank bank(tech.fefet.ferro);
+    bank.reset(-1.0);  // worst case: high-VT state disturbed toward low-VT
+    for (int i = 0; i < pulses; ++i) bank.advance(vDisturb, pulseWidth);
+    return bank.pnorm();
+}
+
+WriteEnergyResult measureWriteEnergy(CellKind kind, const device::TechCard& tech) {
+    switch (kind) {
+        case CellKind::FeFet2:
+        case CellKind::FeFet2Nand:
+            // The erase+program sequence on one device is the per-bit cost
+            // (the two FeFETs of the pair take one pulse each).
+            return measureFeFetWrite(tech, tech.vWriteFe, tech.tWriteFe);
+        case CellKind::ReRam2T2R:
+            return measureReramWrite(tech, tech.vWriteReram, tech.tWriteReram);
+        case CellKind::Cmos16T: {
+            // Two bistables (bit + mask) flip in the worst case.
+            WriteEnergyResult r = measureSramWrite(tech);
+            r.phase1Energy = r.energyPerBit;
+            r.phase2Energy = r.energyPerBit;
+            r.energyPerBit *= 2.0;
+            return r;
+        }
+    }
+    return {};
+}
+
+}  // namespace fetcam::tcam

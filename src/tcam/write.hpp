@@ -1,0 +1,48 @@
+// Write-path sequencers: measure the energy to store a bit into each cell
+// technology by simulating the actual write waveforms.
+//
+//   FeFET-2T:   erase pulse (-Vw on the gate) then program pulse (+Vw) —
+//               one FeFET of the pair goes low-VT, the other high-VT.
+//   ReRAM-2T2R: RESET pulse then SET pulse through the access transistor.
+//   CMOS-16T:   flip a 6T SRAM bistable through its access transistors
+//               (two SRAM cells per TCAM cell: bit + mask).
+#pragma once
+
+#include "device/tech.hpp"
+#include "tcam/cell.hpp"
+
+namespace fetcam::tcam {
+
+struct WriteEnergyResult {
+    double energyPerBit = 0.0;    ///< [J] total energy to write one TCAM bit
+    double phase1Energy = 0.0;    ///< [J] erase / RESET / first SRAM flip
+    double phase2Energy = 0.0;    ///< [J] program / SET / second SRAM flip
+    double pulseWidth = 0.0;      ///< [s] write pulse width used
+    double writeLatency = 0.0;    ///< [s] total sequence duration
+    bool verified = false;        ///< end state reached its target
+};
+
+/// Simulate and measure the write energy for one bit of the given cell kind.
+WriteEnergyResult measureWriteEnergy(CellKind kind, const device::TechCard& tech);
+
+/// FeFET write with explicit pulse parameters (voltage/width sweeps for the
+/// write-energy/endurance trade-off study, bench F10).
+WriteEnergyResult measureFeFetWrite(const device::TechCard& tech, double vWrite,
+                                    double pulseWidth);
+
+/// ReRAM write with explicit pulse parameters.
+WriteEnergyResult measureReramWrite(const device::TechCard& tech, double vWrite,
+                                    double pulseWidth);
+
+/// 6T SRAM cell flip (one of the two bistables in a 16T TCAM cell).
+WriteEnergyResult measureSramWrite(const device::TechCard& tech);
+
+/// Half-select write disturb: unselected FeFET cells in a row/column under
+/// write see a fraction of the write voltage on their gates. Returns the
+/// stored polarization (starting from -1, the high-VT state) after `pulses`
+/// disturb pulses of `vDisturb` x `pulseWidth` — drift toward 0/+1 means the
+/// bias scheme corrupts neighbours.
+double measureWriteDisturb(const device::TechCard& tech, double vDisturb, int pulses,
+                           double pulseWidth);
+
+}  // namespace fetcam::tcam

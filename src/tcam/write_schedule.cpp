@@ -1,0 +1,49 @@
+#include "tcam/write_schedule.hpp"
+
+#include <stdexcept>
+
+namespace fetcam::tcam {
+
+WordWriteResult planWordWrite(CellKind kind, const WriteEnergyResult& perBit, int wordBits,
+                              const WriteScheduleParams& params) {
+    if (wordBits < 1) throw std::invalid_argument("planWordWrite: bad word width");
+    WordWriteResult r;
+    switch (kind) {
+        case CellKind::FeFet2:
+        case CellKind::FeFet2Nand:
+            // Erase phase (all gates together) + program phase: two pulse
+            // groups regardless of width; every bit pays its switch energy.
+            r.pulsePhases = 2;
+            r.latency = perBit.writeLatency;  // the measured two-phase sequence
+            r.energy = perBit.energyPerBit * wordBits;
+            break;
+        case CellKind::ReRam2T2R: {
+            const int par = std::max(1, params.reramParallelBits);
+            const int groups = (wordBits + par - 1) / par;
+            r.pulsePhases = 2 * groups;  // RESET + SET per group
+            r.latency = perBit.writeLatency * groups;
+            r.energy = perBit.energyPerBit * wordBits;
+            break;
+        }
+        case CellKind::Cmos16T:
+            r.pulsePhases = 1;
+            r.latency = perBit.writeLatency;
+            r.energy = perBit.energyPerBit * wordBits;
+            break;
+    }
+    return r;
+}
+
+ArrayWriteResult planArrayWrite(CellKind kind, const device::TechCard& tech, int wordBits,
+                                int rows, const WriteScheduleParams& params) {
+    if (rows < 1) throw std::invalid_argument("planArrayWrite: bad row count");
+    const auto perBit = measureWriteEnergy(kind, tech);
+    ArrayWriteResult r;
+    r.perWord = planWordWrite(kind, perBit, wordBits, params);
+    r.fullArrayLatency = r.perWord.latency * rows;  // one row decoder, serial rows
+    r.fullArrayEnergy = r.perWord.energy * rows;
+    r.wordsPerSecond = 1.0 / r.perWord.latency;
+    return r;
+}
+
+}  // namespace fetcam::tcam

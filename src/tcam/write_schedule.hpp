@@ -1,0 +1,43 @@
+// Word- and array-level write scheduling on top of the measured per-bit
+// write costs. Each technology has a different parallelism constraint:
+//
+//   FeFET-2T:   two word-parallel phases (erase-all gates at -Vw, then
+//               program the selected gates at +Vw) — pulse count independent
+//               of word width; energy scales with the bits that switch.
+//   ReRAM-2T2R: current-limited — the write driver can only SET/RESET a
+//               few bits at a time (default 8), so word latency grows with
+//               width.
+//   CMOS-16T:   whole-word parallel through the bitlines in one ~ns cycle.
+#pragma once
+
+#include "tcam/write.hpp"
+
+namespace fetcam::tcam {
+
+struct WriteScheduleParams {
+    int reramParallelBits = 8;  ///< write-current budget per driver group
+};
+
+struct WordWriteResult {
+    double latency = 0.0;   ///< time to update one stored word [s]
+    double energy = 0.0;    ///< energy to update one stored word [J]
+    int pulsePhases = 0;    ///< sequential pulse groups issued
+};
+
+struct ArrayWriteResult {
+    WordWriteResult perWord;
+    double fullArrayLatency = 0.0;  ///< rows written one word at a time [s]
+    double fullArrayEnergy = 0.0;
+    double wordsPerSecond = 0.0;    ///< sustained update throughput
+};
+
+/// Schedule a word update of `wordBits` using a measured per-bit cost.
+WordWriteResult planWordWrite(CellKind kind, const WriteEnergyResult& perBit, int wordBits,
+                              const WriteScheduleParams& params = {});
+
+/// Schedule a full-array rewrite (table load). Runs the per-bit measurement
+/// internally.
+ArrayWriteResult planArrayWrite(CellKind kind, const device::TechCard& tech, int wordBits,
+                                int rows, const WriteScheduleParams& params = {});
+
+}  // namespace fetcam::tcam

@@ -1,0 +1,135 @@
+// AC small-signal analysis tests: complex LU, analytic RC responses,
+// amplifier gain consistency with the DC linearization, corner extraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "device/mosfet.hpp"
+#include "device/passives.hpp"
+#include "device/sources.hpp"
+#include "device/tech.hpp"
+#include "numeric/complex_matrix.hpp"
+#include "spice/ac.hpp"
+#include "spice/dcop.hpp"
+
+using namespace fetcam;
+using device::Capacitor;
+using device::Mosfet;
+using device::Resistor;
+using device::SourceWave;
+using device::VoltageSource;
+using numeric::Complex;
+
+TEST(ComplexLu, SolvesKnownSystem) {
+    numeric::ComplexDenseMatrix a(2, 2);
+    a(0, 0) = {1.0, 1.0};
+    a(0, 1) = {0.0, -1.0};
+    a(1, 0) = {2.0, 0.0};
+    a(1, 1) = {1.0, 0.0};
+    const std::vector<Complex> b{{1.0, 0.0}, {0.0, 1.0}};
+    const auto x = numeric::solveComplexDense(a, b);
+    const auto ax = a.multiply(x);
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_NEAR(ax[static_cast<std::size_t>(i)].real(),
+                    b[static_cast<std::size_t>(i)].real(), 1e-12);
+        EXPECT_NEAR(ax[static_cast<std::size_t>(i)].imag(),
+                    b[static_cast<std::size_t>(i)].imag(), 1e-12);
+    }
+}
+
+TEST(ComplexLu, SingularThrows) {
+    numeric::ComplexDenseMatrix a(2, 2);
+    a(0, 0) = {1.0, 0.0};
+    a(1, 0) = {1.0, 0.0};
+    EXPECT_THROW(numeric::solveComplexDense(a, {{1, 0}, {1, 0}}), std::runtime_error);
+}
+
+TEST(AcSpec, LogSweepEndpoints) {
+    const auto s = spice::AcSpec::logSweep(1e3, 1e6, 5);
+    EXPECT_NEAR(s.frequencies.front(), 1e3, 1e-6);
+    EXPECT_NEAR(s.frequencies.back(), 1e6, 1.0);
+    EXPECT_GE(s.frequencies.size(), 15u);
+    EXPECT_THROW(spice::AcSpec::logSweep(0.0, 1e3), std::invalid_argument);
+    EXPECT_THROW(spice::AcSpec::logSweep(1e6, 1e3), std::invalid_argument);
+}
+
+TEST(Ac, RcLowPassMatchesAnalytic) {
+    const double r = 10e3, cap = 100e-15;  // corner at ~159 MHz
+    spice::Circuit c;
+    const auto vin = c.node("in");
+    const auto out = c.node("out");
+    auto& vs = c.add<VoltageSource>("V1", c, vin, spice::kGround, SourceWave::dc(0.0));
+    vs.setAcMagnitude(1.0);
+    c.add<Resistor>("R1", vin, out, r);
+    c.add<Capacitor>("C1", out, spice::kGround, cap);
+
+    const auto op = solveDcOp(c);
+    ASSERT_TRUE(op.converged);
+    const auto spec = spice::AcSpec::logSweep(1e6, 1e10, 20);
+    const auto res = runAc(c, op, spec);
+
+    for (std::size_t i = 0; i < res.points(); ++i) {
+        const double f = res.frequencies()[i];
+        const double wrc = 2.0 * std::numbers::pi * f * r * cap;
+        const double expectedMag = 1.0 / std::sqrt(1.0 + wrc * wrc);
+        const double expectedPhase = -std::atan(wrc) * 180.0 / std::numbers::pi;
+        EXPECT_NEAR(std::abs(res.node(i, out)), expectedMag, 1e-3 + 0.01 * expectedMag);
+        EXPECT_NEAR(res.phaseDeg(i, out), expectedPhase, 1.0);
+    }
+
+    const auto corner = res.cornerFrequency(out);
+    ASSERT_TRUE(corner.has_value());
+    EXPECT_NEAR(*corner, 1.0 / (2.0 * std::numbers::pi * r * cap), 0.05 * *corner);
+}
+
+TEST(Ac, CommonSourceGainMatchesLinearization) {
+    // NMOS common-source stage with resistive load: |gain| at low frequency
+    // must equal gm * (Rload || 1/gds) from the DC linearization.
+    const auto tech = device::TechCard::cmos45();
+    const double rLoad = 20e3;
+    spice::Circuit c;
+    const auto nvdd = c.node("vdd");
+    const auto nin = c.node("in");
+    const auto nout = c.node("out");
+    c.add<VoltageSource>("Vdd", c, nvdd, spice::kGround, SourceWave::dc(1.0));
+    auto& vin = c.add<VoltageSource>("Vin", c, nin, spice::kGround, SourceWave::dc(0.55));
+    vin.setAcMagnitude(1.0);
+    c.add<Resistor>("RL", nvdd, nout, rLoad);
+    c.add<Mosfet>("M1", nin, nout, spice::kGround, tech.nmos);
+
+    const auto op = solveDcOp(c);
+    ASSERT_TRUE(op.converged);
+
+    // Linearize at the solved bias.
+    const auto e = ekvChannel(tech.nmos, 0.55, op.v(nout), tech.nmos.vt0);
+    const double rOut = 1.0 / (e.gds + 1.0 / rLoad);
+    const double expectedGain = e.gm * rOut;
+
+    const auto res = runAc(c, op, spice::AcSpec::logSweep(1e5, 1e7, 4));
+    EXPECT_NEAR(std::abs(res.node(0, nout)), expectedGain, 0.02 * expectedGain);
+    // Inverting stage: output ~180 degrees from input.
+    EXPECT_NEAR(std::abs(res.phaseDeg(0, nout)), 180.0, 3.0);
+    // And it must roll off at high frequency.
+    const auto hi = runAc(c, op, spice::AcSpec::logSweep(1e11, 1e12, 2));
+    EXPECT_LT(std::abs(hi.node(0, nout)), expectedGain);
+}
+
+TEST(Ac, NoCornerWhenFlat) {
+    spice::Circuit c;
+    const auto vin = c.node("in");
+    auto& vs = c.add<VoltageSource>("V1", c, vin, spice::kGround, SourceWave::dc(0.0));
+    vs.setAcMagnitude(1.0);
+    c.add<Resistor>("R1", vin, spice::kGround, 1e3);
+    const auto op = solveDcOp(c);
+    const auto res = runAc(c, op, spice::AcSpec::logSweep(1e3, 1e6, 3));
+    EXPECT_FALSE(res.cornerFrequency(vin).has_value());
+}
+
+TEST(Ac, RejectsUnconvergedOp) {
+    spice::Circuit c;
+    c.add<Resistor>("R1", c.node("a"), spice::kGround, 1e3);
+    spice::DcOpResult bad;
+    bad.converged = false;
+    EXPECT_THROW(runAc(c, bad, spice::AcSpec::logSweep(1e3, 1e4)), std::invalid_argument);
+}

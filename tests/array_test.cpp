@@ -1,0 +1,252 @@
+// Array-layer tests: word-level search simulation across cell kinds and
+// sensing schemes, the analytic array energy model, and Monte Carlo.
+#include <gtest/gtest.h>
+
+#include "array/energy_model.hpp"
+#include "array/montecarlo.hpp"
+#include "array/word_sim.hpp"
+
+using namespace fetcam;
+using array::ArrayConfig;
+using array::SenseScheme;
+using array::WordSimOptions;
+using tcam::CellKind;
+using tcam::TernaryWord;
+
+namespace {
+
+WordSimOptions makeOptions(CellKind cell, SenseScheme sense, int bits, int mismatches) {
+    WordSimOptions o;
+    o.config.cell = cell;
+    o.config.sense = sense;
+    o.config.wordBits = bits;
+    o.stored = array::calibrationWord(bits);
+    o.key = mismatches == 0 ? o.stored : array::keyWithMismatches(o.stored, mismatches);
+    return o;
+}
+
+}  // namespace
+
+// Decision correctness for every (cell, scheme) pair, match and mismatch.
+struct SchemeCase {
+    CellKind cell;
+    SenseScheme sense;
+};
+
+class WordDecision : public ::testing::TestWithParam<SchemeCase> {};
+
+TEST_P(WordDecision, MatchAndMismatchResolvedCorrectly) {
+    const auto [cell, sense] = GetParam();
+    const auto match = simulateWordSearch(makeOptions(cell, sense, 8, 0));
+    EXPECT_TRUE(match.expectedMatch);
+    EXPECT_TRUE(match.matchDetected)
+        << "false mismatch, mlAtSense=" << match.mlAtSense;
+    EXPECT_FALSE(match.detectDelay.has_value());
+
+    const auto mism = simulateWordSearch(makeOptions(cell, sense, 8, 1));
+    EXPECT_FALSE(mism.expectedMatch);
+    EXPECT_FALSE(mism.matchDetected)
+        << "missed mismatch, mlAtSense=" << mism.mlAtSense;
+    EXPECT_TRUE(mism.detectDelay.has_value());
+    // The mismatching matchline must actually discharge well below the
+    // matching one.
+    EXPECT_LT(mism.mlAtSense, 0.5 * match.mlAtSense + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, WordDecision,
+    ::testing::Values(SchemeCase{CellKind::Cmos16T, SenseScheme::FullSwing},
+                      SchemeCase{CellKind::ReRam2T2R, SenseScheme::FullSwing},
+                      SchemeCase{CellKind::FeFet2, SenseScheme::FullSwing},
+                      SchemeCase{CellKind::FeFet2, SenseScheme::LowSwing}));
+
+TEST(WordSim, EnergiesArePositiveAndSum) {
+    const auto r = simulateWordSearch(makeOptions(CellKind::FeFet2, SenseScheme::FullSwing,
+                                                  8, 1));
+    EXPECT_GT(r.energyMl, 0.0);
+    EXPECT_GT(r.energySl, 0.0);
+    EXPECT_NEAR(r.energyTotal, r.energyMl + r.energySl + r.energySa + r.energyStatic,
+                1e-20);
+    // Sub-100fJ for an 8-bit word search: sanity band.
+    EXPECT_LT(r.energyTotal, 100e-15);
+}
+
+TEST(WordSim, LowSwingSavesMatchlineEnergy) {
+    const auto full = simulateWordSearch(
+        makeOptions(CellKind::FeFet2, SenseScheme::FullSwing, 16, 1));
+    const auto low = simulateWordSearch(
+        makeOptions(CellKind::FeFet2, SenseScheme::LowSwing, 16, 1));
+    // ML energy scales ~ Vpre^2: 0.4 V vs 1.0 V should save >3x.
+    EXPECT_LT(low.energyMl, full.energyMl / 3.0);
+}
+
+TEST(WordSim, ReducedSearchVoltageSavesSearchlineEnergy) {
+    auto base = makeOptions(CellKind::FeFet2, SenseScheme::FullSwing, 16, 1);
+    auto reduced = base;
+    reduced.config.vSearch = 0.8;
+    const auto r1 = simulateWordSearch(base);
+    const auto r2 = simulateWordSearch(reduced);
+    EXPECT_LT(r2.energySl, r1.energySl);
+    EXPECT_FALSE(r2.matchDetected);  // still detects the mismatch
+}
+
+TEST(WordSim, MoreMismatchesDischargeFaster) {
+    const auto one = simulateWordSearch(makeOptions(CellKind::FeFet2,
+                                                    SenseScheme::FullSwing, 16, 1));
+    const auto many = simulateWordSearch(makeOptions(CellKind::FeFet2,
+                                                     SenseScheme::FullSwing, 16, 8));
+    ASSERT_TRUE(one.detectDelay.has_value());
+    ASSERT_TRUE(many.detectDelay.has_value());
+    EXPECT_LT(*many.detectDelay, *one.detectDelay);
+}
+
+TEST(WordSim, FeFetBeatsCmosOnSearchEnergy) {
+    const auto fefet = simulateWordSearch(makeOptions(CellKind::FeFet2,
+                                                      SenseScheme::FullSwing, 16, 1));
+    const auto cmos = simulateWordSearch(makeOptions(CellKind::Cmos16T,
+                                                     SenseScheme::FullSwing, 16, 1));
+    EXPECT_LT(fefet.energyTotal, cmos.energyTotal);
+}
+
+TEST(WordSim, ValidatesInputs) {
+    WordSimOptions o;
+    o.stored = TernaryWord::fromString("0101");
+    o.key = TernaryWord::fromString("01");
+    EXPECT_THROW(simulateWordSearch(o), std::invalid_argument);
+    o.key = o.stored;
+    o.variations.resize(2);
+    EXPECT_THROW(simulateWordSearch(o), std::invalid_argument);
+    o.stored = TernaryWord();
+    o.key = TernaryWord();
+    o.variations.clear();
+    EXPECT_THROW(simulateWordSearch(o), std::invalid_argument);
+}
+
+TEST(EnergyModelHelpers, CalibrationWordIsDefiniteAndDeterministic) {
+    const auto a = array::calibrationWord(32);
+    const auto b = array::calibrationWord(32);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.wildcardCount(), 0u);
+    EXPECT_EQ(a.size(), 32u);
+}
+
+TEST(EnergyModelHelpers, KeyWithMismatches) {
+    const auto stored = TernaryWord::fromString("1X01");
+    const auto key = array::keyWithMismatches(stored, 2);
+    EXPECT_EQ(stored.mismatchCount(key), 2u);
+    EXPECT_THROW(array::keyWithMismatches(TernaryWord::fromString("XX"), 1),
+                 std::invalid_argument);
+}
+
+TEST(EnergyModel, BaselineArrayIsFunctionalAndSane) {
+    ArrayConfig cfg;
+    cfg.cell = CellKind::FeFet2;
+    cfg.wordBits = 16;
+    cfg.rows = 64;
+    const auto tech = device::TechCard::cmos45();
+    const auto m = evaluateArray(tech, cfg);
+    EXPECT_TRUE(m.functional);
+    EXPECT_GT(m.energyPerBitFj, 0.01);
+    EXPECT_LT(m.energyPerBitFj, 50.0);  // fJ/bit/search sanity band
+    EXPECT_GT(m.searchDelay, 0.0);
+    EXPECT_GT(m.throughput, 1e7);
+    EXPECT_GT(m.senseMarginV, 0.2);
+    EXPECT_GT(m.areaF2, 0.0);
+}
+
+TEST(EnergyModel, SegmentationReducesMatchlineEnergy) {
+    const auto tech = device::TechCard::cmos45();
+    ArrayConfig base;
+    base.cell = CellKind::FeFet2;
+    base.wordBits = 16;
+    base.rows = 128;
+    auto seg = base;
+    seg.mlSegments = 4;
+    const auto m0 = evaluateArray(tech, base);
+    const auto m1 = evaluateArray(tech, seg);
+    EXPECT_LT(m1.perSearch.ml, m0.perSearch.ml);
+    // Early termination costs latency.
+    EXPECT_GT(m1.searchDelay, m0.searchDelay);
+}
+
+TEST(EnergyModel, SelectivePrechargeReducesEnergy) {
+    const auto tech = device::TechCard::cmos45();
+    ArrayConfig base;
+    base.cell = CellKind::FeFet2;
+    base.wordBits = 16;
+    base.rows = 128;
+    auto sel = base;
+    sel.selectivePrecharge = true;
+    sel.prefilterBits = 2;
+    const auto m0 = evaluateArray(tech, base);
+    const auto m1 = evaluateArray(tech, sel);
+    EXPECT_LT(m1.perSearch.ml + m1.perSearch.sa, m0.perSearch.ml + m0.perSearch.sa);
+}
+
+TEST(EnergyModel, RejectsBadGeometry) {
+    ArrayConfig cfg;
+    cfg.wordBits = 0;
+    EXPECT_THROW(evaluateArray(device::TechCard::cmos45(), cfg), std::invalid_argument);
+}
+
+TEST(MonteCarlo, ZeroSigmaIsErrorFreeAndTight) {
+    array::MonteCarloSpec spec;
+    spec.config.cell = CellKind::FeFet2;
+    spec.config.wordBits = 8;
+    spec.trials = 5;
+    spec.sigmaVt = 0.0;
+    spec.sigmaState = 0.0;
+    const auto r = runMonteCarlo(spec);
+    EXPECT_EQ(r.matchErrors, 0);
+    EXPECT_EQ(r.mismatchErrors, 0);
+    EXPECT_NEAR(r.mlMatch.stddev(), 0.0, 1e-9);
+    EXPECT_GT(r.senseMarginMean(), 0.3);
+}
+
+TEST(MonteCarlo, VariationWidensDistributions) {
+    array::MonteCarloSpec spec;
+    spec.config.cell = CellKind::FeFet2;
+    spec.config.wordBits = 8;
+    spec.trials = 12;
+    spec.sigmaVt = 0.05;
+    spec.sigmaState = 0.10;
+    const auto r = runMonteCarlo(spec);
+    EXPECT_GT(r.mlMatch.stddev() + r.mlMismatch.stddev(), 1e-4);
+    EXPECT_LE(r.errorRate(), 1.0);
+    EXPECT_GE(r.senseMarginWorst(), -1.0);  // well-defined
+}
+
+TEST(ArrayConfig, EffectiveVoltagesFollowSchemeAndTech) {
+    const auto tech = device::TechCard::cmos45();
+    ArrayConfig cfg;
+    cfg.sense = SenseScheme::FullSwing;
+    EXPECT_DOUBLE_EQ(cfg.effectiveVSearch(tech), tech.vdd);
+    EXPECT_DOUBLE_EQ(cfg.effectiveVPrecharge(tech), tech.vdd);
+    cfg.sense = SenseScheme::LowSwing;
+    EXPECT_DOUBLE_EQ(cfg.effectiveVPrecharge(tech), 0.4);
+    cfg.vSearch = 0.8;
+    cfg.vPrecharge = 0.5;
+    EXPECT_DOUBLE_EQ(cfg.effectiveVSearch(tech), 0.8);
+    EXPECT_DOUBLE_EQ(cfg.effectiveVPrecharge(tech), 0.5);
+}
+
+TEST(ArrayConfig, TimingPhasesAreOrdered) {
+    const array::SearchTiming t;
+    EXPECT_LT(t.evalStart(), t.evalEnd());
+    EXPECT_LT(t.evalEnd(), t.prechargeStart());
+    EXPECT_LT(t.prechargeStart(), t.prechargeEnd());
+    EXPECT_LT(t.prechargeEnd(), t.cycle());
+    EXPECT_LT(t.strobeEnd(), t.evalEnd());  // strobe closes inside eval
+}
+
+TEST(MonteCarlo, DeterministicBySeed) {
+    array::MonteCarloSpec spec;
+    spec.config.cell = CellKind::FeFet2;
+    spec.config.wordBits = 8;
+    spec.trials = 4;
+    spec.seed = 99;
+    const auto a = runMonteCarlo(spec);
+    const auto b = runMonteCarlo(spec);
+    EXPECT_DOUBLE_EQ(a.mlMatch.mean(), b.mlMatch.mean());
+    EXPECT_DOUBLE_EQ(a.mlMismatch.mean(), b.mlMismatch.mean());
+}

@@ -1,0 +1,138 @@
+// Core-layer tests: design catalog, exploration, Pareto extraction, report
+// formatting.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/design_space.hpp"
+#include "core/report.hpp"
+
+using namespace fetcam;
+using namespace fetcam::core;
+
+TEST(DesignSpace, StandardCatalog) {
+    const auto designs = standardDesigns(32, 64);
+    ASSERT_EQ(designs.size(), 6u);
+    EXPECT_EQ(designs[0].name, "CMOS-16T");
+    EXPECT_EQ(designs[0].config.cell, tcam::CellKind::Cmos16T);
+    EXPECT_EQ(designs[2].config.cell, tcam::CellKind::FeFet2);
+    // Cumulative energy-aware techniques.
+    EXPECT_EQ(designs[3].config.sense, array::SenseScheme::LowSwing);
+    EXPECT_DOUBLE_EQ(designs[4].config.vSearch, 0.8);
+    EXPECT_TRUE(designs[5].config.selectivePrecharge);
+    for (const auto& d : designs) {
+        EXPECT_EQ(d.config.wordBits, 32);
+        EXPECT_EQ(d.config.rows, 64);
+    }
+    EXPECT_EQ(proposedDesign(32, 64).name, designs.back().name);
+}
+
+TEST(DesignSpace, ParametricSweepCoversGrid) {
+    const auto sweep = parametricSweep(tcam::CellKind::FeFet2, 16, 32);
+    EXPECT_EQ(sweep.size(), 2u * 2u * 3u);
+    // Names are unique.
+    for (std::size_t i = 0; i < sweep.size(); ++i)
+        for (std::size_t j = i + 1; j < sweep.size(); ++j)
+            EXPECT_NE(sweep[i].name, sweep[j].name);
+}
+
+TEST(DesignSpace, ExploreAndProposedWins) {
+    // Small geometry to keep circuit-sim cost down; the ordering that the
+    // paper's headline claims rest on must hold: proposed EA-FeFET beats the
+    // CMOS baseline on search energy by a solid factor.
+    const auto tech = device::TechCard::cmos45();
+    const auto designs = standardDesigns(16, 64);
+    const auto results = exploreDesigns(tech, designs);
+    ASSERT_EQ(results.size(), designs.size());
+    double cmosEnergy = 0.0, fefetEnergy = 0.0, proposedEnergy = 0.0;
+    for (const auto& r : results) {
+        EXPECT_TRUE(r.metrics.functional) << r.design.name;
+        if (r.design.name == "CMOS-16T") cmosEnergy = r.metrics.perSearch.total();
+        if (r.design.name == "FeFET-2T") fefetEnergy = r.metrics.perSearch.total();
+        if (r.design.name == "EA-FeFET (+LS+VS+SP)")
+            proposedEnergy = r.metrics.perSearch.total();
+    }
+    EXPECT_LT(fefetEnergy, cmosEnergy);
+    EXPECT_LT(proposedEnergy, fefetEnergy);
+    EXPECT_LT(proposedEnergy, cmosEnergy / 2.0);
+}
+
+TEST(DesignSpace, ParetoFrontBasics) {
+    // Hand-made metrics: only energy/delay fields matter here.
+    auto mk = [](double e, double d) {
+        ExplorationResult r;
+        r.metrics.perSearch.ml = e;
+        r.metrics.searchDelay = d;
+        return r;
+    };
+    std::vector<ExplorationResult> pts{mk(1.0, 5.0), mk(2.0, 2.0), mk(3.0, 1.0),
+                                       mk(3.0, 3.0), mk(0.5, 6.0)};
+    const auto front = paretoFront(
+        pts, [](const array::ArrayMetrics& m) { return m.perSearch.total(); },
+        [](const array::ArrayMetrics& m) { return m.searchDelay; });
+    // Dominated: (3,3) by (2,2); (1,5) not dominated; (0.5,6) not dominated.
+    std::vector<std::size_t> expected{0, 1, 2, 4};
+    EXPECT_EQ(front, expected);
+}
+
+TEST(Report, EngFormat) {
+    EXPECT_EQ(engFormat(12.3e-15, "J"), "12.3 fJ");
+    EXPECT_EQ(engFormat(1.0e-9, "s"), "1.00 ns");
+    EXPECT_EQ(engFormat(0.0, "J"), "0 J");
+    EXPECT_EQ(engFormat(2.5e3, "Hz"), "2.50 kHz");
+    EXPECT_EQ(engFormat(-3.0e-6, "A"), "-3.00 uA");
+    EXPECT_EQ(engFormat(999.0, "V", 3), "999 V");
+}
+
+TEST(Report, NumFormat) {
+    EXPECT_EQ(numFormat(3.14159, 2), "3.14");
+    EXPECT_EQ(numFormat(2.0, 0), "2");
+}
+
+TEST(Report, TableRendering) {
+    Table t({"design", "energy"});
+    t.addRow({"CMOS", "100 fJ"});
+    t.addRow({"FeFET", "12 fJ"});
+    const auto aligned = t.toAligned();
+    EXPECT_NE(aligned.find("design"), std::string::npos);
+    EXPECT_NE(aligned.find("FeFET"), std::string::npos);
+    const auto md = t.toMarkdown();
+    EXPECT_NE(md.find("| CMOS | 100 fJ |"), std::string::npos);
+    EXPECT_NE(md.find("|---|---|"), std::string::npos);
+    const auto csv = t.toCsv();
+    EXPECT_NE(csv.find("design,energy"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Report, TableValidation) {
+    EXPECT_THROW(Table{{}}, std::invalid_argument);
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Report, CsvQuoting) {
+    Table t({"name"});
+    t.addRow({"a,b"});
+    EXPECT_NE(t.toCsv().find("\"a,b\""), std::string::npos);
+}
+
+TEST(DesignSpace, ExplorationTableAndCsvExport) {
+    ExplorationResult r;
+    r.design.name = "demo";
+    r.metrics.perSearch.ml = 1e-12;
+    r.metrics.searchDelay = 2e-10;
+    r.metrics.cycleTime = 2e-9;
+    r.metrics.throughput = 5e8;
+    r.metrics.functional = true;
+    const auto t = explorationTable({r});
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_NE(t.toCsv().find("demo"), std::string::npos);
+
+    const std::string path = "/tmp/fetcam_dse_test.csv";
+    exportExplorationCsv({r}, path);
+    std::ifstream in(path);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_NE(header.find("E_per_search_J"), std::string::npos);
+    EXPECT_THROW(exportExplorationCsv({r}, "/nonexistent_zz/x.csv"), std::runtime_error);
+}

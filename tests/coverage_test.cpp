@@ -1,0 +1,229 @@
+// Coverage batch: exercises paths the focused suites don't reach — the
+// write scheduler, DC gmin continuation, solver edge cases, bank workload
+// dilution, state-dependent FeFET small-signal response.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "array/bank.hpp"
+#include "array/montecarlo.hpp"
+#include "device/fefet.hpp"
+#include "device/mosfet.hpp"
+#include "device/passives.hpp"
+#include "device/sources.hpp"
+#include "numeric/sparse_matrix.hpp"
+#include "spice/ac.hpp"
+#include "spice/dcop.hpp"
+#include "spice/transient.hpp"
+#include "tcam/write_schedule.hpp"
+
+using namespace fetcam;
+
+namespace {
+const device::TechCard kTech = device::TechCard::cmos45();
+}
+
+// ---------------------------------------------------------------------------
+// Write scheduling.
+// ---------------------------------------------------------------------------
+
+TEST(WriteSchedule, FeFetWidthIndependentLatency) {
+    tcam::WriteEnergyResult perBit;
+    perBit.energyPerBit = 10e-15;
+    perBit.writeLatency = 220e-9;
+    const auto w8 = planWordWrite(tcam::CellKind::FeFet2, perBit, 8);
+    const auto w128 = planWordWrite(tcam::CellKind::FeFet2, perBit, 128);
+    EXPECT_EQ(w8.pulsePhases, 2);
+    EXPECT_DOUBLE_EQ(w8.latency, w128.latency);  // word-parallel pulses
+    EXPECT_DOUBLE_EQ(w128.energy, 128 * perBit.energyPerBit);
+}
+
+TEST(WriteSchedule, ReramSerializesUnderCurrentBudget) {
+    tcam::WriteEnergyResult perBit;
+    perBit.energyPerBit = 1e-12;
+    perBit.writeLatency = 70e-9;
+    tcam::WriteScheduleParams p;
+    p.reramParallelBits = 8;
+    const auto w64 = planWordWrite(tcam::CellKind::ReRam2T2R, perBit, 64, p);
+    EXPECT_EQ(w64.pulsePhases, 16);  // 8 groups x (RESET+SET)
+    EXPECT_DOUBLE_EQ(w64.latency, 8 * perBit.writeLatency);
+    p.reramParallelBits = 64;
+    const auto wide = planWordWrite(tcam::CellKind::ReRam2T2R, perBit, 64, p);
+    EXPECT_DOUBLE_EQ(wide.latency, perBit.writeLatency);
+}
+
+TEST(WriteSchedule, CmosSingleCycle) {
+    tcam::WriteEnergyResult perBit;
+    perBit.energyPerBit = 10e-15;
+    perBit.writeLatency = 2.5e-9;
+    const auto w = planWordWrite(tcam::CellKind::Cmos16T, perBit, 64);
+    EXPECT_EQ(w.pulsePhases, 1);
+    EXPECT_DOUBLE_EQ(w.latency, perBit.writeLatency);
+    EXPECT_THROW(planWordWrite(tcam::CellKind::Cmos16T, perBit, 0), std::invalid_argument);
+}
+
+TEST(WriteSchedule, ArrayPlanScalesByRows) {
+    const auto r = planArrayWrite(tcam::CellKind::Cmos16T, kTech, 16, 32);
+    EXPECT_NEAR(r.fullArrayLatency, 32 * r.perWord.latency, 1e-18);
+    EXPECT_NEAR(r.fullArrayEnergy, 32 * r.perWord.energy, 1e-24);
+    EXPECT_GT(r.wordsPerSecond, 1e6);
+    EXPECT_THROW(planArrayWrite(tcam::CellKind::Cmos16T, kTech, 16, 0),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Solver edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(DcOp, GminContinuationSolvesBackToBackInverters) {
+    // A 4-inverter chain with feedback-free stages converges directly, but
+    // exercise the continuation path by checking it also works from cold.
+    spice::Circuit c;
+    const auto nvdd = c.node("vdd");
+    c.add<device::VoltageSource>("Vdd", c, nvdd, spice::kGround,
+                                 device::SourceWave::dc(1.0));
+    spice::NodeId in = c.node("in");
+    c.add<device::VoltageSource>("Vin", c, in, spice::kGround,
+                                 device::SourceWave::dc(0.3));
+    for (int i = 0; i < 4; ++i) {
+        const auto out = c.node("s" + std::to_string(i));
+        c.add<device::Mosfet>("MP" + std::to_string(i), in, out, nvdd, kTech.pmos);
+        c.add<device::Mosfet>("MN" + std::to_string(i), in, out, spice::kGround,
+                              kTech.nmos);
+        in = out;
+    }
+    const auto op = solveDcOp(c);
+    ASSERT_TRUE(op.converged);
+    // 0.3 V in -> chain of inverters ends near a rail.
+    const double vOut = op.v(c.findNode("s3"));
+    EXPECT_TRUE(vOut < 0.1 || vOut > 0.9) << vOut;
+}
+
+TEST(SparseLu, FillInReported) {
+    numeric::TripletList t(3, 3);
+    t.add(0, 0, 4.0);
+    t.add(1, 1, 4.0);
+    t.add(2, 2, 4.0);
+    t.add(2, 0, 1.0);
+    t.add(0, 2, 1.0);
+    numeric::SparseLu lu(numeric::SparseMatrixCsc::fromTriplets(t));
+    EXPECT_GE(lu.fillIn(), 0);
+    EXPECT_EQ(lu.size(), 3);
+}
+
+TEST(Transient, StepRejectionRecovers) {
+    // A fast comparator-like positive feedback loop forces at least some
+    // Newton retries, but the run must still finish.
+    spice::Circuit c;
+    const auto nvdd = c.node("vdd");
+    c.add<device::VoltageSource>("Vdd", c, nvdd, spice::kGround,
+                                 device::SourceWave::dc(1.0));
+    const auto a = c.node("a");
+    const auto b = c.node("b");
+    // Cross-coupled inverter pair kicked by a pulse: regenerative snap.
+    c.add<device::Mosfet>("MPa", b, a, nvdd, kTech.pmos);
+    c.add<device::Mosfet>("MNa", b, a, spice::kGround, kTech.nmos);
+    c.add<device::Mosfet>("MPb", a, b, nvdd, kTech.pmos);
+    c.add<device::Mosfet>("MNb", a, b, spice::kGround, kTech.nmos);
+    c.add<device::Capacitor>("Ca", a, spice::kGround, 1e-15);
+    c.add<device::Capacitor>("Cb", b, spice::kGround, 1e-15);
+    const auto kick = c.node("kick");
+    c.add<device::VoltageSource>("Vk", c, kick, spice::kGround,
+                                 device::SourceWave::pulse(0.0, 1.0, 0.5e-9, 50e-12,
+                                                           50e-12, 0.3e-9));
+    c.add<device::Resistor>("Rk", kick, a, 5e3);
+
+    spice::TransientSpec spec;
+    spec.tstop = 3e-9;
+    spec.dtMax = 20e-12;
+    spec.initialConditions = {{nvdd, 1.0}, {a, 0.45}, {b, 0.55}};
+    const auto r = runTransient(c, spec);
+    EXPECT_TRUE(r.finished);
+    // Latch resolved to complementary rails.
+    const double va = r.waveforms.finalNode(a);
+    const double vb = r.waveforms.finalNode(b);
+    EXPECT_GT(std::abs(va - vb), 0.8);
+}
+
+// ---------------------------------------------------------------------------
+// Bank workload dilution.
+// ---------------------------------------------------------------------------
+
+TEST(Bank, MatchFractionDilutesAcrossSubArrays) {
+    array::ArrayConfig cfg;
+    cfg.cell = tcam::CellKind::FeFet2;
+    cfg.wordBits = 8;
+    cfg.rows = 32;
+    array::WorkloadProfile wl;
+    wl.matchRowFraction = 0.5;  // absurdly match-heavy on purpose
+    const auto one = evaluateBank(kTech, cfg, 32, wl);
+    const auto four = evaluateBank(kTech, cfg, 128, wl);
+    // With dilution, the 4-array bank is NOT 4x the single-array energy:
+    // matching (cheap) rows concentrate in one sub-array.
+    EXPECT_GT(four.perSearch.total(), 3.0 * one.perSearch.total());
+}
+
+// ---------------------------------------------------------------------------
+// FeFET small-signal response is state-dependent.
+// ---------------------------------------------------------------------------
+
+TEST(Ac, FeFetGainTracksStoredState) {
+    auto gainFor = [&](double pnorm) {
+        spice::Circuit c;
+        const auto nvdd = c.node("vdd");
+        const auto nin = c.node("in");
+        const auto nout = c.node("out");
+        c.add<device::VoltageSource>("Vdd", c, nvdd, spice::kGround,
+                                     device::SourceWave::dc(1.0));
+        auto& vin = c.add<device::VoltageSource>("Vin", c, nin, spice::kGround,
+                                                 device::SourceWave::dc(0.6));
+        vin.setAcMagnitude(1.0);
+        c.add<device::Resistor>("RL", nvdd, nout, 20e3);
+        auto& fet = c.add<device::FeFet>("F1", nin, nout, spice::kGround, kTech.fefet);
+        fet.setPolarization(pnorm);
+        const auto op = solveDcOp(c);
+        if (!op.converged) return -1.0;
+        const auto res = runAc(c, op, spice::AcSpec::logSweep(1e6, 2e6, 2));
+        return std::abs(res.node(0, nout));
+    };
+    const double gLow = gainFor(1.0);    // low VT: strong transconductance
+    const double gHigh = gainFor(-1.0);  // high VT: device off at 0.6 V gate
+    ASSERT_GE(gLow, 0.0);
+    ASSERT_GE(gHigh, 0.0);
+    EXPECT_GT(gLow, 20.0 * gHigh);
+}
+
+// ---------------------------------------------------------------------------
+// Monte Carlo knobs.
+// ---------------------------------------------------------------------------
+
+TEST(MonteCarlo, MoreMismatchBitsWidenMargin) {
+    array::MonteCarloSpec spec;
+    spec.config.cell = tcam::CellKind::FeFet2;
+    spec.config.wordBits = 8;
+    spec.trials = 4;
+    spec.sigmaVt = 0.02;
+    spec.mismatchBits = 1;
+    const auto one = runMonteCarlo(spec);
+    spec.mismatchBits = 4;
+    const auto four = runMonteCarlo(spec);
+    // More mismatching cells discharge faster and further by sense time.
+    EXPECT_LE(four.mlMismatch.mean(), one.mlMismatch.mean() + 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// FerroCap charge bookkeeping.
+// ---------------------------------------------------------------------------
+
+TEST(FerroCap, ChargeCombinesLinearAndRemanent) {
+    spice::Circuit c;
+    auto& fe = c.add<device::FerroCap>("F", c.node("a"), spice::kGround,
+                                       kTech.fefet.ferro, 1e-14);
+    fe.setPolarization(1.0);
+    const double qAt0 = fe.charge(0.0);
+    EXPECT_NEAR(qAt0, 1e-14 * kTech.fefet.ferro.ps, 1e-18);  // pure remanence
+    const double qAt1 = fe.charge(1.0);
+    EXPECT_GT(qAt1, qAt0);  // plus the linear dielectric part
+    fe.setPolarization(-1.0);
+    EXPECT_NEAR(fe.charge(0.0), -qAt0, 1e-18);
+}

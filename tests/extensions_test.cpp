@@ -1,0 +1,252 @@
+// Tests for the extension features: temperature-dependent tech cards,
+// ferroelectric retention, the matchline keeper, bank-level modelling, the
+// TLB application, scalar optimization and the auto-tuner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/tlb.hpp"
+#include "array/bank.hpp"
+#include "array/energy_model.hpp"
+#include "core/tuner.hpp"
+#include "device/fefet.hpp"
+#include "numeric/optimize.hpp"
+
+using namespace fetcam;
+
+// ---------------------------------------------------------------------------
+// Temperature.
+// ---------------------------------------------------------------------------
+
+TEST(Temperature, CardScalesFirstOrder) {
+    const auto t300 = device::TechCard::cmos45();
+    const auto t400 = t300.atTemperature(400.0);
+    EXPECT_NEAR(t400.nmos.ut, 0.02585 * 400.0 / 300.0, 1e-6);
+    EXPECT_LT(t400.nmos.vt0, t300.nmos.vt0);   // VT drops
+    EXPECT_LT(t400.nmos.kp, t300.nmos.kp);     // mobility degrades
+    EXPECT_LT(t400.fefet.ferro.vcMean, t300.fefet.ferro.vcMean);
+    EXPECT_LT(t400.reram.tauSet, t300.reram.tauSet);  // faster switching hot
+    EXPECT_THROW(t400.atTemperature(500.0), std::logic_error);  // re-derive
+    EXPECT_THROW(t300.atTemperature(-5.0), std::invalid_argument);
+}
+
+TEST(Temperature, LeakageGrowsWithT) {
+    const auto t300 = device::TechCard::cmos45();
+    const auto t400 = t300.atTemperature(400.0);
+    const double off300 = ekvChannel(t300.nmos, 0.0, 1.0, t300.nmos.vt0).id;
+    const double off400 = ekvChannel(t400.nmos, 0.0, 1.0, t400.nmos.vt0).id;
+    EXPECT_GT(off400, 10.0 * off300);
+}
+
+TEST(Temperature, SearchStillFunctionalAcrossRange) {
+    for (const double tk : {233.0, 300.0, 398.0}) {  // -40C .. 125C
+        const auto tech = device::TechCard::cmos45().atTemperature(tk);
+        array::WordSimOptions o;
+        o.tech = tech;
+        o.config.cell = tcam::CellKind::FeFet2;
+        o.config.wordBits = 8;
+        o.stored = array::calibrationWord(8);
+        o.key = o.stored;
+        EXPECT_TRUE(simulateWordSearch(o).matchDetected) << "T=" << tk;
+        o.key = array::keyWithMismatches(o.stored, 1);
+        EXPECT_FALSE(simulateWordSearch(o).matchDetected) << "T=" << tk;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retention.
+// ---------------------------------------------------------------------------
+
+TEST(Retention, PolarizationDecaysExponentially) {
+    const auto tech = device::TechCard::cmos45();
+    device::PreisachBank bank(tech.fefet.ferro);
+    bank.reset(1.0);
+    bank.relax(tech.fefet.ferro.tauRetention);
+    EXPECT_NEAR(bank.pnorm(), std::exp(-1.0), 1e-9);
+    EXPECT_THROW(bank.relax(-1.0), std::invalid_argument);
+}
+
+TEST(Retention, NegligibleAtCircuitTimescales) {
+    const auto tech = device::TechCard::cmos45();
+    device::PreisachBank bank(tech.fefet.ferro);
+    bank.reset(-1.0);
+    bank.relax(1e-3);  // a full millisecond
+    EXPECT_NEAR(bank.pnorm(), -1.0, 1e-9);
+}
+
+TEST(Retention, AgedFeFetLosesWindowMonotonically) {
+    const auto tech = device::TechCard::cmos45();
+    spice::Circuit c;
+    auto& fet = c.add<device::FeFet>("F", c.node("g"), c.node("d"), spice::kGround,
+                                     tech.fefet);
+    fet.setPolarization(1.0);
+    double prevVt = fet.vtEff();
+    for (const double years : {0.1, 1.0, 10.0}) {
+        fet.setPolarization(1.0);
+        fet.ageBy(years * 3.15e7);
+        EXPECT_GT(fet.vtEff(), prevVt);  // VT drifts back toward midpoint
+        prevVt = fet.vtEff();
+    }
+    EXPECT_LT(prevVt, tech.fefet.mos.vt0);  // still on the programmed side
+}
+
+// ---------------------------------------------------------------------------
+// Matchline keeper.
+// ---------------------------------------------------------------------------
+
+TEST(MlKeeper, RemovesMatchSagOnWideReramWords) {
+    array::WordSimOptions o;
+    o.config.cell = tcam::CellKind::ReRam2T2R;
+    o.config.wordBits = 32;
+    o.stored = array::calibrationWord(32);
+    o.key = o.stored;
+    const auto bare = simulateWordSearch(o);
+    o.config.mlKeeper = true;
+    const auto kept = simulateWordSearch(o);
+    EXPECT_TRUE(kept.matchDetected);
+    // Keeper holds the matching ML essentially at the rail.
+    EXPECT_GT(kept.mlAtSense, bare.mlAtSense + 0.05);
+    EXPECT_GT(kept.mlAtSense, 0.95);
+}
+
+TEST(MlKeeper, MismatchStillDetectedButSlower) {
+    array::WordSimOptions o;
+    o.config.cell = tcam::CellKind::FeFet2;
+    o.config.wordBits = 16;
+    o.stored = array::calibrationWord(16);
+    o.key = array::keyWithMismatches(o.stored, 1);
+    const auto bare = simulateWordSearch(o);
+    o.config.mlKeeper = true;
+    const auto kept = simulateWordSearch(o);
+    EXPECT_FALSE(kept.matchDetected);
+    ASSERT_TRUE(bare.detectDelay && kept.detectDelay);
+    EXPECT_GT(*kept.detectDelay, *bare.detectDelay);  // contention slows it
+}
+
+// ---------------------------------------------------------------------------
+// Bank model.
+// ---------------------------------------------------------------------------
+
+TEST(Bank, RoundsUpAndScales) {
+    const auto tech = device::TechCard::cmos45();
+    array::ArrayConfig cfg;
+    cfg.cell = tcam::CellKind::FeFet2;
+    cfg.wordBits = 8;
+    cfg.rows = 64;
+    const auto one = evaluateBank(tech, cfg, 64);
+    const auto three = evaluateBank(tech, cfg, 130);  // 3 sub-arrays
+    EXPECT_EQ(one.subArrays, 1);
+    EXPECT_EQ(three.subArrays, 3);
+    EXPECT_EQ(three.totalEntries, 192);
+    EXPECT_TRUE(three.functional);
+    EXPECT_NEAR(three.perSearch.sl, 3.0 * one.perSearch.sl, 1e-18);
+    EXPECT_GT(three.searchDelay, one.searchDelay);  // deeper encoder
+    EXPECT_THROW(evaluateBank(tech, cfg, 0), std::invalid_argument);
+}
+
+TEST(Bank, EncoderModelDepth) {
+    array::PriorityEncoderModel pe;
+    EXPECT_DOUBLE_EQ(pe.delay(1), pe.delayPerLevel);
+    EXPECT_DOUBLE_EQ(pe.delay(256), 8.0 * pe.delayPerLevel);
+    EXPECT_DOUBLE_EQ(pe.energy(100), 100 * pe.energyPerRowFj * 1e-15);
+}
+
+// ---------------------------------------------------------------------------
+// TLB.
+// ---------------------------------------------------------------------------
+
+TEST(Tlb, BasicTranslateAndMiss) {
+    apps::Tlb tlb(4);
+    tlb.insert(0x12345, apps::PageSize::Page4K, 0x999);
+    const auto pa = tlb.translate((0x12345ULL << 12) | 0xabc);
+    ASSERT_TRUE(pa.has_value());
+    EXPECT_EQ(*pa, (0x999ULL << 12) | 0xabc);
+    EXPECT_FALSE(tlb.translate(0x99999ULL << 12).has_value());
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+    EXPECT_DOUBLE_EQ(tlb.hitRate(), 0.5);
+}
+
+TEST(Tlb, SuperpagesUseWildcards) {
+    apps::Tlb tlb(4);
+    // One 2M page covers 512 consecutive 4K VPNs.
+    tlb.insert(0x40000, apps::PageSize::Page2M, 0x40000);
+    EXPECT_EQ(tlb.entries()[0].tag().wildcardCount(), 9u);
+    for (const std::uint64_t vpnOff : {0ULL, 1ULL, 511ULL}) {
+        const auto pa = tlb.translate((0x40000ULL + vpnOff) << 12);
+        ASSERT_TRUE(pa.has_value()) << vpnOff;
+        // Offset within the superpage must be preserved.
+        EXPECT_EQ(*pa % (1ULL << 21), (vpnOff << 12) % (1ULL << 21));
+    }
+    EXPECT_FALSE(tlb.translate((0x40200ULL) << 12).has_value());  // next 2M
+}
+
+TEST(Tlb, AlignmentAndRangeValidation) {
+    apps::Tlb tlb(2);
+    EXPECT_THROW(tlb.insert(0x40001, apps::PageSize::Page2M, 1), std::invalid_argument);
+    EXPECT_THROW(tlb.insert(1ULL << 36, apps::PageSize::Page4K, 1), std::invalid_argument);
+    EXPECT_THROW(apps::Tlb(0), std::invalid_argument);
+}
+
+TEST(Tlb, FifoEviction) {
+    apps::Tlb tlb(2);
+    tlb.insert(1, apps::PageSize::Page4K, 10);
+    tlb.insert(2, apps::PageSize::Page4K, 20);
+    tlb.insert(3, apps::PageSize::Page4K, 30);  // evicts vpn=1
+    EXPECT_FALSE(tlb.translate(1ULL << 12).has_value());
+    EXPECT_TRUE(tlb.translate(2ULL << 12).has_value());
+    EXPECT_TRUE(tlb.translate(3ULL << 12).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer + tuner.
+// ---------------------------------------------------------------------------
+
+TEST(Optimize, GoldenFindsQuadraticMinimum) {
+    const auto r = numeric::minimizeGolden([](double x) { return (x - 1.7) * (x - 1.7); },
+                                           0.0, 5.0, 1e-5);
+    EXPECT_NEAR(r.x, 1.7, 1e-4);
+    EXPECT_NEAR(r.value, 0.0, 1e-8);
+    EXPECT_THROW(numeric::minimizeGolden([](double) { return 0.0; }, 2.0, 1.0),
+                 std::invalid_argument);
+}
+
+TEST(Optimize, GridMinimum) {
+    const auto r = numeric::minimizeOnGrid(
+        [](double x) { return std::abs(x - 3.0); }, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(r.x, 3.0);
+    EXPECT_EQ(r.evaluations, 4);
+    EXPECT_THROW(numeric::minimizeOnGrid([](double) { return 0.0; }, {}),
+                 std::invalid_argument);
+}
+
+TEST(Tuner, SegmentsRespectDelayBudget) {
+    const auto tech = device::TechCard::cmos45();
+    array::ArrayConfig cfg;
+    cfg.cell = tcam::CellKind::FeFet2;
+    cfg.wordBits = 16;
+    cfg.rows = 128;
+    const auto unconstrained = core::tuneSegments(tech, cfg);
+    EXPECT_GT(unconstrained.segments, 1);  // segmentation always saves energy here
+    const auto tight = core::tuneSegments(tech, cfg, /*maxDelay=*/250e-12);
+    EXPECT_EQ(tight.segments, 1);  // only the flat ML meets 250 ps
+    EXPECT_GE(tight.energy, unconstrained.energy);
+}
+
+TEST(Tuner, VddTunerReturnsFunctionalOptimum) {
+    const auto tech = device::TechCard::cmos45();
+    array::ArrayConfig cfg;
+    cfg.cell = tcam::CellKind::FeFet2;
+    cfg.wordBits = 8;
+    cfg.rows = 32;
+    const auto r = core::tuneVddForMinEdp(tech, cfg, 0.8, 1.1);
+    EXPECT_GE(r.vdd, 0.8);
+    EXPECT_LE(r.vdd, 1.1);
+    EXPECT_TRUE(r.metrics.functional);
+    EXPECT_GT(r.edp, 0.0);
+    // The optimum must not be worse than both bracket endpoints.
+    auto t = tech;
+    t.vdd = 1.1;
+    const auto hi = evaluateArray(t, cfg);
+    EXPECT_LE(r.edp, hi.perSearch.total() * hi.searchDelay * 1.001);
+}

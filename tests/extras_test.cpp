@@ -1,0 +1,205 @@
+// Tests for the extended element palette (inductor, VCVS, VCCS) and netlist
+// subcircuit hierarchy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "device/extras.hpp"
+#include "device/netlist.hpp"
+#include "device/passives.hpp"
+#include "device/sources.hpp"
+#include "spice/ac.hpp"
+#include "spice/dcop.hpp"
+#include "spice/transient.hpp"
+
+using namespace fetcam;
+using namespace fetcam::device;
+
+namespace {
+const TechCard kTech = TechCard::cmos45();
+}
+
+TEST(Inductor, DcShort) {
+    spice::Circuit c;
+    const auto vin = c.node("in");
+    const auto mid = c.node("mid");
+    c.add<VoltageSource>("V1", c, vin, spice::kGround, SourceWave::dc(2.0));
+    c.add<Resistor>("R1", vin, mid, 1000.0);
+    c.add<Inductor>("L1", c, mid, spice::kGround, 1e-9);
+    const auto op = solveDcOp(c);
+    ASSERT_TRUE(op.converged);
+    EXPECT_NEAR(op.v(mid), 0.0, 1e-6);  // shorted to ground
+}
+
+TEST(Inductor, RlRiseMatchesAnalytic) {
+    // L/R time constant: i(t) = (V/R)(1 - exp(-t R/L)); node voltage across L
+    // decays from V to 0.
+    const double r = 1e3, l = 1e-6, tau = l / r;
+    spice::Circuit c;
+    const auto vin = c.node("in");
+    const auto mid = c.node("mid");
+    c.add<VoltageSource>("V1", c, vin, spice::kGround,
+                         SourceWave::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0));
+    c.add<Resistor>("R1", vin, mid, r);
+    c.add<Inductor>("L1", c, mid, spice::kGround, l);
+    spice::TransientSpec spec;
+    spec.tstop = 5.0 * tau;
+    spec.dtMax = tau / 50.0;
+    const auto res = runTransient(c, spec);
+    EXPECT_NEAR(res.waveforms.nodeAt(mid, tau), std::exp(-1.0), 0.02);
+    EXPECT_NEAR(res.waveforms.nodeAt(mid, 3.0 * tau), std::exp(-3.0), 0.02);
+}
+
+TEST(Inductor, LcResonanceFrequency) {
+    // Series RLC ring-down: oscillation at f0 ~ 1/(2*pi*sqrt(LC)).
+    const double l = 1e-9, cap = 1e-12;  // f0 ~ 5.03 GHz
+    const double f0 = 1.0 / (2.0 * std::numbers::pi * std::sqrt(l * cap));
+    spice::Circuit c;
+    const auto n1 = c.node("n1");
+    const auto n2 = c.node("n2");
+    c.add<Resistor>("R1", n1, n2, 5.0);  // lightly damped
+    c.add<Inductor>("L1", c, n2, spice::kGround, l);
+    c.add<Capacitor>("C1", n1, spice::kGround, cap);
+    spice::TransientSpec spec;
+    spec.tstop = 4.0 / f0;
+    spec.dtMax = 1.0 / f0 / 200.0;
+    spec.initialConditions = {{n1, 1.0}};
+    const auto res = runTransient(c, spec);
+    // Count zero crossings of v(n1): two per period.
+    const auto t = res.waveforms.time();
+    const auto v = res.waveforms.node(n1);
+    int crossings = 0;
+    for (std::size_t i = 1; i < t.size(); ++i)
+        if (v[i - 1] * v[i] < 0.0) ++crossings;
+    const double measuredF = crossings / 2.0 / spec.tstop;
+    EXPECT_NEAR(measuredF, f0, 0.1 * f0);
+}
+
+TEST(Inductor, AcImpedanceRises) {
+    spice::Circuit c;
+    const auto vin = c.node("in");
+    const auto out = c.node("out");
+    auto& vs = c.add<VoltageSource>("V1", c, vin, spice::kGround, SourceWave::dc(0.0));
+    vs.setAcMagnitude(1.0);
+    c.add<Resistor>("R1", vin, out, 1e3);
+    c.add<Inductor>("L1", c, out, spice::kGround, 1e-6);
+    const auto op = solveDcOp(c);
+    // High-pass: |v(out)| = wL/sqrt(R^2 + (wL)^2).
+    const auto res = runAc(c, op, spice::AcSpec::logSweep(1e7, 1e10, 4));
+    for (std::size_t i = 0; i < res.points(); ++i) {
+        const double wl = 2.0 * std::numbers::pi * res.frequencies()[i] * 1e-6;
+        const double expected = wl / std::sqrt(1e6 + wl * wl);
+        EXPECT_NEAR(std::abs(res.node(i, out)), expected, 0.02 * expected + 1e-4);
+    }
+    EXPECT_THROW(Inductor("Lbad", c, out, spice::kGround, -1.0), std::invalid_argument);
+}
+
+TEST(Vcvs, AmplifiesDc) {
+    spice::Circuit c;
+    const auto nin = c.node("in");
+    const auto nout = c.node("out");
+    c.add<VoltageSource>("V1", c, nin, spice::kGround, SourceWave::dc(0.25));
+    c.add<Vcvs>("E1", c, nout, spice::kGround, nin, spice::kGround, 4.0);
+    c.add<Resistor>("RL", nout, spice::kGround, 1e3);
+    const auto op = solveDcOp(c);
+    ASSERT_TRUE(op.converged);
+    EXPECT_NEAR(op.v(nout), 1.0, 1e-6);
+}
+
+TEST(Vccs, SinksProportionalCurrent) {
+    spice::Circuit c;
+    const auto nctl = c.node("ctl");
+    const auto nout = c.node("out");
+    c.add<VoltageSource>("V1", c, nctl, spice::kGround, SourceWave::dc(0.5));
+    c.add<VoltageSource>("V2", c, c.node("vdd"), spice::kGround, SourceWave::dc(1.0));
+    c.add<Resistor>("RL", c.node("vdd"), nout, 1e3);
+    // gm = 1 mS: 0.5 mA pulled from out to ground -> 0.5 V drop across RL.
+    c.add<Vccs>("G1", nout, spice::kGround, nctl, spice::kGround, 1e-3);
+    const auto op = solveDcOp(c);
+    ASSERT_TRUE(op.converged);
+    EXPECT_NEAR(op.v(nout), 0.5, 1e-6);
+}
+
+TEST(Subckt, ExpandsAndConnectsPorts) {
+    spice::Circuit c;
+    const int n = parseNetlist(R"(
+.SUBCKT divider top out
+R1 top out 1k
+R2 out 0 1k
+.ENDS
+V1 in 0 DC 2.0
+Xd1 in mid divider
+Xd2 mid mid2 divider
+)", c, kTech);
+    EXPECT_EQ(n, 7);  // V1 + 2 instantiations + 2x2 resistors... X lines count too
+    const auto op = solveDcOp(c);
+    ASSERT_TRUE(op.converged);
+    // Divider loaded by the second instance's 2k leg: 2 * (1k||2k)/(1k + 1k||2k).
+    EXPECT_NEAR(op.v(c.findNode("mid")), 0.8, 1e-4);
+    // Internal nodes are namespaced per instance.
+    EXPECT_TRUE(c.hasNode("mid"));
+    EXPECT_NE(c.findDevice("Xd1.R1"), nullptr);
+    EXPECT_NE(c.findDevice("Xd2.R2"), nullptr);
+}
+
+TEST(Subckt, NestedInstantiation) {
+    spice::Circuit c;
+    parseNetlist(R"(
+.SUBCKT leg a b
+R1 a b 2k
+.ENDS
+.SUBCKT divider top out
+Xup top out leg
+Xdn out 0 leg
+.ENDS
+V1 in 0 DC 1.0
+X1 in mid divider
+)", c, kTech);
+    const auto op = solveDcOp(c);
+    ASSERT_TRUE(op.converged);
+    EXPECT_NEAR(op.v(c.findNode("mid")), 0.5, 1e-5);
+    EXPECT_NE(c.findDevice("X1.Xup.R1"), nullptr);
+}
+
+TEST(Subckt, InternalNodesAreIsolated) {
+    spice::Circuit c;
+    parseNetlist(R"(
+.SUBCKT cellpair a
+R1 a inner 1k
+R2 inner 0 1k
+.ENDS
+V1 in 0 DC 1.0
+Xa in cellpair
+Xb in cellpair
+)", c, kTech);
+    // Each instance gets its own "inner": two distinct 2k legs in parallel.
+    const auto op = solveDcOp(c);
+    ASSERT_TRUE(op.converged);
+    EXPECT_TRUE(c.hasNode("Xa.inner"));
+    EXPECT_TRUE(c.hasNode("Xb.inner"));
+    EXPECT_NE(c.findNode("Xa.inner"), c.findNode("Xb.inner"));
+}
+
+TEST(Subckt, Errors) {
+    spice::Circuit c;
+    EXPECT_THROW(parseNetlist("X1 a b nosuch\n", c, kTech), std::invalid_argument);
+    EXPECT_THROW(parseNetlist(".SUBCKT s a\nR1 a 0 1k\n", c, kTech),
+                 std::invalid_argument);  // unterminated
+    EXPECT_THROW(parseNetlist(".ENDS\n", c, kTech), std::invalid_argument);
+    EXPECT_THROW(parseNetlist(".SUBCKT s a\nR1 a 0 1k\n.ENDS\nX1 a b s\n", c, kTech),
+                 std::invalid_argument);  // wrong port count
+    EXPECT_THROW(parseNetlist(".OPTIONS foo\n", c, kTech), std::invalid_argument);
+}
+
+TEST(Netlist, NewElementLetters) {
+    spice::Circuit c;
+    const int n = parseNetlist("L1 a b 1n\nE1 x 0 a b 2.5\nG1 y 0 a b 1m\nR1 y 0 1k\n"
+                               "R2 x 0 1k\nR3 b 0 1k\nV1 a 0 DC 1\n", c, kTech);
+    EXPECT_EQ(n, 7);
+    EXPECT_NE(dynamic_cast<Inductor*>(c.findDevice("L1")), nullptr);
+    EXPECT_NE(dynamic_cast<Vcvs*>(c.findDevice("E1")), nullptr);
+    EXPECT_NE(dynamic_cast<Vccs*>(c.findDevice("G1")), nullptr);
+    EXPECT_THROW(parseNetlist("L1 a b\n", c, kTech), std::invalid_argument);
+    EXPECT_THROW(parseNetlist("E1 a 0 b\n", c, kTech), std::invalid_argument);
+}

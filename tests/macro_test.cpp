@@ -1,0 +1,130 @@
+// TcamMacro and Dictionary tests: entry management semantics, priority,
+// energy accounting consistency, and signature compilation/matching.
+#include <gtest/gtest.h>
+
+#include "apps/dictionary.hpp"
+#include "core/tcam_macro.hpp"
+
+using namespace fetcam;
+using apps::Dictionary;
+using core::TcamMacro;
+using tcam::TernaryWord;
+
+namespace {
+
+TcamMacro makeMacro(std::size_t capacity = 8, int rows = 8) {
+    array::ArrayConfig cfg;
+    cfg.cell = tcam::CellKind::FeFet2;
+    cfg.wordBits = 8;
+    cfg.rows = rows;
+    return TcamMacro(device::TechCard::cmos45(), cfg, capacity);
+}
+
+}  // namespace
+
+TEST(TcamMacro, WriteSearchErase) {
+    auto macro = makeMacro();
+    EXPECT_EQ(macro.capacity(), 8u);
+    EXPECT_EQ(macro.occupancy(), 0u);
+    const int r0 = macro.write(TernaryWord::fromString("1010XXXX"));
+    const int r1 = macro.write(TernaryWord::fromString("10100000"));
+    EXPECT_EQ(r0, 0);
+    EXPECT_EQ(r1, 1);
+    EXPECT_EQ(macro.occupancy(), 2u);
+
+    // Priority: row 0 wins even though both match.
+    EXPECT_EQ(macro.search(TernaryWord::fromString("10100000")), 0);
+    macro.erase(0);
+    EXPECT_EQ(macro.search(TernaryWord::fromString("10100000")), 1);
+    EXPECT_EQ(macro.search(TernaryWord::fromString("11111111")), std::nullopt);
+    EXPECT_EQ(macro.occupancy(), 1u);
+    EXPECT_FALSE(macro.entryAt(0).has_value());
+    ASSERT_TRUE(macro.entryAt(1).has_value());
+}
+
+TEST(TcamMacro, EnergyAccounting) {
+    auto macro = makeMacro();
+    macro.write(TernaryWord::fromString("00000000"));
+    macro.search(TernaryWord::fromString("00000000"));
+    macro.search(TernaryWord::fromString("11111111"));
+    const auto& s = macro.stats();
+    EXPECT_EQ(s.writes, 1u);
+    EXPECT_EQ(s.searches, 2u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_NEAR(s.searchEnergy, 2.0 * macro.energyPerSearch(), 1e-20);
+    EXPECT_NEAR(s.writeEnergy, macro.energyPerWrite(), 1e-20);
+    EXPECT_GT(s.totalEnergy(), 0.0);
+    EXPECT_GT(macro.searchLatency(), 0.0);
+    EXPECT_GT(macro.writeLatency(), 0.0);
+}
+
+TEST(TcamMacro, CapacityRoundsUpToSubArrays) {
+    array::ArrayConfig cfg;
+    cfg.cell = tcam::CellKind::FeFet2;
+    cfg.wordBits = 8;
+    cfg.rows = 8;
+    TcamMacro macro(device::TechCard::cmos45(), cfg, 10);  // -> 2 sub-arrays
+    EXPECT_EQ(macro.capacity(), 16u);
+    EXPECT_EQ(macro.hardware().subArrays, 2);
+}
+
+TEST(TcamMacro, Validation) {
+    auto macro = makeMacro(2, /*rows=*/2);
+    macro.write(TernaryWord::fromString("00000000"));
+    macro.write(TernaryWord::fromString("00000001"));
+    EXPECT_THROW(macro.write(TernaryWord::fromString("00000010")), std::length_error);
+    EXPECT_THROW(macro.write(TernaryWord::fromString("00")), std::invalid_argument);
+    EXPECT_THROW(macro.search(TernaryWord::fromString("00")), std::invalid_argument);
+    EXPECT_THROW(macro.erase(99), std::out_of_range);
+    EXPECT_THROW(macro.writeAt(-1, TernaryWord::fromString("00000000")),
+                 std::out_of_range);
+}
+
+TEST(TcamMacro, EraseOfEmptyRowIsFreeNoop) {
+    auto macro = makeMacro();
+    const auto before = macro.stats().writeEnergy;
+    macro.erase(3);
+    EXPECT_EQ(macro.stats().erases, 0u);
+    EXPECT_DOUBLE_EQ(macro.stats().writeEnergy, before);
+}
+
+TEST(Dictionary, CompileTokenLayout) {
+    const auto w = apps::compileToken("A", 2);
+    EXPECT_EQ(w.size(), 16u);
+    // 'A' = 0x41 = 01000001.
+    EXPECT_EQ(w.toString().substr(0, 8), "01000001");
+    // Padding is wildcard: prefix-match semantics.
+    EXPECT_EQ(w.toString().substr(8, 8), "XXXXXXXX");
+    EXPECT_THROW(apps::compileToken("toolong", 2), std::invalid_argument);
+}
+
+TEST(Dictionary, WildcardCharacter) {
+    const auto w = apps::compileToken("a?c", 3);
+    EXPECT_EQ(w.toString().substr(8, 8), "XXXXXXXX");
+    EXPECT_TRUE(w.matches(apps::compileText("abc", 3)));
+    EXPECT_TRUE(w.matches(apps::compileText("azc", 3)));
+    EXPECT_FALSE(w.matches(apps::compileText("abX", 3)));
+}
+
+TEST(Dictionary, PriorityAndMultiHit) {
+    Dictionary d(8);
+    d.add("GET ?", 1);    // any GET
+    d.add("GET /a", 2);   // more specific but lower priority (added later)
+    d.add("POST", 3);
+    EXPECT_EQ(d.match("GET /abc"), 1);
+    const auto all = d.matchAll("GET /abc");
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0], 1);
+    EXPECT_EQ(all[1], 2);
+    EXPECT_EQ(d.match("POST /x"), 3);
+    EXPECT_EQ(d.match("PUT /x"), std::nullopt);
+    EXPECT_EQ(d.patterns().size(), 3u);
+}
+
+TEST(Dictionary, PrefixSemantics) {
+    Dictionary d(8);
+    d.add("cat", 7);
+    EXPECT_EQ(d.match("cat"), 7);
+    EXPECT_EQ(d.match("catalog"), 7);  // trailing wildcards: prefix signature
+    EXPECT_EQ(d.match("dog"), std::nullopt);
+}

@@ -1,0 +1,90 @@
+// Odds and ends: integration-method selection, waveform branch readout,
+// formatting extremes, tech-card derivation composition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/report.hpp"
+#include "device/passives.hpp"
+#include "device/sources.hpp"
+#include "device/tech.hpp"
+#include "spice/dcop.hpp"
+#include "spice/transient.hpp"
+
+using namespace fetcam;
+
+TEST(Transient, BackwardEulerAlsoMatchesAnalytic) {
+    const double r = 10e3, cap = 100e-15, tau = r * cap;
+    spice::Circuit c;
+    const auto vin = c.node("in");
+    const auto out = c.node("out");
+    c.add<device::VoltageSource>("V1", c, vin, spice::kGround,
+                                 device::SourceWave::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0));
+    c.add<device::Resistor>("R1", vin, out, r);
+    c.add<device::Capacitor>("C1", out, spice::kGround, cap);
+    spice::TransientSpec spec;
+    spec.tstop = 5.0 * tau;
+    spec.dtMax = tau / 200.0;  // BE is first order: needs finer steps
+    spec.method = spice::IntegrationMethod::BackwardEuler;
+    const auto res = runTransient(c, spec);
+    EXPECT_NEAR(res.waveforms.nodeAt(out, tau), 1.0 - std::exp(-1.0), 0.02);
+}
+
+TEST(Waveforms, BranchCurrentReadout) {
+    // Branch current of the source driving a resistor: -V/R (leaves +).
+    spice::Circuit c;
+    const auto vin = c.node("in");
+    auto& vs = c.add<device::VoltageSource>("V1", c, vin, spice::kGround,
+                                            device::SourceWave::dc(1.0));
+    c.add<device::Resistor>("R1", vin, spice::kGround, 1e3);
+    spice::TransientSpec spec;
+    spec.tstop = 1e-9;
+    spec.dtMax = 0.05e-9;
+    spec.initialConditions = {{vin, 1.0}};
+    const auto res = runTransient(c, spec);
+    const auto ib = res.waveforms.branch(vs.branch());
+    ASSERT_FALSE(ib.empty());
+    EXPECT_NEAR(ib.back(), -1e-3, 1e-6);
+}
+
+TEST(Report, SubAttoFormatting) {
+    EXPECT_EQ(core::engFormat(3.0e-21, "Js"), "3.00 zJs");
+    EXPECT_EQ(core::engFormat(3.0e-22, "Js"), "300 yJs");
+    EXPECT_EQ(core::engFormat(2.5e-24, "Js"), "2.50 yJs");
+    // Below yocto: scientific fallback.
+    const auto s = core::engFormat(1.0e-27, "Js");
+    EXPECT_NE(s.find("e-"), std::string::npos);
+}
+
+TEST(TechCard, CornerComposesWithTemperature) {
+    const auto base = device::TechCard::cmos45();
+    const auto hotFf = base.atTemperature(398.0).atCorner(device::Corner::FF);
+    EXPECT_LT(hotFf.nmos.vt0, base.atTemperature(398.0).nmos.vt0);
+    EXPECT_NEAR(hotFf.nmos.ut, 0.02585 * 398.0 / 300.0, 1e-6);
+}
+
+TEST(DcOp, ReportsFinalGmin) {
+    spice::Circuit c;
+    c.add<device::VoltageSource>("V1", c, c.node("a"), spice::kGround,
+                                 device::SourceWave::dc(1.0));
+    c.add<device::Resistor>("R1", c.node("a"), spice::kGround, 1e3);
+    const auto op = spice::solveDcOp(c);
+    ASSERT_TRUE(op.converged);
+    EXPECT_LE(op.finalGmin, 1e-12 * 1.001);
+    EXPECT_GT(op.totalIterations, 0);
+}
+
+TEST(SourceWave, PeriodicPulseRepeats) {
+    const auto w = device::SourceWave::pulse(0.0, 1.0, 0.0, 1e-10, 1e-10, 3e-10, 1e-9);
+    EXPECT_NEAR(w.at(0.25e-9), 1.0, 1e-9);   // first pulse
+    EXPECT_NEAR(w.at(1.25e-9), 1.0, 1e-9);   // second period
+    EXPECT_NEAR(w.at(0.75e-9), 0.0, 1e-9);   // between pulses
+    std::vector<double> bps;
+    w.collectBreakpoints(2.1e-9, bps);
+    EXPECT_GE(bps.size(), 8u);  // edges from at least two periods
+}
+
+TEST(SourceWave, RejectsZeroEdges) {
+    EXPECT_THROW(device::SourceWave::pulse(0, 1, 0, 0.0, 1e-10, 1e-9),
+                 std::invalid_argument);
+}

@@ -1,0 +1,166 @@
+// NAND-type FeFET TCAM tests: encodings, full truth table via transient
+// simulation, inverted sensing polarity, and NOR-vs-NAND trade-offs.
+#include <gtest/gtest.h>
+
+#include "array/energy_model.hpp"
+#include "array/montecarlo.hpp"
+#include "array/word_sim.hpp"
+#include "tcam/cell_builder.hpp"
+#include "tcam/write_schedule.hpp"
+
+using namespace fetcam;
+using tcam::CellKind;
+using tcam::Trit;
+
+TEST(NandCell, EncodingConductsOnMatch) {
+    // Stored 1: SL branch conducts (key 1 matches), SLB branch blocks.
+    const auto one = tcam::nandEncodeTrit(Trit::One);
+    EXPECT_TRUE(one.aEnabled);
+    EXPECT_FALSE(one.bEnabled);
+    const auto zero = tcam::nandEncodeTrit(Trit::Zero);
+    EXPECT_FALSE(zero.aEnabled);
+    EXPECT_TRUE(zero.bEnabled);
+    const auto x = tcam::nandEncodeTrit(Trit::X);
+    EXPECT_TRUE(x.aEnabled);
+    EXPECT_TRUE(x.bEnabled);
+}
+
+TEST(NandCell, SearchDriveAssertsBothOnMaskedKey) {
+    EXPECT_TRUE(tcam::nandSearchDrive(Trit::X).sl);
+    EXPECT_TRUE(tcam::nandSearchDrive(Trit::X).slb);
+    EXPECT_TRUE(tcam::nandSearchDrive(Trit::One).sl);
+    EXPECT_FALSE(tcam::nandSearchDrive(Trit::One).slb);
+    EXPECT_FALSE(tcam::nandSearchDrive(Trit::Zero).sl);
+    EXPECT_TRUE(tcam::nandSearchDrive(Trit::Zero).slb);
+}
+
+TEST(NandCell, NorBuilderRejectsNandKind) {
+    spice::Circuit c;
+    const tcam::CellPorts ports{c.node("ml"), c.node("sl"), c.node("slb"), c.node("v")};
+    EXPECT_THROW(buildSearchCell(c, device::TechCard::cmos45(), CellKind::FeFet2Nand,
+                                 Trit::One, ports, "x"),
+                 std::invalid_argument);
+}
+
+TEST(NandCell, MetadataRegistered) {
+    EXPECT_EQ(cellDeviceCount(CellKind::FeFet2Nand).fefets, 2);
+    EXPECT_LT(cellAreaF2(CellKind::FeFet2Nand, device::TechCard::cmos45()),
+              cellAreaF2(CellKind::FeFet2, device::TechCard::cmos45()));
+    EXPECT_TRUE(tcam::isNandKind(CellKind::FeFet2Nand));
+    EXPECT_FALSE(tcam::isNandKind(CellKind::FeFet2));
+}
+
+// Full truth table at 4 bits through circuit simulation.
+struct NandTruthCase {
+    Trit stored;
+    Trit key;
+};
+
+class NandTruthTable : public ::testing::TestWithParam<NandTruthCase> {};
+
+TEST_P(NandTruthTable, DecisionMatchesGoldenModel) {
+    const auto [stored, key] = GetParam();
+    array::WordSimOptions o;
+    o.config.cell = CellKind::FeFet2Nand;
+    o.config.wordBits = 4;
+    o.stored = tcam::TernaryWord(4, Trit::X);
+    o.stored[1] = stored;
+    o.key = tcam::TernaryWord(4, Trit::X);
+    o.key[1] = key;
+    const auto r = simulateWordSearch(o);
+    EXPECT_EQ(r.expectedMatch, tritMatches(stored, key));
+    EXPECT_EQ(r.matchDetected, r.expectedMatch)
+        << "stored=" << static_cast<int>(stored) << " key=" << static_cast<int>(key)
+        << " mlAtSense=" << r.mlAtSense;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, NandTruthTable,
+    ::testing::Values(NandTruthCase{Trit::Zero, Trit::Zero},
+                      NandTruthCase{Trit::Zero, Trit::One},
+                      NandTruthCase{Trit::Zero, Trit::X},
+                      NandTruthCase{Trit::One, Trit::Zero},
+                      NandTruthCase{Trit::One, Trit::One},
+                      NandTruthCase{Trit::One, Trit::X},
+                      NandTruthCase{Trit::X, Trit::Zero},
+                      NandTruthCase{Trit::X, Trit::One},
+                      NandTruthCase{Trit::X, Trit::X}));
+
+TEST(NandWord, InvertedMlPolarity) {
+    array::WordSimOptions o;
+    o.config.cell = CellKind::FeFet2Nand;
+    o.config.wordBits = 8;
+    o.stored = array::calibrationWord(8);
+    o.key = o.stored;
+    const auto match = simulateWordSearch(o);
+    EXPECT_TRUE(match.matchDetected);
+    EXPECT_LT(match.mlAtSense, 0.3);  // match DISCHARGES the chain
+    EXPECT_TRUE(match.detectDelay.has_value());
+
+    o.key = array::keyWithMismatches(o.stored, 1);
+    const auto mism = simulateWordSearch(o);
+    EXPECT_FALSE(mism.matchDetected);
+    EXPECT_GT(mism.mlAtSense, 0.8);  // blocked chain holds the precharge
+}
+
+TEST(NandWord, MatchDelayGrowsWithWordLength) {
+    // The series chain makes discharge quadratic-ish in length — the NAND
+    // word-length wall.
+    double prev = 0.0;
+    for (const int bits : {4, 8, 12}) {
+        array::WordSimOptions o;
+        o.config.cell = CellKind::FeFet2Nand;
+        o.config.wordBits = bits;
+        o.stored = array::calibrationWord(bits);
+        o.key = o.stored;
+        const auto r = simulateWordSearch(o);
+        ASSERT_TRUE(r.matchDetected) << bits;
+        ASSERT_TRUE(r.detectDelay.has_value());
+        EXPECT_GT(*r.detectDelay, prev);
+        prev = *r.detectDelay;
+    }
+}
+
+TEST(NandWord, CheaperThanNorPerSearch) {
+    // For short words the NAND organization spends far less ML energy: only
+    // the matching chain discharges, and SL loading is similar.
+    array::WordSimOptions o;
+    o.config.wordBits = 8;
+    o.stored = array::calibrationWord(8);
+    o.key = array::keyWithMismatches(o.stored, 1);  // typical row: mismatch
+    o.config.cell = CellKind::FeFet2;
+    const auto nor = simulateWordSearch(o);
+    o.config.cell = CellKind::FeFet2Nand;
+    const auto nand = simulateWordSearch(o);
+    EXPECT_LT(nand.energyMl, nor.energyMl);
+}
+
+TEST(NandWord, ArrayModelFunctional) {
+    array::ArrayConfig cfg;
+    cfg.cell = CellKind::FeFet2Nand;
+    cfg.wordBits = 8;
+    cfg.rows = 64;
+    const auto m = evaluateArray(device::TechCard::cmos45(), cfg);
+    EXPECT_TRUE(m.functional);
+    EXPECT_GT(m.senseMarginV, 0.3);
+    EXPECT_GT(m.searchDelay, 0.0);
+}
+
+TEST(NandWord, MonteCarloRunsCleanAtLowSigma) {
+    array::MonteCarloSpec spec;
+    spec.config.cell = CellKind::FeFet2Nand;
+    spec.config.wordBits = 8;
+    spec.trials = 5;
+    spec.sigmaVt = 0.02;
+    spec.sigmaState = 0.03;
+    const auto r = runMonteCarlo(spec);
+    EXPECT_EQ(r.matchErrors + r.mismatchErrors, 0);
+}
+
+TEST(NandWord, WritePathShared) {
+    const auto tech = device::TechCard::cmos45();
+    const auto w = measureWriteEnergy(CellKind::FeFet2Nand, tech);
+    EXPECT_TRUE(w.verified);
+    const auto plan = planWordWrite(CellKind::FeFet2Nand, w, 8);
+    EXPECT_EQ(plan.pulsePhases, 2);
+}

@@ -1,0 +1,159 @@
+// Netlist parser tests: SPICE number literals, every element form, error
+// reporting, and an end-to-end parse -> simulate check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/fefet.hpp"
+#include "device/netlist.hpp"
+#include "device/passives.hpp"
+#include "device/reram.hpp"
+#include "spice/dcop.hpp"
+#include "spice/transient.hpp"
+
+using namespace fetcam;
+using device::parseNetlist;
+using device::parseSpiceNumber;
+
+namespace {
+const device::TechCard kTech = device::TechCard::cmos45();
+}
+
+TEST(SpiceNumber, PlainAndScientific) {
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("42"), 42.0);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("-3.5"), -3.5);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("2.5e3"), 2500.0);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("1E-15"), 1e-15);
+}
+
+TEST(SpiceNumber, MagnitudeSuffixes) {
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("10k"), 10e3);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("100f"), 100e-15);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("3n"), 3e-9);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("4.5meg"), 4.5e6);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("2u"), 2e-6);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("7m"), 7e-3);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("1g"), 1e9);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("100ns"), 100e-9);  // trailing unit ok
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("10kohm"), 10e3);
+}
+
+TEST(SpiceNumber, Rejections) {
+    EXPECT_THROW(parseSpiceNumber(""), std::invalid_argument);
+    EXPECT_THROW(parseSpiceNumber("abc"), std::invalid_argument);
+    EXPECT_THROW(parseSpiceNumber("1q"), std::invalid_argument);
+}
+
+TEST(Netlist, DividerDcSolve) {
+    spice::Circuit c;
+    const int n = parseNetlist(R"(
+* a simple divider
+V1 in 0 DC 3.0
+R1 in mid 1k
+R2 mid gnd 2k   ; bottom leg
+)", c, kTech);
+    EXPECT_EQ(n, 3);
+    const auto op = solveDcOp(c);
+    ASSERT_TRUE(op.converged);
+    EXPECT_NEAR(op.v(c.findNode("mid")), 2.0, 1e-6);
+}
+
+TEST(Netlist, PulseAndPwlSources) {
+    spice::Circuit c;
+    parseNetlist("V1 a 0 PULSE 0 1 1n 0.1n 0.1n 2n\n"
+                 "V2 b 0 PWL 0 0 1n 1 2n -1\n"
+                 "R1 a 0 1k\nR2 b 0 1k\n", c, kTech);
+    spice::TransientSpec spec;
+    spec.tstop = 3e-9;
+    spec.dtMax = 0.05e-9;
+    const auto r = runTransient(c, spec);
+    EXPECT_NEAR(r.waveforms.nodeAt(c.findNode("a"), 2e-9), 1.0, 1e-6);
+    EXPECT_NEAR(r.waveforms.nodeAt(c.findNode("b"), 0.5e-9), 0.5, 1e-6);
+    EXPECT_NEAR(r.waveforms.nodeAt(c.findNode("b"), 2.5e-9), -1.0, 1e-6);
+}
+
+TEST(Netlist, MosInverterParsesAndWorks) {
+    spice::Circuit c;
+    parseNetlist("Vdd vdd 0 DC 1.0\n"
+                 "Vin in 0 DC 0.0\n"
+                 "MP1 in out vdd PMOS W=2\n"
+                 "MN1 in out 0 NMOS W=1\n", c, kTech);
+    const auto op = solveDcOp(c);
+    ASSERT_TRUE(op.converged);
+    EXPECT_NEAR(op.v(c.findNode("out")), 1.0, 0.02);
+}
+
+TEST(Netlist, FeFetAndFerroAndReram) {
+    spice::Circuit c;
+    const int n = parseNetlist("F1 g ml 0 P=1\n"
+                               "X1 a 0 FERRO AREA=1e-14 P=-0.5\n"
+                               "Y1 ml mid RERAM W=1\n", c, kTech);
+    EXPECT_EQ(n, 3);
+    const auto* fet = dynamic_cast<device::FeFet*>(c.findDevice("F1"));
+    ASSERT_NE(fet, nullptr);
+    EXPECT_DOUBLE_EQ(fet->pnorm(), 1.0);
+    const auto* fe = dynamic_cast<device::FerroCap*>(c.findDevice("X1"));
+    ASSERT_NE(fe, nullptr);
+    EXPECT_DOUBLE_EQ(fe->pnorm(), -0.5);
+    const auto* ram = dynamic_cast<device::Reram*>(c.findDevice("Y1"));
+    ASSERT_NE(ram, nullptr);
+    EXPECT_DOUBLE_EQ(ram->state(), 1.0);
+}
+
+TEST(Netlist, CurrentSource) {
+    spice::Circuit c;
+    parseNetlist("I1 0 n1 DC 1m\nR1 n1 0 1k\n", c, kTech);
+    const auto op = solveDcOp(c);
+    ASSERT_TRUE(op.converged);
+    EXPECT_NEAR(op.v(c.findNode("n1")), 1.0, 1e-6);
+}
+
+TEST(Netlist, ErrorsCarryLineNumbers) {
+    spice::Circuit c;
+    try {
+        parseNetlist("R1 a 0 1k\nQ9 x y z\n", c, kTech);
+        FAIL() << "expected throw";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(Netlist, RejectsMalformedElements) {
+    spice::Circuit c;
+    EXPECT_THROW(parseNetlist("R1 a 0\n", c, kTech), std::invalid_argument);
+    EXPECT_THROW(parseNetlist("V1 a 0 DC\n", c, kTech), std::invalid_argument);
+    EXPECT_THROW(parseNetlist("V1 a 0 SINE 1 2\n", c, kTech), std::invalid_argument);
+    EXPECT_THROW(parseNetlist("V1 a 0 PWL 0 0 1n\n", c, kTech), std::invalid_argument);
+    EXPECT_THROW(parseNetlist("M1 g d s XMOS\n", c, kTech), std::invalid_argument);
+    EXPECT_THROW(parseNetlist("M1 g d s NMOS Z=2\n", c, kTech), std::invalid_argument);
+    EXPECT_THROW(parseNetlist("F1 g d s P=2\n", c, kTech), std::invalid_argument);
+    EXPECT_THROW(parseNetlist("Y1 a b RERAM W=3\n", c, kTech), std::invalid_argument);
+    EXPECT_THROW(parseNetlist("X1 a b WRONG\n", c, kTech), std::invalid_argument);
+}
+
+TEST(Netlist, CommentsAndBlanksIgnored) {
+    spice::Circuit c;
+    EXPECT_EQ(parseNetlist("* header comment\n\n; another\nR1 a 0 1k * trailing\n", c,
+                           kTech), 1);
+}
+
+TEST(Netlist, DescribeCircuitListsEverything) {
+    spice::Circuit c;
+    parseNetlist("V1 in 0 DC 1\nR1 in out 10k\nC1 out 0 5f\nF1 in out 0 P=1\n", c, kTech);
+    const auto desc = device::describeCircuit(c);
+    EXPECT_NE(desc.find("V1"), std::string::npos);
+    EXPECT_NE(desc.find("10000"), std::string::npos);
+    EXPECT_NE(desc.find("FeFET"), std::string::npos);
+    EXPECT_NE(desc.find("4 devices"), std::string::npos);
+}
+
+TEST(Netlist, EndToEndRcFromText) {
+    // Full loop: parse -> transient -> analytic check.
+    spice::Circuit c;
+    parseNetlist("V1 in 0 PULSE 0 1 0 1p 1p 1\nR1 in out 10k\nC1 out 0 100f\n", c, kTech);
+    spice::TransientSpec spec;
+    spec.tstop = 5e-9;
+    spec.dtMax = 20e-12;
+    const auto r = runTransient(c, spec);
+    EXPECT_NEAR(r.waveforms.nodeAt(c.findNode("out"), 1e-9), 1.0 - std::exp(-1.0), 0.01);
+}

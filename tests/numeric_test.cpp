@@ -1,0 +1,265 @@
+// Unit and property tests for the numeric substrate: dense/sparse LU,
+// interpolation, statistics, RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/dense_matrix.hpp"
+#include "numeric/interp.hpp"
+#include "numeric/sparse_matrix.hpp"
+#include "numeric/stats.hpp"
+
+namespace num = fetcam::numeric;
+
+namespace {
+
+num::DenseMatrix randomDiagDominant(num::Rng& rng, std::size_t n) {
+    num::DenseMatrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        double rowSum = 0.0;
+        for (std::size_t c = 0; c < n; ++c) {
+            if (r == c) continue;
+            a(r, c) = rng.uniform(-1.0, 1.0);
+            rowSum += std::abs(a(r, c));
+        }
+        a(r, r) = rowSum + rng.uniform(0.5, 2.0);
+    }
+    return a;
+}
+
+}  // namespace
+
+TEST(DenseMatrix, IdentitySolve) {
+    const auto eye = num::DenseMatrix::identity(4);
+    const std::vector<double> b{1.0, -2.0, 3.0, 0.5};
+    EXPECT_EQ(num::solveDense(eye, b), b);
+}
+
+TEST(DenseMatrix, Known2x2) {
+    num::DenseMatrix a(2, 2);
+    a(0, 0) = 2.0;
+    a(0, 1) = 1.0;
+    a(1, 0) = 1.0;
+    a(1, 1) = 3.0;
+    const auto x = num::solveDense(a, {5.0, 10.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(DenseMatrix, PivotingHandlesZeroDiagonal) {
+    num::DenseMatrix a(2, 2);
+    a(0, 0) = 0.0;
+    a(0, 1) = 1.0;
+    a(1, 0) = 1.0;
+    a(1, 1) = 0.0;
+    const auto x = num::solveDense(a, {3.0, 4.0});
+    EXPECT_NEAR(x[0], 4.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(DenseMatrix, SingularThrows) {
+    num::DenseMatrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(0, 1) = 2.0;
+    a(1, 0) = 2.0;
+    a(1, 1) = 4.0;
+    EXPECT_THROW(num::DenseLu{a}, std::runtime_error);
+}
+
+TEST(DenseMatrix, DeterminantOfTriangular) {
+    num::DenseMatrix a(3, 3);
+    a(0, 0) = 2.0;
+    a(1, 1) = 3.0;
+    a(2, 2) = -4.0;
+    a(0, 1) = 7.0;
+    a(0, 2) = -1.0;
+    a(1, 2) = 5.0;
+    num::DenseLu lu(a);
+    EXPECT_NEAR(lu.determinant(), -24.0, 1e-12);
+}
+
+// Property: random diagonally dominant systems solve to small residual.
+class DenseLuProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DenseLuProperty, ResidualSmall) {
+    num::Rng rng(42 + static_cast<std::uint64_t>(GetParam()));
+    const std::size_t n = static_cast<std::size_t>(3 + GetParam() * 7 % 40);
+    const auto a = randomDiagDominant(rng, n);
+    std::vector<double> b(n);
+    for (auto& v : b) v = rng.uniform(-5.0, 5.0);
+    const auto x = num::solveDense(a, b);
+    const auto ax = a.multiply(x);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, DenseLuProperty, ::testing::Range(0, 12));
+
+TEST(SparseMatrix, TripletDuplicatesSum) {
+    num::TripletList t(3, 3);
+    t.add(0, 0, 1.0);
+    t.add(0, 0, 2.0);
+    t.add(2, 1, -1.0);
+    const auto m = num::SparseMatrixCsc::fromTriplets(t);
+    EXPECT_EQ(m.nonZeros(), 2);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(m.at(2, 1), -1.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+    num::Rng rng(7);
+    const int n = 20;
+    num::TripletList t(n, n);
+    num::DenseMatrix d(n, n);
+    for (int k = 0; k < 80; ++k) {
+        const int r = rng.uniformInt(0, n - 1);
+        const int c = rng.uniformInt(0, n - 1);
+        const double v = rng.uniform(-2.0, 2.0);
+        t.add(r, c, v);
+        d(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += v;
+    }
+    const auto s = num::SparseMatrixCsc::fromTriplets(t);
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+    const auto ys = s.multiply(x);
+    const auto yd = d.multiply(x);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(SparseLu, SolvesIdentity) {
+    num::TripletList t(3, 3);
+    for (int i = 0; i < 3; ++i) t.add(i, i, 1.0);
+    num::SparseLu lu(num::SparseMatrixCsc::fromTriplets(t));
+    const auto x = lu.solve({1.0, 2.0, 3.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-14);
+    EXPECT_NEAR(x[1], 2.0, 1e-14);
+    EXPECT_NEAR(x[2], 3.0, 1e-14);
+}
+
+TEST(SparseLu, RequiresPivoting) {
+    // Zero diagonal forces off-diagonal pivoting.
+    num::TripletList t(2, 2);
+    t.add(0, 1, 1.0);
+    t.add(1, 0, 2.0);
+    num::SparseLu lu(num::SparseMatrixCsc::fromTriplets(t));
+    const auto x = lu.solve({3.0, 8.0});
+    EXPECT_NEAR(x[0], 4.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SparseLu, SingularThrows) {
+    num::TripletList t(2, 2);
+    t.add(0, 0, 1.0);
+    t.add(1, 0, 1.0);  // column 1 empty -> singular
+    EXPECT_THROW(num::SparseLu{num::SparseMatrixCsc::fromTriplets(t)}, std::runtime_error);
+}
+
+// Property: sparse LU agrees with dense LU on random sprinkled systems.
+class SparseLuProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseLuProperty, MatchesDense) {
+    num::Rng rng(100 + static_cast<std::uint64_t>(GetParam()));
+    const int n = 5 + GetParam() * 11 % 60;
+    num::TripletList t(n, n);
+    num::DenseMatrix d(n, n);
+    // Diagonally dominant sparse pattern (MNA-like).
+    for (int i = 0; i < n; ++i) {
+        double offSum = 0.0;
+        const int fanout = rng.uniformInt(1, 4);
+        for (int k = 0; k < fanout; ++k) {
+            const int j = rng.uniformInt(0, n - 1);
+            if (j == i) continue;
+            const double v = rng.uniform(-1.0, 1.0);
+            t.add(i, j, v);
+            d(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) += v;
+            offSum += std::abs(v);
+        }
+        const double diag = offSum + rng.uniform(0.5, 1.5);
+        t.add(i, i, diag);
+        d(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += diag;
+    }
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (auto& v : b) v = rng.uniform(-3.0, 3.0);
+
+    num::SparseLu slu(num::SparseMatrixCsc::fromTriplets(t));
+    const auto xs = slu.solve(b);
+    const auto xd = num::solveDense(d, b);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(xs[static_cast<std::size_t>(i)],
+                                            xd[static_cast<std::size_t>(i)], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SparseLuProperty, ::testing::Range(0, 16));
+
+TEST(Interp, PiecewiseLinearBasics) {
+    num::PiecewiseLinear f({0.0, 1.0, 3.0}, {0.0, 2.0, 0.0});
+    EXPECT_DOUBLE_EQ(f(-1.0), 0.0);   // clamped
+    EXPECT_DOUBLE_EQ(f(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(f(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(f(2.0), 1.0);
+    EXPECT_DOUBLE_EQ(f(5.0), 0.0);    // clamped
+    EXPECT_DOUBLE_EQ(f.slope(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(f.slope(2.0), -1.0);
+}
+
+TEST(Interp, RejectsUnsortedX) {
+    EXPECT_THROW(num::PiecewiseLinear({0.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Interp, FirstCrossing) {
+    const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+    const std::vector<double> ys{0.0, 1.0, 0.0, 1.0};
+    const auto rise = num::firstCrossing(xs, ys, 0.5, /*rising=*/true);
+    ASSERT_TRUE(rise.has_value());
+    EXPECT_NEAR(*rise, 0.5, 1e-12);
+    const auto fall = num::firstCrossing(xs, ys, 0.5, /*rising=*/false);
+    ASSERT_TRUE(fall.has_value());
+    EXPECT_NEAR(*fall, 1.5, 1e-12);
+    const auto later = num::firstCrossing(xs, ys, 0.5, /*rising=*/true, 1.0);
+    ASSERT_TRUE(later.has_value());
+    EXPECT_NEAR(*later, 2.5, 1e-12);
+    EXPECT_FALSE(num::firstCrossing(xs, ys, 2.0, true).has_value());
+}
+
+TEST(Interp, Trapezoid) {
+    EXPECT_NEAR(num::trapezoid({0.0, 1.0, 2.0}, {0.0, 1.0, 0.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, RunningStatsMoments) {
+    num::RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, Percentile) {
+    std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_NEAR(num::percentile(v, 0.0), 1.0, 1e-12);
+    EXPECT_NEAR(num::percentile(v, 100.0), 4.0, 1e-12);
+    EXPECT_NEAR(num::percentile(v, 50.0), 2.5, 1e-12);
+    EXPECT_THROW(num::percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(Rng, DeterministicAndBounded) {
+    num::Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+    num::Rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        const int k = r.uniformInt(-3, 3);
+        EXPECT_GE(k, -3);
+        EXPECT_LE(k, 3);
+    }
+}
+
+TEST(Rng, NormalMoments) {
+    num::Rng r(99);
+    num::RunningStats s;
+    for (int i = 0; i < 20000; ++i) s.add(r.normal(1.5, 2.0));
+    EXPECT_NEAR(s.mean(), 1.5, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}

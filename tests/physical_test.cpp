@@ -1,0 +1,144 @@
+// Physical-effects extensions: FeFET endurance (wake-up/fatigue), process
+// corners, and the distributed matchline model.
+#include <gtest/gtest.h>
+
+#include "array/word_sim.hpp"
+#include "array/energy_model.hpp"
+#include "device/fefet.hpp"
+#include "device/tech.hpp"
+
+using namespace fetcam;
+
+namespace {
+const device::TechCard kTech = device::TechCard::cmos45();
+}
+
+TEST(Endurance, WakeupThenFatigue) {
+    device::PreisachBank bank(kTech.fefet.ferro);
+    const double pristine = bank.enduranceFactor(0.0);
+    const double wokeUp = bank.enduranceFactor(1e4);
+    const double plateau = bank.enduranceFactor(1e5);
+    const double fatigued = bank.enduranceFactor(1e9);
+    const double deep = bank.enduranceFactor(1e15);
+    EXPECT_LT(pristine, 1.0);
+    EXPECT_NEAR(wokeUp, 1.0, 1e-9);
+    EXPECT_NEAR(plateau, 1.0, 1e-9);
+    EXPECT_LT(fatigued, plateau);
+    EXPECT_GE(deep, kTech.fefet.ferro.fatigueFloor);  // floored
+    EXPECT_THROW(bank.enduranceFactor(-1.0), std::invalid_argument);
+}
+
+TEST(Endurance, ScalesPolarizationAndVtWindow) {
+    spice::Circuit c;
+    auto& fet = c.add<device::FeFet>("F", c.node("g"), c.node("d"), spice::kGround,
+                                     kTech.fefet);
+    fet.setPolarization(1.0);
+    const double vtFresh = fet.vtEff();
+    fet.setCyclingHistory(1e10);
+    EXPECT_LT(fet.pnorm(), 1.0);
+    EXPECT_GT(fet.vtEff(), vtFresh);  // window closes toward the mid VT
+}
+
+TEST(Endurance, MonotoneFatigueBeyondOnset) {
+    device::PreisachBank bank(kTech.fefet.ferro);
+    double prev = 1.0;
+    for (double n = 1e6; n <= 1e14; n *= 100.0) {
+        const double f = bank.enduranceFactor(n);
+        EXPECT_LE(f, prev);
+        prev = f;
+    }
+}
+
+TEST(Corners, SkewDirections) {
+    const auto tt = kTech.atCorner(device::Corner::TT);
+    const auto ff = kTech.atCorner(device::Corner::FF);
+    const auto ss = kTech.atCorner(device::Corner::SS);
+    const auto fs = kTech.atCorner(device::Corner::FS);
+    EXPECT_DOUBLE_EQ(tt.nmos.vt0, kTech.nmos.vt0);
+    EXPECT_LT(ff.nmos.vt0, kTech.nmos.vt0);
+    EXPECT_GT(ff.nmos.kp, kTech.nmos.kp);
+    EXPECT_GT(ss.nmos.vt0, kTech.nmos.vt0);
+    EXPECT_LT(ss.pmos.kp, kTech.pmos.kp);
+    EXPECT_LT(fs.nmos.vt0, kTech.nmos.vt0);
+    EXPECT_GT(fs.pmos.vt0, kTech.pmos.vt0);
+    // FeFET channel follows NMOS; ferroelectric untouched.
+    EXPECT_LT(ff.fefet.mos.vt0, kTech.fefet.mos.vt0);
+    EXPECT_DOUBLE_EQ(ff.fefet.ferro.vcMean, kTech.fefet.ferro.vcMean);
+}
+
+TEST(Corners, SearchFunctionalAtAllCorners) {
+    for (const auto corner : {device::Corner::TT, device::Corner::FF, device::Corner::SS,
+                              device::Corner::FS, device::Corner::SF}) {
+        array::WordSimOptions o;
+        o.tech = kTech.atCorner(corner);
+        o.config.cell = tcam::CellKind::FeFet2;
+        o.config.wordBits = 8;
+        o.stored = array::calibrationWord(8);
+        o.key = o.stored;
+        EXPECT_TRUE(simulateWordSearch(o).matchDetected) << cornerName(corner);
+        o.key = array::keyWithMismatches(o.stored, 1);
+        EXPECT_FALSE(simulateWordSearch(o).matchDetected) << cornerName(corner);
+    }
+}
+
+TEST(Corners, SlowCornerIsSlower) {
+    auto run = [&](device::Corner corner) {
+        array::WordSimOptions o;
+        o.tech = kTech.atCorner(corner);
+        o.config.cell = tcam::CellKind::FeFet2;
+        o.config.wordBits = 16;
+        o.stored = array::calibrationWord(16);
+        o.key = array::keyWithMismatches(o.stored, 1);
+        return *simulateWordSearch(o).detectDelay;
+    };
+    EXPECT_GT(run(device::Corner::SS), run(device::Corner::TT));
+    EXPECT_GT(run(device::Corner::TT), run(device::Corner::FF));
+}
+
+TEST(DistributedMl, AgreesWithLumpedAtSmallWidth) {
+    array::WordSimOptions o;
+    o.config.cell = tcam::CellKind::FeFet2;
+    o.config.wordBits = 8;
+    o.stored = array::calibrationWord(8);
+    o.key = array::keyWithMismatches(o.stored, 1);
+    const auto lumped = simulateWordSearch(o);
+    o.config.distributedMl = true;
+    const auto dist = simulateWordSearch(o);
+    ASSERT_TRUE(lumped.detectDelay && dist.detectDelay);
+    EXPECT_FALSE(dist.matchDetected);
+    // At 8 cells the wire RC is negligible: within ~15%.
+    EXPECT_NEAR(*dist.detectDelay, *lumped.detectDelay, 0.15 * *lumped.detectDelay);
+    EXPECT_NEAR(dist.energyMl, lumped.energyMl, 0.15 * lumped.energyMl);
+}
+
+TEST(DistributedMl, WideWordsShowWireDelay) {
+    array::WordSimOptions o;
+    o.config.cell = tcam::CellKind::FeFet2;
+    o.config.wordBits = 128;
+    o.stored = array::calibrationWord(128);
+    // Mismatch at the FAR end of the line from the sense amp: worst case.
+    o.key = o.stored;
+    for (std::size_t i = o.stored.size(); i-- > 0;) {
+        if (o.stored[i] == tcam::Trit::X) continue;
+        o.key[i] = o.stored[i] == tcam::Trit::One ? tcam::Trit::Zero : tcam::Trit::One;
+        break;
+    }
+    const auto lumped = simulateWordSearch(o);
+    o.config.distributedMl = true;
+    const auto dist = simulateWordSearch(o);
+    ASSERT_TRUE(lumped.detectDelay && dist.detectDelay);
+    EXPECT_GT(*dist.detectDelay, *lumped.detectDelay);  // wire RC adds delay
+    EXPECT_FALSE(dist.matchDetected);                   // still functional
+}
+
+TEST(DistributedMl, MatchCaseStillHolds) {
+    array::WordSimOptions o;
+    o.config.cell = tcam::CellKind::FeFet2;
+    o.config.wordBits = 32;
+    o.config.distributedMl = true;
+    o.stored = array::calibrationWord(32);
+    o.key = o.stored;
+    const auto r = simulateWordSearch(o);
+    EXPECT_TRUE(r.matchDetected);
+    EXPECT_GT(r.mlAtSense, 0.9);
+}

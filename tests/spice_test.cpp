@@ -1,0 +1,201 @@
+// Integration tests for the MNA engine: DC solutions against hand-derived
+// circuits, transients against analytic RC responses, energy bookkeeping
+// against Tellegen's theorem.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/passives.hpp"
+#include "device/sources.hpp"
+#include "spice/circuit.hpp"
+#include "spice/dcop.hpp"
+#include "spice/transient.hpp"
+
+using namespace fetcam;
+using device::Capacitor;
+using device::CurrentSource;
+using device::Resistor;
+using device::SourceWave;
+using device::VoltageSource;
+
+TEST(DcOp, VoltageDivider) {
+    spice::Circuit c;
+    const auto vin = c.node("in");
+    const auto mid = c.node("mid");
+    c.add<VoltageSource>("V1", c, vin, spice::kGround, SourceWave::dc(3.0));
+    c.add<Resistor>("R1", vin, mid, 1000.0);
+    c.add<Resistor>("R2", mid, spice::kGround, 2000.0);
+
+    const auto op = spice::solveDcOp(c);
+    ASSERT_TRUE(op.converged);
+    EXPECT_NEAR(op.v(vin), 3.0, 1e-9);
+    EXPECT_NEAR(op.v(mid), 2.0, 1e-6);
+}
+
+TEST(DcOp, CurrentSourceIntoResistor) {
+    spice::Circuit c;
+    const auto n1 = c.node("n1");
+    // 1 mA pushed from ground into n1 through the source, 1 kOhm to ground.
+    c.add<CurrentSource>("I1", spice::kGround, n1, SourceWave::dc(1e-3));
+    c.add<Resistor>("R1", n1, spice::kGround, 1000.0);
+    const auto op = spice::solveDcOp(c);
+    ASSERT_TRUE(op.converged);
+    EXPECT_NEAR(op.v(n1), 1.0, 1e-6);
+}
+
+TEST(DcOp, VoltageSourceBranchCurrent) {
+    spice::Circuit c;
+    const auto vin = c.node("in");
+    auto& vs = c.add<VoltageSource>("V1", c, vin, spice::kGround, SourceWave::dc(1.0));
+    c.add<Resistor>("R1", vin, spice::kGround, 1000.0);
+    const auto op = spice::solveDcOp(c);
+    ASSERT_TRUE(op.converged);
+    // Branch current flows p -> source -> n; the source pushes 1 mA out of
+    // its + terminal, so the branch unknown is -1 mA.
+    EXPECT_NEAR(op.x[static_cast<std::size_t>(c.numNodes() - 1 + vs.branch())], -1e-3, 1e-9);
+}
+
+TEST(Transient, RcChargeMatchesAnalytic) {
+    // 10k * 100f = 1 ns time constant.
+    const double r = 10e3, cap = 100e-15, tau = r * cap;
+    spice::Circuit c;
+    const auto vin = c.node("in");
+    const auto out = c.node("out");
+    c.add<VoltageSource>("V1", c, vin, spice::kGround,
+                         SourceWave::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0));
+    c.add<Resistor>("R1", vin, out, r);
+    c.add<Capacitor>("C1", out, spice::kGround, cap);
+
+    spice::TransientSpec spec;
+    spec.tstop = 8.0 * tau;
+    spec.dtMax = tau / 50.0;
+    const auto res = runTransient(c, spec);
+    ASSERT_TRUE(res.finished);
+
+    for (double t : {0.5 * tau, 1.0 * tau, 2.0 * tau, 5.0 * tau}) {
+        const double expected = 1.0 - std::exp(-t / tau);
+        EXPECT_NEAR(res.waveforms.nodeAt(out, t), expected, 0.01)
+            << "at t=" << t;
+    }
+    EXPECT_NEAR(res.waveforms.finalNode(out), 1.0, 1e-3);
+}
+
+TEST(Transient, RcEnergyBookkeeping) {
+    const double r = 10e3, cap = 100e-15, tau = r * cap;
+    spice::Circuit c;
+    const auto vin = c.node("in");
+    const auto out = c.node("out");
+    auto& vs = c.add<VoltageSource>("V1", c, vin, spice::kGround,
+                                    SourceWave::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0));
+    auto& res1 = c.add<Resistor>("R1", vin, out, r);
+    auto& cap1 = c.add<Capacitor>("C1", out, spice::kGround, cap);
+
+    spice::TransientSpec spec;
+    spec.tstop = 12.0 * tau;
+    spec.dtMax = tau / 100.0;
+    const auto tr = runTransient(c, spec);
+    ASSERT_TRUE(tr.finished);
+
+    const double e = cap * 1.0 * 1.0;  // C*V^2 drawn from the supply
+    EXPECT_NEAR(vs.deliveredEnergy(), e, 0.02 * e);
+    EXPECT_NEAR(res1.energy(), 0.5 * e, 0.02 * e);
+    EXPECT_NEAR(cap1.energy(), 0.5 * e, 0.02 * e);
+    EXPECT_NEAR(cap1.storedEnergy(), 0.5 * e, 0.02 * e);
+    // Tellegen: the sum of absorbed energies over all devices is ~0.
+    EXPECT_NEAR(c.totalEnergy(), 0.0, 1e-3 * e);
+}
+
+TEST(Transient, UicDischarge) {
+    const double r = 1e3, cap = 1e-12, tau = r * cap;
+    spice::Circuit c;
+    const auto n1 = c.node("n1");
+    c.add<Resistor>("R1", n1, spice::kGround, r);
+    c.add<Capacitor>("C1", n1, spice::kGround, cap);
+
+    spice::TransientSpec spec;
+    spec.tstop = 5.0 * tau;
+    spec.dtMax = tau / 50.0;
+    spec.initialConditions = {{n1, 1.0}};
+    const auto res = runTransient(c, spec);
+    EXPECT_NEAR(res.waveforms.nodeAt(n1, tau), std::exp(-1.0), 0.01);
+    EXPECT_NEAR(res.waveforms.nodeAt(n1, 3.0 * tau), std::exp(-3.0), 0.01);
+}
+
+TEST(Transient, PwlSourceFollowed) {
+    spice::Circuit c;
+    const auto vin = c.node("in");
+    c.add<VoltageSource>(
+        "V1", c, vin, spice::kGround,
+        SourceWave::pwl({0.0, 1e-9, 2e-9, 3e-9}, {0.0, 1.0, 1.0, -0.5}));
+    c.add<Resistor>("R1", vin, spice::kGround, 1e6);
+
+    spice::TransientSpec spec;
+    spec.tstop = 4e-9;
+    spec.dtMax = 0.05e-9;
+    const auto res = runTransient(c, spec);
+    EXPECT_NEAR(res.waveforms.nodeAt(vin, 0.5e-9), 0.5, 1e-6);
+    EXPECT_NEAR(res.waveforms.nodeAt(vin, 1.5e-9), 1.0, 1e-6);
+    EXPECT_NEAR(res.waveforms.nodeAt(vin, 2.5e-9), 0.25, 1e-6);
+    EXPECT_NEAR(res.waveforms.nodeAt(vin, 3.5e-9), -0.5, 1e-6);
+}
+
+TEST(Transient, BreakpointsAreHit) {
+    spice::Circuit c;
+    const auto vin = c.node("in");
+    c.add<VoltageSource>("V1", c, vin, spice::kGround,
+                         SourceWave::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 0.5e-9));
+    c.add<Resistor>("R1", vin, spice::kGround, 1e3);
+
+    spice::TransientSpec spec;
+    spec.tstop = 3e-9;
+    spec.dtMax = 0.4e-9;  // much coarser than the pulse edges
+    const auto res = runTransient(c, spec);
+    // The pulse must still be fully resolved because edges are breakpoints.
+    EXPECT_NEAR(res.waveforms.nodeAt(vin, 1.35e-9), 1.0, 1e-6);
+    EXPECT_NEAR(res.waveforms.nodeAt(vin, 2.5e-9), 0.0, 1e-6);
+}
+
+TEST(Transient, RejectsBadSpec) {
+    spice::Circuit c;
+    c.add<Resistor>("R1", c.node("a"), spice::kGround, 1.0);
+    spice::TransientSpec spec;
+    spec.tstop = 0.0;
+    spec.dtMax = 1e-9;
+    EXPECT_THROW(runTransient(c, spec), std::invalid_argument);
+    spec.tstop = 1e-9;
+    spec.dtMax = 0.0;
+    EXPECT_THROW(runTransient(c, spec), std::invalid_argument);
+}
+
+TEST(Circuit, NodeNamingAndLookup) {
+    spice::Circuit c;
+    EXPECT_EQ(c.node("0"), spice::kGround);
+    EXPECT_EQ(c.node("gnd"), spice::kGround);
+    const auto a = c.node("a");
+    EXPECT_EQ(c.node("a"), a);
+    EXPECT_NE(c.internalNode("x"), c.internalNode("x"));
+    EXPECT_TRUE(c.hasNode("a"));
+    EXPECT_FALSE(c.hasNode("zzz"));
+    EXPECT_THROW(c.findNode("zzz"), std::out_of_range);
+    EXPECT_EQ(c.nodeName(a), "a");
+}
+
+TEST(Circuit, FindDevice) {
+    spice::Circuit c;
+    c.add<Resistor>("R1", c.node("a"), spice::kGround, 1.0);
+    EXPECT_NE(c.findDevice("R1"), nullptr);
+    EXPECT_EQ(c.findDevice("R2"), nullptr);
+}
+
+TEST(Waveforms, InterpolationAndPeak) {
+    spice::Waveforms w(2, 0);
+    w.record(0.0, {0.0});
+    w.record(1.0, {2.0});
+    w.record(2.0, {-4.0});
+    EXPECT_DOUBLE_EQ(w.nodeAt(1, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(w.nodeAt(1, 1.5), -1.0);
+    EXPECT_DOUBLE_EQ(w.nodeAt(1, 99.0), -4.0);
+    EXPECT_DOUBLE_EQ(w.peakNode(1), 4.0);
+    EXPECT_DOUBLE_EQ(w.finalNode(1), -4.0);
+    EXPECT_DOUBLE_EQ(w.nodeAt(spice::kGround, 1.0), 0.0);
+}

@@ -1,0 +1,169 @@
+// Systematic parameterized sweeps: hardware invariants that must hold at
+// every point of the operating grid, not just the calibration cases.
+#include <gtest/gtest.h>
+
+#include "array/energy_model.hpp"
+#include "array/word_sim.hpp"
+
+using namespace fetcam;
+using tcam::CellKind;
+
+// ---------------------------------------------------------------------------
+// A single-bit mismatch must be detected wherever it falls in the word.
+// ---------------------------------------------------------------------------
+
+struct PositionCase {
+    CellKind cell;
+    int position;
+};
+
+class MismatchPosition : public ::testing::TestWithParam<PositionCase> {};
+
+TEST_P(MismatchPosition, DetectedAnywhere) {
+    const auto [cell, pos] = GetParam();
+    array::WordSimOptions o;
+    o.config.cell = cell;
+    o.config.wordBits = 8;
+    o.stored = array::calibrationWord(8);
+    o.key = o.stored;
+    o.key[static_cast<std::size_t>(pos)] =
+        o.stored[static_cast<std::size_t>(pos)] == tcam::Trit::One ? tcam::Trit::Zero
+                                                                   : tcam::Trit::One;
+    const auto r = simulateWordSearch(o);
+    EXPECT_FALSE(r.expectedMatch);
+    EXPECT_FALSE(r.matchDetected) << cellKindName(cell) << " pos=" << pos;
+}
+
+static std::vector<PositionCase> positionGrid() {
+    std::vector<PositionCase> cases;
+    for (const auto c : {CellKind::Cmos16T, CellKind::ReRam2T2R, CellKind::FeFet2,
+                         CellKind::FeFet2Nand})
+        for (int p = 0; p < 8; ++p) cases.push_back({c, p});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCellsAllPositions, MismatchPosition,
+                         ::testing::ValuesIn(positionGrid()));
+
+// ---------------------------------------------------------------------------
+// Any mismatch multiplicity must be detected; detection never slows down as
+// more bits mismatch (more parallel pulldowns).
+// ---------------------------------------------------------------------------
+
+class MismatchCount : public ::testing::TestWithParam<int> {};
+
+TEST_P(MismatchCount, DetectedAndMonotone) {
+    const int k = GetParam();
+    array::WordSimOptions o;
+    o.config.cell = CellKind::FeFet2;
+    o.config.wordBits = 16;
+    o.stored = array::calibrationWord(16);
+    o.key = array::keyWithMismatches(o.stored, k);
+    const auto r = simulateWordSearch(o);
+    EXPECT_FALSE(r.matchDetected);
+    ASSERT_TRUE(r.detectDelay.has_value());
+
+    if (k > 1) {
+        auto o1 = o;
+        o1.key = array::keyWithMismatches(o.stored, 1);
+        const auto r1 = simulateWordSearch(o1);
+        ASSERT_TRUE(r1.detectDelay.has_value());
+        EXPECT_LE(*r.detectDelay, *r1.detectDelay * 1.05);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, MismatchCount, ::testing::Values(1, 2, 4, 8, 16));
+
+// ---------------------------------------------------------------------------
+// Functionality across word widths.
+// ---------------------------------------------------------------------------
+
+struct WidthCase {
+    CellKind cell;
+    int bits;
+};
+
+class WidthFunctional : public ::testing::TestWithParam<WidthCase> {};
+
+TEST_P(WidthFunctional, MatchAndMismatchCorrect) {
+    const auto [cell, bits] = GetParam();
+    array::WordSimOptions o;
+    o.config.cell = cell;
+    o.config.wordBits = bits;
+    o.stored = array::calibrationWord(bits);
+    o.key = o.stored;
+    EXPECT_TRUE(simulateWordSearch(o).correct());
+    o.key = array::keyWithMismatches(o.stored, 1);
+    EXPECT_TRUE(simulateWordSearch(o).correct());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WidthFunctional,
+    ::testing::Values(WidthCase{CellKind::Cmos16T, 4}, WidthCase{CellKind::Cmos16T, 32},
+                      WidthCase{CellKind::ReRam2T2R, 4}, WidthCase{CellKind::ReRam2T2R, 32},
+                      WidthCase{CellKind::FeFet2, 4}, WidthCase{CellKind::FeFet2, 32},
+                      WidthCase{CellKind::FeFet2, 64}, WidthCase{CellKind::FeFet2Nand, 12}));
+
+// ---------------------------------------------------------------------------
+// Search-voltage scaling: functional down to 0.7 V, SL energy monotone in
+// the swing.
+// ---------------------------------------------------------------------------
+
+TEST(VSearchSweep, FunctionalAndMonotone) {
+    double prevEnergy = 0.0;
+    for (const double vs : {0.7, 0.8, 0.9, 1.0}) {
+        array::WordSimOptions o;
+        o.config.cell = CellKind::FeFet2;
+        o.config.wordBits = 16;
+        o.config.vSearch = vs;
+        o.stored = array::calibrationWord(16);
+        o.key = array::keyWithMismatches(o.stored, 1);
+        const auto r = simulateWordSearch(o);
+        EXPECT_FALSE(r.matchDetected) << "vSearch=" << vs;
+        EXPECT_GT(r.energySl, prevEnergy) << "vSearch=" << vs;
+        prevEnergy = r.energySl;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Array model scaling laws.
+// ---------------------------------------------------------------------------
+
+TEST(ArrayScaling, EnergyGrowsNearLinearlyWithRows) {
+    const auto tech = device::TechCard::cmos45();
+    array::ArrayConfig cfg;
+    cfg.cell = CellKind::FeFet2;
+    cfg.wordBits = 16;
+    cfg.rows = 32;
+    const double e32 = evaluateArray(tech, cfg).perSearch.total();
+    cfg.rows = 128;
+    const double e128 = evaluateArray(tech, cfg).perSearch.total();
+    EXPECT_NEAR(e128 / e32, 4.0, 0.5);  // ~linear in rows
+}
+
+TEST(ArrayScaling, MatchFractionReducesEnergy) {
+    // More matching rows -> fewer discharging matchlines -> less energy.
+    const auto tech = device::TechCard::cmos45();
+    array::ArrayConfig cfg;
+    cfg.cell = CellKind::FeFet2;
+    cfg.wordBits = 16;
+    cfg.rows = 64;
+    array::WorkloadProfile few, many;
+    few.matchRowFraction = 1.0 / 64.0;
+    many.matchRowFraction = 0.5;
+    EXPECT_GT(evaluateArray(tech, cfg, few).perSearch.total(),
+              evaluateArray(tech, cfg, many).perSearch.total());
+}
+
+TEST(ArrayScaling, NandArrayEnergyAdvantageHolds) {
+    const auto tech = device::TechCard::cmos45();
+    array::ArrayConfig nor, nand;
+    nor.cell = CellKind::FeFet2;
+    nand.cell = CellKind::FeFet2Nand;
+    nor.wordBits = nand.wordBits = 8;
+    nor.rows = nand.rows = 64;
+    const auto mNor = evaluateArray(tech, nor);
+    const auto mNand = evaluateArray(tech, nand);
+    EXPECT_TRUE(mNand.functional);
+    EXPECT_LT(mNand.perSearch.total(), mNor.perSearch.total() / 2.0);
+}

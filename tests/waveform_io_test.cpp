@@ -1,0 +1,69 @@
+// Waveform CSV export/import round trip.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "spice/waveform_io.hpp"
+
+using namespace fetcam::spice;
+
+namespace {
+
+Waveforms sampleWaves() {
+    Waveforms w(3, 0);  // nodes 1 and 2 usable
+    w.record(0.0, {0.0, 1.0});
+    w.record(1e-9, {0.5, 0.8});
+    w.record(2e-9, {1.0, 0.2});
+    return w;
+}
+
+}  // namespace
+
+TEST(WaveformIo, CsvRoundTrip) {
+    const auto w = sampleWaves();
+    std::stringstream ss;
+    writeCsv(ss, w, {{"a", 1}, {"b", 2}});
+    const auto data = readCsv(ss);
+    ASSERT_EQ(data.header.size(), 3u);
+    EXPECT_EQ(data.header[0], "time");
+    EXPECT_EQ(data.header[1], "a");
+    EXPECT_EQ(data.header[2], "b");
+    ASSERT_EQ(data.rows.size(), 3u);
+    EXPECT_DOUBLE_EQ(data.rows[1][0], 1e-9);
+    EXPECT_DOUBLE_EQ(data.rows[1][1], 0.5);
+    EXPECT_DOUBLE_EQ(data.rows[2][2], 0.2);
+}
+
+TEST(WaveformIo, UniformResampling) {
+    const auto w = sampleWaves();
+    std::stringstream ss;
+    writeCsvUniform(ss, w, {{"a", 1}}, 5);
+    const auto data = readCsv(ss);
+    ASSERT_EQ(data.rows.size(), 5u);
+    EXPECT_DOUBLE_EQ(data.rows[0][0], 0.0);
+    EXPECT_DOUBLE_EQ(data.rows[4][0], 2e-9);
+    // Midpoint interpolates linearly: t=1e-9 exactly on a sample.
+    EXPECT_NEAR(data.rows[2][1], 0.5, 1e-12);
+    EXPECT_THROW(writeCsvUniform(ss, w, {{"a", 1}}, 1), std::invalid_argument);
+}
+
+TEST(WaveformIo, FileWriteAndErrors) {
+    const auto w = sampleWaves();
+    const std::string path = "/tmp/fetcam_wave_test.csv";
+    writeCsvFile(path, w, {{"a", 1}});
+    std::ifstream in(path);
+    const auto data = readCsv(in);
+    EXPECT_EQ(data.rows.size(), 3u);
+    EXPECT_THROW(writeCsvFile("/nonexistent_dir_zz/x.csv", w, {{"a", 1}}),
+                 std::runtime_error);
+}
+
+TEST(WaveformIo, ReaderRejectsMalformed) {
+    std::stringstream empty;
+    EXPECT_THROW(readCsv(empty), std::runtime_error);
+    std::stringstream bad("time,a\n1,notanumber\n");
+    EXPECT_THROW(readCsv(bad), std::runtime_error);
+    std::stringstream ragged("time,a\n1\n");
+    EXPECT_THROW(readCsv(ragged), std::runtime_error);
+}

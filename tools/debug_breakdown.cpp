@@ -1,0 +1,29 @@
+// Developer diagnostic: per-design energy breakdown at word level and array
+// level. Not part of the shipped benches.
+#include <cstdio>
+
+#include "core/design_space.hpp"
+
+using namespace fetcam;
+
+int main() {
+    const auto tech = device::TechCard::cmos45();
+    const auto designs = core::standardDesigns(16, 64);
+    std::printf("%-22s %10s %10s %10s %10s | %12s %12s %12s | func margin\n", "design",
+                "word eMl", "word eSl", "word eSa", "word tot", "arr ML", "arr SL",
+                "arr SA");
+    for (const auto& d : designs) {
+        const auto m = evaluateArray(tech, d.config);
+        const auto& mm = m.mismatchWord;
+        std::printf(
+            "%-22s %9.2ffJ %9.2ffJ %9.2ffJ %9.2ffJ | %10.2ffJ %10.2ffJ %10.2ffJ | %d  %.3f\n",
+            d.name.c_str(), mm.energyMl * 1e15, mm.energySl * 1e15, mm.energySa * 1e15,
+            mm.energyTotal * 1e15, m.perSearch.ml * 1e15, m.perSearch.sl * 1e15,
+            m.perSearch.sa * 1e15, m.functional, m.senseMarginV);
+        const auto& ma = m.matchWord;
+        std::printf("%-22s %9.2ffJ %9.2ffJ %9.2ffJ %9.2ffJ   (match word)\n", "",
+                    ma.energyMl * 1e15, ma.energySl * 1e15, ma.energySa * 1e15,
+                    ma.energyTotal * 1e15);
+    }
+    return 0;
+}

@@ -1,0 +1,184 @@
+// fetcam_sim — command-line circuit simulator front-end.
+//
+// Usage:
+//   fetcam_sim op <netlist.sp>
+//   fetcam_sim tran <netlist.sp> --tstop 10n [--dtmax 10p] [--ic node=V ...]
+//                   [--probe n1,n2,...] [--csv out.csv]
+//   fetcam_sim ac <netlist.sp> --from 1k --to 1g [--ppd 10] --probe out
+//   fetcam_sim describe <netlist.sp>
+//
+// Netlist grammar: see src/device/netlist.hpp (R C L V I M F X Y E G,
+// .subckt/.ends). Numbers accept SPICE suffixes (10k, 100f, 5n).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fetcam.hpp"
+#include "spice/waveform_io.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+std::string readFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open '" + path + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::vector<std::string> splitCsvList(const std::string& s) {
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty()) out.push_back(item);
+    return out;
+}
+
+struct Args {
+    std::string command;
+    std::string netlistPath;
+    double tstop = 0.0;
+    double dtmax = 0.0;
+    double fFrom = 1e3, fTo = 1e9;
+    int ppd = 10;
+    std::vector<std::string> probes;
+    std::vector<std::pair<std::string, double>> ics;
+    std::string csvPath;
+};
+
+Args parseArgs(int argc, char** argv) {
+    if (argc < 3) throw std::runtime_error("usage: fetcam_sim <op|tran|ac|describe> "
+                                           "<netlist> [options]");
+    Args a;
+    a.command = argv[1];
+    a.netlistPath = argv[2];
+    for (int i = 3; i < argc; ++i) {
+        const std::string opt = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc) throw std::runtime_error("missing value after " + opt);
+            return argv[i];
+        };
+        if (opt == "--tstop") {
+            a.tstop = device::parseSpiceNumber(next());
+        } else if (opt == "--dtmax") {
+            a.dtmax = device::parseSpiceNumber(next());
+        } else if (opt == "--from") {
+            a.fFrom = device::parseSpiceNumber(next());
+        } else if (opt == "--to") {
+            a.fTo = device::parseSpiceNumber(next());
+        } else if (opt == "--ppd") {
+            a.ppd = static_cast<int>(device::parseSpiceNumber(next()));
+        } else if (opt == "--probe") {
+            for (auto& p : splitCsvList(next())) a.probes.push_back(p);
+        } else if (opt == "--csv") {
+            a.csvPath = next();
+        } else if (opt == "--ic") {
+            const std::string kv = next();
+            const auto eq = kv.find('=');
+            if (eq == std::string::npos) throw std::runtime_error("--ic expects node=V");
+            a.ics.emplace_back(kv.substr(0, eq),
+                               device::parseSpiceNumber(kv.substr(eq + 1)));
+        } else {
+            throw std::runtime_error("unknown option " + opt);
+        }
+    }
+    return a;
+}
+
+int runOp(spice::Circuit& c) {
+    const auto op = solveDcOp(c);
+    if (!op.converged) {
+        std::fprintf(stderr, "DC operating point did not converge\n");
+        return 2;
+    }
+    std::printf("node voltages (gmin=%g, %d Newton iterations):\n", op.finalGmin,
+                op.totalIterations);
+    for (spice::NodeId n = 1; n < c.numNodes(); ++n)
+        std::printf("  %-20s %12.6f V\n", c.nodeName(n).c_str(), op.v(n));
+    return 0;
+}
+
+int runTran(spice::Circuit& c, const Args& a) {
+    if (a.tstop <= 0.0) throw std::runtime_error("tran requires --tstop");
+    spice::TransientSpec spec;
+    spec.tstop = a.tstop;
+    spec.dtMax = a.dtmax > 0.0 ? a.dtmax : a.tstop / 1000.0;
+    for (const auto& [name, v] : a.ics) spec.initialConditions.push_back({c.node(name), v});
+    const auto r = runTransient(c, spec);
+    std::printf("transient: %d accepted steps, %d rejected, %d Newton iterations\n",
+                r.acceptedSteps, r.rejectedSteps, r.newtonIterations);
+
+    spice::WaveColumns cols;
+    for (const auto& p : a.probes) cols.emplace_back(p, c.findNode(p));
+    if (cols.empty())
+        for (spice::NodeId n = 1; n < c.numNodes(); ++n)
+            cols.emplace_back(c.nodeName(n), n);
+
+    if (!a.csvPath.empty()) {
+        writeCsvFile(a.csvPath, r.waveforms, cols);
+        std::printf("wrote %zu samples x %zu columns to %s\n", r.waveforms.size(),
+                    cols.size(), a.csvPath.c_str());
+    } else {
+        writeCsvUniform(std::cout, r.waveforms, cols, 21);
+    }
+    // Per-device energy summary.
+    std::printf("\ndevice energies (absorbed):\n");
+    for (const auto& d : c.devices())
+        std::printf("  %-20s %s\n", d->name().c_str(),
+                    core::engFormat(d->energy(), "J").c_str());
+    return 0;
+}
+
+int runAcCmd(spice::Circuit& c, const Args& a) {
+    if (a.probes.empty()) throw std::runtime_error("ac requires --probe");
+    const auto op = solveDcOp(c);
+    if (!op.converged) {
+        std::fprintf(stderr, "DC operating point did not converge\n");
+        return 2;
+    }
+    const auto res = runAc(c, op, spice::AcSpec::logSweep(a.fFrom, a.fTo, a.ppd));
+    std::printf("%-14s", "freq [Hz]");
+    for (const auto& p : a.probes) std::printf("  %14s dB  %9s deg", p.c_str(), p.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < res.points(); ++i) {
+        std::printf("%-14.6g", res.frequencies()[i]);
+        for (const auto& p : a.probes) {
+            const auto n = c.findNode(p);
+            std::printf("  %14.3f     %9.2f    ", res.magnitudeDb(i, n),
+                        res.phaseDeg(i, n));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        const Args a = parseArgs(argc, argv);
+        spice::Circuit c;
+        const auto tech = device::TechCard::cmos45();
+        const int n = parseNetlist(readFile(a.netlistPath), c, tech);
+        std::fprintf(stderr, "parsed %d elements, %d nodes, %d branches\n", n,
+                     c.numNodes() - 1, c.numBranches());
+        if (a.command == "op") return runOp(c);
+        if (a.command == "tran") return runTran(c, a);
+        if (a.command == "ac") return runAcCmd(c, a);
+        if (a.command == "describe") {
+            std::printf("%s", device::describeCircuit(c).c_str());
+            return 0;
+        }
+        throw std::runtime_error("unknown command '" + a.command + "'");
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "fetcam_sim: %s\n", e.what());
+        return 1;
+    }
+}
