@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f10_write.dir/bench_f10_write.cpp.o"
+  "CMakeFiles/bench_f10_write.dir/bench_f10_write.cpp.o.d"
+  "bench_f10_write"
+  "bench_f10_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f11_temperature.dir/bench_f11_temperature.cpp.o"
+  "CMakeFiles/bench_f11_temperature.dir/bench_f11_temperature.cpp.o.d"
+  "bench_f11_temperature"
+  "bench_f11_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f11_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f12_retention.dir/bench_f12_retention.cpp.o"
+  "CMakeFiles/bench_f12_retention.dir/bench_f12_retention.cpp.o.d"
+  "bench_f12_retention"
+  "bench_f12_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f12_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f13_keeper.dir/bench_f13_keeper.cpp.o"
+  "CMakeFiles/bench_f13_keeper.dir/bench_f13_keeper.cpp.o.d"
+  "bench_f13_keeper"
+  "bench_f13_keeper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f13_keeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

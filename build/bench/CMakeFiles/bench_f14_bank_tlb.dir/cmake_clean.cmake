@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f14_bank_tlb.dir/bench_f14_bank_tlb.cpp.o"
+  "CMakeFiles/bench_f14_bank_tlb.dir/bench_f14_bank_tlb.cpp.o.d"
+  "bench_f14_bank_tlb"
+  "bench_f14_bank_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f14_bank_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f16_nor_vs_nand.dir/bench_f16_nor_vs_nand.cpp.o"
+  "CMakeFiles/bench_f16_nor_vs_nand.dir/bench_f16_nor_vs_nand.cpp.o.d"
+  "bench_f16_nor_vs_nand"
+  "bench_f16_nor_vs_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f16_nor_vs_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_f16_nor_vs_nand.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f17_sense_ac.dir/bench_f17_sense_ac.cpp.o"
+  "CMakeFiles/bench_f17_sense_ac.dir/bench_f17_sense_ac.cpp.o.d"
+  "bench_f17_sense_ac"
+  "bench_f17_sense_ac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f17_sense_ac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_f17_sense_ac.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f19_corners.dir/bench_f19_corners.cpp.o"
+  "CMakeFiles/bench_f19_corners.dir/bench_f19_corners.cpp.o.d"
+  "bench_f19_corners"
+  "bench_f19_corners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f19_corners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

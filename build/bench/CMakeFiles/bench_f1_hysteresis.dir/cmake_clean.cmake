@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_hysteresis.dir/bench_f1_hysteresis.cpp.o"
+  "CMakeFiles/bench_f1_hysteresis.dir/bench_f1_hysteresis.cpp.o.d"
+  "bench_f1_hysteresis"
+  "bench_f1_hysteresis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_hysteresis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f20_distributed_ml.dir/bench_f20_distributed_ml.cpp.o"
+  "CMakeFiles/bench_f20_distributed_ml.dir/bench_f20_distributed_ml.cpp.o.d"
+  "bench_f20_distributed_ml"
+  "bench_f20_distributed_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f20_distributed_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f21_disturb.dir/bench_f21_disturb.cpp.o"
+  "CMakeFiles/bench_f21_disturb.dir/bench_f21_disturb.cpp.o.d"
+  "bench_f21_disturb"
+  "bench_f21_disturb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f21_disturb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_waveforms.dir/bench_f2_waveforms.cpp.o"
+  "CMakeFiles/bench_f2_waveforms.dir/bench_f2_waveforms.cpp.o.d"
+  "bench_f2_waveforms"
+  "bench_f2_waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

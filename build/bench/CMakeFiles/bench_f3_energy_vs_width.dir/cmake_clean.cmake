@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_energy_vs_width.dir/bench_f3_energy_vs_width.cpp.o"
+  "CMakeFiles/bench_f3_energy_vs_width.dir/bench_f3_energy_vs_width.cpp.o.d"
+  "bench_f3_energy_vs_width"
+  "bench_f3_energy_vs_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_energy_vs_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_variation.dir/bench_f7_variation.cpp.o"
+  "CMakeFiles/bench_f7_variation.dir/bench_f7_variation.cpp.o.d"
+  "bench_f7_variation"
+  "bench_f7_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_segmentation.dir/bench_f8_segmentation.cpp.o"
+  "CMakeFiles/bench_f8_segmentation.dir/bench_f8_segmentation.cpp.o.d"
+  "bench_f8_segmentation"
+  "bench_f8_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_cell_table.dir/bench_t1_cell_table.cpp.o"
+  "CMakeFiles/bench_t1_cell_table.dir/bench_t1_cell_table.cpp.o.d"
+  "bench_t1_cell_table"
+  "bench_t1_cell_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_cell_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_standby.dir/bench_t3_standby.cpp.o"
+  "CMakeFiles/bench_t3_standby.dir/bench_t3_standby.cpp.o.d"
+  "bench_t3_standby"
+  "bench_t3_standby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_standby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

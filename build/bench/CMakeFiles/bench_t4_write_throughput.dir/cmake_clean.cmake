@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_write_throughput.dir/bench_t4_write_throughput.cpp.o"
+  "CMakeFiles/bench_t4_write_throughput.dir/bench_t4_write_throughput.cpp.o.d"
+  "bench_t4_write_throughput"
+  "bench_t4_write_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_write_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

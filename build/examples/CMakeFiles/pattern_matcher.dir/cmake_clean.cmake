@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_matcher.dir/pattern_matcher.cpp.o"
+  "CMakeFiles/pattern_matcher.dir/pattern_matcher.cpp.o.d"
+  "pattern_matcher"
+  "pattern_matcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

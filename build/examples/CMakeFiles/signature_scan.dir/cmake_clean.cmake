@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_scan.dir/signature_scan.cpp.o"
+  "CMakeFiles/signature_scan.dir/signature_scan.cpp.o.d"
+  "signature_scan"
+  "signature_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

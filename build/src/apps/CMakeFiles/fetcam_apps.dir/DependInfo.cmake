@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/classifier.cpp" "src/apps/CMakeFiles/fetcam_apps.dir/classifier.cpp.o" "gcc" "src/apps/CMakeFiles/fetcam_apps.dir/classifier.cpp.o.d"
+  "/root/repo/src/apps/dictionary.cpp" "src/apps/CMakeFiles/fetcam_apps.dir/dictionary.cpp.o" "gcc" "src/apps/CMakeFiles/fetcam_apps.dir/dictionary.cpp.o.d"
+  "/root/repo/src/apps/hamming.cpp" "src/apps/CMakeFiles/fetcam_apps.dir/hamming.cpp.o" "gcc" "src/apps/CMakeFiles/fetcam_apps.dir/hamming.cpp.o.d"
+  "/root/repo/src/apps/lpm.cpp" "src/apps/CMakeFiles/fetcam_apps.dir/lpm.cpp.o" "gcc" "src/apps/CMakeFiles/fetcam_apps.dir/lpm.cpp.o.d"
+  "/root/repo/src/apps/tlb.cpp" "src/apps/CMakeFiles/fetcam_apps.dir/tlb.cpp.o" "gcc" "src/apps/CMakeFiles/fetcam_apps.dir/tlb.cpp.o.d"
+  "/root/repo/src/apps/workloads.cpp" "src/apps/CMakeFiles/fetcam_apps.dir/workloads.cpp.o" "gcc" "src/apps/CMakeFiles/fetcam_apps.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/array/CMakeFiles/fetcam_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/fetcam_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/fetcam_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/fetcam_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/fetcam_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

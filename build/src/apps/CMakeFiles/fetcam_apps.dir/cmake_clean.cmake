@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetcam_apps.dir/classifier.cpp.o"
+  "CMakeFiles/fetcam_apps.dir/classifier.cpp.o.d"
+  "CMakeFiles/fetcam_apps.dir/dictionary.cpp.o"
+  "CMakeFiles/fetcam_apps.dir/dictionary.cpp.o.d"
+  "CMakeFiles/fetcam_apps.dir/hamming.cpp.o"
+  "CMakeFiles/fetcam_apps.dir/hamming.cpp.o.d"
+  "CMakeFiles/fetcam_apps.dir/lpm.cpp.o"
+  "CMakeFiles/fetcam_apps.dir/lpm.cpp.o.d"
+  "CMakeFiles/fetcam_apps.dir/tlb.cpp.o"
+  "CMakeFiles/fetcam_apps.dir/tlb.cpp.o.d"
+  "CMakeFiles/fetcam_apps.dir/workloads.cpp.o"
+  "CMakeFiles/fetcam_apps.dir/workloads.cpp.o.d"
+  "libfetcam_apps.a"
+  "libfetcam_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetcam_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetcam_array.dir/bank.cpp.o"
+  "CMakeFiles/fetcam_array.dir/bank.cpp.o.d"
+  "CMakeFiles/fetcam_array.dir/energy_model.cpp.o"
+  "CMakeFiles/fetcam_array.dir/energy_model.cpp.o.d"
+  "CMakeFiles/fetcam_array.dir/montecarlo.cpp.o"
+  "CMakeFiles/fetcam_array.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/fetcam_array.dir/word_sim.cpp.o"
+  "CMakeFiles/fetcam_array.dir/word_sim.cpp.o.d"
+  "libfetcam_array.a"
+  "libfetcam_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetcam_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

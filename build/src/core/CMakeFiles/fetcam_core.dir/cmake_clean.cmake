@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetcam_core.dir/design_space.cpp.o"
+  "CMakeFiles/fetcam_core.dir/design_space.cpp.o.d"
+  "CMakeFiles/fetcam_core.dir/report.cpp.o"
+  "CMakeFiles/fetcam_core.dir/report.cpp.o.d"
+  "CMakeFiles/fetcam_core.dir/tcam_macro.cpp.o"
+  "CMakeFiles/fetcam_core.dir/tcam_macro.cpp.o.d"
+  "CMakeFiles/fetcam_core.dir/tuner.cpp.o"
+  "CMakeFiles/fetcam_core.dir/tuner.cpp.o.d"
+  "libfetcam_core.a"
+  "libfetcam_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetcam_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/extras.cpp" "src/device/CMakeFiles/fetcam_device.dir/extras.cpp.o" "gcc" "src/device/CMakeFiles/fetcam_device.dir/extras.cpp.o.d"
+  "/root/repo/src/device/fefet.cpp" "src/device/CMakeFiles/fetcam_device.dir/fefet.cpp.o" "gcc" "src/device/CMakeFiles/fetcam_device.dir/fefet.cpp.o.d"
+  "/root/repo/src/device/ferro.cpp" "src/device/CMakeFiles/fetcam_device.dir/ferro.cpp.o" "gcc" "src/device/CMakeFiles/fetcam_device.dir/ferro.cpp.o.d"
+  "/root/repo/src/device/mosfet.cpp" "src/device/CMakeFiles/fetcam_device.dir/mosfet.cpp.o" "gcc" "src/device/CMakeFiles/fetcam_device.dir/mosfet.cpp.o.d"
+  "/root/repo/src/device/netlist.cpp" "src/device/CMakeFiles/fetcam_device.dir/netlist.cpp.o" "gcc" "src/device/CMakeFiles/fetcam_device.dir/netlist.cpp.o.d"
+  "/root/repo/src/device/passives.cpp" "src/device/CMakeFiles/fetcam_device.dir/passives.cpp.o" "gcc" "src/device/CMakeFiles/fetcam_device.dir/passives.cpp.o.d"
+  "/root/repo/src/device/reram.cpp" "src/device/CMakeFiles/fetcam_device.dir/reram.cpp.o" "gcc" "src/device/CMakeFiles/fetcam_device.dir/reram.cpp.o.d"
+  "/root/repo/src/device/sources.cpp" "src/device/CMakeFiles/fetcam_device.dir/sources.cpp.o" "gcc" "src/device/CMakeFiles/fetcam_device.dir/sources.cpp.o.d"
+  "/root/repo/src/device/tech.cpp" "src/device/CMakeFiles/fetcam_device.dir/tech.cpp.o" "gcc" "src/device/CMakeFiles/fetcam_device.dir/tech.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/fetcam_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/fetcam_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

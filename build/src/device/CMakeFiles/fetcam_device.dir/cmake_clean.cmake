@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetcam_device.dir/extras.cpp.o"
+  "CMakeFiles/fetcam_device.dir/extras.cpp.o.d"
+  "CMakeFiles/fetcam_device.dir/fefet.cpp.o"
+  "CMakeFiles/fetcam_device.dir/fefet.cpp.o.d"
+  "CMakeFiles/fetcam_device.dir/ferro.cpp.o"
+  "CMakeFiles/fetcam_device.dir/ferro.cpp.o.d"
+  "CMakeFiles/fetcam_device.dir/mosfet.cpp.o"
+  "CMakeFiles/fetcam_device.dir/mosfet.cpp.o.d"
+  "CMakeFiles/fetcam_device.dir/netlist.cpp.o"
+  "CMakeFiles/fetcam_device.dir/netlist.cpp.o.d"
+  "CMakeFiles/fetcam_device.dir/passives.cpp.o"
+  "CMakeFiles/fetcam_device.dir/passives.cpp.o.d"
+  "CMakeFiles/fetcam_device.dir/reram.cpp.o"
+  "CMakeFiles/fetcam_device.dir/reram.cpp.o.d"
+  "CMakeFiles/fetcam_device.dir/sources.cpp.o"
+  "CMakeFiles/fetcam_device.dir/sources.cpp.o.d"
+  "CMakeFiles/fetcam_device.dir/tech.cpp.o"
+  "CMakeFiles/fetcam_device.dir/tech.cpp.o.d"
+  "libfetcam_device.a"
+  "libfetcam_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetcam_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/complex_matrix.cpp" "src/numeric/CMakeFiles/fetcam_numeric.dir/complex_matrix.cpp.o" "gcc" "src/numeric/CMakeFiles/fetcam_numeric.dir/complex_matrix.cpp.o.d"
+  "/root/repo/src/numeric/dense_matrix.cpp" "src/numeric/CMakeFiles/fetcam_numeric.dir/dense_matrix.cpp.o" "gcc" "src/numeric/CMakeFiles/fetcam_numeric.dir/dense_matrix.cpp.o.d"
+  "/root/repo/src/numeric/interp.cpp" "src/numeric/CMakeFiles/fetcam_numeric.dir/interp.cpp.o" "gcc" "src/numeric/CMakeFiles/fetcam_numeric.dir/interp.cpp.o.d"
+  "/root/repo/src/numeric/optimize.cpp" "src/numeric/CMakeFiles/fetcam_numeric.dir/optimize.cpp.o" "gcc" "src/numeric/CMakeFiles/fetcam_numeric.dir/optimize.cpp.o.d"
+  "/root/repo/src/numeric/sparse_matrix.cpp" "src/numeric/CMakeFiles/fetcam_numeric.dir/sparse_matrix.cpp.o" "gcc" "src/numeric/CMakeFiles/fetcam_numeric.dir/sparse_matrix.cpp.o.d"
+  "/root/repo/src/numeric/stats.cpp" "src/numeric/CMakeFiles/fetcam_numeric.dir/stats.cpp.o" "gcc" "src/numeric/CMakeFiles/fetcam_numeric.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetcam_numeric.dir/complex_matrix.cpp.o"
+  "CMakeFiles/fetcam_numeric.dir/complex_matrix.cpp.o.d"
+  "CMakeFiles/fetcam_numeric.dir/dense_matrix.cpp.o"
+  "CMakeFiles/fetcam_numeric.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/fetcam_numeric.dir/interp.cpp.o"
+  "CMakeFiles/fetcam_numeric.dir/interp.cpp.o.d"
+  "CMakeFiles/fetcam_numeric.dir/optimize.cpp.o"
+  "CMakeFiles/fetcam_numeric.dir/optimize.cpp.o.d"
+  "CMakeFiles/fetcam_numeric.dir/sparse_matrix.cpp.o"
+  "CMakeFiles/fetcam_numeric.dir/sparse_matrix.cpp.o.d"
+  "CMakeFiles/fetcam_numeric.dir/stats.cpp.o"
+  "CMakeFiles/fetcam_numeric.dir/stats.cpp.o.d"
+  "libfetcam_numeric.a"
+  "libfetcam_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetcam_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/ac.cpp" "src/spice/CMakeFiles/fetcam_spice.dir/ac.cpp.o" "gcc" "src/spice/CMakeFiles/fetcam_spice.dir/ac.cpp.o.d"
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/fetcam_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/fetcam_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/dcop.cpp" "src/spice/CMakeFiles/fetcam_spice.dir/dcop.cpp.o" "gcc" "src/spice/CMakeFiles/fetcam_spice.dir/dcop.cpp.o.d"
+  "/root/repo/src/spice/mna.cpp" "src/spice/CMakeFiles/fetcam_spice.dir/mna.cpp.o" "gcc" "src/spice/CMakeFiles/fetcam_spice.dir/mna.cpp.o.d"
+  "/root/repo/src/spice/newton.cpp" "src/spice/CMakeFiles/fetcam_spice.dir/newton.cpp.o" "gcc" "src/spice/CMakeFiles/fetcam_spice.dir/newton.cpp.o.d"
+  "/root/repo/src/spice/transient.cpp" "src/spice/CMakeFiles/fetcam_spice.dir/transient.cpp.o" "gcc" "src/spice/CMakeFiles/fetcam_spice.dir/transient.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "src/spice/CMakeFiles/fetcam_spice.dir/waveform.cpp.o" "gcc" "src/spice/CMakeFiles/fetcam_spice.dir/waveform.cpp.o.d"
+  "/root/repo/src/spice/waveform_io.cpp" "src/spice/CMakeFiles/fetcam_spice.dir/waveform_io.cpp.o" "gcc" "src/spice/CMakeFiles/fetcam_spice.dir/waveform_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/fetcam_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetcam_spice.dir/ac.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/ac.cpp.o.d"
+  "CMakeFiles/fetcam_spice.dir/circuit.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/fetcam_spice.dir/dcop.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/dcop.cpp.o.d"
+  "CMakeFiles/fetcam_spice.dir/mna.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/mna.cpp.o.d"
+  "CMakeFiles/fetcam_spice.dir/newton.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/newton.cpp.o.d"
+  "CMakeFiles/fetcam_spice.dir/transient.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/transient.cpp.o.d"
+  "CMakeFiles/fetcam_spice.dir/waveform.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/waveform.cpp.o.d"
+  "CMakeFiles/fetcam_spice.dir/waveform_io.cpp.o"
+  "CMakeFiles/fetcam_spice.dir/waveform_io.cpp.o.d"
+  "libfetcam_spice.a"
+  "libfetcam_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetcam_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

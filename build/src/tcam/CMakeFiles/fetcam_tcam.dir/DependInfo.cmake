@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcam/cell.cpp" "src/tcam/CMakeFiles/fetcam_tcam.dir/cell.cpp.o" "gcc" "src/tcam/CMakeFiles/fetcam_tcam.dir/cell.cpp.o.d"
+  "/root/repo/src/tcam/cell_builder.cpp" "src/tcam/CMakeFiles/fetcam_tcam.dir/cell_builder.cpp.o" "gcc" "src/tcam/CMakeFiles/fetcam_tcam.dir/cell_builder.cpp.o.d"
+  "/root/repo/src/tcam/ternary.cpp" "src/tcam/CMakeFiles/fetcam_tcam.dir/ternary.cpp.o" "gcc" "src/tcam/CMakeFiles/fetcam_tcam.dir/ternary.cpp.o.d"
+  "/root/repo/src/tcam/write.cpp" "src/tcam/CMakeFiles/fetcam_tcam.dir/write.cpp.o" "gcc" "src/tcam/CMakeFiles/fetcam_tcam.dir/write.cpp.o.d"
+  "/root/repo/src/tcam/write_schedule.cpp" "src/tcam/CMakeFiles/fetcam_tcam.dir/write_schedule.cpp.o" "gcc" "src/tcam/CMakeFiles/fetcam_tcam.dir/write_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/fetcam_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/fetcam_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/fetcam_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

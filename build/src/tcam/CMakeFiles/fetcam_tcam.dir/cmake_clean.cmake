@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetcam_tcam.dir/cell.cpp.o"
+  "CMakeFiles/fetcam_tcam.dir/cell.cpp.o.d"
+  "CMakeFiles/fetcam_tcam.dir/cell_builder.cpp.o"
+  "CMakeFiles/fetcam_tcam.dir/cell_builder.cpp.o.d"
+  "CMakeFiles/fetcam_tcam.dir/ternary.cpp.o"
+  "CMakeFiles/fetcam_tcam.dir/ternary.cpp.o.d"
+  "CMakeFiles/fetcam_tcam.dir/write.cpp.o"
+  "CMakeFiles/fetcam_tcam.dir/write.cpp.o.d"
+  "CMakeFiles/fetcam_tcam.dir/write_schedule.cpp.o"
+  "CMakeFiles/fetcam_tcam.dir/write_schedule.cpp.o.d"
+  "libfetcam_tcam.a"
+  "libfetcam_tcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetcam_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcam_test.dir/tcam_test.cpp.o"
+  "CMakeFiles/tcam_test.dir/tcam_test.cpp.o.d"
+  "tcam_test"
+  "tcam_test.pdb"
+  "tcam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

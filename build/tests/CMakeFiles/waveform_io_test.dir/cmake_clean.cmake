@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveform_io_test.dir/waveform_io_test.cpp.o"
+  "CMakeFiles/waveform_io_test.dir/waveform_io_test.cpp.o.d"
+  "waveform_io_test"
+  "waveform_io_test.pdb"
+  "waveform_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveform_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

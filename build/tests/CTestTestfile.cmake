@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/numeric_test[1]_include.cmake")
+include("/root/repo/build/tests/spice_test[1]_include.cmake")
+include("/root/repo/build/tests/device_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/tcam_test[1]_include.cmake")
+include("/root/repo/build/tests/array_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/nand_test[1]_include.cmake")
+include("/root/repo/build/tests/ac_test[1]_include.cmake")
+include("/root/repo/build/tests/extras_test[1]_include.cmake")
+include("/root/repo/build/tests/physical_test[1]_include.cmake")
+include("/root/repo/build/tests/macro_test[1]_include.cmake")
+include("/root/repo/build/tests/waveform_io_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")

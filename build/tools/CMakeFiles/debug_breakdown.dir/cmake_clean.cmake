@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_breakdown.dir/debug_breakdown.cpp.o"
+  "CMakeFiles/debug_breakdown.dir/debug_breakdown.cpp.o.d"
+  "debug_breakdown"
+  "debug_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

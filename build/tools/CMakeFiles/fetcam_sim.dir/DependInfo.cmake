@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/fetcam_sim.cpp" "tools/CMakeFiles/fetcam_sim.dir/fetcam_sim.cpp.o" "gcc" "tools/CMakeFiles/fetcam_sim.dir/fetcam_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fetcam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/fetcam_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/fetcam_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/fetcam_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/fetcam_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/fetcam_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/fetcam_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetcam_sim.dir/fetcam_sim.cpp.o"
+  "CMakeFiles/fetcam_sim.dir/fetcam_sim.cpp.o.d"
+  "fetcam_sim"
+  "fetcam_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetcam_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
