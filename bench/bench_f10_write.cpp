@@ -5,7 +5,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F10", "write energy vs pulse voltage/width",
                   "FeFET writes complete only above the coercive tail (Merz dynamics: "
                   "higher voltage switches exponentially faster); energy grows with both "

@@ -4,7 +4,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F11", "operating-temperature sweep, 32-bit words x 64 rows",
                   "hot silicon is slower (mobility loss beats VT drop at logic overdrive) "
                   "and leakier; margins shrink monotonically. The FeFET designs hold to "

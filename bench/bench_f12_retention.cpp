@@ -6,7 +6,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F12", "FeFET retention: stored-state decay over time",
                   "polarization decays exponentially at zero field (~10% loss at the "
                   "10-year spec point): the VT window closes symmetrically and the search "

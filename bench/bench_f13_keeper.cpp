@@ -5,7 +5,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F13", "ML keeper ablation (full-swing sensing)",
                   "without the keeper the ReRAM match-state ML sags with width until the "
                   "sense margin collapses; the keeper pins matching MLs at the rail for "

@@ -5,7 +5,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F14", "bank-level capacity scaling + TLB case study",
                   "bank energy grows linearly with capacity (parallel sub-arrays), delay "
                   "only logarithmically (encoder depth); a 64-entry superpage TLB on the "

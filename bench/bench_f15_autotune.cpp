@@ -5,7 +5,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F15", "auto-tuned operating points (golden-section over circuit sims)",
                   "the tuner lands near the F6 sweep's EDP minimum without a grid sweep; "
                   "segmentation tuning picks deeper segmentation as the latency budget "

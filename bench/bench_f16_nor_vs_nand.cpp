@@ -4,7 +4,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F16", "NOR vs NAND FeFET TCAM organization (64 rows)",
                   "NAND spends far less matchline energy (only the matching chain "
                   "discharges; mismatching rows stay precharged) and is ~1/3 smaller, but "

@@ -46,7 +46,8 @@ SenseAcNums characterize(bool lowSwing, double mlBias) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F17", "sense-amplifier small-signal gain/bandwidth (AC analysis)",
                   "the full-swing skewed inverter has high gain near its trip point and "
                   "GHz-class bandwidth; the low-swing ratioed PMOS amp trades gain for a "

@@ -4,7 +4,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F18", "FeFET endurance: wake-up, plateau, fatigue",
                   "polarization rises slightly over the first ~1e4 cycles (wake-up), "
                   "holds to ~1e5, then fatigues ~6%/decade; the search margin tracks the "

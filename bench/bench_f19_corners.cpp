@@ -4,7 +4,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F19", "process-corner sweep (32-bit words, 64 rows)",
                   "FF is fast and slightly more energetic (higher on-current, more "
                   "leakage sag), SS the opposite; the FeFET search path tracks the NMOS "

@@ -4,7 +4,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F1", "FeFET P-V hysteresis and Id-Vg memory window",
                   "square-ish P-V loop saturating at +/-Ps with Vc ~ 1.45 V; minor loop "
                   "nested inside; Id-Vg curves separated by ~1.1 V memory window");

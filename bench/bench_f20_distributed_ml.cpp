@@ -5,7 +5,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F20", "lumped vs distributed matchline model (far-end mismatch)",
                   "at today's per-cell wire parasitics the lumped model tracks the "
                   "distributed one within a few percent up to 64 bits; at 128 bits the "

@@ -6,7 +6,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F21", "FeFET half-select write disturb vs bias scheme",
                   "the naive V/2 scheme (1.6 V on unselected gates, above the 1.06 V "
                   "coercive tail) partially flips neighbours almost immediately; the "

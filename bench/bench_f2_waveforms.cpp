@@ -36,7 +36,8 @@ void traceDesign(const char* name, tcam::CellKind cell, array::SenseScheme sense
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F2", "matchline waveforms, match vs 1-bit mismatch",
                   "matching ML holds near the precharge level (small sag), mismatching ML "
                   "collapses within a few hundred ps; FeFET match sag smallest (gate-input "

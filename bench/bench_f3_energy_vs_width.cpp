@@ -3,7 +3,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F3", "search energy per bit vs word width (64 rows)",
                   "energy/bit roughly flat-to-rising with width for all designs; FeFET "
                   "below ReRAM below CMOS at every width; energy-aware variants a further "

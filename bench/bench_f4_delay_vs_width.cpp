@@ -3,7 +3,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F4", "search delay vs word width",
                   "full-swing delays grow with width (one pulldown fights a growing ML "
                   "capacitance); FeFET fastest per width; low-swing delay is strobe-bound "

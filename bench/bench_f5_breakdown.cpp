@@ -4,7 +4,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F5", "array energy breakdown by component (64x64)",
                   "conventional designs are matchline-dominated; low-swing moves the "
                   "bottleneck to the sense amps; selective precharge shrinks the ML slice "

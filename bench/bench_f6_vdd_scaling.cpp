@@ -5,7 +5,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F6", "VDD scaling (FeFET full-swing vs energy-aware low-swing)",
                   "search energy scales ~VDD^2, delay grows as VDD approaches VT "
                   "(overdrive shrinks), EDP has a minimum below nominal VDD; the "

@@ -4,7 +4,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F7", "Monte Carlo variation analysis (16-bit words, 40 trials/point)",
                   "margins shrink and error rates onset as sigma grows; the FeFET designs "
                   "hold larger margins than CMOS at matched sigma (bigger nominal ML "

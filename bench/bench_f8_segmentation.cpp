@@ -5,7 +5,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F8", "ML segmentation & selective precharge ablation (64-bit, 128 rows)",
                   "energy drops steeply with segmentation/prefiltering when data is random "
                   "(later stages rarely activate) and the benefit shrinks as the workload "

@@ -38,7 +38,8 @@ void priceApp(const AppSpec& app, core::Table& t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("F9", "application-level energy/throughput",
                   "per-query savings carry through at the application level: the proposed "
                   "design cuts lookup energy ~4x vs CMOS across routing, classification "

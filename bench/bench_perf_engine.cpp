@@ -3,6 +3,7 @@
 // and complete TCAM word-search simulations.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "core/fetcam.hpp"
 
 using namespace fetcam;
@@ -87,4 +88,13 @@ BENCHMARK(BM_PreisachAdvance);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the shared --trace flag is stripped before
+// google-benchmark parses the remaining arguments.
+int main(int argc, char** argv) {
+    fetcam::bench::initObs(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

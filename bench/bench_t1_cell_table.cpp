@@ -4,7 +4,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("T1", "cell comparison across technologies",
                   "FeFET wins device count, area, search energy and write energy vs 16T "
                   "CMOS; ReRAM is compact but pays HRS leakage on matches and high write "

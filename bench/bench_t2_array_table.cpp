@@ -4,7 +4,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("T2", "array-level comparison, 128 rows x 64 bits",
                   "FeFET-2T beats both baselines on search energy and area; stacking the "
                   "energy-aware techniques (+LS, +VS, +SP) buys a further ~2-4x for a "

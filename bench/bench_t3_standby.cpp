@@ -5,7 +5,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("T3", "standby power per word (CLOCKED idle: precharged, SLs masked)",
                   "in clocked idle the FeFET designs actually pay the most: the low-VT "
                   "stored state (VT ~ 0.15 V) leaks subthreshold current at Vgs = 0, so "

@@ -4,7 +4,8 @@
 
 using namespace fetcam;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::initObs(argc, argv);
     bench::banner("T4", "write scheduling: word updates and full-table loads (64b x 256)",
                   "CMOS writes in a ns (volatile); FeFET pays ~200 ns two-phase pulses "
                   "but is width-independent; ReRAM serializes groups under the write-"

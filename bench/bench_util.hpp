@@ -3,12 +3,37 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/fetcam.hpp"
+#include "obs/obs.hpp"
 
 namespace fetcam::bench {
+
+/// Shared bench flag handling: `--trace <file>` opens a JSONL trace sink and
+/// enables observability; without the flag, FETCAM_TRACE is honoured. The
+/// flag (and its argument) are stripped from argv so benches that parse
+/// their own arguments — or google-benchmark — never see it.
+inline void initObs(int& argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") != 0) continue;
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "warning: --trace requires a file argument; tracing off\n");
+            argc -= 1;
+            return;
+        }
+        const char* path = argv[i + 1];
+        if (!obs::TraceSink::global().open(path))
+            std::fprintf(stderr, "warning: cannot open trace file %s\n", path);
+        obs::setEnabled(true);
+        for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+        argc -= 2;
+        return;
+    }
+    obs::initFromEnv();
+}
 
 /// Standard experiment banner: what this bench reproduces and which shape
 /// from the paper it should exhibit.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "array/energy_model.hpp"
+#include "obs/obs.hpp"
 
 namespace fetcam::array {
 
@@ -45,6 +46,10 @@ tcam::CellVariation sampleCell(numeric::Rng& rng, const MonteCarloSpec& spec,
 }  // namespace
 
 MonteCarloResult runMonteCarlo(const MonteCarloSpec& spec) {
+    obs::SpanGuard span("array.montecarlo",
+                        {{"trials", spec.trials}, {"bits", spec.config.wordBits}});
+    const bool obsOn = obs::enabled();
+
     MonteCarloResult result;
     result.trials = spec.trials;
     numeric::Rng rng(spec.seed);
@@ -55,6 +60,8 @@ MonteCarloResult runMonteCarlo(const MonteCarloSpec& spec) {
     const auto mismatchKey = keyWithMismatches(stored, spec.mismatchBits);
 
     for (int trial = 0; trial < spec.trials; ++trial) {
+        double trialWall = 0.0;
+        if (obsOn) trialWall = obs::monotonicSeconds();
         auto trialRng = rng.split();
         std::vector<tcam::CellVariation> vars;
         vars.reserve(stored.size());
@@ -76,6 +83,20 @@ MonteCarloResult runMonteCarlo(const MonteCarloSpec& spec) {
         const auto mism = simulateWordSearch(o);
         result.mlMismatch.add(mism.mlAtSense);
         if (mism.matchDetected) ++result.mismatchErrors;
+
+        if (obsOn) {
+            static obs::Counter& trials = obs::counter("array.mc.trials");
+            static obs::Histogram& seconds = obs::histogram(
+                "array.mc.trial.seconds", obs::Histogram::exponentialBounds(1e-4, 100.0));
+            trials.add();
+            seconds.observe(obs::monotonicSeconds() - trialWall);
+            obs::TraceSink::global().event("mc.trial",
+                                           {{"trial", trial},
+                                            {"mlMatch", match.mlAtSense},
+                                            {"mlMismatch", mism.mlAtSense},
+                                            {"errors", result.matchErrors +
+                                                           result.mismatchErrors}});
+        }
     }
     return result;
 }

@@ -8,6 +8,7 @@
 #include "device/passives.hpp"
 #include "device/sources.hpp"
 #include "numeric/interp.hpp"
+#include "obs/obs.hpp"
 
 namespace fetcam::array {
 
@@ -216,6 +217,13 @@ WordSimResult simulateWordSearch(const WordSimOptions& o) {
     if (!o.variations.empty() && o.variations.size() != o.stored.size())
         throw std::invalid_argument("simulateWordSearch: variations width mismatch");
 
+    obs::SpanGuard span("array.word_search",
+                        {{"bits", static_cast<int>(o.stored.size())},
+                         {"cell", tcam::isNandKind(o.config.cell) ? "nand" : "nor"}});
+    const bool obsOn = obs::enabled();
+    double wall = 0.0;
+    if (obsOn) wall = obs::monotonicSeconds();
+
     spice::Circuit c;
     const WordNetlist w = buildWord(c, o);
     const auto& t = o.config.timing;
@@ -268,6 +276,25 @@ WordSimResult simulateWordSearch(const WordSimOptions& o) {
     if (w.vSaEn) r.energySa += w.vSaEn->deliveredEnergy();
     if (w.vStore) r.energyStatic = w.vStore->deliveredEnergy();
     r.energyTotal = r.energyMl + r.energySl + r.energySa + r.energyStatic;
+
+    if (obsOn) {
+        static obs::Counter& searches = obs::counter("array.word_search.count");
+        static obs::Histogram& seconds = obs::histogram(
+            "array.word_search.seconds", obs::Histogram::exponentialBounds(1e-4, 100.0));
+        searches.add();
+        seconds.observe(obs::monotonicSeconds() - wall);
+        // Per-supply energy deltas for the trace's energy ranking.
+        auto& sink = obs::TraceSink::global();
+        sink.event("energy.device", {{"device", "matchline"}, {"energy", r.energyMl}});
+        sink.event("energy.device", {{"device", "searchlines"}, {"energy", r.energySl}});
+        sink.event("energy.device", {{"device", "sense_amp"}, {"energy", r.energySa}});
+        if (r.energyStatic != 0.0)
+            sink.event("energy.device", {{"device", "storage"}, {"energy", r.energyStatic}});
+        span.add({"match", r.matchDetected});
+        span.add({"energyTotal", r.energyTotal});
+        span.add({"steps", tr.acceptedSteps});
+        span.add({"rejected", tr.rejectedSteps});
+    }
 
     if (o.recordWaveforms) {
         r.waveforms = tr.waveforms;

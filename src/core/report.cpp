@@ -94,6 +94,44 @@ std::string Table::toMarkdown() const {
     return os.str();
 }
 
+Table solverStatsTable(const spice::TransientResult& result) {
+    const auto& s = result.stats;
+    Table t({"metric", "value"});
+    t.addRow({"accepted steps", std::to_string(result.acceptedSteps)});
+    t.addRow({"rejected steps", std::to_string(result.rejectedSteps)});
+    t.addRow({"newton iterations", std::to_string(result.newtonIterations)});
+    t.addRow({"  wasted on rejected steps",
+              std::to_string(result.rejectedNewtonIterations)});
+    t.addRow({"matrix factorizations", std::to_string(s.factorizations)});
+    t.addRow({"time: stamping + device eval", engFormat(s.stampSeconds, "s")});
+    t.addRow({"time: factorization + solve", engFormat(s.factorSeconds, "s")});
+    t.addRow({"time: state commit + record", engFormat(s.acceptSeconds, "s")});
+    t.addRow({"time: total run", engFormat(s.totalSeconds, "s")});
+    if (s.worstStepIterations > 0) {
+        t.addRow({"worst step: iterations", std::to_string(s.worstStepIterations)});
+        t.addRow({"worst step: sim time", engFormat(s.worstStepTime, "s")});
+        t.addRow({"worst step: final delta", engFormat(s.worstStepMaxDelta, "V")});
+    }
+    const long long total = s.dtHistogram.total();
+    for (int i = 0; i < spice::DtHistogram::kBuckets; ++i) {
+        const long long n = s.dtHistogram.counts[static_cast<std::size_t>(i)];
+        if (n == 0) continue;
+        const double lo = spice::DtHistogram::bucketLowerBound(i);
+        const std::string label = i == 0 ? "dt < " + engFormat(1e-18, "s")
+                                         : "dt >= " + engFormat(lo, "s");
+        t.addRow({label, std::to_string(n) + " (" +
+                             numFormat(100.0 * static_cast<double>(n) /
+                                           static_cast<double>(total),
+                                       1) +
+                             " %)"});
+    }
+    return t;
+}
+
+std::string runReport(const spice::TransientResult& result) {
+    return solverStatsTable(result).toAligned();
+}
+
 std::string Table::toCsv() const {
     std::ostringstream os;
     auto cell = [](const std::string& s) {

@@ -1,9 +1,12 @@
 // Reporting helpers: engineering-unit formatting and aligned/markdown/CSV
-// tables, so every bench prints its table or figure series uniformly.
+// tables, so every bench prints its table or figure series uniformly, plus
+// the uniform solver "run report" built from TransientResult telemetry.
 #pragma once
 
 #include <string>
 #include <vector>
+
+#include "spice/transient.hpp"
 
 namespace fetcam::core {
 
@@ -31,5 +34,13 @@ private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;
 };
+
+/// Uniform solver-health "run report": step/iteration counts, the wall-time
+/// breakdown from SolverStats (zeros unless obs::enabled() during the run),
+/// worst-converging step, and the accepted-dt histogram.
+Table solverStatsTable(const spice::TransientResult& result);
+
+/// Convenience: solverStatsTable rendered as aligned text.
+std::string runReport(const spice::TransientResult& result);
 
 }  // namespace fetcam::core

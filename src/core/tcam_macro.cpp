@@ -2,16 +2,23 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace fetcam::core {
 
 TcamMacro::TcamMacro(const device::TechCard& tech, const array::ArrayConfig& subArray,
                      std::size_t capacity, const array::WorkloadProfile& workload)
     : config_(subArray) {
     if (capacity == 0) throw std::invalid_argument("TcamMacro: capacity must be > 0");
+    obs::SpanGuard span("core.macro.build", {{"capacity", static_cast<long long>(capacity)},
+                                             {"wordBits", subArray.wordBits}});
     bank_ = evaluateBank(tech, subArray, static_cast<int>(capacity), workload);
     entries_.resize(static_cast<std::size_t>(bank_.totalEntries));
     const auto perBit = measureWriteEnergy(subArray.cell, tech);
     wordWrite_ = planWordWrite(subArray.cell, perBit, subArray.wordBits);
+    obs::TraceSink::global().event("macro.built",
+                                   {{"entries", static_cast<long long>(bank_.totalEntries)},
+                                    {"wordBits", subArray.wordBits}});
 }
 
 void TcamMacro::checkRow(int row) const {
@@ -40,6 +47,10 @@ void TcamMacro::writeAt(int row, const tcam::TernaryWord& word) {
     slot = word;
     ++stats_.writes;
     stats_.writeEnergy += wordWrite_.energy;
+    if (obs::enabled()) {
+        static obs::Counter& writes = obs::counter("core.macro.writes");
+        writes.add();
+    }
 }
 
 void TcamMacro::erase(int row) {
@@ -64,6 +75,10 @@ std::optional<int> TcamMacro::search(const tcam::TernaryWord& key) {
         throw std::invalid_argument("TcamMacro::search: key width mismatch");
     ++stats_.searches;
     stats_.searchEnergy += bank_.totalPerSearch();
+    if (obs::enabled()) {
+        static obs::Counter& searches = obs::counter("core.macro.searches");
+        searches.add();
+    }
     for (std::size_t r = 0; r < entries_.size(); ++r) {
         if (entries_[r] && entries_[r]->matches(key)) {
             ++stats_.hits;

@@ -4,12 +4,15 @@
 #include <map>
 
 #include "numeric/optimize.hpp"
+#include "obs/obs.hpp"
 
 namespace fetcam::core {
 
 VddTuneResult tuneVddForMinEdp(const device::TechCard& tech300,
                                const array::ArrayConfig& cfg, double vLo, double vHi,
                                const array::WorkloadProfile& workload) {
+    obs::SpanGuard span("core.tuner.vdd", {{"vLo", vLo}, {"vHi", vHi}});
+
     // Cache metrics per probed voltage: golden-section re-probes endpoints.
     std::map<double, array::ArrayMetrics> cache;
     auto metricsAt = [&](double vdd) -> const array::ArrayMetrics& {
@@ -17,7 +20,16 @@ VddTuneResult tuneVddForMinEdp(const device::TechCard& tech300,
         if (auto it = cache.find(key); it != cache.end()) return it->second;
         device::TechCard t = tech300;
         t.vdd = key;
-        return cache.emplace(key, evaluateArray(t, cfg, workload)).first->second;
+        const auto& m = cache.emplace(key, evaluateArray(t, cfg, workload)).first->second;
+        if (obs::enabled()) {
+            static obs::Counter& evals = obs::counter("core.tuner.evals");
+            evals.add();
+            obs::TraceSink::global().event(
+                "tuner.eval", {{"vdd", key},
+                               {"edp", m.perSearch.total() * m.searchDelay},
+                               {"functional", m.functional}});
+        }
+        return m;
     };
 
     const auto objective = [&](double vdd) {
@@ -38,12 +50,17 @@ VddTuneResult tuneVddForMinEdp(const device::TechCard& tech300,
 
 SegmentTuneResult tuneSegments(const device::TechCard& tech, array::ArrayConfig cfg,
                                double maxDelay, const array::WorkloadProfile& workload) {
+    obs::SpanGuard span("core.tuner.segments", {{"wordBits", cfg.wordBits}});
     SegmentTuneResult best;
     bool first = true;
     for (const int k : {1, 2, 4, 8}) {
         if (k > cfg.wordBits) break;
         cfg.mlSegments = k;
         const auto m = evaluateArray(tech, cfg, workload);
+        obs::TraceSink::global().event("tuner.segment_eval",
+                                       {{"segments", k},
+                                        {"energy", m.perSearch.total()},
+                                        {"functional", m.functional}});
         if (!m.functional) continue;
         if (maxDelay > 0.0 && m.searchDelay > maxDelay) continue;
         const double e = m.perSearch.total();

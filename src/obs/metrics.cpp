@@ -1,0 +1,155 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace fetcam::obs {
+
+double monotonicSeconds() noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+namespace {
+
+/// Relaxed atomic-double accumulate (no std::atomic<double>::fetch_add pre-C++20
+/// on all libstdc++ configs; a CAS loop is portable and contention here is nil).
+void atomicAdd(std::atomic<double>& target, double delta) noexcept {
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+}
+
+void atomicMin(std::atomic<double>& target, double v) noexcept {
+    double cur = target.load(std::memory_order_relaxed);
+    while (v < cur && !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+void atomicMax(std::atomic<double>& target, double v) noexcept {
+    double cur = target.load(std::memory_order_relaxed);
+    while (v > cur && !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+    std::sort(bounds_.begin(), bounds_.end());
+    buckets_ = std::make_unique<std::atomic<long long>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) noexcept {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, v);
+    atomicMin(min_, v);
+    atomicMax(max_, v);
+}
+
+std::vector<long long> Histogram::counts() const {
+    std::vector<long long> out(bounds_.size() + 1);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+double Histogram::mean() const noexcept {
+    const long long n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const noexcept { return min_.load(std::memory_order_relaxed); }
+double Histogram::max() const noexcept { return max_.load(std::memory_order_relaxed); }
+
+void Histogram::reset() noexcept {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponentialBounds(double lo, double hi, int perDecade) {
+    std::vector<double> bounds;
+    if (lo <= 0.0 || hi <= lo || perDecade < 1) return bounds;
+    const double step = std::pow(10.0, 1.0 / perDecade);
+    for (double b = lo; b < hi * (1.0 + 1e-12); b *= step) bounds.push_back(b);
+    return bounds;
+}
+
+Registry& Registry::global() {
+    static Registry instance;
+    return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = counters_.find(name); it != counters_.end()) return *it->second;
+    auto [it, _] = counters_.emplace(std::string(name),
+                                     std::make_unique<Counter>(std::string(name)));
+    return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = gauges_.find(name); it != gauges_.end()) return *it->second;
+    auto [it, _] =
+        gauges_.emplace(std::string(name), std::make_unique<Gauge>(std::string(name)));
+    return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<double> bounds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = histograms_.find(name); it != histograms_.end()) return *it->second;
+    if (bounds.empty()) bounds = Histogram::exponentialBounds(1e-6, 100.0);
+    auto [it, _] = histograms_.emplace(
+        std::string(name), std::make_unique<Histogram>(std::string(name), std::move(bounds)));
+    return *it->second;
+}
+
+std::vector<const Counter*> Registry::counters() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<const Counter*> out;
+    out.reserve(counters_.size());
+    for (const auto& [_, c] : counters_) out.push_back(c.get());
+    return out;
+}
+
+std::vector<const Gauge*> Registry::gauges() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<const Gauge*> out;
+    out.reserve(gauges_.size());
+    for (const auto& [_, g] : gauges_) out.push_back(g.get());
+    return out;
+}
+
+std::vector<const Histogram*> Registry::histograms() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<const Histogram*> out;
+    out.reserve(histograms_.size());
+    for (const auto& [_, h] : histograms_) out.push_back(h.get());
+    return out;
+}
+
+void Registry::resetAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [_, c] : counters_) c->reset();
+    for (auto& [_, g] : gauges_) g->reset();
+    for (auto& [_, h] : histograms_) h->reset();
+}
+
+Counter& counter(std::string_view name) { return Registry::global().counter(name); }
+Gauge& gauge(std::string_view name) { return Registry::global().gauge(name); }
+Histogram& histogram(std::string_view name, std::vector<double> bounds) {
+    return Registry::global().histogram(name, std::move(bounds));
+}
+
+}  // namespace fetcam::obs

@@ -1,0 +1,150 @@
+// Named metrics: counters, gauges, histograms, and RAII scoped timers.
+//
+// All mutation paths are lock-free atomics so instruments can sit inside the
+// solver hot loops; registration (name lookup) takes a mutex and allocates,
+// so call sites cache the returned reference in a function-local static.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fetcam::obs {
+
+/// Monotonic wall clock in seconds (std::chrono::steady_clock).
+double monotonicSeconds() noexcept;
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    void add(long long n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+    long long value() const noexcept { return value_.load(std::memory_order_relaxed); }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+    const std::string& name() const { return name_; }
+
+private:
+    std::string name_;
+    std::atomic<long long> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+public:
+    explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+    void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+    void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+    const std::string& name() const { return name_; }
+
+private:
+    std::string name_;
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with running count/sum/min/max.
+///
+/// `bounds` are ascending bucket upper bounds; an implicit overflow bucket
+/// catches everything above the last bound, so counts() has bounds.size()+1
+/// entries. Bucket i holds observations v with v <= bounds[i] (and
+/// > bounds[i-1]).
+class Histogram {
+public:
+    Histogram(std::string name, std::vector<double> bounds);
+
+    void observe(double v) noexcept;
+
+    const std::string& name() const { return name_; }
+    const std::vector<double>& bounds() const { return bounds_; }
+    std::vector<long long> counts() const;
+    long long count() const noexcept { return count_.load(std::memory_order_relaxed); }
+    double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+    double mean() const noexcept;
+    double min() const noexcept;  ///< +inf when empty
+    double max() const noexcept;  ///< -inf when empty
+    void reset() noexcept;
+
+    /// Log-spaced bucket bounds covering [lo, hi] with `perDecade` bounds per
+    /// decade — the standard shape for wall-time histograms.
+    static std::vector<double> exponentialBounds(double lo, double hi, int perDecade = 3);
+
+private:
+    std::string name_;
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<long long>[]> buckets_;  // bounds_.size() + 1
+    std::atomic<long long> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Process-wide registry of named instruments. Lookups are heterogeneous
+/// (string_view), so repeated lookups of a registered name do not allocate.
+class Registry {
+public:
+    static Registry& global();
+
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    /// First registration fixes the bucket bounds; later calls with the same
+    /// name return the existing histogram and ignore `bounds`. Empty bounds
+    /// default to exponential seconds buckets [1us, 100s].
+    Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+
+    /// Snapshot accessors for reporting (copies the pointer lists, not data).
+    std::vector<const Counter*> counters() const;
+    std::vector<const Gauge*> gauges() const;
+    std::vector<const Histogram*> histograms() const;
+
+    /// Zero every instrument (tests / between-run hygiene). Instruments stay
+    /// registered so cached references remain valid.
+    void resetAll();
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Convenience forwarders onto Registry::global().
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+
+/// RAII wall-time scope: on destruction adds the elapsed monotonic seconds to
+/// a histogram and/or a plain double accumulator. Construction costs one
+/// clock read; no allocation.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(Histogram& hist) : hist_(&hist), t0_(monotonicSeconds()) {}
+    explicit ScopedTimer(double& accum) : accum_(&accum), t0_(monotonicSeconds()) {}
+    ScopedTimer(Histogram& hist, double& accum)
+        : hist_(&hist), accum_(&accum), t0_(monotonicSeconds()) {}
+    ~ScopedTimer() {
+        const double dt = monotonicSeconds() - t0_;
+        if (hist_) hist_->observe(dt);
+        if (accum_) *accum_ += dt;
+    }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+    /// Elapsed seconds so far (scope still open).
+    double elapsed() const noexcept { return monotonicSeconds() - t0_; }
+
+private:
+    Histogram* hist_ = nullptr;
+    double* accum_ = nullptr;
+    double t0_ = 0.0;
+};
+
+}  // namespace fetcam::obs

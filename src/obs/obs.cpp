@@ -1,0 +1,27 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace fetcam::obs {
+
+namespace detail {
+std::atomic<bool> gEnabled{false};
+}  // namespace detail
+
+void setEnabled(bool on) noexcept {
+    detail::gEnabled.store(on, std::memory_order_relaxed);
+}
+
+bool initFromEnv() {
+    const char* env = std::getenv("FETCAM_TRACE");
+    if (env == nullptr) return false;
+    const std::string value(env);
+    if (value.empty() || value == "0") return false;
+    const std::string path = value == "1" ? "fetcam_trace.jsonl" : value;
+    TraceSink::global().open(path);  // metrics stay useful even if open fails
+    setEnabled(true);
+    return true;
+}
+
+}  // namespace fetcam::obs

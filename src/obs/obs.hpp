@@ -1,0 +1,43 @@
+// fetcam::obs — observability substrate for the simulation stack.
+//
+// Three pieces, all opt-in at runtime:
+//   * a global enabled() switch (off by default) that gates every
+//     instrumentation site down to a single relaxed atomic load,
+//   * a metrics registry of named counters / gauges / histograms plus RAII
+//     scoped timers on the monotonic clock (metrics.hpp),
+//   * a structured JSONL trace sink emitting span and event records
+//     (trace.hpp), readable back via trace_reader.hpp.
+//
+// Conventions for instrumentation sites (the solver hot loops):
+//   * check obs::enabled() first; everything behind that check may assume
+//     observability is on,
+//   * cache registry handles in function-local statics so the name lookup
+//     happens once per process, not once per step,
+//   * a fully disabled registry must stay allocation-free on the hot path
+//     (guarded by tests/obs_test.cpp).
+#pragma once
+
+#include <atomic>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace fetcam::obs {
+
+namespace detail {
+extern std::atomic<bool> gEnabled;
+}  // namespace detail
+
+/// Global observability switch. Off by default; near-zero cost when off.
+inline bool enabled() noexcept { return detail::gEnabled.load(std::memory_order_relaxed); }
+
+void setEnabled(bool on) noexcept;
+
+/// Configure from the FETCAM_TRACE environment variable:
+///   unset / "" / "0"  -> leave observability off
+///   "1"               -> enable metrics + open "fetcam_trace.jsonl"
+///   any other value   -> treated as a JSONL output path; enable + open it
+/// Returns true if observability ended up enabled.
+bool initFromEnv();
+
+}  // namespace fetcam::obs

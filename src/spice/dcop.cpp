@@ -1,8 +1,15 @@
 #include "spice/dcop.hpp"
 
+#include "obs/obs.hpp"
+
 namespace fetcam::spice {
 
 DcOpResult solveDcOp(const Circuit& circuit, const DcOpOptions& options) {
+    obs::SpanGuard span("spice.dcop", {{"unknowns", circuit.numUnknowns()}});
+    if (obs::enabled()) {
+        static obs::Counter& solves = obs::counter("spice.dcop.solves");
+        solves.add();
+    }
     DcOpResult result;
     result.x.assign(static_cast<std::size_t>(circuit.numUnknowns()), 0.0);
 
@@ -29,6 +36,9 @@ DcOpResult solveDcOp(const Circuit& circuit, const DcOpOptions& options) {
         ctx.gmin = gmin;
         nr = solveNewton(circuit, ctx, result.x, options.newton);
         result.totalIterations += nr.iterations;
+        obs::TraceSink::global().event("dcop.gmin_step", {{"gmin", gmin},
+                                                          {"iters", nr.iterations},
+                                                          {"converged", nr.converged}});
         if (!nr.converged) {
             result.converged = false;
             return result;

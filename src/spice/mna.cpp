@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace fetcam::spice {
 
 Mna::Mna(int numNodes, int numBranches)
@@ -76,6 +78,12 @@ void Mna::stampGminAllNodes(double gmin) {
 }
 
 numeric::SparseMatrixCsc Mna::buildMatrix() const {
+    if (obs::enabled()) {
+        static obs::Counter& builds = obs::counter("spice.mna.matrix_builds");
+        static obs::Gauge& unknowns = obs::gauge("spice.mna.unknowns");
+        builds.add();
+        unknowns.set(unknowns_);
+    }
     return numeric::SparseMatrixCsc::fromTriplets(triplets_);
 }
 

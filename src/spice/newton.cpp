@@ -4,31 +4,65 @@
 #include <cmath>
 
 #include "numeric/sparse_matrix.hpp"
+#include "obs/obs.hpp"
 #include "spice/mna.hpp"
 
 namespace fetcam::spice {
+
+namespace {
+
+/// Update solver-health metrics and emit a trace event on non-convergence.
+/// Called only when obs::enabled().
+void recordSolveHealth(const NewtonResult& result) {
+    static obs::Counter& solves = obs::counter("spice.newton.solves");
+    static obs::Counter& iterations = obs::counter("spice.newton.iterations");
+    static obs::Counter& failures = obs::counter("spice.newton.nonconverged");
+    solves.add();
+    iterations.add(result.iterations);
+    if (!result.converged) {
+        failures.add();
+        obs::TraceSink::global().event(
+            "newton.fail",
+            {{"iters", result.iterations}, {"maxDelta", result.maxDelta}});
+    }
+}
+
+}  // namespace
 
 NewtonResult solveNewton(const Circuit& circuit, const SimContext& ctx, std::vector<double>& x,
                          const NewtonOptions& options) {
     const int numNodeUnknowns = circuit.numNodes() - 1;
     Mna mna(circuit.numNodes(), circuit.numBranches());
+    const bool obsOn = obs::enabled();
 
     NewtonResult result;
     for (int iter = 1; iter <= options.maxIterations; ++iter) {
         result.iterations = iter;
+        double tMark = obsOn ? obs::monotonicSeconds() : 0.0;
         mna.clear();
         for (const auto& dev : circuit.devices()) dev->stamp(mna, ctx);
         mna.stampGminAllNodes(ctx.gmin);
+        if (obsOn) {
+            const double tStamped = obs::monotonicSeconds();
+            result.stampSeconds += tStamped - tMark;
+            tMark = tStamped;
+        }
 
         std::vector<double> xNew;
         try {
             const auto matrix = mna.buildMatrix();
             numeric::SparseLu lu(matrix);
             xNew = lu.solve(mna.rhs());
+            ++result.factorizations;
         } catch (const std::runtime_error&) {
             result.converged = false;  // singular matrix: let the caller react
+            if (obsOn) {
+                result.factorSeconds += obs::monotonicSeconds() - tMark;
+                recordSolveHealth(result);
+            }
             return result;
         }
+        if (obsOn) result.factorSeconds += obs::monotonicSeconds() - tMark;
 
         // Damping: clamp the largest node-voltage change per iteration.
         double maxNodeDelta = 0.0;
@@ -52,10 +86,15 @@ NewtonResult solveNewton(const Circuit& circuit, const SimContext& ctx, std::vec
             // Require one extra confirming iteration after full (undamped)
             // steps so strongly nonlinear devices re-evaluate at the solution.
             result.converged = true;
+            if (obsOn) recordSolveHealth(result);
             return result;
         }
-        if (!std::isfinite(maxDelta)) return result;  // diverged
+        if (!std::isfinite(maxDelta)) {  // diverged
+            if (obsOn) recordSolveHealth(result);
+            return result;
+        }
     }
+    if (obsOn) recordSolveHealth(result);
     return result;
 }
 

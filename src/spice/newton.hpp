@@ -20,6 +20,11 @@ struct NewtonResult {
     bool converged = false;
     int iterations = 0;
     double maxDelta = 0.0;  ///< largest unknown change in the final iteration
+    int factorizations = 0;  ///< LU factorizations performed (one per iteration)
+
+    /// Wall-time breakdown, collected only when obs::enabled() (0 otherwise).
+    double stampSeconds = 0.0;   ///< device eval + MNA stamping
+    double factorSeconds = 0.0;  ///< matrix build + LU factor + solve
 };
 
 /// Iterate devices' linearized stamps until the unknown vector x converges.

@@ -4,7 +4,38 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace fetcam::spice {
+
+void DtHistogram::add(double dt) noexcept {
+    if (dt <= 0.0) return;
+    // Decade from the binary exponent (ilogb costs a few cycles; log10 does
+    // not): floor(ilogb * log10(2)) is the true decade or one below it, so
+    // promote when dt already reaches the next decade's lower bound.
+    int decade = static_cast<int>(
+        std::floor(static_cast<double>(std::ilogb(dt)) * 0.30102999566398120));
+    if (decade + 1 >= kDecadeLo && decade + 1 <= kDecadeHi &&
+        dt >= bucketLowerBound(decade + 1 - kDecadeLo + 1))
+        ++decade;
+    const int index = std::clamp(decade - kDecadeLo + 1, 0, kBuckets - 1);
+    ++counts[static_cast<std::size_t>(index)];
+}
+
+long long DtHistogram::total() const noexcept {
+    long long n = 0;
+    for (const long long c : counts) n += c;
+    return n;
+}
+
+double DtHistogram::bucketLowerBound(int i) noexcept {
+    static constexpr double kLowerBounds[kBuckets] = {
+        0.0,   1e-18, 1e-17, 1e-16, 1e-15, 1e-14, 1e-13,
+        1e-12, 1e-11, 1e-10, 1e-9,  1e-8,  1e-7,  1e-6,
+    };
+    if (i <= 0) return 0.0;
+    return kLowerBounds[std::min(i, kBuckets - 1)];
+}
 
 namespace {
 
@@ -59,6 +90,12 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
     // discontinuity: damps the trapezoidal rule's tendency to ring on steps.
     int beStepsLeft = 2;
 
+    const bool obsOn = obs::enabled();
+    const double tWall0 = obsOn ? obs::monotonicSeconds() : 0.0;
+    obs::SpanGuard span("spice.transient",
+                        {{"tstop", spec.tstop}, {"unknowns", circuit.numUnknowns()}});
+    auto& sink = obs::TraceSink::global();
+
     std::vector<double> xBackup;
     while (t < spec.tstop - 1e-21) {
         // Clamp to the next breakpoint, snapping when nearly there.
@@ -75,10 +112,20 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
 
         xBackup = x;
         const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton);
+        // Total work includes iterations burned on steps we go on to reject.
         result.newtonIterations += nr.iterations;
+        result.stats.stampSeconds += nr.stampSeconds;
+        result.stats.factorSeconds += nr.factorSeconds;
+        result.stats.factorizations += nr.factorizations;
 
         if (!nr.converged) {
             ++result.rejectedSteps;
+            result.rejectedNewtonIterations += nr.iterations;
+            if (sink.active())
+                sink.event("step.reject", {{"t", ctx.time},
+                                           {"dt", dtStep},
+                                           {"iters", nr.iterations},
+                                           {"maxDelta", nr.maxDelta}});
             x = xBackup;
             dt = dtStep / 4.0;
             if (dt < spec.dtMin)
@@ -89,10 +136,23 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
         }
 
         // Accepted: commit device state, record, advance.
+        const double tAccept0 = obsOn ? obs::monotonicSeconds() : 0.0;
         for (const auto& dev : circuit.devices()) dev->acceptStep(ctx);
         t = ctx.time;
         result.waveforms.record(t, x);
+        if (obsOn) result.stats.acceptSeconds += obs::monotonicSeconds() - tAccept0;
         ++result.acceptedSteps;
+        result.stats.dtHistogram.add(dtStep);
+        if (nr.iterations > result.stats.worstStepIterations) {
+            result.stats.worstStepIterations = nr.iterations;
+            result.stats.worstStepTime = t;
+            result.stats.worstStepMaxDelta = nr.maxDelta;
+        }
+        if (sink.active())
+            sink.event("step.accept", {{"t", t},
+                                       {"dt", dtStep},
+                                       {"iters", nr.iterations},
+                                       {"maxDelta", nr.maxDelta}});
         if (beStepsLeft > 0) --beStepsLeft;
 
         const bool hitBp = nextBp < breakpoints.size() &&
@@ -109,6 +169,18 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
     }
 
     result.finished = true;
+    if (obsOn) {
+        result.stats.totalSeconds = obs::monotonicSeconds() - tWall0;
+        static obs::Counter& runs = obs::counter("spice.transient.runs");
+        static obs::Counter& accepted = obs::counter("spice.transient.accepted_steps");
+        static obs::Counter& rejected = obs::counter("spice.transient.rejected_steps");
+        runs.add();
+        accepted.add(result.acceptedSteps);
+        rejected.add(result.rejectedSteps);
+        span.add({"steps", result.acceptedSteps});
+        span.add({"rejected", result.rejectedSteps});
+        span.add({"iters", result.newtonIterations});
+    }
     return result;
 }
 

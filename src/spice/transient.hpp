@@ -6,6 +6,7 @@
 // worth speaking of. A DC-seeded mode is available for conventional circuits.
 #pragma once
 
+#include <array>
 #include <utility>
 #include <vector>
 
@@ -28,12 +29,52 @@ struct TransientSpec {
     std::vector<std::pair<NodeId, double>> initialConditions;
 };
 
+/// Fixed log-decade histogram of accepted step sizes: one bucket per decade
+/// in [1e-18, 1e-6) s plus underflow/overflow buckets. Allocation-free so it
+/// can live inside every TransientResult.
+struct DtHistogram {
+    static constexpr int kDecadeLo = -18;  ///< first decade bucket: [1e-18, 1e-17)
+    static constexpr int kDecadeHi = -6;   ///< overflow bucket starts at 1e-6
+    static constexpr int kBuckets = kDecadeHi - kDecadeLo + 2;
+
+    std::array<long long, kBuckets> counts{};
+
+    void add(double dt) noexcept;
+    long long total() const noexcept;
+    /// Lower edge of bucket i (0 for the underflow bucket).
+    static double bucketLowerBound(int i) noexcept;
+};
+
+/// Where the solver's work and wall time went during one transient run.
+///
+/// Iteration/step counts and the dt histogram are always collected (cheap
+/// arithmetic). The wall-time fields require obs::enabled() — with
+/// observability off they stay 0 so the hot loop never reads the clock.
+struct SolverStats {
+    double stampSeconds = 0.0;   ///< device eval + MNA stamping
+    double factorSeconds = 0.0;  ///< sparse LU factorization + triangular solves
+    double acceptSeconds = 0.0;  ///< device state commit + waveform recording
+    double totalSeconds = 0.0;   ///< whole runTransient wall time
+    long long factorizations = 0;
+
+    DtHistogram dtHistogram;  ///< accepted step sizes
+
+    /// Worst-converging accepted timestep (most Newton iterations).
+    double worstStepTime = 0.0;  ///< simulated time of that step
+    int worstStepIterations = 0;
+    double worstStepMaxDelta = 0.0;
+};
+
 struct TransientResult {
     Waveforms waveforms;
     int acceptedSteps = 0;
     int rejectedSteps = 0;
+    /// Total Newton iterations spent, including work on rejected steps.
     int newtonIterations = 0;
+    /// The rejected-step share of newtonIterations (wasted solver work).
+    int rejectedNewtonIterations = 0;
     bool finished = false;  ///< reached tstop
+    SolverStats stats;
 };
 
 /// Run a transient; device internal state (polarization, filament, energy

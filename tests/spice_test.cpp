@@ -7,6 +7,8 @@
 
 #include "device/passives.hpp"
 #include "device/sources.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_reader.hpp"
 #include "spice/circuit.hpp"
 #include "spice/dcop.hpp"
 #include "spice/transient.hpp"
@@ -165,6 +167,70 @@ TEST(Transient, RejectsBadSpec) {
     spec.tstop = 1e-9;
     spec.dtMax = 0.0;
     EXPECT_THROW(runTransient(c, spec), std::invalid_argument);
+}
+
+TEST(Transient, InstrumentedRunStepEventsMatchCounters) {
+    const std::string path = ::testing::TempDir() + "spice_step_trace.jsonl";
+    ASSERT_TRUE(obs::TraceSink::global().open(path));
+    obs::setEnabled(true);
+
+    const double r = 10e3, cap = 100e-15, tau = r * cap;
+    spice::Circuit c;
+    const auto vin = c.node("in");
+    const auto out = c.node("out");
+    c.add<VoltageSource>("V1", c, vin, spice::kGround,
+                         SourceWave::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0));
+    c.add<Resistor>("R1", vin, out, r);
+    c.add<Capacitor>("C1", out, spice::kGround, cap);
+
+    spice::TransientSpec spec;
+    spec.tstop = 8.0 * tau;
+    spec.dtMax = tau / 50.0;
+    const auto res = runTransient(c, spec);
+    obs::setEnabled(false);
+    obs::TraceSink::global().close();
+    ASSERT_TRUE(res.finished);
+
+    // Step events in the trace must agree with the result's counters, and
+    // the iteration accounting must split cleanly into accepted + rejected.
+    const auto records = obs::readTraceFile(path);
+    int accepts = 0, rejects = 0, acceptIters = 0, rejectIters = 0;
+    for (const auto& rec : records) {
+        if (!rec.isEvent()) continue;
+        if (rec.name == "step.accept") {
+            ++accepts;
+            acceptIters += static_cast<int>(rec.num.at("iters"));
+            EXPECT_GT(rec.num.at("dt"), 0.0);
+        } else if (rec.name == "step.reject") {
+            ++rejects;
+            rejectIters += static_cast<int>(rec.num.at("iters"));
+        }
+    }
+    EXPECT_EQ(accepts, res.acceptedSteps);
+    EXPECT_EQ(rejects, res.rejectedSteps);
+    EXPECT_EQ(accepts + rejects, res.acceptedSteps + res.rejectedSteps);
+    EXPECT_EQ(acceptIters + rejectIters, res.newtonIterations);
+    EXPECT_EQ(rejectIters, res.rejectedNewtonIterations);
+
+    // SolverStats collected during an instrumented run.
+    EXPECT_EQ(res.stats.dtHistogram.total(), res.acceptedSteps);
+    // Every iteration of this well-posed circuit factors exactly once.
+    EXPECT_EQ(res.stats.factorizations, res.newtonIterations);
+    EXPECT_GT(res.stats.totalSeconds, 0.0);
+    EXPECT_GT(res.stats.stampSeconds, 0.0);
+    EXPECT_GT(res.stats.factorSeconds, 0.0);
+    EXPECT_GE(res.stats.worstStepIterations, 1);
+
+    // The enclosing transient span is present and carries the step counts.
+    bool sawSpan = false;
+    for (const auto& rec : records) {
+        if (rec.isSpan() && rec.name == "spice.transient") {
+            sawSpan = true;
+            EXPECT_EQ(static_cast<int>(rec.num.at("steps")), res.acceptedSteps);
+            EXPECT_EQ(static_cast<int>(rec.num.at("rejected")), res.rejectedSteps);
+        }
+    }
+    EXPECT_TRUE(sawSpan);
 }
 
 TEST(Circuit, NodeNamingAndLookup) {

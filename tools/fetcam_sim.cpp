@@ -3,7 +3,7 @@
 // Usage:
 //   fetcam_sim op <netlist.sp>
 //   fetcam_sim tran <netlist.sp> --tstop 10n [--dtmax 10p] [--ic node=V ...]
-//                   [--probe n1,n2,...] [--csv out.csv]
+//                   [--probe n1,n2,...] [--csv out.csv] [--trace out.jsonl]
 //   fetcam_sim ac <netlist.sp> --from 1k --to 1g [--ppd 10] --probe out
 //   fetcam_sim describe <netlist.sp>
 //
@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/fetcam.hpp"
+#include "obs/obs.hpp"
 #include "spice/waveform_io.hpp"
 
 using namespace fetcam;
@@ -51,6 +52,7 @@ struct Args {
     std::vector<std::string> probes;
     std::vector<std::pair<std::string, double>> ics;
     std::string csvPath;
+    std::string tracePath;  ///< JSONL observability trace (also: FETCAM_TRACE)
 };
 
 Args parseArgs(int argc, char** argv) {
@@ -79,6 +81,8 @@ Args parseArgs(int argc, char** argv) {
             for (auto& p : splitCsvList(next())) a.probes.push_back(p);
         } else if (opt == "--csv") {
             a.csvPath = next();
+        } else if (opt == "--trace") {
+            a.tracePath = next();
         } else if (opt == "--ic") {
             const std::string kv = next();
             const auto eq = kv.find('=');
@@ -112,8 +116,11 @@ int runTran(spice::Circuit& c, const Args& a) {
     spec.dtMax = a.dtmax > 0.0 ? a.dtmax : a.tstop / 1000.0;
     for (const auto& [name, v] : a.ics) spec.initialConditions.push_back({c.node(name), v});
     const auto r = runTransient(c, spec);
-    std::printf("transient: %d accepted steps, %d rejected, %d Newton iterations\n",
-                r.acceptedSteps, r.rejectedSteps, r.newtonIterations);
+    if (obs::enabled())
+        std::printf("\n%s\n", core::runReport(r).c_str());
+    else
+        std::printf("transient: %d accepted steps, %d rejected, %d Newton iterations\n",
+                    r.acceptedSteps, r.rejectedSteps, r.newtonIterations);
 
     spice::WaveColumns cols;
     for (const auto& p : a.probes) cols.emplace_back(p, c.findNode(p));
@@ -164,6 +171,14 @@ int runAcCmd(spice::Circuit& c, const Args& a) {
 int main(int argc, char** argv) {
     try {
         const Args a = parseArgs(argc, argv);
+        if (!a.tracePath.empty()) {
+            if (!obs::TraceSink::global().open(a.tracePath))
+                std::fprintf(stderr, "warning: cannot open trace file %s\n",
+                             a.tracePath.c_str());
+            obs::setEnabled(true);
+        } else {
+            obs::initFromEnv();
+        }
         spice::Circuit c;
         const auto tech = device::TechCard::cmos45();
         const int n = parseNetlist(readFile(a.netlistPath), c, tech);

@@ -1,0 +1,198 @@
+// fetcam_trace — summarize a JSONL trace produced by the obs subsystem
+// (bench `--trace out.jsonl` or the FETCAM_TRACE env switch).
+//
+// Prints: top spans by self wall time, event counts, solver step health
+// (accept/reject totals and rejection hot-spots along simulated time), and a
+// per-device energy ranking.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace {
+
+using fetcam::core::engFormat;
+using fetcam::core::numFormat;
+using fetcam::core::Table;
+using fetcam::obs::SpanStat;
+using fetcam::obs::TraceRecord;
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: fetcam_trace <trace.jsonl> [--top N]\n"
+                 "  Summarize a fetcam observability trace: top spans by self time,\n"
+                 "  event counts, solver rejection hot-spots, per-device energy.\n");
+    return 2;
+}
+
+void printSpanSummary(const std::vector<TraceRecord>& records, int top) {
+    const auto stats = fetcam::obs::spanStats(records);
+    if (stats.empty()) {
+        std::printf("no spans recorded\n\n");
+        return;
+    }
+    Table t({"span", "count", "total", "self", "mean", "max"});
+    int shown = 0;
+    for (const auto& s : stats) {
+        if (shown++ >= top) break;
+        t.addRow({s.name, std::to_string(s.count), engFormat(s.total, "s"),
+                  engFormat(s.self, "s"),
+                  engFormat(s.total / static_cast<double>(s.count), "s"),
+                  engFormat(s.max, "s")});
+    }
+    std::printf("== top spans by self time ==\n%s\n", t.toAligned().c_str());
+}
+
+void printEventCounts(const std::vector<TraceRecord>& records, int top) {
+    std::map<std::string, long long> counts;
+    for (const auto& r : records)
+        if (r.isEvent()) ++counts[r.name];
+    if (counts.empty()) {
+        std::printf("no events recorded\n\n");
+        return;
+    }
+    std::vector<std::pair<std::string, long long>> sorted(counts.begin(), counts.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    Table t({"event", "count"});
+    int shown = 0;
+    for (const auto& [name, n] : sorted) {
+        if (shown++ >= top) break;
+        t.addRow({name, std::to_string(n)});
+    }
+    std::printf("== event counts ==\n%s\n", t.toAligned().c_str());
+}
+
+void printStepHealth(const std::vector<TraceRecord>& records) {
+    long long accepted = 0, rejected = 0;
+    double tMax = 0.0;
+    std::vector<const TraceRecord*> rejects;
+    for (const auto& r : records) {
+        if (!r.isEvent()) continue;
+        if (r.name == "step.accept") ++accepted;
+        if (r.name == "step.reject") {
+            ++rejected;
+            rejects.push_back(&r);
+        }
+        if (r.name == "step.accept" || r.name == "step.reject") {
+            const auto it = r.num.find("t");
+            if (it != r.num.end()) tMax = std::max(tMax, it->second);
+        }
+    }
+    if (accepted + rejected == 0) return;
+    std::printf("== solver steps ==\naccepted %lld   rejected %lld   (%.2f%% rejected)\n\n",
+                accepted, rejected,
+                100.0 * static_cast<double>(rejected) /
+                    static_cast<double>(accepted + rejected));
+    if (rejects.empty() || tMax <= 0.0) return;
+
+    // Hot-spots: rejections bucketed along simulated time.
+    constexpr int kBuckets = 10;
+    std::vector<long long> hist(kBuckets, 0);
+    for (const auto* r : rejects) {
+        const auto it = r->num.find("t");
+        if (it == r->num.end()) continue;
+        int b = static_cast<int>(it->second / tMax * kBuckets);
+        hist[std::clamp(b, 0, kBuckets - 1)]++;
+    }
+    Table t({"sim-time window", "rejections"});
+    for (int b = 0; b < kBuckets; ++b) {
+        if (hist[b] == 0) continue;
+        t.addRow({engFormat(b * tMax / kBuckets, "s") + " .. " +
+                      engFormat((b + 1) * tMax / kBuckets, "s"),
+                  std::to_string(hist[b])});
+    }
+    std::printf("== rejection hot-spots ==\n%s\n", t.toAligned().c_str());
+
+    std::sort(rejects.begin(), rejects.end(), [](const auto* a, const auto* b) {
+        const auto iters = [](const TraceRecord* r) {
+            const auto it = r->num.find("iters");
+            return it == r->num.end() ? 0.0 : it->second;
+        };
+        return iters(a) > iters(b);
+    });
+    Table worst({"t", "dt", "iters"});
+    for (std::size_t i = 0; i < rejects.size() && i < 5; ++i) {
+        const auto& n = rejects[i]->num;
+        const auto get = [&](const char* k) {
+            const auto it = n.find(k);
+            return it == n.end() ? 0.0 : it->second;
+        };
+        worst.addRow({engFormat(get("t"), "s"), engFormat(get("dt"), "s"),
+                      numFormat(get("iters"), 0)});
+    }
+    std::printf("== worst rejected steps ==\n%s\n", worst.toAligned().c_str());
+}
+
+void printEnergyRanking(const std::vector<TraceRecord>& records, int top) {
+    std::map<std::string, double> energy;
+    for (const auto& r : records) {
+        if (!r.isEvent() || r.name != "energy.device") continue;
+        const auto dev = r.str.find("device");
+        const auto e = r.num.find("energy");
+        if (dev == r.str.end() || e == r.num.end()) continue;
+        energy[dev->second] += e->second;
+    }
+    if (energy.empty()) return;
+    std::vector<std::pair<std::string, double>> sorted(energy.begin(), energy.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    double total = 0.0;
+    for (const auto& [_, e] : sorted) total += e;
+    Table t({"device", "energy", "share"});
+    int shown = 0;
+    for (const auto& [name, e] : sorted) {
+        if (shown++ >= top) break;
+        t.addRow({name, engFormat(e, "J"),
+                  total > 0.0 ? numFormat(100.0 * e / total, 1) + " %" : "-"});
+    }
+    std::printf("== per-device energy ==\ntotal %s\n%s\n", engFormat(total, "J").c_str(),
+                t.toAligned().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string path;
+    int top = 20;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+            top = std::atoi(argv[++i]);
+        } else if (argv[i][0] == '-') {
+            return usage();
+        } else if (path.empty()) {
+            path = argv[i];
+        } else {
+            return usage();
+        }
+    }
+    if (path.empty() || top <= 0) return usage();
+
+    std::vector<TraceRecord> records;
+    try {
+        records = fetcam::obs::readTraceFile(path);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "fetcam_trace: %s\n", e.what());
+        return 1;
+    }
+
+    long long spans = 0, events = 0;
+    for (const auto& r : records) {
+        spans += r.isSpan() ? 1 : 0;
+        events += r.isEvent() ? 1 : 0;
+    }
+    std::printf("trace %s: %zu records (%lld spans, %lld events)\n\n", path.c_str(),
+                records.size(), spans, events);
+
+    printSpanSummary(records, top);
+    printEventCounts(records, top);
+    printStepHealth(records);
+    printEnergyRanking(records, top);
+    return 0;
+}
