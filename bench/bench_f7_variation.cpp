@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     const double sigmas[] = {0.01, 0.03, 0.05, 0.07};
 
     core::Table t({"design", "sigmaVT [mV]", "margin mean [V]", "margin worst [V]",
-                   "ML(match) sd [mV]", "errors", "error rate"});
+                   "ML(match) sd [mV]", "errors", "error rate", "failed trials"});
     for (const auto& dut : duts) {
         for (const double sigma : sigmas) {
             array::MonteCarloSpec spec;
@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
                       core::numFormat(r.senseMarginWorst(), 3),
                       core::numFormat(r.mlMatch.stddev() * 1e3, 1),
                       std::to_string(r.matchErrors + r.mismatchErrors),
-                      core::numFormat(100.0 * r.errorRate(), 1) + "%"});
+                      core::numFormat(100.0 * r.errorRate(), 1) + "%",
+                      std::to_string(r.failedTrials)});
         }
     }
     std::printf("%s", t.toAligned().c_str());

@@ -1,7 +1,8 @@
 #include "array/bank.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "obs/obs.hpp"
 
 namespace fetcam::array {
 
@@ -12,9 +13,14 @@ double PriorityEncoderModel::delay(int rows) const {
 
 BankMetrics evaluateBank(const device::TechCard& tech, const ArrayConfig& arrayConfig,
                          int entries, const WorkloadProfile& workload,
-                         const PriorityEncoderModel& encoder) {
-    if (entries < 1) throw std::invalid_argument("evaluateBank: entries must be >= 1");
-    if (arrayConfig.rows < 1) throw std::invalid_argument("evaluateBank: bad array rows");
+                         const PriorityEncoderModel& encoder,
+                         recover::FailurePolicy onFailure) {
+    if (entries < 1)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "evaluateBank",
+                                "entries must be >= 1");
+    if (arrayConfig.rows < 1)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "evaluateBank",
+                                "bad array rows");
 
     const int n = (entries + arrayConfig.rows - 1) / arrayConfig.rows;
 
@@ -23,7 +29,25 @@ BankMetrics evaluateBank(const device::TechCard& tech, const ArrayConfig& arrayC
     // Splitting matchRowFraction across n arrays models exactly that.
     WorkloadProfile wl = workload;
     wl.matchRowFraction = workload.matchRowFraction / n;
-    const auto sub = evaluateArray(tech, arrayConfig, wl);
+    ArrayMetrics sub;
+    try {
+        sub = evaluateArray(tech, arrayConfig, wl);
+    } catch (const recover::SimError& e) {
+        if (onFailure == recover::FailurePolicy::Strict ||
+            e.reason() == recover::SimErrorReason::InvalidSpec)
+            throw;
+        if (obs::enabled()) {
+            static obs::Counter& failed = obs::counter("array.bank.failed_evals");
+            failed.add();
+        }
+        BankMetrics m;
+        m.subArrays = n;
+        m.rowsPerArray = arrayConfig.rows;
+        m.totalEntries = n * arrayConfig.rows;
+        m.simFailed = true;
+        m.failureSummary = e.what();
+        return m;
+    }
 
     BankMetrics m;
     m.subArrays = n;

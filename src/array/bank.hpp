@@ -4,7 +4,10 @@
 // organization and what the application studies size against.
 #pragma once
 
+#include <string>
+
 #include "array/energy_model.hpp"
+#include "recover/sim_error.hpp"
 
 namespace fetcam::array {
 
@@ -30,14 +33,24 @@ struct BankMetrics {
     double throughput = 0.0;
     double areaF2 = 0.0;
     bool functional = false;
+
+    /// Lenient-mode degradation: the sub-array simulation raised a SimError
+    /// and the metrics above are zeros rather than measurements.
+    bool simFailed = false;
+    std::string failureSummary;  ///< what() of the captured error
+
     double totalPerSearch() const { return perSearch.total() + encoderEnergy; }
 };
 
 /// Evaluate a bank holding at least `entries` words, split into sub-arrays of
 /// `arrayConfig.rows` rows each (all searched in parallel). Runs one
-/// evaluateArray for the sub-array and scales.
+/// evaluateArray for the sub-array and scales. With a Lenient policy a
+/// SimError from the sub-array simulation is captured into the metrics
+/// (simFailed/failureSummary) instead of propagating; invalid-geometry
+/// errors always throw.
 BankMetrics evaluateBank(const device::TechCard& tech, const ArrayConfig& arrayConfig,
                          int entries, const WorkloadProfile& workload = {},
-                         const PriorityEncoderModel& encoder = {});
+                         const PriorityEncoderModel& encoder = {},
+                         recover::FailurePolicy onFailure = recover::FailurePolicy::Strict);
 
 }  // namespace fetcam::array

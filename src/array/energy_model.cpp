@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <stdexcept>
 
 #include "numeric/stats.hpp"
+#include "recover/sim_error.hpp"
 
 namespace fetcam::array {
 
@@ -28,7 +28,8 @@ tcam::TernaryWord keyWithMismatches(const tcam::TernaryWord& stored, int mismatc
         --left;
     }
     if (left > 0)
-        throw std::invalid_argument("keyWithMismatches: not enough definite positions");
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "keyWithMismatches",
+                                "not enough definite positions");
     return key;
 }
 
@@ -59,7 +60,8 @@ struct StageSims {
 ArrayMetrics evaluateArray(const device::TechCard& tech, const ArrayConfig& config,
                            const WorkloadProfile& workload) {
     if (config.wordBits < 1 || config.rows < 1)
-        throw std::invalid_argument("evaluateArray: bad geometry");
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "evaluateArray",
+                                "bad geometry");
 
     const auto widths = stageWidths(config);
 

@@ -74,13 +74,28 @@ MonteCarloResult runMonteCarlo(const MonteCarloSpec& spec) {
         o.stored = stored;
         o.variations = vars;
 
-        o.key = matchKey;
-        const auto match = simulateWordSearch(o);
+        WordSimResult match, mism;
+        try {
+            o.key = matchKey;
+            match = simulateWordSearch(o);
+            o.key = mismatchKey;
+            mism = simulateWordSearch(o);
+        } catch (const recover::SimError& e) {
+            if (spec.onFailure == recover::FailurePolicy::Strict) throw;
+            ++result.failedTrials;
+            ++result.failureReasons[static_cast<std::size_t>(e.reason())];
+            if (obsOn) {
+                static obs::Counter& failed = obs::counter("array.mc.failed_trials");
+                failed.add();
+                obs::TraceSink::global().event(
+                    "mc.trial_failed",
+                    {{"trial", trial}, {"reason", recover::reasonName(e.reason())}});
+            }
+            continue;
+        }
+        ++result.completedTrials;
         result.mlMatch.add(match.mlAtSense);
         if (!match.matchDetected) ++result.matchErrors;
-
-        o.key = mismatchKey;
-        const auto mism = simulateWordSearch(o);
         result.mlMismatch.add(mism.mlAtSense);
         if (mism.matchDetected) ++result.mismatchErrors;
 

@@ -3,10 +3,12 @@
 // sense-margin distribution and search error rates.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "array/word_sim.hpp"
 #include "numeric/stats.hpp"
+#include "recover/sim_error.hpp"
 
 namespace fetcam::array {
 
@@ -21,22 +23,31 @@ struct MonteCarloSpec {
     /// are reduced by |N(0, sigma)| from their nominal +/-1 / {0,1} values.
     double sigmaState = 0.05;
     int mismatchBits = 1;       ///< mismatch severity for the error analysis
+
+    /// Strict: the first trial that raises a SimError aborts the sweep.
+    /// Lenient: failed trials are counted and the sweep carries on.
+    recover::FailurePolicy onFailure = recover::FailurePolicy::Lenient;
 };
 
 struct MonteCarloResult {
-    int trials = 0;
+    int trials = 0;           ///< trials attempted
+    int completedTrials = 0;  ///< trials that produced both measurements
     numeric::RunningStats mlMatch;     ///< ML voltage at sense, match case
     numeric::RunningStats mlMismatch;  ///< ML voltage at sense, mismatch case
     int matchErrors = 0;      ///< matches read as mismatches (false negatives)
     int mismatchErrors = 0;   ///< mismatches read as matches (false positives)
 
+    /// Lenient-mode failure accounting.
+    int failedTrials = 0;
+    std::array<int, recover::kNumSimErrorReasons> failureReasons{};
+
     double senseMarginMean() const { return mlMatch.mean() - mlMismatch.mean(); }
     /// Worst-case margin: closest approach of the two distributions observed.
     double senseMarginWorst() const { return mlMatch.min() - mlMismatch.max(); }
     double errorRate() const {
-        return trials == 0 ? 0.0
-                           : static_cast<double>(matchErrors + mismatchErrors) /
-                                 (2.0 * static_cast<double>(trials));
+        return completedTrials == 0 ? 0.0
+                                    : static_cast<double>(matchErrors + mismatchErrors) /
+                                          (2.0 * static_cast<double>(completedTrials));
     }
 };
 

@@ -9,6 +9,7 @@
 #include "device/sources.hpp"
 #include "numeric/interp.hpp"
 #include "obs/obs.hpp"
+#include "recover/sim_error.hpp"
 
 namespace fetcam::array {
 
@@ -211,11 +212,14 @@ WordNetlist buildWord(spice::Circuit& c, const WordSimOptions& o) {
 
 WordSimResult simulateWordSearch(const WordSimOptions& o) {
     if (o.stored.size() != o.key.size())
-        throw std::invalid_argument("simulateWordSearch: stored/key width mismatch");
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "simulateWordSearch",
+                                "stored/key width mismatch");
     if (o.stored.empty())
-        throw std::invalid_argument("simulateWordSearch: empty word");
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "simulateWordSearch",
+                                "empty word");
     if (!o.variations.empty() && o.variations.size() != o.stored.size())
-        throw std::invalid_argument("simulateWordSearch: variations width mismatch");
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "simulateWordSearch",
+                                "variations width mismatch");
 
     obs::SpanGuard span("array.word_search",
                         {{"bits", static_cast<int>(o.stored.size())},

@@ -1,7 +1,9 @@
 #include "core/design_space.hpp"
 
 #include <fstream>
-#include <stdexcept>
+
+#include "obs/obs.hpp"
+#include "recover/sim_error.hpp"
 
 namespace fetcam::core {
 
@@ -47,8 +49,21 @@ std::vector<ExplorationResult> exploreDesigns(const device::TechCard& tech,
                                               const array::WorkloadProfile& workload) {
     std::vector<ExplorationResult> out;
     out.reserve(designs.size());
-    for (const auto& d : designs)
-        out.push_back({d, evaluateArray(tech, d.config, workload)});
+    for (const auto& d : designs) {
+        try {
+            out.push_back({d, evaluateArray(tech, d.config, workload), false, {}});
+        } catch (const recover::SimError& e) {
+            if (e.reason() == recover::SimErrorReason::InvalidSpec) throw;
+            if (obs::enabled()) {
+                static obs::Counter& failed = obs::counter("core.explore.failed_designs");
+                failed.add();
+                obs::TraceSink::global().event("explore.design_failed",
+                                               {{"design", d.name.c_str()},
+                                                {"reason", recover::reasonName(e.reason())}});
+            }
+            out.push_back({d, array::ArrayMetrics{}, true, e.what()});
+        }
+    }
     return out;
 }
 
@@ -91,9 +106,13 @@ Table explorationTable(const std::vector<ExplorationResult>& results) {
 void exportExplorationCsv(const std::vector<ExplorationResult>& results,
                           const std::string& path) {
     std::ofstream os(path);
-    if (!os) throw std::runtime_error("exportExplorationCsv: cannot open '" + path + "'");
+    if (!os)
+        throw recover::SimError(recover::SimErrorReason::IoError, "exportExplorationCsv",
+                                "cannot open '" + path + "'");
     os << explorationTable(results).toCsv();
-    if (!os) throw std::runtime_error("exportExplorationCsv: write failed");
+    if (!os)
+        throw recover::SimError(recover::SimErrorReason::IoError, "exportExplorationCsv",
+                                "write failed");
 }
 
 std::vector<std::size_t> paretoFront(

@@ -32,9 +32,16 @@ DesignPoint proposedDesign(int wordBits, int rows);
 struct ExplorationResult {
     DesignPoint design;
     array::ArrayMetrics metrics;
+    /// Lenient-mode degradation: the simulation for this design raised a
+    /// SimError; `metrics` are zeros and `functional` is false.
+    bool simFailed = false;
+    std::string failureSummary;
 };
 
 /// Evaluate a list of designs (2 circuit sims per distinct stage width each).
+/// Solver failures on individual designs are recorded in the corresponding
+/// ExplorationResult (simFailed) rather than aborting the whole exploration;
+/// invalid-spec errors still throw.
 std::vector<ExplorationResult> exploreDesigns(const device::TechCard& tech,
                                               const std::vector<DesignPoint>& designs,
                                               const array::WorkloadProfile& workload = {});
@@ -54,7 +61,7 @@ std::vector<std::size_t> paretoFront(
 Table explorationTable(const std::vector<ExplorationResult>& results);
 
 /// Dump exploration results to a CSV file for external plotting. Throws
-/// std::runtime_error on I/O failure.
+/// recover::SimError(IoError) on I/O failure.
 void exportExplorationCsv(const std::vector<ExplorationResult>& results,
                           const std::string& path);
 

@@ -103,6 +103,11 @@ Table solverStatsTable(const spice::TransientResult& result) {
     t.addRow({"  wasted on rejected steps",
               std::to_string(result.rejectedNewtonIterations)});
     t.addRow({"matrix factorizations", std::to_string(s.factorizations)});
+    if (s.rescueAttempts > 0) {
+        t.addRow({"rescued steps", std::to_string(s.rescuedSteps)});
+        t.addRow({"  rescue rungs attempted", std::to_string(s.rescueAttempts)});
+        t.addRow({"  accepted at elevated gmin", std::to_string(s.degradedGminSteps)});
+    }
     t.addRow({"time: stamping + device eval", engFormat(s.stampSeconds, "s")});
     t.addRow({"time: factorization + solve", engFormat(s.factorSeconds, "s")});
     t.addRow({"time: state commit + record", engFormat(s.acceptSeconds, "s")});

@@ -3,13 +3,16 @@
 #include <stdexcept>
 
 #include "obs/obs.hpp"
+#include "recover/sim_error.hpp"
 
 namespace fetcam::core {
 
 TcamMacro::TcamMacro(const device::TechCard& tech, const array::ArrayConfig& subArray,
                      std::size_t capacity, const array::WorkloadProfile& workload)
     : config_(subArray) {
-    if (capacity == 0) throw std::invalid_argument("TcamMacro: capacity must be > 0");
+    if (capacity == 0)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "TcamMacro",
+                                "capacity must be > 0");
     obs::SpanGuard span("core.macro.build", {{"capacity", static_cast<long long>(capacity)},
                                              {"wordBits", subArray.wordBits}});
     bank_ = evaluateBank(tech, subArray, static_cast<int>(capacity), workload);
@@ -28,7 +31,8 @@ void TcamMacro::checkRow(int row) const {
 
 int TcamMacro::write(const tcam::TernaryWord& word) {
     if (static_cast<int>(word.size()) != config_.wordBits)
-        throw std::invalid_argument("TcamMacro::write: word width mismatch");
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "TcamMacro::write",
+                                "word width mismatch");
     for (std::size_t r = 0; r < entries_.size(); ++r) {
         if (!entries_[r]) {
             writeAt(static_cast<int>(r), word);
@@ -41,7 +45,8 @@ int TcamMacro::write(const tcam::TernaryWord& word) {
 void TcamMacro::writeAt(int row, const tcam::TernaryWord& word) {
     checkRow(row);
     if (static_cast<int>(word.size()) != config_.wordBits)
-        throw std::invalid_argument("TcamMacro::writeAt: word width mismatch");
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "TcamMacro::writeAt",
+                                "word width mismatch");
     auto& slot = entries_[static_cast<std::size_t>(row)];
     if (!slot) ++occupied_;
     slot = word;
@@ -72,7 +77,8 @@ const std::optional<tcam::TernaryWord>& TcamMacro::entryAt(int row) const {
 
 std::optional<int> TcamMacro::search(const tcam::TernaryWord& key) {
     if (static_cast<int>(key.size()) != config_.wordBits)
-        throw std::invalid_argument("TcamMacro::search: key width mismatch");
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "TcamMacro::search",
+                                "key width mismatch");
     ++stats_.searches;
     stats_.searchEnergy += bank_.totalPerSearch();
     if (obs::enabled()) {

@@ -1,10 +1,12 @@
 #include "core/tuner.hpp"
 
 #include <cmath>
+#include <limits>
 #include <map>
 
 #include "numeric/optimize.hpp"
 #include "obs/obs.hpp"
+#include "recover/sim_error.hpp"
 
 namespace fetcam::core {
 
@@ -20,7 +22,25 @@ VddTuneResult tuneVddForMinEdp(const device::TechCard& tech300,
         if (auto it = cache.find(key); it != cache.end()) return it->second;
         device::TechCard t = tech300;
         t.vdd = key;
-        const auto& m = cache.emplace(key, evaluateArray(t, cfg, workload)).first->second;
+        array::ArrayMetrics eval;
+        try {
+            eval = evaluateArray(t, cfg, workload);
+        } catch (const recover::SimError& e) {
+            // A voltage the solver cannot handle is just a terrible design
+            // point: leave the metrics non-functional so the objective
+            // steers away instead of killing the whole optimization.
+            if (e.reason() == recover::SimErrorReason::InvalidSpec) throw;
+            eval = array::ArrayMetrics{};
+            eval.functional = false;
+            if (obs::enabled()) {
+                static obs::Counter& failed = obs::counter("core.tuner.failed_evals");
+                failed.add();
+                obs::TraceSink::global().event(
+                    "tuner.eval_failed",
+                    {{"vdd", key}, {"reason", recover::reasonName(e.reason())}});
+            }
+        }
+        const auto& m = cache.emplace(key, std::move(eval)).first->second;
         if (obs::enabled()) {
             static obs::Counter& evals = obs::counter("core.tuner.evals");
             evals.add();
@@ -36,7 +56,10 @@ VddTuneResult tuneVddForMinEdp(const device::TechCard& tech300,
         const auto& m = metricsAt(vdd);
         const double edp = m.perSearch.total() * m.searchDelay;
         // Penalize broken designs hard but smoothly enough to steer away.
-        return m.functional ? edp : edp * 1e3;
+        // Failed simulations have zero metrics; a flat huge penalty keeps
+        // the minimizer from mistaking them for the optimum.
+        if (!m.functional) return edp > 0.0 ? edp * 1e3 : 1e30;
+        return edp;
     };
     const auto r = numeric::minimizeGolden(objective, vLo, vHi, /*xTol=*/0.025);
 
@@ -56,7 +79,20 @@ SegmentTuneResult tuneSegments(const device::TechCard& tech, array::ArrayConfig 
     for (const int k : {1, 2, 4, 8}) {
         if (k > cfg.wordBits) break;
         cfg.mlSegments = k;
-        const auto m = evaluateArray(tech, cfg, workload);
+        array::ArrayMetrics m;
+        try {
+            m = evaluateArray(tech, cfg, workload);
+        } catch (const recover::SimError& e) {
+            if (e.reason() == recover::SimErrorReason::InvalidSpec) throw;
+            if (obs::enabled()) {
+                static obs::Counter& failed = obs::counter("core.tuner.failed_evals");
+                failed.add();
+                obs::TraceSink::global().event(
+                    "tuner.segment_eval_failed",
+                    {{"segments", k}, {"reason", recover::reasonName(e.reason())}});
+            }
+            continue;  // skip the unsolvable segmentation, keep scanning
+        }
         obs::TraceSink::global().event("tuner.segment_eval",
                                        {{"segments", k},
                                         {"energy", m.perSearch.total()},

@@ -1,5 +1,6 @@
 #include "device/fefet.hpp"
 
+#include "recover/fault_injection.hpp"
 #include "spice/ac.hpp"
 
 namespace fetcam::device {
@@ -66,6 +67,12 @@ void FeFet::acceptStep(const spice::SimContext& ctx) {
     energy_.add(power, ctx.dt);
 
     // Advance the hysteron bank with the accepted gate-source voltage.
+    // A stuck-polarization fault freezes the bank: no switching, no Ip.
+    if (recover::FaultPlan* plan = recover::FaultPlan::active();
+        plan && plan->stuckPolarization()) {
+        ipPrev_ = 0.0;
+        return;
+    }
     const double qs = params_.effectiveFeArea() * params_.ferro.ps;
     const double pBefore = bank_.pnorm();
     bank_.advance(vg - vs, ctx.dt);

@@ -89,7 +89,7 @@ VoltageSource::VoltageSource(std::string name, spice::Circuit& circuit, spice::N
       wave_(std::move(wave)) {}
 
 void VoltageSource::stamp(spice::Mna& mna, const spice::SimContext& ctx) {
-    mna.stampVoltageSource(p_, n_, branch_, wave_.at(ctx.time));
+    mna.stampVoltageSource(p_, n_, branch_, ctx.sourceScale * wave_.at(ctx.time));
 }
 
 void VoltageSource::stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const {
@@ -121,7 +121,7 @@ CurrentSource::CurrentSource(std::string name, spice::NodeId from, spice::NodeId
     : Device(std::move(name)), from_(from), to_(to), wave_(std::move(wave)) {}
 
 void CurrentSource::stamp(spice::Mna& mna, const spice::SimContext& ctx) {
-    mna.stampCurrentSource(from_, to_, wave_.at(ctx.time));
+    mna.stampCurrentSource(from_, to_, ctx.sourceScale * wave_.at(ctx.time));
 }
 
 void CurrentSource::stampAc(spice::AcStamper& mna, const spice::SimContext& opCtx) const {
@@ -130,7 +130,7 @@ void CurrentSource::stampAc(spice::AcStamper& mna, const spice::SimContext& opCt
 }
 
 void CurrentSource::acceptStep(const spice::SimContext& ctx) {
-    lastCurrent_ = wave_.at(ctx.time);
+    lastCurrent_ = ctx.sourceScale * wave_.at(ctx.time);
     const double v = ctx.v(from_) - ctx.v(to_);
     energy_.add(v * lastCurrent_, ctx.dt);
 }

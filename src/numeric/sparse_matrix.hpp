@@ -6,6 +6,7 @@
 // so the engine rebuilds values in place and refactors each iteration.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -29,6 +30,13 @@ public:
         double value;
     };
     const std::vector<Entry>& entries() const { return entries_; }
+
+    /// Remove every entry matching `pred(entry)`. Used by fault injection to
+    /// carve structurally singular rows/columns out of an assembled matrix.
+    template <typename Pred>
+    void eraseIf(Pred pred) {
+        entries_.erase(std::remove_if(entries_.begin(), entries_.end(), pred), entries_.end());
+    }
 
 private:
     int rows_;

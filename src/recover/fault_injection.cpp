@@ -1,0 +1,55 @@
+#include "recover/fault_injection.hpp"
+
+namespace fetcam::recover {
+
+namespace {
+thread_local FaultPlan* tActivePlan = nullptr;
+}  // namespace
+
+const char* faultKindName(FaultKind kind) noexcept {
+    switch (kind) {
+        case FaultKind::NanCurrent: return "nan_current";
+        case FaultKind::SingularStamp: return "singular_stamp";
+        case FaultKind::StuckPolarization: return "stuck_polarization";
+    }
+    return "unknown";
+}
+
+SolveFaults FaultPlan::beginSolve() noexcept {
+    const long long ordinal = nextSolve_++;
+    SolveFaults f;
+    for (const auto& spec : specs_) {
+        if (ordinal < spec.fromSolve || ordinal >= spec.toSolve) continue;
+        switch (spec.kind) {
+            case FaultKind::NanCurrent:
+                f.nanCurrent = true;
+                f.node = spec.node;
+                ++injections_;
+                break;
+            case FaultKind::SingularStamp:
+                f.singularStamp = true;
+                f.node = spec.node;
+                ++injections_;
+                break;
+            case FaultKind::StuckPolarization:
+                break;  // not a per-solve fault
+        }
+    }
+    return f;
+}
+
+bool FaultPlan::stuckPolarization() const noexcept {
+    for (const auto& spec : specs_)
+        if (spec.kind == FaultKind::StuckPolarization) return true;
+    return false;
+}
+
+FaultPlan* FaultPlan::active() noexcept { return tActivePlan; }
+
+ScopedFaultPlan::ScopedFaultPlan(FaultPlan& plan) : previous_(tActivePlan) {
+    tActivePlan = &plan;
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() { tActivePlan = previous_; }
+
+}  // namespace fetcam::recover

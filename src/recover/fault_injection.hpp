@@ -1,0 +1,96 @@
+// Deterministic fault injection for the solver robustness tests.
+//
+// A FaultPlan describes faults to inject at chosen Newton solves (a solve is
+// one solveNewton call; the transient engine issues one or more per step, the
+// ladder issues one per rescue attempt). The solver and devices consult the
+// thread's installed plan at well-defined points:
+//
+//   NanCurrent        — solveNewton stamps a NaN current into the chosen
+//                       node's KCL row, modelling a device model returning a
+//                       non-finite current.
+//   SingularStamp     — solveNewton zeroes the chosen node's matrix row and
+//                       column after all stamping, making the system
+//                       structurally singular at that solve.
+//   StuckPolarization — FeFET hysteron banks stop advancing: write pulses
+//                       leave the stored state unchanged while the plan is
+//                       installed (models an imprinted / fatigued cell).
+//
+// Plans are installed with ScopedFaultPlan (thread-local, RAII). With no plan
+// installed, the hot-path query is a single thread-local pointer read.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+namespace fetcam::recover {
+
+enum class FaultKind {
+    NanCurrent,
+    SingularStamp,
+    StuckPolarization,
+};
+
+const char* faultKindName(FaultKind kind) noexcept;
+
+struct FaultSpec {
+    FaultKind kind = FaultKind::NanCurrent;
+    /// Half-open Newton-solve ordinal window [fromSolve, toSolve) during
+    /// which the fault is live. Defaults cover the whole run.
+    long long fromSolve = 0;
+    long long toSolve = std::numeric_limits<long long>::max();
+    /// Node whose row is poisoned (NanCurrent / SingularStamp).
+    int node = 1;
+};
+
+/// Faults live for one particular Newton solve.
+struct SolveFaults {
+    bool nanCurrent = false;
+    bool singularStamp = false;
+    int node = 1;
+    bool any() const noexcept { return nanCurrent || singularStamp; }
+};
+
+class FaultPlan {
+public:
+    FaultPlan() = default;
+    explicit FaultPlan(std::vector<FaultSpec> specs) : specs_(std::move(specs)) {}
+
+    void add(const FaultSpec& spec) { specs_.push_back(spec); }
+
+    /// Advance the solve ordinal and report the faults live for this solve.
+    /// Called once per solveNewton invocation.
+    SolveFaults beginSolve() noexcept;
+
+    /// True while any StuckPolarization spec is present (not solve-windowed:
+    /// polarization commits happen on accepted steps, not solves).
+    bool stuckPolarization() const noexcept;
+
+    long long solvesSeen() const noexcept { return nextSolve_; }
+    long long injectionCount() const noexcept { return injections_; }
+
+    /// The plan installed on this thread, or nullptr.
+    static FaultPlan* active() noexcept;
+
+private:
+    friend class ScopedFaultPlan;
+
+    std::vector<FaultSpec> specs_;
+    long long nextSolve_ = 0;
+    long long injections_ = 0;
+};
+
+/// Installs `plan` as the thread's active plan for the guard's lifetime;
+/// restores the previously installed plan (if any) on destruction.
+class ScopedFaultPlan {
+public:
+    explicit ScopedFaultPlan(FaultPlan& plan);
+    ~ScopedFaultPlan();
+
+    ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+    ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+private:
+    FaultPlan* previous_;
+};
+
+}  // namespace fetcam::recover

@@ -1,0 +1,29 @@
+#include "recover/rescue.hpp"
+
+#include <cstdio>
+
+namespace fetcam::recover {
+
+const char* rungName(RescueRung rung) noexcept {
+    switch (rung) {
+        case RescueRung::TightenDamping: return "damping";
+        case RescueRung::GminRamp: return "gmin";
+        case RescueRung::SourceStepping: return "source";
+        case RescueRung::ForceBackwardEuler: return "backward_euler";
+    }
+    return "unknown";
+}
+
+std::string formatRescueTrail(const std::vector<RescueAttempt>& trail) {
+    std::string out;
+    for (const auto& a : trail) {
+        if (!out.empty()) out += ' ';
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%s(%g)=%s", rungName(a.rung), a.value,
+                      a.converged ? "ok" : "fail");
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace fetcam::recover

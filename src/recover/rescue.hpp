@@ -1,0 +1,68 @@
+// Convergence rescue ladder: the escalation the solvers climb when a plain
+// Newton solve fails, before giving up on a run.
+//
+// The ladder is ordered from cheapest/most-physical to most invasive:
+//   1. TightenDamping    — retry with a smaller max per-iteration update
+//   2. GminRamp          — solve at an elevated gmin and walk it back down,
+//                          reusing each level's solution as the next start
+//   3. SourceStepping    — ramp all independent sources from a fraction of
+//                          their value up to full bias (continuation in bias)
+//   4. ForceBackwardEuler— retry the step with the L-stable integrator
+//
+// The types here are dependency-free descriptions; the climbing logic lives
+// next to each solver (spice/transient.cpp, spice/dcop.cpp) so this library
+// stays below the circuit engine in the link order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fetcam::recover {
+
+enum class RescueRung {
+    TightenDamping,
+    GminRamp,
+    SourceStepping,
+    ForceBackwardEuler,
+};
+
+/// Short stable identifier ("damping", "gmin", "source", "backward_euler").
+const char* rungName(RescueRung rung) noexcept;
+
+/// One solve attempted while climbing the ladder.
+struct RescueAttempt {
+    RescueRung rung = RescueRung::TightenDamping;
+    double value = 0.0;      ///< rung parameter: maxUpdate, gmin, or source scale
+    bool converged = false;
+    int iterations = 0;
+};
+
+/// "damping(0.25)=fail gmin(1e-06)=ok ..." — for error messages and logs.
+std::string formatRescueTrail(const std::vector<RescueAttempt>& trail);
+
+/// What the ladder is allowed to try. Every rung can be disabled by emptying
+/// its level list (or clearing forceBackwardEuler); `enabled = false` restores
+/// the pre-rescue behavior of failing outright.
+struct RescuePolicy {
+    bool enabled = true;
+
+    /// maxUpdate overrides for the damping rung, tried in order.
+    std::vector<double> dampingLevels = {0.25, 0.1};
+
+    /// Elevated gmin levels for the ramp, walked largest -> smallest before
+    /// finishing at the spec's own gmin.
+    std::vector<double> gminLevels = {1e-3, 1e-6, 1e-9};
+
+    /// If the ramp converges at some elevated gmin but cannot reach the
+    /// target, accept the solution anyway when that gmin is at or below this
+    /// bound (a <= 1 nS leak to ground per node: degraded, but recorded).
+    double maxAcceptableGmin = 1e-9;
+
+    /// Source-scale continuation points, ascending; a final 1.0 is implied.
+    std::vector<double> sourceSteps = {0.25, 0.5, 0.75};
+
+    /// Last resort: re-solve the step with backward Euler.
+    bool forceBackwardEuler = true;
+};
+
+}  // namespace fetcam::recover

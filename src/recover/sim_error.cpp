@@ -1,0 +1,45 @@
+#include "recover/sim_error.hpp"
+
+#include <cstdio>
+
+namespace fetcam::recover {
+
+const char* reasonName(SimErrorReason reason) noexcept {
+    switch (reason) {
+        case SimErrorReason::InvalidSpec: return "invalid_spec";
+        case SimErrorReason::StepUnderflow: return "step_underflow";
+        case SimErrorReason::SingularMatrix: return "singular_matrix";
+        case SimErrorReason::NanResidual: return "nan_residual";
+        case SimErrorReason::NonConvergence: return "non_convergence";
+        case SimErrorReason::IoError: return "io_error";
+    }
+    return "unknown";
+}
+
+namespace {
+
+std::string formatWhat(const SimError::Info& info, const std::string& message) {
+    std::string out;
+    if (!info.where.empty()) out += info.where + ": ";
+    out += message;
+    out += " [";
+    out += reasonName(info.reason);
+    if (info.time >= 0.0) {
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "; t=%g s", info.time);
+        out += buf;
+    }
+    if (!info.attempted.empty()) out += "; rescue: " + formatRescueTrail(info.attempted);
+    out += ']';
+    return out;
+}
+
+}  // namespace
+
+SimError::SimError(SimErrorReason reason, std::string where, const std::string& message)
+    : SimError(Info{reason, std::move(where), -1.0, {}}, message) {}
+
+SimError::SimError(Info info, const std::string& message)
+    : std::runtime_error(formatWhat(info, message)), info_(std::move(info)) {}
+
+}  // namespace fetcam::recover

@@ -1,0 +1,68 @@
+// Structured simulation errors.
+//
+// Every failure the simulation stack can raise carries a typed reason, the
+// offending location (simulated time and a "where" naming the function, node
+// or device), and — for solver failures — the rescue-ladder rungs that were
+// already attempted before giving up. Sweep drivers (Monte Carlo, tuner,
+// bank, design space) catch SimError per trial and degrade gracefully under
+// FailurePolicy::Lenient instead of aborting the whole sweep.
+//
+// SimError derives from std::runtime_error, so legacy call sites catching
+// std::runtime_error / std::exception keep working.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "recover/rescue.hpp"
+
+namespace fetcam::recover {
+
+enum class SimErrorReason {
+    InvalidSpec,     ///< malformed analysis spec or inconsistent inputs
+    StepUnderflow,   ///< transient dt shrank below dtMin without converging
+    SingularMatrix,  ///< structurally singular MNA system (LU found no pivot)
+    NanResidual,     ///< non-finite solution or update (NaN/Inf in the solve)
+    NonConvergence,  ///< Newton exhausted its iteration budget
+    IoError,         ///< file read/write failure
+};
+
+/// Short stable identifier ("invalid_spec", "step_underflow", ...).
+const char* reasonName(SimErrorReason reason) noexcept;
+
+/// Number of distinct reasons (histogram sizing).
+inline constexpr int kNumSimErrorReasons = 6;
+
+/// How a sweep reacts to one of its trials throwing SimError.
+enum class FailurePolicy {
+    Strict,   ///< propagate: the first failing trial aborts the sweep
+    Lenient,  ///< record the failure (count + reason histogram) and continue
+};
+
+class SimError : public std::runtime_error {
+public:
+    /// Everything about the failure besides the human-readable message.
+    struct Info {
+        SimErrorReason reason = SimErrorReason::NonConvergence;
+        std::string where;               ///< function / device / node label
+        double time = -1.0;              ///< simulated seconds; < 0 when n/a
+        std::vector<RescueAttempt> attempted;  ///< ladder rungs tried first
+    };
+
+    SimError(SimErrorReason reason, std::string where, const std::string& message);
+    SimError(Info info, const std::string& message);
+
+    SimErrorReason reason() const noexcept { return info_.reason; }
+    const std::string& where() const noexcept { return info_.where; }
+    /// Simulated time of the failure; negative when not applicable.
+    double time() const noexcept { return info_.time; }
+    const std::vector<RescueAttempt>& attemptedRescues() const noexcept {
+        return info_.attempted;
+    }
+
+private:
+    Info info_;
+};
+
+}  // namespace fetcam::recover

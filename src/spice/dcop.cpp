@@ -1,5 +1,7 @@
 #include "spice/dcop.hpp"
 
+#include <algorithm>
+
 #include "obs/obs.hpp"
 
 namespace fetcam::spice {
@@ -27,25 +29,74 @@ DcOpResult solveDcOp(const Circuit& circuit, const DcOpOptions& options) {
         result.finalGmin = options.gminTarget;
         return result;
     }
+    result.failure = nr.failure;
 
     // Attempt 2: gmin continuation, re-using each level's solution as the
     // starting point for the next.
     std::fill(result.x.begin(), result.x.end(), 0.0);
+    bool gminOk = true;
     for (double gmin = options.gminStart; gmin >= options.gminTarget * 0.999;
          gmin *= options.gminShrink) {
         ctx.gmin = gmin;
         nr = solveNewton(circuit, ctx, result.x, options.newton);
         result.totalIterations += nr.iterations;
+        result.rescues.push_back(
+            {recover::RescueRung::GminRamp, gmin, nr.converged, nr.iterations});
         obs::TraceSink::global().event("dcop.gmin_step", {{"gmin", gmin},
                                                           {"iters", nr.iterations},
                                                           {"converged", nr.converged}});
         if (!nr.converged) {
-            result.converged = false;
-            return result;
+            result.failure = nr.failure;
+            gminOk = false;
+            break;
         }
         result.finalGmin = gmin;
     }
-    result.converged = true;
+    if (gminOk) {
+        result.converged = true;
+        result.failure = NewtonFailure::None;
+        return result;
+    }
+
+    // Attempt 3: source stepping — ramp the independent sources up from a
+    // fraction of their value, each rung seeding the next, ending at 1.0.
+    if (options.rescue.enabled) {
+        std::fill(result.x.begin(), result.x.end(), 0.0);
+        ctx.gmin = options.gminTarget;
+        bool chainOk = true;
+        std::vector<double> scales;
+        for (double s : options.rescue.sourceSteps)
+            if (s > 0.0 && s < 1.0) scales.push_back(s);
+        scales.push_back(1.0);
+        for (double s : scales) {
+            ctx.sourceScale = s;
+            nr = solveNewton(circuit, ctx, result.x, options.newton);
+            result.totalIterations += nr.iterations;
+            result.rescues.push_back(
+                {recover::RescueRung::SourceStepping, s, nr.converged, nr.iterations});
+            obs::TraceSink::global().event("dcop.source_step", {{"scale", s},
+                                                                {"iters", nr.iterations},
+                                                                {"converged", nr.converged}});
+            if (!nr.converged) {
+                result.failure = nr.failure;
+                chainOk = false;
+                break;
+            }
+        }
+        ctx.sourceScale = 1.0;
+        if (chainOk) {
+            result.converged = true;
+            result.failure = NewtonFailure::None;
+            result.finalGmin = options.gminTarget;
+            if (obs::enabled()) {
+                static obs::Counter& rescued = obs::counter("spice.dcop.source_rescues");
+                rescued.add();
+            }
+            return result;
+        }
+    }
+
+    result.converged = false;
     return result;
 }
 

@@ -1,8 +1,9 @@
-// DC operating-point analysis with gmin stepping.
+// DC operating-point analysis with gmin stepping and source stepping.
 #pragma once
 
 #include <vector>
 
+#include "recover/rescue.hpp"
 #include "spice/circuit.hpp"
 #include "spice/newton.hpp"
 
@@ -14,6 +15,11 @@ struct DcOpResult {
     double finalGmin = 0.0;     ///< gmin at which the solution converged
     int totalIterations = 0;
 
+    /// Why the last Newton solve failed (None when converged).
+    NewtonFailure failure = NewtonFailure::None;
+    /// Rescue rungs attempted (gmin continuation + source stepping).
+    std::vector<recover::RescueAttempt> rescues;
+
     double v(NodeId n) const { return n == kGround ? 0.0 : x[static_cast<std::size_t>(n) - 1]; }
 };
 
@@ -22,10 +28,14 @@ struct DcOpOptions {
     double gminStart = 1e-3;
     double gminTarget = 1e-12;
     double gminShrink = 0.1;   ///< multiplier per continuation step
+
+    /// Source-stepping fallback tried after gmin continuation fails.
+    recover::RescuePolicy rescue;
 };
 
 /// Solve the DC operating point. Tries a direct solve at gminTarget first,
-/// then falls back to gmin continuation from gminStart.
+/// then gmin continuation from gminStart, then source stepping. Does not
+/// throw on non-convergence: inspect `converged`/`failure`/`rescues`.
 DcOpResult solveDcOp(const Circuit& circuit, const DcOpOptions& options = {});
 
 }  // namespace fetcam::spice

@@ -77,6 +77,15 @@ void Mna::stampGminAllNodes(double gmin) {
     for (NodeId n = 1; n < numNodes_; ++n) addNodeJacobian(n, n, gmin);
 }
 
+void Mna::zeroNode(NodeId n) {
+    if (n == kGround || n >= numNodes_) return;
+    const int idx = nodeIndex(n);
+    triplets_.eraseIf([idx](const numeric::TripletList::Entry& e) {
+        return e.row == idx || e.col == idx;
+    });
+    rhs_[idx] = 0.0;
+}
+
 numeric::SparseMatrixCsc Mna::buildMatrix() const {
     if (obs::enabled()) {
         static obs::Counter& builds = obs::counter("spice.mna.matrix_builds");

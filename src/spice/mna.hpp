@@ -52,6 +52,10 @@ public:
     /// Convergence aid: small conductance from every node to ground.
     void stampGminAllNodes(double gmin);
 
+    /// Fault-injection aid: erase a node's row and column (and zero its RHS)
+    /// so the assembled matrix is structurally singular. No-op for ground.
+    void zeroNode(NodeId n);
+
     // --- assembly ---
     numeric::SparseMatrixCsc buildMatrix() const;
     const std::vector<double>& rhs() const { return rhs_; }

@@ -2,12 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "numeric/sparse_matrix.hpp"
 #include "obs/obs.hpp"
+#include "recover/fault_injection.hpp"
 #include "spice/mna.hpp"
 
 namespace fetcam::spice {
+
+const char* newtonFailureName(NewtonFailure f) noexcept {
+    switch (f) {
+        case NewtonFailure::None: return "none";
+        case NewtonFailure::NonConverged: return "non_converged";
+        case NewtonFailure::SingularMatrix: return "singular_matrix";
+        case NewtonFailure::NanResidual: return "nan_residual";
+    }
+    return "unknown";
+}
 
 namespace {
 
@@ -23,7 +35,9 @@ void recordSolveHealth(const NewtonResult& result) {
         failures.add();
         obs::TraceSink::global().event(
             "newton.fail",
-            {{"iters", result.iterations}, {"maxDelta", result.maxDelta}});
+            {{"iters", result.iterations},
+             {"maxDelta", result.maxDelta},
+             {"failure", newtonFailureName(result.failure)}});
     }
 }
 
@@ -35,6 +49,11 @@ NewtonResult solveNewton(const Circuit& circuit, const SimContext& ctx, std::vec
     Mna mna(circuit.numNodes(), circuit.numBranches());
     const bool obsOn = obs::enabled();
 
+    // Fault injection: consult the active plan (if any) once per solve so
+    // injected faults hit deterministic Newton-solve ordinals.
+    recover::SolveFaults faults;
+    if (recover::FaultPlan* plan = recover::FaultPlan::active()) faults = plan->beginSolve();
+
     NewtonResult result;
     for (int iter = 1; iter <= options.maxIterations; ++iter) {
         result.iterations = iter;
@@ -42,6 +61,9 @@ NewtonResult solveNewton(const Circuit& circuit, const SimContext& ctx, std::vec
         mna.clear();
         for (const auto& dev : circuit.devices()) dev->stamp(mna, ctx);
         mna.stampGminAllNodes(ctx.gmin);
+        if (faults.nanCurrent)
+            mna.addNodeRhs(faults.node, std::numeric_limits<double>::quiet_NaN());
+        if (faults.singularStamp) mna.zeroNode(faults.node);
         if (obsOn) {
             const double tStamped = obs::monotonicSeconds();
             result.stampSeconds += tStamped - tMark;
@@ -56,6 +78,7 @@ NewtonResult solveNewton(const Circuit& circuit, const SimContext& ctx, std::vec
             ++result.factorizations;
         } catch (const std::runtime_error&) {
             result.converged = false;  // singular matrix: let the caller react
+            result.failure = NewtonFailure::SingularMatrix;
             if (obsOn) {
                 result.factorSeconds += obs::monotonicSeconds() - tMark;
                 recordSolveHealth(result);
@@ -63,6 +86,18 @@ NewtonResult solveNewton(const Circuit& circuit, const SimContext& ctx, std::vec
             return result;
         }
         if (obsOn) result.factorSeconds += obs::monotonicSeconds() - tMark;
+
+        // Reject non-finite solutions immediately. std::max(x, NaN) keeps x,
+        // so the damping/divergence logic below is blind to NaN — without this
+        // scan a NaN solve could be reported as converged.
+        for (double v : xNew) {
+            if (!std::isfinite(v)) {
+                result.converged = false;
+                result.failure = NewtonFailure::NanResidual;
+                if (obsOn) recordSolveHealth(result);
+                return result;
+            }
+        }
 
         // Damping: clamp the largest node-voltage change per iteration.
         double maxNodeDelta = 0.0;
@@ -90,10 +125,12 @@ NewtonResult solveNewton(const Circuit& circuit, const SimContext& ctx, std::vec
             return result;
         }
         if (!std::isfinite(maxDelta)) {  // diverged
+            result.failure = NewtonFailure::NanResidual;
             if (obsOn) recordSolveHealth(result);
             return result;
         }
     }
+    result.failure = NewtonFailure::NonConverged;
     if (obsOn) recordSolveHealth(result);
     return result;
 }

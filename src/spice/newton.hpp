@@ -16,8 +16,22 @@ struct NewtonOptions {
     double maxUpdate = 0.6;   ///< max per-iteration node-voltage change (damping)
 };
 
+/// Why a Newton solve stopped short of convergence. Singular matrices are
+/// distinguished from plain iteration-limit failures so callers (notably the
+/// transient loop) can skip useless dt shrinking and escalate straight to the
+/// rescue ladder.
+enum class NewtonFailure {
+    None,            ///< converged
+    NonConverged,    ///< iteration limit hit without meeting tolerances
+    SingularMatrix,  ///< LU factorization failed (structural or numerical)
+    NanResidual,     ///< non-finite values appeared in the solution vector
+};
+
+const char* newtonFailureName(NewtonFailure f) noexcept;
+
 struct NewtonResult {
     bool converged = false;
+    NewtonFailure failure = NewtonFailure::None;
     int iterations = 0;
     double maxDelta = 0.0;  ///< largest unknown change in the final iteration
     int factorizations = 0;  ///< LU factorizations performed (one per iteration)

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+#include <string>
 
 #include "obs/obs.hpp"
+#include "recover/sim_error.hpp"
 
 namespace fetcam::spice {
 
@@ -56,9 +57,27 @@ std::vector<double> collectBreakpoints(const Circuit& circuit, double tstop) {
 
 }  // namespace
 
+void validateTransientSpec(const TransientSpec& spec) {
+    auto fail = [](const std::string& msg) {
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "runTransient", msg);
+    };
+    if (!std::isfinite(spec.tstop) || spec.tstop <= 0.0) fail("tstop must be finite and > 0");
+    if (!std::isfinite(spec.dtMax) || spec.dtMax <= 0.0) fail("dtMax must be finite and > 0");
+    if (!std::isfinite(spec.dtMin) || spec.dtMin <= 0.0) fail("dtMin must be finite and > 0");
+    if (spec.dtMin >= spec.dtMax) fail("dtMin must be < dtMax");
+    if (!std::isfinite(spec.dtInitial) || spec.dtInitial < 0.0)
+        fail("dtInitial must be finite and >= 0");
+    if (spec.dtInitial > spec.dtMax) fail("dtInitial must be <= dtMax");
+    if (!std::isfinite(spec.gmin) || spec.gmin < 0.0) fail("gmin must be finite and >= 0");
+    for (const auto& [node, v] : spec.initialConditions) {
+        if (node < kGround) fail("initial condition on negative node " + std::to_string(node));
+        if (!std::isfinite(v))
+            fail("non-finite initial condition on node " + std::to_string(node));
+    }
+}
+
 TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
-    if (spec.tstop <= 0.0) throw std::invalid_argument("runTransient: tstop must be > 0");
-    if (spec.dtMax <= 0.0) throw std::invalid_argument("runTransient: dtMax must be > 0");
+    validateTransientSpec(spec);
     const double dtInitial = spec.dtInitial > 0.0 ? spec.dtInitial : spec.dtMax / 100.0;
 
     std::vector<double> x(static_cast<std::size_t>(circuit.numUnknowns()), 0.0);
@@ -97,6 +116,132 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
     auto& sink = obs::TraceSink::global();
 
     std::vector<double> xBackup;
+    std::vector<recover::RescueAttempt> trail;  // rungs tried for the current step
+    double rescuedGmin = spec.gmin;             // gmin the last rescue accepted at
+
+    // Account for one ladder solve and append it to the rescue trail.
+    auto bookkeepRung = [&](recover::RescueRung rung, double value, const NewtonResult& nr) {
+        result.newtonIterations += nr.iterations;
+        result.stats.stampSeconds += nr.stampSeconds;
+        result.stats.factorSeconds += nr.factorSeconds;
+        result.stats.factorizations += nr.factorizations;
+        ++result.stats.rescueAttempts;
+        trail.push_back({rung, value, nr.converged, nr.iterations});
+        if (sink.active())
+            sink.event("rescue.attempt", {{"rung", recover::rungName(rung)},
+                                          {"value", value},
+                                          {"ok", nr.converged ? 1 : 0},
+                                          {"iters", nr.iterations}});
+    };
+
+    // Escalation ladder for a step neither dt-shrinking nor plain retries can
+    // solve: tighter damping -> gmin ramp -> source stepping -> forced BE.
+    // On success x holds the converged solution for (t, t+ctx.dt), `nrOut` the
+    // final rung's solve, and ctx is restored to its normal per-step settings.
+    auto tryLadder = [&](NewtonResult& nrOut) -> bool {
+        const recover::RescuePolicy& policy = spec.rescue;
+        rescuedGmin = spec.gmin;
+
+        // Rung 1: tighter damping — strongly nonlinear devices sometimes just
+        // need smaller Newton updates.
+        for (double level : policy.dampingLevels) {
+            if (level <= 0.0 || level >= spec.newton.maxUpdate) continue;
+            x = xBackup;
+            NewtonOptions opts = spec.newton;
+            opts.maxUpdate = level;
+            const NewtonResult nr = solveNewton(circuit, ctx, x, opts);
+            bookkeepRung(recover::RescueRung::TightenDamping, level, nr);
+            if (nr.converged) {
+                nrOut = nr;
+                return true;
+            }
+        }
+
+        // Rung 2: gmin ramp — solve with a strong conductance to ground, then
+        // walk it back down reusing each solution as the next starting point.
+        {
+            x = xBackup;
+            std::vector<double> xGood;
+            NewtonResult nrGood;
+            double gGood = -1.0;
+            bool chainBroken = false;
+            for (double g : policy.gminLevels) {
+                if (g <= spec.gmin) continue;  // already at or below target
+                ctx.gmin = g;
+                const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton);
+                bookkeepRung(recover::RescueRung::GminRamp, g, nr);
+                if (!nr.converged) {
+                    chainBroken = true;
+                    break;
+                }
+                xGood = x;
+                nrGood = nr;
+                gGood = g;
+            }
+            if (!chainBroken && gGood >= 0.0) {
+                ctx.gmin = spec.gmin;
+                const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton);
+                bookkeepRung(recover::RescueRung::GminRamp, spec.gmin, nr);
+                if (nr.converged) {
+                    nrOut = nr;
+                    return true;
+                }
+            }
+            ctx.gmin = spec.gmin;
+            if (gGood >= 0.0 && gGood <= policy.maxAcceptableGmin) {
+                // Degrade gracefully: the solution at a tiny-but-nonzero gmin
+                // is accepted rather than losing the whole run.
+                x = xGood;
+                nrOut = nrGood;
+                rescuedGmin = gGood;
+                ++result.stats.degradedGminSteps;
+                return true;
+            }
+        }
+
+        // Rung 3: source stepping — ramp the independent sources up from a
+        // fraction of their value; each rung must converge, ending at 1.0.
+        {
+            x = xBackup;
+            bool chainOk = true;
+            for (double s : policy.sourceSteps) {
+                if (s <= 0.0 || s >= 1.0) continue;
+                ctx.sourceScale = s;
+                const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton);
+                bookkeepRung(recover::RescueRung::SourceStepping, s, nr);
+                if (!nr.converged) {
+                    chainOk = false;
+                    break;
+                }
+            }
+            if (chainOk) {
+                ctx.sourceScale = 1.0;
+                const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton);
+                bookkeepRung(recover::RescueRung::SourceStepping, 1.0, nr);
+                if (nr.converged) {
+                    nrOut = nr;
+                    return true;
+                }
+            }
+            ctx.sourceScale = 1.0;
+        }
+
+        // Rung 4: force Backward Euler — trade accuracy for L-stability.
+        if (policy.forceBackwardEuler && ctx.method != IntegrationMethod::BackwardEuler) {
+            x = xBackup;
+            ctx.method = IntegrationMethod::BackwardEuler;
+            const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton);
+            bookkeepRung(recover::RescueRung::ForceBackwardEuler, 1.0, nr);
+            if (nr.converged) {
+                nrOut = nr;
+                return true;
+            }
+        }
+
+        x = xBackup;
+        return false;
+    };
+
     while (t < spec.tstop - 1e-21) {
         // Clamp to the next breakpoint, snapping when nearly there.
         double dtStep = std::min(dt, spec.dtMax);
@@ -111,13 +256,14 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
         ctx.method = beStepsLeft > 0 ? IntegrationMethod::BackwardEuler : spec.method;
 
         xBackup = x;
-        const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton);
+        NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton);
         // Total work includes iterations burned on steps we go on to reject.
         result.newtonIterations += nr.iterations;
         result.stats.stampSeconds += nr.stampSeconds;
         result.stats.factorSeconds += nr.factorSeconds;
         result.stats.factorizations += nr.factorizations;
 
+        bool rescued = false;
         if (!nr.converged) {
             ++result.rejectedSteps;
             result.rejectedNewtonIterations += nr.iterations;
@@ -125,14 +271,50 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
                 sink.event("step.reject", {{"t", ctx.time},
                                            {"dt", dtStep},
                                            {"iters", nr.iterations},
-                                           {"maxDelta", nr.maxDelta}});
+                                           {"maxDelta", nr.maxDelta},
+                                           {"failure", newtonFailureName(nr.failure)}});
             x = xBackup;
-            dt = dtStep / 4.0;
-            if (dt < spec.dtMin)
-                throw std::runtime_error("runTransient: time step underflow at t=" +
-                                         std::to_string(t));
-            beStepsLeft = std::max(beStepsLeft, 1);
-            continue;
+            // A singular matrix will stay singular at any dt: shrinking the
+            // step is pointless, so escalate straight to the rescue ladder.
+            if (nr.failure != NewtonFailure::SingularMatrix) {
+                dt = dtStep / 4.0;
+                if (dt >= spec.dtMin) {
+                    beStepsLeft = std::max(beStepsLeft, 1);
+                    continue;
+                }
+            }
+
+            trail.clear();
+            if (spec.rescue.enabled) rescued = tryLadder(nr);
+            if (!rescued) {
+                const NewtonFailure f = nr.failure;
+                recover::SimError::Info info;
+                info.reason = f == NewtonFailure::SingularMatrix
+                                  ? recover::SimErrorReason::SingularMatrix
+                              : f == NewtonFailure::NanResidual
+                                  ? recover::SimErrorReason::NanResidual
+                                  : recover::SimErrorReason::StepUnderflow;
+                info.where = "runTransient";
+                info.time = ctx.time;
+                info.attempted = trail;
+                if (sink.active())
+                    sink.event("rescue.fail", {{"t", ctx.time},
+                                               {"failure", newtonFailureName(f)},
+                                               {"attempts", static_cast<long long>(trail.size())}});
+                throw recover::SimError(
+                    info, f == NewtonFailure::SingularMatrix ? "singular MNA matrix"
+                          : f == NewtonFailure::NanResidual  ? "non-finite solver state"
+                                                             : "time step underflow");
+            }
+            ++result.stats.rescuedSteps;
+            if (sink.active())
+                sink.event("rescue.success", {{"t", ctx.time},
+                                              {"gmin", rescuedGmin},
+                                              {"attempts", static_cast<long long>(trail.size())}});
+            if (obsOn) {
+                static obs::Counter& rescues = obs::counter("spice.transient.rescued_steps");
+                rescues.add();
+            }
         }
 
         // Accepted: commit device state, record, advance.
@@ -153,7 +335,10 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
                                        {"dt", dtStep},
                                        {"iters", nr.iterations},
                                        {"maxDelta", nr.maxDelta}});
-        if (beStepsLeft > 0) --beStepsLeft;
+        if (rescued)
+            beStepsLeft = 2;  // a rescued step is a discontinuity of sorts
+        else if (beStepsLeft > 0)
+            --beStepsLeft;
 
         const bool hitBp = nextBp < breakpoints.size() &&
                            std::abs(t - breakpoints[nextBp]) <= spec.dtMin;
@@ -161,6 +346,8 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
             ++nextBp;
             dt = dtInitial;   // restart small after a discontinuity
             beStepsLeft = 2;
+        } else if (rescued) {
+            dt = dtStep;  // hold: the ladder just barely saved this size
         } else if (nr.iterations <= 8) {
             dt = std::min(dtStep * 1.5, spec.dtMax);
         } else {
@@ -180,6 +367,7 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
         span.add({"steps", result.acceptedSteps});
         span.add({"rejected", result.rejectedSteps});
         span.add({"iters", result.newtonIterations});
+        span.add({"rescued", result.stats.rescuedSteps});
     }
     return result;
 }

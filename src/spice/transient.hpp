@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "recover/rescue.hpp"
 #include "spice/circuit.hpp"
 #include "spice/newton.hpp"
 #include "spice/waveform.hpp"
@@ -25,9 +26,17 @@ struct TransientSpec {
     NewtonOptions newton;
     double gmin = 1e-12;
 
+    /// Escalation ladder tried before giving up on a step (see recover/).
+    recover::RescuePolicy rescue;
+
     /// Initial node voltages (UIC). Unlisted nodes start at 0 V.
     std::vector<std::pair<NodeId, double>> initialConditions;
 };
+
+/// Throws recover::SimError(InvalidSpec) on non-positive tstop/dtMax,
+/// dtMin <= 0, dtMin >= dtMax, dtInitial > dtMax, or non-finite values
+/// anywhere in the spec (including initial conditions).
+void validateTransientSpec(const TransientSpec& spec);
 
 /// Fixed log-decade histogram of accepted step sizes: one bucket per decade
 /// in [1e-18, 1e-6) s plus underflow/overflow buckets. Allocation-free so it
@@ -63,6 +72,11 @@ struct SolverStats {
     double worstStepTime = 0.0;  ///< simulated time of that step
     int worstStepIterations = 0;
     double worstStepMaxDelta = 0.0;
+
+    /// Rescue-ladder activity (see recover::RescuePolicy).
+    long long rescuedSteps = 0;     ///< steps salvaged by the ladder
+    long long rescueAttempts = 0;   ///< individual rungs tried (incl. failures)
+    long long degradedGminSteps = 0;  ///< steps accepted at elevated gmin
 };
 
 struct TransientResult {

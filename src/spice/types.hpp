@@ -33,6 +33,7 @@ struct SimContext {
     double time = 0.0;                       ///< time at end of the candidate step
     double dt = 0.0;                         ///< candidate step size (0 in DC)
     double gmin = 1e-12;                     ///< convergence-aid conductance to ground
+    double sourceScale = 1.0;                ///< independent-source continuation factor
     int numNodes = 0;                        ///< including ground
 
     /// Candidate voltage of a node (ground reads as 0).

@@ -3,7 +3,8 @@
 #include <fstream>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+
+#include "recover/sim_error.hpp"
 
 namespace fetcam::spice {
 
@@ -29,8 +30,12 @@ void writeCsv(std::ostream& os, const Waveforms& waves, const WaveColumns& colum
 
 void writeCsvUniform(std::ostream& os, const Waveforms& waves, const WaveColumns& columns,
                      std::size_t points) {
-    if (points < 2) throw std::invalid_argument("writeCsvUniform: need >= 2 points");
-    if (waves.time().empty()) throw std::invalid_argument("writeCsvUniform: empty record");
+    if (points < 2)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "writeCsvUniform",
+                                "need >= 2 points");
+    if (waves.time().empty())
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "writeCsvUniform",
+                                "empty record");
     writeHeader(os, columns);
     const double t0 = waves.time().front();
     const double t1 = waves.time().back();
@@ -46,15 +51,28 @@ void writeCsvUniform(std::ostream& os, const Waveforms& waves, const WaveColumns
 void writeCsvFile(const std::string& path, const Waveforms& waves,
                   const WaveColumns& columns) {
     std::ofstream os(path);
-    if (!os) throw std::runtime_error("writeCsvFile: cannot open '" + path + "'");
+    if (!os)
+        throw recover::SimError(recover::SimErrorReason::IoError, "writeCsvFile",
+                                "cannot open '" + path + "'");
     writeCsv(os, waves, columns);
-    if (!os) throw std::runtime_error("writeCsvFile: write failed for '" + path + "'");
+    if (!os)
+        throw recover::SimError(recover::SimErrorReason::IoError, "writeCsvFile",
+                                "write failed for '" + path + "'");
+}
+
+CsvData readCsvFile(const std::string& path) {
+    std::ifstream is(path);
+    if (!is)
+        throw recover::SimError(recover::SimErrorReason::IoError, "readCsvFile",
+                                "cannot open '" + path + "'");
+    return readCsv(is);
 }
 
 CsvData readCsv(std::istream& is) {
     CsvData data;
     std::string line;
-    if (!std::getline(is, line)) throw std::runtime_error("readCsv: empty input");
+    if (!std::getline(is, line))
+        throw recover::SimError(recover::SimErrorReason::IoError, "readCsv", "empty input");
     std::istringstream hs(line);
     std::string cell;
     while (std::getline(hs, cell, ',')) data.header.push_back(cell);
@@ -66,11 +84,12 @@ CsvData readCsv(std::istream& is) {
             try {
                 row.push_back(std::stod(cell));
             } catch (const std::exception&) {
-                throw std::runtime_error("readCsv: non-numeric cell '" + cell + "'");
+                throw recover::SimError(recover::SimErrorReason::IoError, "readCsv",
+                                        "non-numeric cell '" + cell + "'");
             }
         }
         if (row.size() != data.header.size())
-            throw std::runtime_error("readCsv: ragged row");
+            throw recover::SimError(recover::SimErrorReason::IoError, "readCsv", "ragged row");
         data.rows.push_back(std::move(row));
     }
     return data;

@@ -21,16 +21,22 @@ void writeCsv(std::ostream& os, const Waveforms& waves, const WaveColumns& colum
 void writeCsvUniform(std::ostream& os, const Waveforms& waves, const WaveColumns& columns,
                      std::size_t points);
 
-/// Convenience: write to a file path. Throws std::runtime_error on I/O error.
+/// Convenience: write to a file path. Throws recover::SimError(IoError) on
+/// I/O error.
 void writeCsvFile(const std::string& path, const Waveforms& waves,
                   const WaveColumns& columns);
 
 /// Minimal CSV reader for tests/tools: returns the header names and the
-/// numeric rows. Throws std::runtime_error on malformed input.
+/// numeric rows. Throws recover::SimError(IoError) on malformed input
+/// (ragged rows, non-numeric cells, empty input).
 struct CsvData {
     std::vector<std::string> header;
     std::vector<std::vector<double>> rows;
 };
 CsvData readCsv(std::istream& is);
+
+/// Read a CSV file from disk. Throws recover::SimError(IoError) when the
+/// file cannot be opened or its contents are malformed.
+CsvData readCsvFile(const std::string& path);
 
 }  // namespace fetcam::spice

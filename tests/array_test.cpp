@@ -5,6 +5,7 @@
 #include "array/energy_model.hpp"
 #include "array/montecarlo.hpp"
 #include "array/word_sim.hpp"
+#include "recover/sim_error.hpp"
 
 using namespace fetcam;
 using array::ArrayConfig;
@@ -112,14 +113,14 @@ TEST(WordSim, ValidatesInputs) {
     WordSimOptions o;
     o.stored = TernaryWord::fromString("0101");
     o.key = TernaryWord::fromString("01");
-    EXPECT_THROW(simulateWordSearch(o), std::invalid_argument);
+    EXPECT_THROW(simulateWordSearch(o), recover::SimError);
     o.key = o.stored;
     o.variations.resize(2);
-    EXPECT_THROW(simulateWordSearch(o), std::invalid_argument);
+    EXPECT_THROW(simulateWordSearch(o), recover::SimError);
     o.stored = TernaryWord();
     o.key = TernaryWord();
     o.variations.clear();
-    EXPECT_THROW(simulateWordSearch(o), std::invalid_argument);
+    EXPECT_THROW(simulateWordSearch(o), recover::SimError);
 }
 
 TEST(EnergyModelHelpers, CalibrationWordIsDefiniteAndDeterministic) {
@@ -135,7 +136,7 @@ TEST(EnergyModelHelpers, KeyWithMismatches) {
     const auto key = array::keyWithMismatches(stored, 2);
     EXPECT_EQ(stored.mismatchCount(key), 2u);
     EXPECT_THROW(array::keyWithMismatches(TernaryWord::fromString("XX"), 1),
-                 std::invalid_argument);
+                 recover::SimError);
 }
 
 TEST(EnergyModel, BaselineArrayIsFunctionalAndSane) {
@@ -186,7 +187,7 @@ TEST(EnergyModel, SelectivePrechargeReducesEnergy) {
 TEST(EnergyModel, RejectsBadGeometry) {
     ArrayConfig cfg;
     cfg.wordBits = 0;
-    EXPECT_THROW(evaluateArray(device::TechCard::cmos45(), cfg), std::invalid_argument);
+    EXPECT_THROW(evaluateArray(device::TechCard::cmos45(), cfg), recover::SimError);
 }
 
 TEST(MonteCarlo, ZeroSigmaIsErrorFreeAndTight) {

@@ -3,6 +3,8 @@
 // TLB application, scalar optimization and the auto-tuner.
 #include <gtest/gtest.h>
 
+#include "recover/sim_error.hpp"
+
 #include <cmath>
 
 #include "apps/tlb.hpp"
@@ -141,7 +143,7 @@ TEST(Bank, RoundsUpAndScales) {
     EXPECT_TRUE(three.functional);
     EXPECT_NEAR(three.perSearch.sl, 3.0 * one.perSearch.sl, 1e-18);
     EXPECT_GT(three.searchDelay, one.searchDelay);  // deeper encoder
-    EXPECT_THROW(evaluateBank(tech, cfg, 0), std::invalid_argument);
+    EXPECT_THROW(evaluateBank(tech, cfg, 0), recover::SimError);
 }
 
 TEST(Bank, EncoderModelDepth) {

@@ -2,6 +2,8 @@
 // energy accounting consistency, and signature compilation/matching.
 #include <gtest/gtest.h>
 
+#include "recover/sim_error.hpp"
+
 #include "apps/dictionary.hpp"
 #include "core/tcam_macro.hpp"
 
@@ -73,8 +75,8 @@ TEST(TcamMacro, Validation) {
     macro.write(TernaryWord::fromString("00000000"));
     macro.write(TernaryWord::fromString("00000001"));
     EXPECT_THROW(macro.write(TernaryWord::fromString("00000010")), std::length_error);
-    EXPECT_THROW(macro.write(TernaryWord::fromString("00")), std::invalid_argument);
-    EXPECT_THROW(macro.search(TernaryWord::fromString("00")), std::invalid_argument);
+    EXPECT_THROW(macro.write(TernaryWord::fromString("00")), recover::SimError);
+    EXPECT_THROW(macro.search(TernaryWord::fromString("00")), recover::SimError);
     EXPECT_THROW(macro.erase(99), std::out_of_range);
     EXPECT_THROW(macro.writeAt(-1, TernaryWord::fromString("00000000")),
                  std::out_of_range);

@@ -1,0 +1,457 @@
+// Robustness layer: structured SimError taxonomy, the convergence rescue
+// ladder, graceful sweep degradation, and the fault-injection harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "array/montecarlo.hpp"
+#include "device/fefet.hpp"
+#include "device/passives.hpp"
+#include "device/sources.hpp"
+#include "device/tech.hpp"
+#include "obs/obs.hpp"
+#include "recover/fault_injection.hpp"
+#include "recover/rescue.hpp"
+#include "recover/sim_error.hpp"
+#include "spice/dcop.hpp"
+#include "spice/transient.hpp"
+
+using namespace fetcam;
+using device::Capacitor;
+using device::FeFet;
+using device::Resistor;
+using device::SourceWave;
+using device::VoltageSource;
+using recover::FaultKind;
+using recover::FaultPlan;
+using recover::FaultSpec;
+using recover::RescueRung;
+using recover::ScopedFaultPlan;
+using recover::SimError;
+using recover::SimErrorReason;
+
+namespace {
+
+const device::TechCard kTech = device::TechCard::cmos45();
+
+/// Driven RC: V source -> R -> node "out" -> C -> ground. Well-conditioned,
+/// converges in a couple of iterations per step.
+spice::Circuit makeRcCircuit() {
+    spice::Circuit c;
+    const auto in = c.node("in");
+    const auto out = c.node("out");
+    c.add<VoltageSource>("V1", c, in, spice::kGround,
+                         SourceWave::pulse(0.0, 1.0, 1e-9, 0.2e-9, 0.2e-9, 4e-9));
+    c.add<Resistor>("R1", in, out, 1e3);
+    c.add<Capacitor>("C1", out, spice::kGround, 1e-12);
+    return c;
+}
+
+spice::TransientSpec makeRcSpec() {
+    spice::TransientSpec spec;
+    spec.tstop = 2e-9;
+    spec.dtMax = 0.2e-9;
+    return spec;
+}
+
+}  // namespace
+
+// --- naming / formatting --------------------------------------------------
+
+TEST(Recover, StableNames) {
+    EXPECT_STREQ(recover::reasonName(SimErrorReason::InvalidSpec), "invalid_spec");
+    EXPECT_STREQ(recover::reasonName(SimErrorReason::StepUnderflow), "step_underflow");
+    EXPECT_STREQ(recover::reasonName(SimErrorReason::SingularMatrix), "singular_matrix");
+    EXPECT_STREQ(recover::reasonName(SimErrorReason::NanResidual), "nan_residual");
+    EXPECT_STREQ(recover::reasonName(SimErrorReason::NonConvergence), "non_convergence");
+    EXPECT_STREQ(recover::reasonName(SimErrorReason::IoError), "io_error");
+
+    EXPECT_STREQ(recover::rungName(RescueRung::TightenDamping), "damping");
+    EXPECT_STREQ(recover::rungName(RescueRung::GminRamp), "gmin");
+    EXPECT_STREQ(recover::rungName(RescueRung::SourceStepping), "source");
+    EXPECT_STREQ(recover::rungName(RescueRung::ForceBackwardEuler), "backward_euler");
+
+    EXPECT_STREQ(recover::faultKindName(FaultKind::NanCurrent), "nan_current");
+    EXPECT_STREQ(recover::faultKindName(FaultKind::SingularStamp), "singular_stamp");
+    EXPECT_STREQ(recover::faultKindName(FaultKind::StuckPolarization), "stuck_polarization");
+
+    EXPECT_STREQ(spice::newtonFailureName(spice::NewtonFailure::None), "none");
+    EXPECT_STREQ(spice::newtonFailureName(spice::NewtonFailure::SingularMatrix),
+                 "singular_matrix");
+}
+
+TEST(Recover, SimErrorCarriesContext) {
+    SimError::Info info;
+    info.reason = SimErrorReason::SingularMatrix;
+    info.where = "runTransient";
+    info.time = 1.5e-9;
+    info.attempted = {{RescueRung::GminRamp, 1e-3, true, 4},
+                      {RescueRung::GminRamp, 1e-12, false, 100}};
+    const SimError e(info, "singular MNA matrix");
+    EXPECT_EQ(e.reason(), SimErrorReason::SingularMatrix);
+    EXPECT_EQ(e.where(), "runTransient");
+    EXPECT_DOUBLE_EQ(e.time(), 1.5e-9);
+    ASSERT_EQ(e.attemptedRescues().size(), 2u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("runTransient"), std::string::npos);
+    EXPECT_NE(what.find("singular_matrix"), std::string::npos);
+    EXPECT_NE(what.find("gmin"), std::string::npos);
+
+    const SimError simple(SimErrorReason::InvalidSpec, "validate", "bad dt");
+    EXPECT_EQ(simple.reason(), SimErrorReason::InvalidSpec);
+    EXPECT_LT(simple.time(), 0.0);
+    EXPECT_TRUE(simple.attemptedRescues().empty());
+}
+
+TEST(Recover, FormatRescueTrail) {
+    const std::string s = recover::formatRescueTrail(
+        {{RescueRung::TightenDamping, 0.25, false, 100},
+         {RescueRung::GminRamp, 1e-6, true, 7}});
+    EXPECT_NE(s.find("damping"), std::string::npos);
+    EXPECT_NE(s.find("fail"), std::string::npos);
+    EXPECT_NE(s.find("ok"), std::string::npos);
+}
+
+// --- spec validation ------------------------------------------------------
+
+TEST(Recover, TransientSpecValidation) {
+    auto expectInvalid = [](const spice::TransientSpec& spec) {
+        try {
+            validateTransientSpec(spec);
+            FAIL() << "expected SimError(InvalidSpec)";
+        } catch (const SimError& e) {
+            EXPECT_EQ(e.reason(), SimErrorReason::InvalidSpec);
+            EXPECT_EQ(e.where(), "runTransient");
+        }
+    };
+
+    spice::TransientSpec good = makeRcSpec();
+    EXPECT_NO_THROW(validateTransientSpec(good));
+
+    auto s = good;
+    s.dtMin = 0.0;
+    expectInvalid(s);
+    s = good;
+    s.dtMin = -1e-15;
+    expectInvalid(s);
+    s = good;
+    s.dtMin = s.dtMax;  // dtMin must be strictly below dtMax
+    expectInvalid(s);
+    s = good;
+    s.dtInitial = 2.0 * s.dtMax;
+    expectInvalid(s);
+    s = good;
+    s.tstop = std::numeric_limits<double>::quiet_NaN();
+    expectInvalid(s);
+    s = good;
+    s.dtMax = std::numeric_limits<double>::infinity();
+    expectInvalid(s);
+    s = good;
+    s.gmin = -1.0;
+    expectInvalid(s);
+    s = good;
+    s.initialConditions.push_back({1, std::numeric_limits<double>::quiet_NaN()});
+    expectInvalid(s);
+}
+
+// --- fault plan mechanics -------------------------------------------------
+
+TEST(Recover, FaultPlanWindowsAndScoping) {
+    EXPECT_EQ(FaultPlan::active(), nullptr);
+    FaultPlan plan;
+    plan.add({FaultKind::NanCurrent, /*fromSolve=*/1, /*toSolve=*/3, /*node=*/2});
+    {
+        ScopedFaultPlan guard(plan);
+        EXPECT_EQ(FaultPlan::active(), &plan);
+
+        auto f0 = plan.beginSolve();  // solve 0: before the window
+        EXPECT_FALSE(f0.any());
+        auto f1 = plan.beginSolve();  // solve 1: inside
+        EXPECT_TRUE(f1.nanCurrent);
+        EXPECT_EQ(f1.node, 2);
+        auto f2 = plan.beginSolve();  // solve 2: inside
+        EXPECT_TRUE(f2.nanCurrent);
+        auto f3 = plan.beginSolve();  // solve 3: past the window
+        EXPECT_FALSE(f3.any());
+
+        EXPECT_EQ(plan.solvesSeen(), 4);
+        EXPECT_EQ(plan.injectionCount(), 2);
+
+        // Nested plans restore the outer plan on scope exit.
+        FaultPlan inner;
+        {
+            ScopedFaultPlan g2(inner);
+            EXPECT_EQ(FaultPlan::active(), &inner);
+        }
+        EXPECT_EQ(FaultPlan::active(), &plan);
+    }
+    EXPECT_EQ(FaultPlan::active(), nullptr);
+}
+
+// --- solver-level fault behavior -----------------------------------------
+
+TEST(Recover, NewtonReportsNanResidualUnderInjection) {
+    auto c = makeRcCircuit();
+    std::vector<double> x(static_cast<std::size_t>(c.numUnknowns()), 0.0);
+    spice::SimContext ctx;
+    ctx.mode = spice::AnalysisMode::Dc;
+    ctx.x = &x;
+    ctx.numNodes = c.numNodes();
+
+    FaultPlan plan;
+    plan.add({FaultKind::NanCurrent, 0, std::numeric_limits<long long>::max(), 1});
+    ScopedFaultPlan guard(plan);
+    const auto nr = solveNewton(c, ctx, x, {});
+    EXPECT_FALSE(nr.converged);
+    EXPECT_EQ(nr.failure, spice::NewtonFailure::NanResidual);
+    EXPECT_GT(plan.injectionCount(), 0);
+}
+
+TEST(Recover, NewtonReportsSingularMatrixUnderInjection) {
+    auto c = makeRcCircuit();
+    std::vector<double> x(static_cast<std::size_t>(c.numUnknowns()), 0.0);
+    spice::SimContext ctx;
+    ctx.mode = spice::AnalysisMode::Dc;
+    ctx.x = &x;
+    ctx.numNodes = c.numNodes();
+
+    FaultPlan plan;
+    plan.add({FaultKind::SingularStamp, 0, std::numeric_limits<long long>::max(), 1});
+    ScopedFaultPlan guard(plan);
+    const auto nr = solveNewton(c, ctx, x, {});
+    EXPECT_FALSE(nr.converged);
+    EXPECT_EQ(nr.failure, spice::NewtonFailure::SingularMatrix);
+}
+
+TEST(Recover, TransientRecoversFromTransientNanWindow) {
+    auto c = makeRcCircuit();
+    FaultPlan plan;
+    plan.add({FaultKind::NanCurrent, /*fromSolve=*/3, /*toSolve=*/4, /*node=*/2});
+    ScopedFaultPlan guard(plan);
+    const auto r = runTransient(c, makeRcSpec());
+    EXPECT_TRUE(r.finished);
+    EXPECT_GE(r.rejectedSteps, 1);  // the poisoned solve cost one rejection
+    EXPECT_EQ(plan.injectionCount(), 1);
+}
+
+TEST(Recover, TransientThrowsTypedErrorWhenLadderExhausted) {
+    auto c = makeRcCircuit();
+    FaultPlan plan;  // singular at every solve: nothing can rescue this
+    plan.add({FaultKind::SingularStamp, 0, std::numeric_limits<long long>::max(), 1});
+    ScopedFaultPlan guard(plan);
+    try {
+        runTransient(c, makeRcSpec());
+        FAIL() << "expected SimError";
+    } catch (const SimError& e) {
+        EXPECT_EQ(e.reason(), SimErrorReason::SingularMatrix);
+        EXPECT_EQ(e.where(), "runTransient");
+        EXPECT_GE(e.time(), 0.0);
+        // The ladder ran before giving up. (The BE rung is skipped here: the
+        // failure hits the very first step, which already integrates with BE.)
+        EXPECT_FALSE(e.attemptedRescues().empty());
+        bool sawDamping = false, sawGmin = false, sawSource = false;
+        for (const auto& a : e.attemptedRescues()) {
+            sawDamping |= a.rung == RescueRung::TightenDamping;
+            sawGmin |= a.rung == RescueRung::GminRamp;
+            sawSource |= a.rung == RescueRung::SourceStepping;
+            EXPECT_FALSE(a.converged);
+        }
+        EXPECT_TRUE(sawDamping);
+        EXPECT_TRUE(sawGmin);
+        EXPECT_TRUE(sawSource);
+    }
+}
+
+TEST(Recover, LadderDisabledFailsOutright) {
+    auto c = makeRcCircuit();
+    FaultPlan plan;
+    plan.add({FaultKind::SingularStamp, 0, std::numeric_limits<long long>::max(), 1});
+    ScopedFaultPlan guard(plan);
+    auto spec = makeRcSpec();
+    spec.rescue.enabled = false;
+    try {
+        runTransient(c, spec);
+        FAIL() << "expected SimError";
+    } catch (const SimError& e) {
+        EXPECT_EQ(e.reason(), SimErrorReason::SingularMatrix);
+        EXPECT_TRUE(e.attemptedRescues().empty());  // ladder never climbed
+    }
+}
+
+// --- the acceptance scenario: gmin ramp rescues a singular netlist --------
+
+namespace {
+
+/// A circuit the seed engine could not solve: a floating resistor pair (no DC
+/// path to ground) alongside a normal driven RC branch, simulated with
+/// spec.gmin = 0 so nothing regularizes the floating subcircuit.
+spice::Circuit makeFloatingCircuit() {
+    spice::Circuit c = makeRcCircuit();
+    const auto fa = c.node("float_a");
+    const auto fb = c.node("float_b");
+    c.add<Resistor>("Rfloat", fa, fb, 1e6);
+    return c;
+}
+
+}  // namespace
+
+TEST(Recover, GminLadderRescuesFloatingNetlist) {
+    auto spec = makeRcSpec();
+    spec.gmin = 0.0;  // structurally singular at every step without rescue
+
+    {  // Seed behavior: with the ladder disabled the run dies immediately.
+        auto c = makeFloatingCircuit();
+        auto noRescue = spec;
+        noRescue.rescue.enabled = false;
+        EXPECT_THROW(runTransient(c, noRescue), SimError);
+    }
+
+    auto c = makeFloatingCircuit();
+    const auto r = runTransient(c, spec);
+    EXPECT_TRUE(r.finished);
+    EXPECT_GT(r.stats.rescuedSteps, 0);
+    EXPECT_GT(r.stats.rescueAttempts, 0);
+    EXPECT_GT(r.stats.degradedGminSteps, 0);  // accepted at gmin <= 1e-9
+    // The driven branch still resolved: "out" charges toward 1 V.
+    const auto out = c.findNode("out");
+    EXPECT_GT(r.waveforms.nodeAt(out, 2e-9), 0.3);
+}
+
+// --- stuck polarization ---------------------------------------------------
+
+namespace {
+
+double pulseFeFet(double startP, double vPulse, double width, bool stuck) {
+    spice::Circuit c;
+    const auto g = c.node("g");
+    c.add<VoltageSource>("Vg", c, g, spice::kGround,
+                         SourceWave::pulse(0.0, vPulse, 1e-9, 1e-9, 1e-9, width));
+    auto& fet = c.add<FeFet>("X1", g, spice::kGround, spice::kGround, kTech.fefet);
+    fet.setPolarization(startP);
+    spice::TransientSpec spec;
+    spec.tstop = width + 5e-9;
+    spec.dtMax = 0.5e-9;
+    if (stuck) {
+        FaultPlan plan;
+        plan.add({FaultKind::StuckPolarization, 0,
+                  std::numeric_limits<long long>::max(), 0});
+        ScopedFaultPlan guard(plan);
+        runTransient(c, spec);
+    } else {
+        runTransient(c, spec);
+    }
+    return fet.pnorm();
+}
+
+}  // namespace
+
+TEST(Recover, StuckPolarizationFaultFreezesState) {
+    // Healthy device: a full write pulse flips the polarization.
+    EXPECT_GT(pulseFeFet(-1.0, kTech.vWriteFe, kTech.tWriteFe, /*stuck=*/false), 0.95);
+    // Faulted device: the same pulse leaves the stored state unchanged.
+    EXPECT_NEAR(pulseFeFet(-1.0, kTech.vWriteFe, kTech.tWriteFe, /*stuck=*/true), -1.0,
+                1e-9);
+}
+
+// --- DC source stepping ---------------------------------------------------
+
+TEST(Recover, DcOpFallsBackToSourceStepping) {
+    spice::Circuit c;
+    const auto a = c.node("a");
+    const auto b = c.node("b");
+    c.add<VoltageSource>("V1", c, a, spice::kGround, SourceWave::dc(1.0));
+    c.add<Resistor>("R1", a, b, 1e3);
+    c.add<Resistor>("R2", b, spice::kGround, 1e3);
+
+    // Poison the direct solve (ordinal 0) and the first gmin-continuation
+    // solve (ordinal 1); the continuation aborts and source stepping — whose
+    // solves fall outside the window — must finish the job.
+    FaultPlan plan;
+    plan.add({FaultKind::NanCurrent, 0, 2, 1});
+    ScopedFaultPlan guard(plan);
+    const auto op = solveDcOp(c);
+    EXPECT_TRUE(op.converged);
+    EXPECT_EQ(op.failure, spice::NewtonFailure::None);
+    EXPECT_NEAR(op.v(b), 0.5, 1e-6);
+    bool sawSource = false;
+    for (const auto& r : op.rescues) sawSource |= r.rung == RescueRung::SourceStepping;
+    EXPECT_TRUE(sawSource);
+}
+
+TEST(Recover, DcOpReportsFailureKindWhenUnrescuable) {
+    spice::Circuit c;
+    const auto a = c.node("a");
+    c.add<VoltageSource>("V1", c, a, spice::kGround, SourceWave::dc(1.0));
+    c.add<Resistor>("R1", a, spice::kGround, 1e3);
+    FaultPlan plan;  // NaN at every solve, including source stepping
+    plan.add({FaultKind::NanCurrent, 0, std::numeric_limits<long long>::max(), 1});
+    ScopedFaultPlan guard(plan);
+    const auto op = solveDcOp(c);
+    EXPECT_FALSE(op.converged);
+    EXPECT_EQ(op.failure, spice::NewtonFailure::NanResidual);
+    EXPECT_FALSE(op.rescues.empty());
+}
+
+// --- Monte Carlo degradation ---------------------------------------------
+
+namespace {
+
+array::MonteCarloSpec makeMcSpec() {
+    array::MonteCarloSpec spec;
+    spec.config.cell = tcam::CellKind::FeFet2;
+    spec.config.wordBits = 4;
+    spec.trials = 3;
+    spec.sigmaVt = 0.02;
+    spec.seed = 7;
+    return spec;
+}
+
+}  // namespace
+
+TEST(Recover, MonteCarloLenientRecordsInjectedFailures) {
+    auto& failCounter = obs::counter("array.mc.failed_trials");
+    const long long failsBefore = failCounter.value();
+    obs::setEnabled(true);
+
+    FaultPlan plan;  // persistent singular stamp: every trial dies
+    plan.add({FaultKind::SingularStamp, 0, std::numeric_limits<long long>::max(), 1});
+    ScopedFaultPlan guard(plan);
+
+    auto spec = makeMcSpec();
+    spec.onFailure = recover::FailurePolicy::Lenient;
+    const auto r = runMonteCarlo(spec);
+    obs::setEnabled(false);
+
+    EXPECT_EQ(r.failedTrials, spec.trials);
+    EXPECT_EQ(r.completedTrials, 0);
+    EXPECT_EQ(r.failureReasons[static_cast<std::size_t>(SimErrorReason::SingularMatrix)],
+              spec.trials);
+    EXPECT_DOUBLE_EQ(r.errorRate(), 0.0);  // no completed trials, no division
+    EXPECT_EQ(failCounter.value(), failsBefore + spec.trials);
+}
+
+TEST(Recover, MonteCarloStrictThrowsWithRescueTrail) {
+    FaultPlan plan;
+    plan.add({FaultKind::SingularStamp, 0, std::numeric_limits<long long>::max(), 1});
+    ScopedFaultPlan guard(plan);
+
+    auto spec = makeMcSpec();
+    spec.onFailure = recover::FailurePolicy::Strict;
+    try {
+        runMonteCarlo(spec);
+        FAIL() << "expected SimError";
+    } catch (const SimError& e) {
+        EXPECT_EQ(e.reason(), SimErrorReason::SingularMatrix);
+        EXPECT_FALSE(e.attemptedRescues().empty());
+    }
+}
+
+TEST(Recover, MonteCarloCleanRunHasNoFailures) {
+    auto spec = makeMcSpec();
+    const auto r = runMonteCarlo(spec);
+    EXPECT_EQ(r.failedTrials, 0);
+    EXPECT_EQ(r.completedTrials, spec.trials);
+    for (const int n : r.failureReasons) EXPECT_EQ(n, 0);
+}

@@ -3,6 +3,8 @@
 // against Tellegen's theorem.
 #include <gtest/gtest.h>
 
+#include "recover/sim_error.hpp"
+
 #include <cmath>
 
 #include "device/passives.hpp"
@@ -163,10 +165,10 @@ TEST(Transient, RejectsBadSpec) {
     spice::TransientSpec spec;
     spec.tstop = 0.0;
     spec.dtMax = 1e-9;
-    EXPECT_THROW(runTransient(c, spec), std::invalid_argument);
+    EXPECT_THROW(runTransient(c, spec), recover::SimError);
     spec.tstop = 1e-9;
     spec.dtMax = 0.0;
-    EXPECT_THROW(runTransient(c, spec), std::invalid_argument);
+    EXPECT_THROW(runTransient(c, spec), recover::SimError);
 }
 
 TEST(Transient, InstrumentedRunStepEventsMatchCounters) {

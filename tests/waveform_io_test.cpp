@@ -4,9 +4,11 @@
 #include <fstream>
 #include <sstream>
 
+#include "recover/sim_error.hpp"
 #include "spice/waveform_io.hpp"
 
 using namespace fetcam::spice;
+namespace recover = fetcam::recover;
 
 namespace {
 
@@ -45,7 +47,7 @@ TEST(WaveformIo, UniformResampling) {
     EXPECT_DOUBLE_EQ(data.rows[4][0], 2e-9);
     // Midpoint interpolates linearly: t=1e-9 exactly on a sample.
     EXPECT_NEAR(data.rows[2][1], 0.5, 1e-12);
-    EXPECT_THROW(writeCsvUniform(ss, w, {{"a", 1}}, 1), std::invalid_argument);
+    EXPECT_THROW(writeCsvUniform(ss, w, {{"a", 1}}, 1), recover::SimError);
 }
 
 TEST(WaveformIo, FileWriteAndErrors) {
@@ -66,4 +68,41 @@ TEST(WaveformIo, ReaderRejectsMalformed) {
     EXPECT_THROW(readCsv(bad), std::runtime_error);
     std::stringstream ragged("time,a\n1\n");
     EXPECT_THROW(readCsv(ragged), std::runtime_error);
+}
+
+TEST(WaveformIo, ErrorsCarryTypedReasons) {
+    std::stringstream ragged("time,a\n1\n");
+    try {
+        readCsv(ragged);
+        FAIL() << "expected SimError";
+    } catch (const recover::SimError& e) {
+        EXPECT_EQ(e.reason(), recover::SimErrorReason::IoError);
+        EXPECT_EQ(e.where(), "readCsv");
+        EXPECT_NE(std::string(e.what()).find("ragged"), std::string::npos);
+    }
+    std::stringstream bad("time,a\n1,notanumber\n");
+    try {
+        readCsv(bad);
+        FAIL() << "expected SimError";
+    } catch (const recover::SimError& e) {
+        EXPECT_EQ(e.reason(), recover::SimErrorReason::IoError);
+        EXPECT_NE(std::string(e.what()).find("notanumber"), std::string::npos);
+    }
+}
+
+TEST(WaveformIo, ReadCsvFileReportsUnopenablePath) {
+    try {
+        readCsvFile("/nonexistent_dir_zz/missing.csv");
+        FAIL() << "expected SimError";
+    } catch (const recover::SimError& e) {
+        EXPECT_EQ(e.reason(), recover::SimErrorReason::IoError);
+        EXPECT_EQ(e.where(), "readCsvFile");
+    }
+    // Round trip through the file-based reader still works.
+    const auto w = sampleWaves();
+    const std::string path = "/tmp/fetcam_wave_read_test.csv";
+    writeCsvFile(path, w, {{"a", 1}});
+    const auto data = readCsvFile(path);
+    ASSERT_EQ(data.header.size(), 2u);
+    EXPECT_EQ(data.rows.size(), 3u);
 }

@@ -19,11 +19,27 @@
 
 #include "core/fetcam.hpp"
 #include "obs/obs.hpp"
+#include "recover/sim_error.hpp"
 #include "spice/waveform_io.hpp"
 
 using namespace fetcam;
 
 namespace {
+
+/// Distinct non-zero exit codes per structured failure reason, so scripts
+/// driving the CLI can tell a bad spec from a solver collapse. 1 stays the
+/// generic-exception code and 2 the DC non-convergence code.
+int exitCodeFor(recover::SimErrorReason reason) {
+    switch (reason) {
+        case recover::SimErrorReason::InvalidSpec: return 3;
+        case recover::SimErrorReason::StepUnderflow: return 4;
+        case recover::SimErrorReason::SingularMatrix: return 5;
+        case recover::SimErrorReason::NanResidual: return 6;
+        case recover::SimErrorReason::NonConvergence: return 7;
+        case recover::SimErrorReason::IoError: return 8;
+    }
+    return 1;
+}
 
 std::string readFile(const std::string& path) {
     std::ifstream in(path);
@@ -192,6 +208,10 @@ int main(int argc, char** argv) {
             return 0;
         }
         throw std::runtime_error("unknown command '" + a.command + "'");
+    } catch (const recover::SimError& e) {
+        std::fprintf(stderr, "fetcam_sim: [%s] %s\n", recover::reasonName(e.reason()),
+                     e.what());
+        return exitCodeFor(e.reason());
     } catch (const std::exception& e) {
         std::fprintf(stderr, "fetcam_sim: %s\n", e.what());
         return 1;
