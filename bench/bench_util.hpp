@@ -7,32 +7,56 @@
 #include <string>
 #include <vector>
 
+#include <cstdlib>
+
 #include "core/fetcam.hpp"
+#include "numeric/parallel.hpp"
 #include "obs/obs.hpp"
 
 namespace fetcam::bench {
 
-/// Shared bench flag handling: `--trace <file>` opens a JSONL trace sink and
-/// enables observability; without the flag, FETCAM_TRACE is honoured. The
-/// flag (and its argument) are stripped from argv so benches that parse
-/// their own arguments — or google-benchmark — never see it.
+/// Shared bench flag handling, stripped from argv so benches that parse
+/// their own arguments — or google-benchmark — never see them:
+///   --trace <file>  open a JSONL trace sink and enable observability
+///                   (without the flag, FETCAM_TRACE is honoured)
+///   --jobs <n>      worker threads for parallel sweeps (0 or negative =
+///                   all hardware threads); sets numeric::setDefaultJobs
 inline void initObs(int& argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--trace") != 0) continue;
-        if (i + 1 >= argc) {
-            std::fprintf(stderr, "warning: --trace requires a file argument; tracing off\n");
-            argc -= 1;
-            return;
+    bool traced = false;
+    int i = 1;
+    while (i < argc) {
+        const auto strip = [&](int count) {
+            for (int j = i; j + count < argc; ++j) argv[j] = argv[j + count];
+            argc -= count;
+        };
+        if (std::strcmp(argv[i], "--trace") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "warning: --trace requires a file argument; tracing off\n");
+                strip(1);
+                continue;
+            }
+            const char* path = argv[i + 1];
+            if (!obs::TraceSink::global().open(path))
+                std::fprintf(stderr, "warning: cannot open trace file %s\n", path);
+            obs::setEnabled(true);
+            traced = true;
+            strip(2);
+            continue;
         }
-        const char* path = argv[i + 1];
-        if (!obs::TraceSink::global().open(path))
-            std::fprintf(stderr, "warning: cannot open trace file %s\n", path);
-        obs::setEnabled(true);
-        for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
-        argc -= 2;
-        return;
+        if (std::strcmp(argv[i], "--jobs") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "warning: --jobs requires a count argument\n");
+                strip(1);
+                continue;
+            }
+            numeric::setDefaultJobs(std::atoi(argv[i + 1]));
+            strip(2);
+            continue;
+        }
+        ++i;
     }
-    obs::initFromEnv();
+    if (!traced) obs::initFromEnv();
 }
 
 /// Standard experiment banner: what this bench reproduces and which shape

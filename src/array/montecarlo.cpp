@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "array/energy_model.hpp"
+#include "numeric/parallel.hpp"
 #include "obs/obs.hpp"
+#include "recover/fault_injection.hpp"
 
 namespace fetcam::array {
 
@@ -46,27 +49,58 @@ tcam::CellVariation sampleCell(numeric::Rng& rng, const MonteCarloSpec& spec,
 }  // namespace
 
 MonteCarloResult runMonteCarlo(const MonteCarloSpec& spec) {
-    obs::SpanGuard span("array.montecarlo",
-                        {{"trials", spec.trials}, {"bits", spec.config.wordBits}});
+    obs::SpanGuard span("array.montecarlo", {{"trials", spec.trials},
+                                             {"bits", spec.config.wordBits},
+                                             {"jobs", numeric::resolveJobs(spec.jobs)}});
     const bool obsOn = obs::enabled();
 
     MonteCarloResult result;
     result.trials = spec.trials;
-    numeric::Rng rng(spec.seed);
+    if (spec.trials <= 0) return result;
 
     const auto stored = calibrationWord(spec.config.wordBits,
                                         /*seed=*/spec.seed ^ 0x5bd1e995u);
     const auto matchKey = stored;
     const auto mismatchKey = keyWithMismatches(stored, spec.mismatchBits);
 
-    for (int trial = 0; trial < spec.trials; ++trial) {
-        double trialWall = 0.0;
-        if (obsOn) trialWall = obs::monotonicSeconds();
-        auto trialRng = rng.split();
+    // The caller's plan stays on the calling thread; workers run clones.
+    recover::FaultPlan* parentPlan = recover::FaultPlan::active();
+
+    struct TrialOutcome {
+        bool failed = false;
+        recover::SimErrorReason reason = recover::SimErrorReason::InvalidSpec;
+        double mlMatch = 0.0;
+        double mlMismatch = 0.0;
+        bool matchDetected = false;
+        bool mismatchDetected = false;
+        double wallSeconds = 0.0;
+        long long faultSolves = 0;
+        long long faultInjections = 0;
+    };
+    std::vector<TrialOutcome> outcomes(static_cast<std::size_t>(spec.trials));
+
+    // Trials are schedule-independent: trial RNG from (seed, trial) alone,
+    // outputs into per-trial slots, merged in trial order below. In strict
+    // mode the worker rethrows and parallelFor surfaces the lowest-index
+    // failure — the same trial a sequential sweep would have died on.
+    numeric::parallelFor(spec.jobs, spec.trials, [&](int trial) {
+        TrialOutcome& out = outcomes[static_cast<std::size_t>(trial)];
+        const double t0 = obsOn ? obs::monotonicSeconds() : 0.0;
+
+        auto trialRng = numeric::Rng::forStream(spec.seed, static_cast<std::uint64_t>(trial));
         std::vector<tcam::CellVariation> vars;
         vars.reserve(stored.size());
         for (std::size_t i = 0; i < stored.size(); ++i)
             vars.push_back(sampleCell(trialRng, spec, stored[i], spec.config.cell));
+
+        // Per-trial fault-plan clone: fresh solve ordinals every trial, on
+        // this worker's thread, so injections are deterministic per trial.
+        std::optional<recover::FaultPlan> plan;
+        std::optional<recover::ScopedFaultPlan> guard;
+        if (parentPlan) {
+            plan.emplace(parentPlan->specs());
+            guard.emplace(*plan);
+        }
 
         WordSimOptions o;
         o.tech = spec.tech;
@@ -74,41 +108,60 @@ MonteCarloResult runMonteCarlo(const MonteCarloSpec& spec) {
         o.stored = stored;
         o.variations = vars;
 
-        WordSimResult match, mism;
         try {
             o.key = matchKey;
-            match = simulateWordSearch(o);
+            const WordSimResult match = simulateWordSearch(o);
             o.key = mismatchKey;
-            mism = simulateWordSearch(o);
+            const WordSimResult mism = simulateWordSearch(o);
+            out.mlMatch = match.mlAtSense;
+            out.matchDetected = match.matchDetected;
+            out.mlMismatch = mism.mlAtSense;
+            out.mismatchDetected = mism.matchDetected;
         } catch (const recover::SimError& e) {
             if (spec.onFailure == recover::FailurePolicy::Strict) throw;
+            out.failed = true;
+            out.reason = e.reason();
+        }
+        if (plan) {
+            out.faultSolves = plan->solvesSeen();
+            out.faultInjections = plan->injectionCount();
+        }
+        if (obsOn) out.wallSeconds = obs::monotonicSeconds() - t0;
+    });
+
+    // Merge in trial order: RunningStats accumulation and failure counts see
+    // the exact sequence a serial sweep produces, whatever the schedule was.
+    for (int trial = 0; trial < spec.trials; ++trial) {
+        const TrialOutcome& out = outcomes[static_cast<std::size_t>(trial)];
+        if (parentPlan) parentPlan->absorb(out.faultSolves, out.faultInjections);
+        if (out.failed) {
             ++result.failedTrials;
-            ++result.failureReasons[static_cast<std::size_t>(e.reason())];
+            ++result.failureReasons[static_cast<std::size_t>(out.reason)];
             if (obsOn) {
                 static obs::Counter& failed = obs::counter("array.mc.failed_trials");
                 failed.add();
                 obs::TraceSink::global().event(
                     "mc.trial_failed",
-                    {{"trial", trial}, {"reason", recover::reasonName(e.reason())}});
+                    {{"trial", trial}, {"reason", recover::reasonName(out.reason)}});
             }
             continue;
         }
         ++result.completedTrials;
-        result.mlMatch.add(match.mlAtSense);
-        if (!match.matchDetected) ++result.matchErrors;
-        result.mlMismatch.add(mism.mlAtSense);
-        if (mism.matchDetected) ++result.mismatchErrors;
+        result.mlMatch.add(out.mlMatch);
+        if (!out.matchDetected) ++result.matchErrors;
+        result.mlMismatch.add(out.mlMismatch);
+        if (out.mismatchDetected) ++result.mismatchErrors;
 
         if (obsOn) {
             static obs::Counter& trials = obs::counter("array.mc.trials");
             static obs::Histogram& seconds = obs::histogram(
                 "array.mc.trial.seconds", obs::Histogram::exponentialBounds(1e-4, 100.0));
             trials.add();
-            seconds.observe(obs::monotonicSeconds() - trialWall);
+            seconds.observe(out.wallSeconds);
             obs::TraceSink::global().event("mc.trial",
                                            {{"trial", trial},
-                                            {"mlMatch", match.mlAtSense},
-                                            {"mlMismatch", mism.mlAtSense},
+                                            {"mlMatch", out.mlMatch},
+                                            {"mlMismatch", out.mlMismatch},
                                             {"errors", result.matchErrors +
                                                            result.mismatchErrors}});
         }

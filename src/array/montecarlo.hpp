@@ -27,6 +27,12 @@ struct MonteCarloSpec {
     /// Strict: the first trial that raises a SimError aborts the sweep.
     /// Lenient: failed trials are counted and the sweep carries on.
     recover::FailurePolicy onFailure = recover::FailurePolicy::Lenient;
+
+    /// Worker threads for the trial sweep (0 = numeric::defaultJobs()).
+    /// Results are bit-identical for any jobs value: each trial's RNG is
+    /// derived from (seed, trial index) alone and trial outcomes are merged
+    /// in trial order after the parallel region.
+    int jobs = 0;
 };
 
 struct MonteCarloResult {
@@ -51,6 +57,10 @@ struct MonteCarloResult {
     }
 };
 
+/// Run the variation sweep. With a recover::FaultPlan installed, each trial
+/// runs against a fresh clone of the plan (trial-relative solve ordinals, so
+/// injection windows hit the same solves regardless of jobs or schedule); the
+/// clones' counters are folded back into the installed plan in trial order.
 MonteCarloResult runMonteCarlo(const MonteCarloSpec& spec);
 
 }  // namespace fetcam::array

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "numeric/parallel.hpp"
 #include "obs/obs.hpp"
 #include "recover/sim_error.hpp"
 
@@ -46,22 +47,32 @@ DesignPoint proposedDesign(int wordBits, int rows) {
 
 std::vector<ExplorationResult> exploreDesigns(const device::TechCard& tech,
                                               const std::vector<DesignPoint>& designs,
-                                              const array::WorkloadProfile& workload) {
-    std::vector<ExplorationResult> out;
-    out.reserve(designs.size());
-    for (const auto& d : designs) {
+                                              const array::WorkloadProfile& workload,
+                                              int jobs) {
+    std::vector<ExplorationResult> out(designs.size());
+    std::vector<const char*> failReasons(designs.size(), nullptr);
+    // Each worker evaluates into its own slot; an InvalidSpec rethrow is
+    // surfaced by parallelFor for the lowest failing design, matching the
+    // sequential loop's first-throw behavior.
+    numeric::parallelFor(jobs, static_cast<int>(designs.size()), [&](int i) {
+        const auto& d = designs[static_cast<std::size_t>(i)];
         try {
-            out.push_back({d, evaluateArray(tech, d.config, workload), false, {}});
+            out[static_cast<std::size_t>(i)] = {d, evaluateArray(tech, d.config, workload),
+                                                false, {}};
         } catch (const recover::SimError& e) {
             if (e.reason() == recover::SimErrorReason::InvalidSpec) throw;
-            if (obs::enabled()) {
-                static obs::Counter& failed = obs::counter("core.explore.failed_designs");
-                failed.add();
-                obs::TraceSink::global().event("explore.design_failed",
-                                               {{"design", d.name.c_str()},
-                                                {"reason", recover::reasonName(e.reason())}});
-            }
-            out.push_back({d, array::ArrayMetrics{}, true, e.what()});
+            failReasons[static_cast<std::size_t>(i)] = recover::reasonName(e.reason());
+            out[static_cast<std::size_t>(i)] = {d, array::ArrayMetrics{}, true, e.what()};
+        }
+    });
+    if (obs::enabled()) {
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            if (!out[i].simFailed) continue;
+            static obs::Counter& failed = obs::counter("core.explore.failed_designs");
+            failed.add();
+            obs::TraceSink::global().event("explore.design_failed",
+                                           {{"design", out[i].design.name.c_str()},
+                                            {"reason", failReasons[i]}});
         }
     }
     return out;

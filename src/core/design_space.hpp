@@ -38,13 +38,16 @@ struct ExplorationResult {
     std::string failureSummary;
 };
 
-/// Evaluate a list of designs (2 circuit sims per distinct stage width each).
-/// Solver failures on individual designs are recorded in the corresponding
-/// ExplorationResult (simFailed) rather than aborting the whole exploration;
-/// invalid-spec errors still throw.
+/// Evaluate a list of designs (2 circuit sims per distinct stage width each),
+/// across `jobs` worker threads (0 = process default; results are identical
+/// and in design order for any jobs value). Solver failures on individual
+/// designs are recorded in the corresponding ExplorationResult (simFailed)
+/// rather than aborting the whole exploration; invalid-spec errors still
+/// throw.
 std::vector<ExplorationResult> exploreDesigns(const device::TechCard& tech,
                                               const std::vector<DesignPoint>& designs,
-                                              const array::WorkloadProfile& workload = {});
+                                              const array::WorkloadProfile& workload = {},
+                                              int jobs = 0);
 
 /// Full parametric sweep over (sense scheme x vSearch x segmentation) for a
 /// given cell: the ablation grid bench F8/T2 draw from.

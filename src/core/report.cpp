@@ -103,6 +103,7 @@ Table solverStatsTable(const spice::TransientResult& result) {
     t.addRow({"  wasted on rejected steps",
               std::to_string(result.rejectedNewtonIterations)});
     t.addRow({"matrix factorizations", std::to_string(s.factorizations)});
+    t.addRow({"  numeric refactorizations", std::to_string(s.refactorizations)});
     if (s.rescueAttempts > 0) {
         t.addRow({"rescued steps", std::to_string(s.rescuedSteps)});
         t.addRow({"  rescue rungs attempted", std::to_string(s.rescueAttempts)});

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "numeric/parallel.hpp"
 #include "obs/obs.hpp"
 #include "recover/sim_error.hpp"
 
@@ -92,6 +93,39 @@ std::optional<int> TcamMacro::search(const tcam::TernaryWord& key) {
         }
     }
     return std::nullopt;
+}
+
+std::vector<std::optional<int>> TcamMacro::searchMany(
+    const std::vector<tcam::TernaryWord>& keys, int jobs) {
+    // Validate every key up front so a bad key fails before any accounting,
+    // exactly like the first bad search() call in a sequential loop would.
+    for (const auto& key : keys)
+        if (static_cast<int>(key.size()) != config_.wordBits)
+            throw recover::SimError(recover::SimErrorReason::InvalidSpec,
+                                    "TcamMacro::searchMany", "key width mismatch");
+
+    std::vector<std::optional<int>> results(keys.size());
+    // Workers only read entries_ and write their own result slot; all stats
+    // and energy accounting happens below, on the calling thread.
+    numeric::parallelFor(jobs, static_cast<int>(keys.size()), [&](int i) {
+        const auto& key = keys[static_cast<std::size_t>(i)];
+        for (std::size_t r = 0; r < entries_.size(); ++r) {
+            if (entries_[r] && entries_[r]->matches(key)) {
+                results[static_cast<std::size_t>(i)] = static_cast<int>(r);
+                break;
+            }
+        }
+    });
+
+    stats_.searches += keys.size();
+    stats_.searchEnergy += bank_.totalPerSearch() * static_cast<double>(keys.size());
+    for (const auto& hit : results)
+        if (hit) ++stats_.hits;
+    if (obs::enabled()) {
+        static obs::Counter& searches = obs::counter("core.macro.searches");
+        searches.add(static_cast<long long>(keys.size()));
+    }
+    return results;
 }
 
 }  // namespace fetcam::core

@@ -46,6 +46,13 @@ public:
     /// encoder would report. Accounts one search worth of energy.
     std::optional<int> search(const tcam::TernaryWord& key);
 
+    /// Batch priority search: result[i] is what search(keys[i]) would have
+    /// returned, with identical stats/energy accounting, but the (read-only)
+    /// entry scans run across `jobs` worker threads (0 = process default).
+    /// Deterministic for any jobs value.
+    std::vector<std::optional<int>> searchMany(const std::vector<tcam::TernaryWord>& keys,
+                                               int jobs = 0);
+
     const MacroStats& stats() const { return stats_; }
     const array::BankMetrics& hardware() const { return bank_; }
     double energyPerSearch() const { return bank_.totalPerSearch(); }

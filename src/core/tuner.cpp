@@ -5,6 +5,7 @@
 #include <map>
 
 #include "numeric/optimize.hpp"
+#include "numeric/parallel.hpp"
 #include "obs/obs.hpp"
 #include "recover/sim_error.hpp"
 
@@ -72,36 +73,59 @@ VddTuneResult tuneVddForMinEdp(const device::TechCard& tech300,
 }
 
 SegmentTuneResult tuneSegments(const device::TechCard& tech, array::ArrayConfig cfg,
-                               double maxDelay, const array::WorkloadProfile& workload) {
+                               double maxDelay, const array::WorkloadProfile& workload,
+                               int jobs) {
     obs::SpanGuard span("core.tuner.segments", {{"wordBits", cfg.wordBits}});
+
+    std::vector<int> candidates;
+    for (const int k : {1, 2, 4, 8})
+        if (k <= cfg.wordBits) candidates.push_back(k);
+
+    struct Eval {
+        bool ok = false;
+        const char* failReason = nullptr;
+        array::ArrayMetrics m;
+    };
+    std::vector<Eval> evals(candidates.size());
+    // The candidates are independent sims; evaluate them in parallel and run
+    // the selection scan sequentially below so the winner (and tie-breaks)
+    // match the serial loop exactly.
+    numeric::parallelFor(jobs, static_cast<int>(candidates.size()), [&](int i) {
+        array::ArrayConfig c = cfg;
+        c.mlSegments = candidates[static_cast<std::size_t>(i)];
+        auto& e = evals[static_cast<std::size_t>(i)];
+        try {
+            e.m = evaluateArray(tech, c, workload);
+            e.ok = true;
+        } catch (const recover::SimError& err) {
+            if (err.reason() == recover::SimErrorReason::InvalidSpec) throw;
+            e.failReason = recover::reasonName(err.reason());
+        }
+    });
+
     SegmentTuneResult best;
     bool first = true;
-    for (const int k : {1, 2, 4, 8}) {
-        if (k > cfg.wordBits) break;
-        cfg.mlSegments = k;
-        array::ArrayMetrics m;
-        try {
-            m = evaluateArray(tech, cfg, workload);
-        } catch (const recover::SimError& e) {
-            if (e.reason() == recover::SimErrorReason::InvalidSpec) throw;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const int k = candidates[i];
+        const Eval& e = evals[i];
+        if (!e.ok) {
             if (obs::enabled()) {
                 static obs::Counter& failed = obs::counter("core.tuner.failed_evals");
                 failed.add();
-                obs::TraceSink::global().event(
-                    "tuner.segment_eval_failed",
-                    {{"segments", k}, {"reason", recover::reasonName(e.reason())}});
+                obs::TraceSink::global().event("tuner.segment_eval_failed",
+                                               {{"segments", k}, {"reason", e.failReason}});
             }
             continue;  // skip the unsolvable segmentation, keep scanning
         }
         obs::TraceSink::global().event("tuner.segment_eval",
                                        {{"segments", k},
-                                        {"energy", m.perSearch.total()},
-                                        {"functional", m.functional}});
-        if (!m.functional) continue;
-        if (maxDelay > 0.0 && m.searchDelay > maxDelay) continue;
-        const double e = m.perSearch.total();
-        if (first || e < best.energy) {
-            best = {k, e, m};
+                                        {"energy", e.m.perSearch.total()},
+                                        {"functional", e.m.functional}});
+        if (!e.m.functional) continue;
+        if (maxDelay > 0.0 && e.m.searchDelay > maxDelay) continue;
+        const double energy = e.m.perSearch.total();
+        if (first || energy < best.energy) {
+            best = {k, energy, e.m};
             first = false;
         }
     }

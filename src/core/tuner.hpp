@@ -29,9 +29,12 @@ struct SegmentTuneResult {
 };
 
 /// Pick the matchline segment count (from {1,2,4,8}) minimizing search
-/// energy subject to a latency budget (0 = unconstrained).
+/// energy subject to a latency budget (0 = unconstrained). The candidate
+/// evaluations run across `jobs` worker threads (0 = process default);
+/// selection is identical for any jobs value. (The VDD tuner above stays
+/// sequential: golden-section probes depend on previous results.)
 SegmentTuneResult tuneSegments(const device::TechCard& tech, array::ArrayConfig cfg,
                                double maxDelay = 0.0,
-                               const array::WorkloadProfile& workload = {});
+                               const array::WorkloadProfile& workload = {}, int jobs = 0);
 
 }  // namespace fetcam::core

@@ -1,0 +1,75 @@
+#include "numeric/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace fetcam::numeric {
+
+namespace {
+
+std::atomic<int> gDefaultJobs{1};
+
+// Nested parallelFor calls run inline: the outer team already owns the
+// hardware, and oversubscribing would wreck determinism-debugging runs.
+thread_local bool tInsideParallelFor = false;
+
+}  // namespace
+
+int hardwareConcurrency() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int defaultJobs() { return gDefaultJobs.load(std::memory_order_relaxed); }
+
+void setDefaultJobs(int jobs) {
+    gDefaultJobs.store(jobs <= 0 ? hardwareConcurrency() : jobs, std::memory_order_relaxed);
+}
+
+int resolveJobs(int jobs) {
+    if (jobs == 0) return defaultJobs();
+    if (jobs < 0) return hardwareConcurrency();
+    return jobs;
+}
+
+void parallelFor(int jobs, int count, const std::function<void(int)>& fn) {
+    if (count <= 0) return;
+    jobs = std::min(resolveJobs(jobs), count);
+    if (jobs <= 1 || tInsideParallelFor) {
+        for (int i = 0; i < count; ++i) fn(i);
+        return;
+    }
+
+    std::atomic<int> next{0};
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(count));
+    auto worker = [&]() {
+        tInsideParallelFor = true;
+        for (;;) {
+            const int i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) break;
+            try {
+                fn(i);
+            } catch (...) {
+                errors[static_cast<std::size_t>(i)] = std::current_exception();
+            }
+        }
+        tInsideParallelFor = false;
+    };
+
+    std::vector<std::thread> team;
+    team.reserve(static_cast<std::size_t>(jobs) - 1);
+    for (int t = 1; t < jobs; ++t) team.emplace_back(worker);
+    worker();  // the calling thread is part of the team
+    for (auto& t : team) t.join();
+
+    // Sequential semantics: surface the failure a serial loop would have hit
+    // first. Later indices' errors are intentionally dropped (a serial loop
+    // would never have reached them).
+    for (auto& e : errors)
+        if (e) std::rethrow_exception(e);
+}
+
+}  // namespace fetcam::numeric

@@ -6,7 +6,8 @@
 
 namespace fetcam::numeric {
 
-SparseMatrixCsc SparseMatrixCsc::fromTriplets(const TripletList& t) {
+SparseMatrixCsc SparseMatrixCsc::fromTriplets(const TripletList& t,
+                                              std::vector<int>* slotOfEntry) {
     SparseMatrixCsc m;
     m.rows_ = t.rows();
     m.cols_ = t.cols();
@@ -22,15 +23,20 @@ SparseMatrixCsc SparseMatrixCsc::fromTriplets(const TripletList& t) {
     std::vector<int> colStart(t.cols() + 1, 0);
     for (int c = 0; c < t.cols(); ++c) colStart[c + 1] = colStart[c] + count[c + 1];
 
-    // Scatter into per-column buckets.
+    // Scatter into per-column buckets, remembering each entry's origin so the
+    // stamp map can be reported in insertion order.
     std::vector<int> rows(es.size());
     std::vector<double> vals(es.size());
+    std::vector<int> origin(es.size());
     std::vector<int> fill = colStart;
-    for (const auto& e : es) {
+    for (std::size_t i = 0; i < es.size(); ++i) {
+        const auto& e = es[i];
         const int slot = fill[e.col]++;
         rows[slot] = e.row;
         vals[slot] = e.value;
+        origin[slot] = static_cast<int>(i);
     }
+    if (slotOfEntry) slotOfEntry->assign(es.size(), -1);
 
     // Sort each column by row and merge duplicates.
     m.colPtr_.assign(t.cols() + 1, 0);
@@ -45,13 +51,15 @@ SparseMatrixCsc SparseMatrixCsc::fromTriplets(const TripletList& t) {
         std::sort(order.begin(), order.end(), [&](int a, int b) { return rows[a] < rows[b]; });
         int lastRow = -1;
         for (int idx : order) {
-            if (rows[idx] == lastRow) {
-                m.values_.back() += vals[idx];
-            } else {
+            if (rows[idx] != lastRow) {
                 m.rowIdx_.push_back(rows[idx]);
                 m.values_.push_back(vals[idx]);
                 lastRow = rows[idx];
+            } else {
+                m.values_.back() += vals[idx];
             }
+            if (slotOfEntry)
+                (*slotOfEntry)[origin[idx]] = static_cast<int>(m.values_.size()) - 1;
         }
         m.colPtr_[c + 1] = static_cast<int>(m.rowIdx_.size());
     }
@@ -114,8 +122,9 @@ int luDfs(int start, const std::vector<int>& lp, const std::vector<int>& li,
 
 }  // namespace
 
-SparseLu::SparseLu(const SparseMatrixCsc& a, double pivotTol) {
+void SparseLu::factor(const SparseMatrixCsc& a, double pivotTol) {
     if (a.rows() != a.cols()) throw std::invalid_argument("SparseLu: matrix must be square");
+    factored_ = false;
     n_ = a.rows();
     nnzA_ = a.nonZeros();
     const auto& ap = a.colPtr();
@@ -134,21 +143,24 @@ SparseLu::SparseLu(const SparseMatrixCsc& a, double pivotTol) {
     ui_.reserve(4 * nnzA_);
     ux_.reserve(4 * nnzA_);
 
-    std::vector<double> x(n_, 0.0);
-    std::vector<char> visited(n_, 0);
-    std::vector<int> xi(n_), pstack(n_);
+    work_.assign(n_, 0.0);
+    visited_.assign(n_, 0);
+    xi_.resize(n_);
+    pstack_.resize(n_);
+    auto& x = work_;
 
     for (int col = 0; col < n_; ++col) {
         // --- Symbolic: nodes reachable from the pattern of A(:,col) through L.
         int top = n_;
         for (int p = ap[col]; p < ap[col + 1]; ++p)
-            if (!visited[ai[p]]) top = luDfs(ai[p], lp_, li_, pinv_, visited, xi, pstack, top);
+            if (!visited_[ai[p]])
+                top = luDfs(ai[p], lp_, li_, pinv_, visited_, xi_, pstack_, top);
 
         // --- Numeric: scatter A(:,col) and run the sparse triangular solve.
-        for (int p = top; p < n_; ++p) x[xi[p]] = 0.0;
+        for (int p = top; p < n_; ++p) x[xi_[p]] = 0.0;
         for (int p = ap[col]; p < ap[col + 1]; ++p) x[ai[p]] = ax[p];
         for (int p = top; p < n_; ++p) {
-            const int row = xi[p];
+            const int row = xi_[p];
             const int rowPivot = pinv_[row];
             if (rowPivot < 0) continue;  // not yet pivotal: stays in L
             // L's columns store the unit diagonal first; divide is by 1.0.
@@ -162,7 +174,7 @@ SparseLu::SparseLu(const SparseMatrixCsc& a, double pivotTol) {
         int pivotRow = -1;
         double pivotMag = -1.0;
         for (int p = top; p < n_; ++p) {
-            const int row = xi[p];
+            const int row = xi_[p];
             if (pinv_[row] >= 0) continue;
             const double mag = std::abs(x[row]);
             if (mag > pivotMag) {
@@ -170,13 +182,20 @@ SparseLu::SparseLu(const SparseMatrixCsc& a, double pivotTol) {
                 pivotRow = row;
             }
         }
-        if (pivotRow < 0 || pivotMag <= 0.0) throw std::runtime_error("SparseLu: singular matrix");
+        if (pivotRow < 0 || pivotMag <= 0.0) {
+            // Leave the scratch zeroed for the next factor()/refactor() call.
+            for (int p = top; p < n_; ++p) {
+                visited_[xi_[p]] = 0;
+                x[xi_[p]] = 0.0;
+            }
+            throw std::runtime_error("SparseLu: singular matrix");
+        }
         if (pinv_[col] < 0 && std::abs(x[col]) >= pivotTol * pivotMag) pivotRow = col;
         const double pivotValue = x[pivotRow];
 
         // --- Emit U(:,col): all pivotal rows, then the diagonal last.
         for (int p = top; p < n_; ++p) {
-            const int row = xi[p];
+            const int row = xi_[p];
             if (pinv_[row] >= 0) {
                 ui_.push_back(pinv_[row]);
                 ux_.push_back(x[row]);
@@ -191,7 +210,7 @@ SparseLu::SparseLu(const SparseMatrixCsc& a, double pivotTol) {
         li_.push_back(pivotRow);
         lx_.push_back(1.0);
         for (int p = top; p < n_; ++p) {
-            const int row = xi[p];
+            const int row = xi_[p];
             if (pinv_[row] < 0 && row != pivotRow) {
                 li_.push_back(row);
                 lx_.push_back(x[row] / pivotValue);
@@ -201,18 +220,83 @@ SparseLu::SparseLu(const SparseMatrixCsc& a, double pivotTol) {
 
         // --- Reset work arrays for the next column.
         for (int p = top; p < n_; ++p) {
-            visited[xi[p]] = 0;
-            x[xi[p]] = 0.0;
+            visited_[xi_[p]] = 0;
+            x[xi_[p]] = 0.0;
         }
     }
 
     // Remap L's row indices into pivot order so L is genuinely lower triangular.
     for (auto& row : li_) row = pinv_[row];
+    factored_ = true;
+}
+
+bool SparseLu::refactor(const SparseMatrixCsc& a, double pivotFloor) {
+    if (!factored_ || a.rows() != n_ || a.cols() != n_ || a.nonZeros() != nnzA_) {
+        factored_ = false;
+        return false;
+    }
+    const auto& ap = a.colPtr();
+    const auto& ai = a.rowIdx();
+    const auto& ax = a.values();
+    auto& x = work_;  // all-zero outside active columns (invariant kept below)
+
+    for (int col = 0; col < n_; ++col) {
+        // Scatter A(:,col) in pivot space. Every scattered position lies in
+        // the cached L/U pattern of this column (the pattern is the DFS
+        // closure of A(:,col)), so the reset at the end covers it.
+        for (int p = ap[col]; p < ap[col + 1]; ++p) x[pinv_[ai[p]]] = ax[p];
+
+        // Replay the sparse triangular solve in the stored topological order:
+        // U(:,col)'s pivotal rows were emitted exactly in elimination order.
+        // Each x[u] is consumed exactly once and (by the topological order)
+        // never written again this column, so it is re-zeroed on the spot —
+        // no separate reset pass over the pattern.
+        for (int j = up_[col]; j < up_[col + 1] - 1; ++j) {
+            const int u = ui_[j];
+            const double xu = x[u];
+            ux_[j] = xu;
+            x[u] = 0.0;
+            if (xu != 0.0)
+                for (int q = lp_[u] + 1; q < lp_[u + 1]; ++q) x[li_[q]] -= lx_[q] * xu;
+        }
+
+        const double pivot = x[col];
+        x[col] = 0.0;
+        // One fused pass over L(:,col): track the column max for the pivot
+        // health check, divide, and re-zero. On pivot failure the half-updated
+        // lx_/ux_ values are discarded anyway (factored_ drops below).
+        double colMax = std::abs(pivot);
+        for (int q = lp_[col] + 1; q < lp_[col + 1]; ++q) {
+            const double v = x[li_[q]];
+            x[li_[q]] = 0.0;
+            colMax = std::max(colMax, std::abs(v));
+            lx_[q] = v / pivot;
+        }
+
+        // Pivot health: the cached pivot order degrades when the diagonal (in
+        // pivot space) collapses relative to its column — bail out so the
+        // caller can run a fresh pivoting factorization.
+        if (!std::isfinite(colMax) || pivot == 0.0 || !(std::abs(pivot) >= pivotFloor * colMax)) {
+            std::fill(x.begin(), x.end(), 0.0);  // restore the scratch invariant
+            factored_ = false;
+            return false;
+        }
+
+        ux_[up_[col + 1] - 1] = pivot;
+    }
+    return true;
 }
 
 std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
+    std::vector<double> x;
+    solveInto(b, x);
+    return x;
+}
+
+void SparseLu::solveInto(const std::vector<double>& b, std::vector<double>& x) const {
     if (static_cast<int>(b.size()) != n_) throw std::invalid_argument("SparseLu::solve: size");
-    std::vector<double> x(n_);
+    if (!factored_) throw std::runtime_error("SparseLu::solve: not factored");
+    x.resize(n_);
     for (int i = 0; i < n_; ++i) x[pinv_[i]] = b[i];  // x = P*b
     // Forward solve L*y = x (unit diagonal stored first in each column).
     for (int c = 0; c < n_; ++c) {
@@ -225,7 +309,6 @@ std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
         const double xc = x[c];
         for (int p = up_[c]; p < up_[c + 1] - 1; ++p) x[ui_[p]] -= ux_[p] * xc;
     }
-    return x;
 }
 
 int SparseLu::fillIn() const {

@@ -1,9 +1,12 @@
 // Sparse matrices in compressed-sparse-column form plus a left-looking
 // (Gilbert-Peierls) LU factorization with threshold partial pivoting.
 //
-// This is the workhorse linear solver behind the MNA circuit engine: the
+// This is the workhorse linear solver behind the MNA circuit engine. The
 // nonzero pattern of a circuit's Jacobian is fixed across Newton iterations,
-// so the engine rebuilds values in place and refactors each iteration.
+// so the engine freezes the CSC pattern after the first assembly (stamping
+// values in place from then on — see spice::Mna) and splits the LU into a
+// one-time symbolic analysis plus cheap numeric refactorizations that follow
+// the cached nonzero pattern and pivot order (KLU-style reuse).
 #pragma once
 
 #include <algorithm>
@@ -49,8 +52,13 @@ class SparseMatrixCsc {
 public:
     SparseMatrixCsc() = default;
 
-    /// Compile a triplet list, summing duplicates.
-    static SparseMatrixCsc fromTriplets(const TripletList& t);
+    /// Compile a triplet list, summing duplicates. When `slotOfEntry` is
+    /// non-null it receives, for each triplet entry (in insertion order), the
+    /// index into values() that entry was accumulated into — the "stamp map"
+    /// that lets an assembler replay the same stamp sequence straight into
+    /// values() without re-sorting.
+    static SparseMatrixCsc fromTriplets(const TripletList& t,
+                                        std::vector<int>* slotOfEntry = nullptr);
 
     int rows() const { return rows_; }
     int cols() const { return cols_; }
@@ -60,6 +68,10 @@ public:
     const std::vector<int>& rowIdx() const { return rowIdx_; }
     const std::vector<double>& values() const { return values_; }
     std::vector<double>& values() { return values_; }
+
+    /// Zero every stored value, keeping the pattern (start of an in-place
+    /// re-stamping pass).
+    void zeroValues() { std::fill(values_.begin(), values_.end(), 0.0); }
 
     /// y = A * x.
     std::vector<double> multiply(const std::vector<double>& x) const;
@@ -81,11 +93,36 @@ private:
 /// entry is kept as the pivot whenever its magnitude is within `pivotTol` of
 /// the column maximum, which preserves the (mostly) diagonally dominant
 /// structure of MNA matrices and limits fill-in.
+///
+/// factor() performs the full symbolic + numeric work and caches the L/U
+/// nonzero pattern and pivot order. refactor() redoes only the numeric part
+/// for a matrix with the SAME sparsity pattern, following the cached pattern
+/// and pivots — no DFS, no pivot search, no allocation. A refactorization
+/// that encounters a collapsed pivot returns false; call factor() again to
+/// recover (fresh pivoting).
 class SparseLu {
 public:
-    explicit SparseLu(const SparseMatrixCsc& a, double pivotTol = 0.1);
+    SparseLu() = default;
+    explicit SparseLu(const SparseMatrixCsc& a, double pivotTol = 0.1) { factor(a, pivotTol); }
+
+    /// Full symbolic + numeric factorization. Reuses internal storage across
+    /// calls. Throws std::runtime_error on a singular matrix (the cached
+    /// factorization is then unusable until a factor() succeeds).
+    void factor(const SparseMatrixCsc& a, double pivotTol = 0.1);
+
+    /// Numeric-only refactorization of a matrix with the same pattern as the
+    /// last successful factor(). Returns false — leaving the factorization
+    /// unusable until the next successful factor() — when the pattern doesn't
+    /// match, or a pivot falls below `pivotFloor` times its column maximum
+    /// (or is zero / non-finite): the cached pivot order has degraded and a
+    /// fresh pivoting factorization is required.
+    bool refactor(const SparseMatrixCsc& a, double pivotFloor = 1e-10);
+
+    bool factored() const { return factored_; }
 
     std::vector<double> solve(const std::vector<double>& b) const;
+    /// Allocation-free solve into a caller-owned vector (resized to n).
+    void solveInto(const std::vector<double>& b, std::vector<double>& x) const;
 
     int size() const { return n_; }
     int fillIn() const;  ///< nnz(L)+nnz(U) - nnz(A)
@@ -93,6 +130,7 @@ public:
 private:
     int n_ = 0;
     int nnzA_ = 0;
+    bool factored_ = false;
     // L: unit lower triangular (diagonal stored explicitly as 1.0, first in column).
     std::vector<int> lp_, li_;
     std::vector<double> lx_;
@@ -100,6 +138,11 @@ private:
     std::vector<int> up_, ui_;
     std::vector<double> ux_;
     std::vector<int> pinv_;  // row -> pivot position
+
+    // Reused numeric scratch (kept zero outside active columns).
+    std::vector<double> work_;
+    std::vector<char> visited_;
+    std::vector<int> xi_, pstack_;
 };
 
 }  // namespace fetcam::numeric

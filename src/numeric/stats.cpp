@@ -99,4 +99,12 @@ bool Rng::bernoulli(double p) { return uniform() < p; }
 
 Rng Rng::split() { return Rng(nextU64() ^ 0xa5a5a5a5deadbeefULL); }
 
+Rng Rng::forStream(std::uint64_t seed, std::uint64_t stream) {
+    // Two splitMix64 rounds decorrelate adjacent stream indices before the
+    // Rng constructor expands the result into xoshiro state.
+    std::uint64_t sm = seed ^ (stream * 0x632be59bd9b4e019ULL + 0x9e3779b97f4a7c15ULL);
+    const std::uint64_t a = splitMix64(sm);
+    return Rng(a ^ splitMix64(sm));
+}
+
 }  // namespace fetcam::numeric

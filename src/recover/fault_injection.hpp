@@ -17,6 +17,16 @@
 //
 // Plans are installed with ScopedFaultPlan (thread-local, RAII). With no plan
 // installed, the hot-path query is a single thread-local pointer read.
+//
+// Threading model: the active-plan pointer is thread-local, so a plan
+// installed on one thread is invisible to workers spawned by the parallel
+// sweep engine (numeric::parallelFor) — a plan is never shared across
+// threads. Sweeps that want faults inside their workers install their own
+// per-work-item plan on the worker thread: runMonteCarlo clones the caller's
+// plan per trial (fresh solve ordinals each trial, so injection windows are
+// trial-relative and independent of the execution schedule) and folds the
+// clones' counters back into the caller's plan with absorb(). Other parallel
+// sweeps (searchMany, tuner, design space) do not propagate plans.
 #pragma once
 
 #include <limits>
@@ -67,6 +77,16 @@ public:
 
     long long solvesSeen() const noexcept { return nextSolve_; }
     long long injectionCount() const noexcept { return injections_; }
+
+    const std::vector<FaultSpec>& specs() const noexcept { return specs_; }
+
+    /// Fold a per-work-item clone's activity back into this plan. Parallel
+    /// sweeps run `FaultPlan(parent.specs())` clones on their workers and
+    /// absorb the counters in work-item order after the join.
+    void absorb(long long solves, long long injections) noexcept {
+        nextSolve_ += solves;
+        injections_ += injections;
+    }
 
     /// The plan installed on this thread, or nullptr.
     static FaultPlan* active() noexcept;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.hpp"
+#include "spice/workspace.hpp"
 
 namespace fetcam::spice {
 
@@ -20,9 +21,13 @@ DcOpResult solveDcOp(const Circuit& circuit, const DcOpOptions& options) {
     ctx.x = &result.x;
     ctx.numNodes = circuit.numNodes();
 
+    // One workspace across all attempts: the DC Jacobian pattern is the same
+    // for the direct solve, the gmin ramp, and source stepping.
+    SolverWorkspace workspace;
+
     // Attempt 1: direct solve at the target gmin.
     ctx.gmin = options.gminTarget;
-    NewtonResult nr = solveNewton(circuit, ctx, result.x, options.newton);
+    NewtonResult nr = solveNewton(circuit, ctx, result.x, options.newton, workspace);
     result.totalIterations += nr.iterations;
     if (nr.converged) {
         result.converged = true;
@@ -38,7 +43,7 @@ DcOpResult solveDcOp(const Circuit& circuit, const DcOpOptions& options) {
     for (double gmin = options.gminStart; gmin >= options.gminTarget * 0.999;
          gmin *= options.gminShrink) {
         ctx.gmin = gmin;
-        nr = solveNewton(circuit, ctx, result.x, options.newton);
+        nr = solveNewton(circuit, ctx, result.x, options.newton, workspace);
         result.totalIterations += nr.iterations;
         result.rescues.push_back(
             {recover::RescueRung::GminRamp, gmin, nr.converged, nr.iterations});
@@ -70,7 +75,7 @@ DcOpResult solveDcOp(const Circuit& circuit, const DcOpOptions& options) {
         scales.push_back(1.0);
         for (double s : scales) {
             ctx.sourceScale = s;
-            nr = solveNewton(circuit, ctx, result.x, options.newton);
+            nr = solveNewton(circuit, ctx, result.x, options.newton, workspace);
             result.totalIterations += nr.iterations;
             result.rescues.push_back(
                 {recover::RescueRung::SourceStepping, s, nr.converged, nr.iterations});

@@ -8,6 +8,7 @@
 #include "obs/obs.hpp"
 #include "recover/fault_injection.hpp"
 #include "spice/mna.hpp"
+#include "spice/workspace.hpp"
 
 namespace fetcam::spice {
 
@@ -44,9 +45,10 @@ void recordSolveHealth(const NewtonResult& result) {
 }  // namespace
 
 NewtonResult solveNewton(const Circuit& circuit, const SimContext& ctx, std::vector<double>& x,
-                         const NewtonOptions& options) {
+                         const NewtonOptions& options, SolverWorkspace& workspace) {
     const int numNodeUnknowns = circuit.numNodes() - 1;
-    Mna mna(circuit.numNodes(), circuit.numBranches());
+    workspace.bind(circuit.numNodes(), circuit.numBranches());
+    Mna& mna = workspace.mna();
     const bool obsOn = obs::enabled();
 
     // Fault injection: consult the active plan (if any) once per solve so
@@ -54,29 +56,50 @@ NewtonResult solveNewton(const Circuit& circuit, const SimContext& ctx, std::vec
     recover::SolveFaults faults;
     if (recover::FaultPlan* plan = recover::FaultPlan::active()) faults = plan->beginSolve();
 
-    NewtonResult result;
-    for (int iter = 1; iter <= options.maxIterations; ++iter) {
-        result.iterations = iter;
-        double tMark = obsOn ? obs::monotonicSeconds() : 0.0;
-        mna.clear();
+    const auto stampAll = [&]() {
         for (const auto& dev : circuit.devices()) dev->stamp(mna, ctx);
         mna.stampGminAllNodes(ctx.gmin);
         if (faults.nanCurrent)
             mna.addNodeRhs(faults.node, std::numeric_limits<double>::quiet_NaN());
         if (faults.singularStamp) mna.zeroNode(faults.node);
+    };
+
+    NewtonResult result;
+    for (int iter = 1; iter <= options.maxIterations; ++iter) {
+        result.iterations = iter;
+        double tMark = obsOn ? obs::monotonicSeconds() : 0.0;
+        mna.beginAssembly(/*allowMapped=*/true);
+        stampAll();
+        if (!mna.endAssembly()) {
+            // The stamp sequence diverged from the frozen pattern (topology
+            // or conditional-stamp change): re-stamp through the triplet
+            // path, which re-freezes the pattern at compile below.
+            mna.beginAssembly(/*allowMapped=*/false);
+            stampAll();
+            mna.endAssembly();
+        }
         if (obsOn) {
             const double tStamped = obs::monotonicSeconds();
             result.stampSeconds += tStamped - tMark;
             tMark = tStamped;
         }
 
-        std::vector<double> xNew;
+        std::vector<double>& xNew = workspace.solution();
         try {
-            const auto matrix = mna.buildMatrix();
-            numeric::SparseLu lu(matrix);
-            xNew = lu.solve(mna.rhs());
-            ++result.factorizations;
+            const auto& matrix = mna.compile();
+            bool refactored = false;
+            if (workspace.canRefactor() && workspace.lu().refactor(matrix)) {
+                refactored = true;
+                ++result.refactorizations;
+            }
+            if (!refactored) {
+                workspace.lu().factor(matrix);
+                workspace.noteFactored();
+                ++result.factorizations;
+            }
+            workspace.lu().solveInto(mna.rhs(), xNew);
         } catch (const std::runtime_error&) {
+            workspace.dropFactorization();
             result.converged = false;  // singular matrix: let the caller react
             result.failure = NewtonFailure::SingularMatrix;
             if (obsOn) {
@@ -133,6 +156,12 @@ NewtonResult solveNewton(const Circuit& circuit, const SimContext& ctx, std::vec
     result.failure = NewtonFailure::NonConverged;
     if (obsOn) recordSolveHealth(result);
     return result;
+}
+
+NewtonResult solveNewton(const Circuit& circuit, const SimContext& ctx, std::vector<double>& x,
+                         const NewtonOptions& options) {
+    SolverWorkspace workspace;
+    return solveNewton(circuit, ctx, x, options, workspace);
 }
 
 }  // namespace fetcam::spice

@@ -34,15 +34,28 @@ struct NewtonResult {
     NewtonFailure failure = NewtonFailure::None;
     int iterations = 0;
     double maxDelta = 0.0;  ///< largest unknown change in the final iteration
-    int factorizations = 0;  ///< LU factorizations performed (one per iteration)
+    int factorizations = 0;    ///< full (symbolic + numeric) LU factorizations
+    int refactorizations = 0;  ///< cheap numeric-only refactorizations (pattern reused)
 
     /// Wall-time breakdown, collected only when obs::enabled() (0 otherwise).
     double stampSeconds = 0.0;   ///< device eval + MNA stamping
     double factorSeconds = 0.0;  ///< matrix build + LU factor + solve
 };
 
+class SolverWorkspace;
+
 /// Iterate devices' linearized stamps until the unknown vector x converges.
 /// `ctx.x` must point at `x`. On failure x holds the last iterate.
+///
+/// The workspace carries the frozen MNA pattern, the reusable LU and the
+/// solution buffer across calls: pass the same workspace for every solve of
+/// one circuit (per thread) so iterations after the first pay only in-place
+/// stamping plus a numeric refactorization.
+NewtonResult solveNewton(const Circuit& circuit, const SimContext& ctx, std::vector<double>& x,
+                         const NewtonOptions& options, SolverWorkspace& workspace);
+
+/// Convenience overload with a throwaway workspace (first solve pays the full
+/// assembly + symbolic cost; fine for one-shot solves and tests).
 NewtonResult solveNewton(const Circuit& circuit, const SimContext& ctx, std::vector<double>& x,
                          const NewtonOptions& options);
 

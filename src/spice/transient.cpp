@@ -6,6 +6,7 @@
 
 #include "obs/obs.hpp"
 #include "recover/sim_error.hpp"
+#include "spice/workspace.hpp"
 
 namespace fetcam::spice {
 
@@ -119,12 +120,17 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
     std::vector<recover::RescueAttempt> trail;  // rungs tried for the current step
     double rescuedGmin = spec.gmin;             // gmin the last rescue accepted at
 
+    // One workspace for the whole run: the MNA pattern, symbolic LU and
+    // solution buffer survive across timesteps and rescue rungs.
+    SolverWorkspace workspace;
+
     // Account for one ladder solve and append it to the rescue trail.
     auto bookkeepRung = [&](recover::RescueRung rung, double value, const NewtonResult& nr) {
         result.newtonIterations += nr.iterations;
         result.stats.stampSeconds += nr.stampSeconds;
         result.stats.factorSeconds += nr.factorSeconds;
         result.stats.factorizations += nr.factorizations;
+        result.stats.refactorizations += nr.refactorizations;
         ++result.stats.rescueAttempts;
         trail.push_back({rung, value, nr.converged, nr.iterations});
         if (sink.active())
@@ -149,7 +155,7 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
             x = xBackup;
             NewtonOptions opts = spec.newton;
             opts.maxUpdate = level;
-            const NewtonResult nr = solveNewton(circuit, ctx, x, opts);
+            const NewtonResult nr = solveNewton(circuit, ctx, x, opts, workspace);
             bookkeepRung(recover::RescueRung::TightenDamping, level, nr);
             if (nr.converged) {
                 nrOut = nr;
@@ -168,7 +174,7 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
             for (double g : policy.gminLevels) {
                 if (g <= spec.gmin) continue;  // already at or below target
                 ctx.gmin = g;
-                const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton);
+                const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton, workspace);
                 bookkeepRung(recover::RescueRung::GminRamp, g, nr);
                 if (!nr.converged) {
                     chainBroken = true;
@@ -180,7 +186,7 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
             }
             if (!chainBroken && gGood >= 0.0) {
                 ctx.gmin = spec.gmin;
-                const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton);
+                const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton, workspace);
                 bookkeepRung(recover::RescueRung::GminRamp, spec.gmin, nr);
                 if (nr.converged) {
                     nrOut = nr;
@@ -207,7 +213,7 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
             for (double s : policy.sourceSteps) {
                 if (s <= 0.0 || s >= 1.0) continue;
                 ctx.sourceScale = s;
-                const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton);
+                const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton, workspace);
                 bookkeepRung(recover::RescueRung::SourceStepping, s, nr);
                 if (!nr.converged) {
                     chainOk = false;
@@ -216,7 +222,7 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
             }
             if (chainOk) {
                 ctx.sourceScale = 1.0;
-                const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton);
+                const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton, workspace);
                 bookkeepRung(recover::RescueRung::SourceStepping, 1.0, nr);
                 if (nr.converged) {
                     nrOut = nr;
@@ -230,7 +236,7 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
         if (policy.forceBackwardEuler && ctx.method != IntegrationMethod::BackwardEuler) {
             x = xBackup;
             ctx.method = IntegrationMethod::BackwardEuler;
-            const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton);
+            const NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton, workspace);
             bookkeepRung(recover::RescueRung::ForceBackwardEuler, 1.0, nr);
             if (nr.converged) {
                 nrOut = nr;
@@ -256,12 +262,13 @@ TransientResult runTransient(Circuit& circuit, const TransientSpec& spec) {
         ctx.method = beStepsLeft > 0 ? IntegrationMethod::BackwardEuler : spec.method;
 
         xBackup = x;
-        NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton);
+        NewtonResult nr = solveNewton(circuit, ctx, x, spec.newton, workspace);
         // Total work includes iterations burned on steps we go on to reject.
         result.newtonIterations += nr.iterations;
         result.stats.stampSeconds += nr.stampSeconds;
         result.stats.factorSeconds += nr.factorSeconds;
         result.stats.factorizations += nr.factorizations;
+        result.stats.refactorizations += nr.refactorizations;
 
         bool rescued = false;
         if (!nr.converged) {

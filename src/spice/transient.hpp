@@ -64,7 +64,8 @@ struct SolverStats {
     double factorSeconds = 0.0;  ///< sparse LU factorization + triangular solves
     double acceptSeconds = 0.0;  ///< device state commit + waveform recording
     double totalSeconds = 0.0;   ///< whole runTransient wall time
-    long long factorizations = 0;
+    long long factorizations = 0;    ///< full (symbolic + numeric) LU factorizations
+    long long refactorizations = 0;  ///< numeric-only refactorizations (pattern reused)
 
     DtHistogram dtHistogram;  ///< accepted step sizes
 

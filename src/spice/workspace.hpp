@@ -1,0 +1,59 @@
+// Persistent per-circuit solver scratch shared across Newton solves.
+//
+// Holds the pattern-caching MNA assembler, the reusable sparse LU (symbolic
+// analysis + pivot order survive across iterations and timesteps), and the
+// per-iteration solution buffer. Create one per analysis (transient run, DC
+// solve, AC operating point) and pass it to every solveNewton call so the
+// symbolic work and the per-iteration allocations are paid once.
+//
+// NOT thread-safe: one workspace per thread (parallel sweeps give each
+// worker its own circuit and workspace).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "numeric/sparse_matrix.hpp"
+#include "spice/mna.hpp"
+
+namespace fetcam::spice {
+
+class SolverWorkspace {
+public:
+    /// Adopt the circuit's dimensions, resetting all cached state if they
+    /// changed. Cheap when the dimensions match (the common case).
+    void bind(int numNodes, int numBranches) {
+        const int unknowns = numNodes - 1 + numBranches;
+        if (!mna_ || mna_->numNodes() != numNodes || mna_->unknowns() != unknowns) {
+            mna_.emplace(numNodes, numBranches);
+            haveFactorization_ = false;
+        }
+    }
+
+    Mna& mna() { return *mna_; }
+    numeric::SparseLu& lu() { return lu_; }
+    std::vector<double>& solution() { return solution_; }
+
+    /// True when the cached factorization's symbolic analysis matches the
+    /// matrix the current (mapped) assembly pass compiled — i.e. lu().refactor
+    /// may be attempted instead of a full lu().factor.
+    bool canRefactor() const {
+        return haveFactorization_ && lu_.factored() && mna_ && mna_->mappedAssembly() &&
+               factoredEpoch_ == mna_->patternEpoch();
+    }
+    /// Record a successful full factorization of the just-compiled matrix.
+    void noteFactored() {
+        haveFactorization_ = mna_->patternFrozen();
+        factoredEpoch_ = mna_->patternEpoch();
+    }
+    void dropFactorization() { haveFactorization_ = false; }
+
+private:
+    std::optional<Mna> mna_;
+    numeric::SparseLu lu_;
+    std::vector<double> solution_;
+    bool haveFactorization_ = false;
+    long long factoredEpoch_ = -1;
+};
+
+}  // namespace fetcam::spice

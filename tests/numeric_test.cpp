@@ -190,6 +190,132 @@ TEST_P(SparseLuProperty, MatchesDense) {
 
 INSTANTIATE_TEST_SUITE_P(Random, SparseLuProperty, ::testing::Range(0, 16));
 
+namespace {
+
+/// Random diagonally dominant MNA-like matrix, same triplet list reusable
+/// for value perturbation (identical pattern, different values).
+num::TripletList mnaLikeTriplets(int n, num::Rng& rng) {
+    num::TripletList t(n, n);
+    for (int i = 0; i < n; ++i) {
+        double offSum = 0.0;
+        const int fanout = rng.uniformInt(1, 4);
+        for (int k = 0; k < fanout; ++k) {
+            const int j = rng.uniformInt(0, n - 1);
+            if (j == i) continue;
+            const double v = rng.uniform(-1.0, 1.0);
+            t.add(i, j, v);
+            offSum += std::abs(v);
+        }
+        t.add(i, i, offSum + rng.uniform(0.5, 1.5));
+    }
+    return t;
+}
+
+}  // namespace
+
+TEST(SparseMatrix, FromTripletsReportsStampSlots) {
+    num::TripletList t(3, 3);
+    t.add(2, 2, 5.0);
+    t.add(0, 0, 1.0);
+    t.add(0, 0, 2.0);  // duplicate: same slot as the previous entry
+    t.add(1, 0, -1.0);
+    std::vector<int> slots;
+    const auto m = num::SparseMatrixCsc::fromTriplets(t, &slots);
+    ASSERT_EQ(slots.size(), 4u);
+    // Replaying each entry into values()[slot] must reproduce the matrix.
+    auto values = m.values();
+    std::fill(values.begin(), values.end(), 0.0);
+    const auto& es = t.entries();
+    for (std::size_t i = 0; i < es.size(); ++i)
+        values[static_cast<std::size_t>(slots[i])] += es[i].value;
+    EXPECT_EQ(values, m.values());
+    EXPECT_EQ(slots[1], slots[2]);  // the duplicate shares its slot
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+}
+
+// The core symbolic-reuse guarantee: refactoring with perturbed values (same
+// pattern) must match a from-scratch factorization's solution to 1e-12.
+TEST(SparseLu, RefactorMatchesFreshFactor) {
+    for (int round = 0; round < 8; ++round) {
+        num::Rng rng(500 + static_cast<std::uint64_t>(round));
+        const int n = 120;
+        auto t = mnaLikeTriplets(n, rng);
+        num::SparseLu lu(num::SparseMatrixCsc::fromTriplets(t));
+
+        for (int perturb = 0; perturb < 4; ++perturb) {
+            // New values, identical pattern (rebuild from scaled entries).
+            num::TripletList t2(n, n);
+            for (const auto& e : t.entries())
+                t2.add(e.row, e.col, e.value * rng.uniform(0.5, 1.5));
+            const auto m2 = num::SparseMatrixCsc::fromTriplets(t2);
+            std::vector<double> b(static_cast<std::size_t>(n));
+            for (auto& v : b) v = rng.uniform(-3.0, 3.0);
+
+            ASSERT_TRUE(lu.refactor(m2));
+            const auto xRefactor = lu.solve(b);
+            const auto xFresh = num::SparseLu(m2).solve(b);
+            for (int i = 0; i < n; ++i)
+                ASSERT_NEAR(xRefactor[static_cast<std::size_t>(i)],
+                            xFresh[static_cast<std::size_t>(i)], 1e-12);
+        }
+    }
+}
+
+TEST(SparseLu, RefactorRejectsDegradedPivotThenFactorRecovers) {
+    // Factor a diagonally dominant 2x2, then swap in values whose diagonal
+    // collapses to zero: the cached no-pivoting order is now unusable.
+    num::TripletList t(2, 2);
+    t.add(0, 0, 4.0);
+    t.add(0, 1, 1.0);
+    t.add(1, 0, 1.0);
+    t.add(1, 1, 4.0);
+    auto m = num::SparseMatrixCsc::fromTriplets(t);
+    num::SparseLu lu(m);
+    ASSERT_TRUE(lu.factored());
+
+    auto& v = m.values();  // CSC column-major: (0,0) (1,0) (0,1) (1,1)
+    v = {0.0, 2.0, 2.0, 0.0};  // anti-diagonal: needs off-diagonal pivots
+    EXPECT_FALSE(lu.refactor(m));
+    EXPECT_FALSE(lu.factored());
+
+    // The fallback path: a fresh pivoting factorization handles it.
+    lu.factor(m);
+    ASSERT_TRUE(lu.factored());
+    const auto x = lu.solve({6.0, 4.0});
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+
+    // And refactor works again after the recovery factor.
+    ASSERT_TRUE(lu.refactor(m));
+    const auto x2 = lu.solve({6.0, 4.0});
+    EXPECT_NEAR(x2[0], 2.0, 1e-12);
+    EXPECT_NEAR(x2[1], 3.0, 1e-12);
+}
+
+TEST(SparseLu, RefactorRejectsPatternMismatch) {
+    num::TripletList t(2, 2);
+    t.add(0, 0, 1.0);
+    t.add(1, 1, 1.0);
+    num::SparseLu lu(num::SparseMatrixCsc::fromTriplets(t));
+    t.add(0, 1, 0.5);  // different nonzero count
+    EXPECT_FALSE(lu.refactor(num::SparseMatrixCsc::fromTriplets(t)));
+}
+
+TEST(Rng, ForStreamIsOrderIndependent) {
+    // Stream k depends only on (seed, k) — not on how many streams were made.
+    auto a = num::Rng::forStream(42, 7);
+    num::Rng::forStream(42, 3);  // unrelated stream creation in between
+    auto b = num::Rng::forStream(42, 7);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+
+    // Distinct streams and distinct seeds diverge.
+    auto c = num::Rng::forStream(42, 8);
+    auto d = num::Rng::forStream(43, 7);
+    auto e = num::Rng::forStream(42, 7);
+    EXPECT_NE(e.nextU64(), c.nextU64());
+    EXPECT_NE(e.nextU64(), d.nextU64());
+}
+
 TEST(Interp, PiecewiseLinearBasics) {
     num::PiecewiseLinear f({0.0, 1.0, 3.0}, {0.0, 2.0, 0.0});
     EXPECT_DOUBLE_EQ(f(-1.0), 0.0);   // clamped

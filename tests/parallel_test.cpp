@@ -1,0 +1,204 @@
+// Parallel sweep engine tests: parallelFor semantics, and the determinism
+// contract of the sweeps built on it — Monte Carlo with jobs=N must be
+// bit-for-bit identical to jobs=1 (including failure accounting under an
+// installed FaultPlan), and searchMany must equal a sequential search loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "array/montecarlo.hpp"
+#include "core/tcam_macro.hpp"
+#include "numeric/parallel.hpp"
+#include "recover/fault_injection.hpp"
+
+using namespace fetcam;
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+    for (const int jobs : {1, 2, 4, 7}) {
+        const int count = 103;
+        std::vector<std::atomic<int>> hits(static_cast<std::size_t>(count));
+        numeric::parallelFor(jobs, count, [&](int i) {
+            hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ParallelFor, ZeroAndNegativeCountsAreNoops) {
+    int calls = 0;
+    numeric::parallelFor(4, 0, [&](int) { ++calls; });
+    numeric::parallelFor(4, -3, [&](int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, RethrowsLowestFailingIndex) {
+    for (const int jobs : {1, 3, 8}) {
+        try {
+            numeric::parallelFor(jobs, 64, [&](int i) {
+                if (i == 11 || i == 42) throw std::runtime_error("idx " + std::to_string(i));
+            });
+            FAIL() << "expected runtime_error (jobs=" << jobs << ")";
+        } catch (const std::runtime_error& e) {
+            // Same failure a sequential loop would have surfaced first.
+            EXPECT_STREQ(e.what(), "idx 11");
+        }
+    }
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+    std::vector<std::atomic<int>> hits(16 * 8);
+    numeric::parallelFor(4, 16, [&](int outer) {
+        // The inner call must not spawn a team inside a worker; it runs
+        // inline in index order on the calling worker.
+        numeric::parallelFor(4, 8, [&](int inner) {
+            hits[static_cast<std::size_t>(outer * 8 + inner)].fetch_add(1);
+        });
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ResolveJobsSemantics) {
+    const int saved = numeric::defaultJobs();
+    numeric::setDefaultJobs(3);
+    EXPECT_EQ(numeric::resolveJobs(0), 3);
+    EXPECT_EQ(numeric::resolveJobs(5), 5);
+    EXPECT_EQ(numeric::resolveJobs(-1), numeric::hardwareConcurrency());
+    numeric::setDefaultJobs(saved);
+    EXPECT_GE(numeric::hardwareConcurrency(), 1);
+}
+
+namespace {
+
+array::MonteCarloSpec mcSpec(int trials = 6) {
+    array::MonteCarloSpec spec;
+    spec.config.cell = tcam::CellKind::FeFet2;
+    spec.config.wordBits = 4;
+    spec.trials = trials;
+    spec.seed = 21;
+    spec.sigmaVt = 0.04;
+    spec.sigmaState = 0.08;
+    return spec;
+}
+
+void expectBitIdentical(const array::MonteCarloResult& a,
+                        const array::MonteCarloResult& b) {
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.completedTrials, b.completedTrials);
+    EXPECT_EQ(a.matchErrors, b.matchErrors);
+    EXPECT_EQ(a.mismatchErrors, b.mismatchErrors);
+    EXPECT_EQ(a.failedTrials, b.failedTrials);
+    EXPECT_EQ(a.failureReasons, b.failureReasons);
+    // RunningStats are accumulated in trial order after the join, so every
+    // derived moment must match exactly, not approximately.
+    EXPECT_EQ(a.mlMatch.count(), b.mlMatch.count());
+    EXPECT_EQ(a.mlMatch.mean(), b.mlMatch.mean());
+    EXPECT_EQ(a.mlMatch.stddev(), b.mlMatch.stddev());
+    EXPECT_EQ(a.mlMatch.min(), b.mlMatch.min());
+    EXPECT_EQ(a.mlMatch.max(), b.mlMatch.max());
+    EXPECT_EQ(a.mlMismatch.count(), b.mlMismatch.count());
+    EXPECT_EQ(a.mlMismatch.mean(), b.mlMismatch.mean());
+    EXPECT_EQ(a.mlMismatch.stddev(), b.mlMismatch.stddev());
+    EXPECT_EQ(a.mlMismatch.min(), b.mlMismatch.min());
+    EXPECT_EQ(a.mlMismatch.max(), b.mlMismatch.max());
+}
+
+}  // namespace
+
+TEST(ParallelMonteCarlo, JobsDoNotChangeResults) {
+    auto spec = mcSpec();
+    spec.jobs = 1;
+    const auto serial = array::runMonteCarlo(spec);
+    ASSERT_EQ(serial.completedTrials, spec.trials);
+    for (const int jobs : {2, 4, 8}) {
+        spec.jobs = jobs;
+        expectBitIdentical(serial, array::runMonteCarlo(spec));
+    }
+}
+
+TEST(ParallelMonteCarlo, FaultPlanAccountingMatchesAcrossJobs) {
+    // Singular stamp live for a window of each trial's solves: some trials
+    // fail, and both the result's failure accounting and the parent plan's
+    // counters must be schedule-independent.
+    auto run = [&](int jobs) {
+        recover::FaultPlan plan;
+        plan.add({recover::FaultKind::SingularStamp, 0,
+                  std::numeric_limits<long long>::max(), 1});
+        recover::ScopedFaultPlan guard(plan);
+        auto spec = mcSpec(4);
+        spec.jobs = jobs;
+        const auto r = array::runMonteCarlo(spec);
+        return std::tuple<array::MonteCarloResult, long long, long long>(
+            r, plan.solvesSeen(), plan.injectionCount());
+    };
+    const auto [r1, solves1, inj1] = run(1);
+    EXPECT_EQ(r1.failedTrials, 4);
+    EXPECT_GT(inj1, 0);
+    for (const int jobs : {2, 4}) {
+        const auto [rN, solvesN, injN] = run(jobs);
+        expectBitIdentical(r1, rN);
+        EXPECT_EQ(solves1, solvesN);
+        EXPECT_EQ(inj1, injN);
+    }
+}
+
+TEST(ParallelMonteCarlo, StrictModeThrowsSameErrorForAnyJobs) {
+    recover::FaultPlan plan;
+    plan.add({recover::FaultKind::SingularStamp, 0,
+              std::numeric_limits<long long>::max(), 1});
+    recover::ScopedFaultPlan guard(plan);
+    auto spec = mcSpec(4);
+    spec.onFailure = recover::FailurePolicy::Strict;
+    for (const int jobs : {1, 4}) {
+        spec.jobs = jobs;
+        try {
+            array::runMonteCarlo(spec);
+            FAIL() << "expected SimError (jobs=" << jobs << ")";
+        } catch (const recover::SimError& e) {
+            EXPECT_EQ(e.reason(), recover::SimErrorReason::SingularMatrix);
+        }
+    }
+}
+
+TEST(ParallelSearch, SearchManyMatchesSequentialSearch) {
+    array::ArrayConfig cfg;
+    cfg.cell = tcam::CellKind::FeFet2;
+    cfg.wordBits = 8;
+    cfg.rows = 8;
+    core::TcamMacro a(device::TechCard::cmos45(), cfg, 8);
+    core::TcamMacro b(device::TechCard::cmos45(), cfg, 8);
+    for (const char* w : {"1010XXXX", "10100000", "XXXXXXXX", "01010101"}) {
+        a.write(tcam::TernaryWord::fromString(w));
+        b.write(tcam::TernaryWord::fromString(w));
+    }
+    std::vector<tcam::TernaryWord> keys;
+    for (const char* k : {"10100000", "10101111", "01010101", "00000000",
+                          "11111111", "10100001"})
+        keys.push_back(tcam::TernaryWord::fromString(k));
+
+    std::vector<std::optional<int>> expected;
+    for (const auto& k : keys) expected.push_back(a.search(k));
+
+    const auto got = b.searchMany(keys, /*jobs=*/4);
+    EXPECT_EQ(got, expected);
+    // Identical accounting: N searchMany keys cost the same as N searches.
+    EXPECT_EQ(a.stats().searches, b.stats().searches);
+    EXPECT_EQ(a.stats().hits, b.stats().hits);
+    EXPECT_DOUBLE_EQ(a.stats().searchEnergy, b.stats().searchEnergy);
+}
+
+TEST(ParallelSearch, SearchManyValidatesAllKeysUpFront) {
+    array::ArrayConfig cfg;
+    cfg.cell = tcam::CellKind::FeFet2;
+    cfg.wordBits = 8;
+    cfg.rows = 8;
+    core::TcamMacro macro(device::TechCard::cmos45(), cfg, 8);
+    macro.write(tcam::TernaryWord::fromString("00000000"));
+    const auto before = macro.stats().searches;
+    std::vector<tcam::TernaryWord> keys = {tcam::TernaryWord::fromString("00000000"),
+                                           tcam::TernaryWord::fromString("00")};
+    EXPECT_THROW(macro.searchMany(keys), recover::SimError);
+    EXPECT_EQ(macro.stats().searches, before);  // nothing charged on reject
+}

@@ -4,6 +4,7 @@
 //   fetcam_sim op <netlist.sp>
 //   fetcam_sim tran <netlist.sp> --tstop 10n [--dtmax 10p] [--ic node=V ...]
 //                   [--probe n1,n2,...] [--csv out.csv] [--trace out.jsonl]
+//                   [--jobs N]
 //   fetcam_sim ac <netlist.sp> --from 1k --to 1g [--ppd 10] --probe out
 //   fetcam_sim describe <netlist.sp>
 //
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "core/fetcam.hpp"
+#include "numeric/parallel.hpp"
 #include "obs/obs.hpp"
 #include "recover/sim_error.hpp"
 #include "spice/waveform_io.hpp"
@@ -99,6 +101,10 @@ Args parseArgs(int argc, char** argv) {
             a.csvPath = next();
         } else if (opt == "--trace") {
             a.tracePath = next();
+        } else if (opt == "--jobs") {
+            // Worker threads for any parallel sweep the run triggers
+            // (0 or negative = all hardware threads).
+            numeric::setDefaultJobs(static_cast<int>(device::parseSpiceNumber(next())));
         } else if (opt == "--ic") {
             const std::string kv = next();
             const auto eq = kv.find('=');
