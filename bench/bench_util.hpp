@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,7 +21,8 @@ namespace fetcam::bench {
 ///   --trace <file>  open a JSONL trace sink and enable observability
 ///                   (without the flag, FETCAM_TRACE is honoured)
 ///   --jobs <n>      worker threads for parallel sweeps (0 or negative =
-///                   all hardware threads); sets numeric::setDefaultJobs
+///                   all hardware threads, non-integers rejected; shared
+///                   numeric::parseJobs semantics); sets setDefaultJobs
 inline void initObs(int& argc, char** argv) {
     bool traced = false;
     int i = 1;
@@ -50,7 +52,12 @@ inline void initObs(int& argc, char** argv) {
                 strip(1);
                 continue;
             }
-            numeric::setDefaultJobs(std::atoi(argv[i + 1]));
+            try {
+                numeric::setDefaultJobs(numeric::parseJobs(argv[i + 1]));
+            } catch (const std::invalid_argument& e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                std::exit(2);
+            }
             strip(2);
             continue;
         }

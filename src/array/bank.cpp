@@ -1,37 +1,56 @@
 #include "array/bank.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "obs/obs.hpp"
 
 namespace fetcam::array {
 
-double PriorityEncoderModel::delay(int rows) const {
+double PriorityEncoderModel::delay(std::int64_t rows) const {
     if (rows <= 1) return delayPerLevel;
     return std::ceil(std::log2(static_cast<double>(rows))) * delayPerLevel;
 }
 
+double PriorityEncoderModel::bankEnergy(std::int64_t subArrays, std::int64_t rowsPerArray) const {
+    const double local = static_cast<double>(subArrays) * energy(rowsPerArray);
+    return subArrays > 1 ? local + energy(subArrays) : local;
+}
+
+double PriorityEncoderModel::bankDelay(std::int64_t subArrays, std::int64_t rowsPerArray) const {
+    // Local encoders run in parallel (one tree depth), then the merge stage
+    // adds its own log-depth tree over the sub-array results.
+    return subArrays > 1 ? delay(rowsPerArray) + delay(subArrays) : delay(rowsPerArray);
+}
+
 BankMetrics evaluateBank(const device::TechCard& tech, const ArrayConfig& arrayConfig,
-                         int entries, const WorkloadProfile& workload,
+                         std::int64_t entries, const WorkloadProfile& workload,
                          const PriorityEncoderModel& encoder,
-                         recover::FailurePolicy onFailure) {
+                         recover::FailurePolicy onFailure, const WordSimFn& sim) {
     if (entries < 1)
         throw recover::SimError(recover::SimErrorReason::InvalidSpec, "evaluateBank",
                                 "entries must be >= 1");
     if (arrayConfig.rows < 1)
         throw recover::SimError(recover::SimErrorReason::InvalidSpec, "evaluateBank",
                                 "bad array rows");
+    const auto rows = static_cast<std::int64_t>(arrayConfig.rows);
+    // Rounding entries up to whole sub-arrays computes entries + rows - 1;
+    // reject entry counts where that (or the provisioned n * rows) would
+    // exceed int64 range rather than wrapping.
+    if (entries > std::numeric_limits<std::int64_t>::max() - (rows - 1))
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "evaluateBank",
+                                "entries too large: provisioned capacity would overflow");
 
-    const int n = (entries + arrayConfig.rows - 1) / arrayConfig.rows;
+    const std::int64_t n = (entries + rows - 1) / rows;
 
     // The per-row match probability dilutes across sub-arrays: at most one
     // sub-array holds the matching row, the others see pure-mismatch traffic.
     // Splitting matchRowFraction across n arrays models exactly that.
     WorkloadProfile wl = workload;
-    wl.matchRowFraction = workload.matchRowFraction / n;
+    wl.matchRowFraction = workload.matchRowFraction / static_cast<double>(n);
     ArrayMetrics sub;
     try {
-        sub = evaluateArray(tech, arrayConfig, wl);
+        sub = evaluateArray(tech, arrayConfig, wl, sim);
     } catch (const recover::SimError& e) {
         if (onFailure == recover::FailurePolicy::Strict ||
             e.reason() == recover::SimErrorReason::InvalidSpec)
@@ -42,8 +61,8 @@ BankMetrics evaluateBank(const device::TechCard& tech, const ArrayConfig& arrayC
         }
         BankMetrics m;
         m.subArrays = n;
-        m.rowsPerArray = arrayConfig.rows;
-        m.totalEntries = n * arrayConfig.rows;
+        m.rowsPerArray = rows;
+        m.totalEntries = n * rows;
         m.simFailed = true;
         m.failureSummary = e.what();
         return m;
@@ -51,14 +70,20 @@ BankMetrics evaluateBank(const device::TechCard& tech, const ArrayConfig& arrayC
 
     BankMetrics m;
     m.subArrays = n;
-    m.rowsPerArray = arrayConfig.rows;
-    m.totalEntries = n * arrayConfig.rows;
-    m.perSearch.ml = sub.perSearch.ml * n;
-    m.perSearch.sl = sub.perSearch.sl * n;
-    m.perSearch.sa = sub.perSearch.sa * n;
-    m.perSearch.staticRail = sub.perSearch.staticRail * n;
-    m.encoderEnergy = encoder.energy(m.totalEntries);
-    m.searchDelay = sub.searchDelay + encoder.delay(m.totalEntries);
+    m.rowsPerArray = rows;
+    m.totalEntries = n * rows;
+    const auto scale = static_cast<double>(n);
+    m.perSearch.ml = sub.perSearch.ml * scale;
+    m.perSearch.sl = sub.perSearch.sl * scale;
+    m.perSearch.sa = sub.perSearch.sa * scale;
+    m.perSearch.staticRail = sub.perSearch.staticRail * scale;
+    // Two-level priority encoding: per-sub-array encoders plus a merge
+    // stage. Charging one flat encoder on totalEntries both mispriced the
+    // delay (a single log2(n*rows) tree instead of parallel local trees +
+    // merge) and made a banked capacity inconsistent with the same capacity
+    // evaluated flat.
+    m.encoderEnergy = encoder.bankEnergy(n, rows);
+    m.searchDelay = sub.searchDelay + encoder.bankDelay(n, rows);
     m.cycleTime = sub.cycleTime;
     m.throughput = 1.0 / m.cycleTime;
     m.areaF2 = sub.areaF2 * n;

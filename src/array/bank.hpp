@@ -4,6 +4,7 @@
 // organization and what the application studies size against.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "array/energy_model.hpp"
@@ -13,19 +14,30 @@ namespace fetcam::array {
 
 /// Priority-encoder cost proxy, calibrated as a log-depth CMOS reduction
 /// tree: ~0.02 fJ of switched capacitance per row flag per search and ~15 ps
-/// per tree level.
+/// per tree level. Row counts are 64-bit throughout: capacity sweeps past
+/// 2^31 cells are legitimate inputs and must not wrap.
 struct PriorityEncoderModel {
     double energyPerRowFj = 0.02;
     double delayPerLevel = 15e-12;
 
-    double energy(int rows) const { return rows * energyPerRowFj * 1e-15; }
-    double delay(int rows) const;
+    double energy(std::int64_t rows) const {
+        return static_cast<double>(rows) * energyPerRowFj * 1e-15;
+    }
+    double delay(std::int64_t rows) const;
+
+    /// Bank organization: each of `subArrays` sub-arrays reduces its own
+    /// `rowsPerArray` match flags in a local encoder (all in parallel), then
+    /// a merge stage reduces the per-sub-array results to one address. With
+    /// one sub-array both collapse to the flat encoder, so banked and flat
+    /// configurations of the same geometry price identically.
+    double bankEnergy(std::int64_t subArrays, std::int64_t rowsPerArray) const;
+    double bankDelay(std::int64_t subArrays, std::int64_t rowsPerArray) const;
 };
 
 struct BankMetrics {
-    int subArrays = 0;
-    int rowsPerArray = 0;
-    int totalEntries = 0;       ///< capacity actually provisioned (rounded up)
+    std::int64_t subArrays = 0;
+    std::int64_t rowsPerArray = 0;
+    std::int64_t totalEntries = 0;  ///< capacity actually provisioned (rounded up)
     EnergyBreakdown perSearch;  ///< whole-bank energy per search [J]
     double encoderEnergy = 0.0; ///< priority-encoder share [J]
     double searchDelay = 0.0;   ///< array delay + encoder depth [s]
@@ -47,10 +59,14 @@ struct BankMetrics {
 /// evaluateArray for the sub-array and scales. With a Lenient policy a
 /// SimError from the sub-array simulation is captured into the metrics
 /// (simFailed/failureSummary) instead of propagating; invalid-geometry
-/// errors always throw.
+/// errors always throw — including entry counts large enough that the
+/// rounded-up capacity would overflow 64-bit arithmetic, which raise a
+/// structured InvalidSpec instead of wrapping silently. Calibration word
+/// simulations go through `sim` when provided (see WordSimFn).
 BankMetrics evaluateBank(const device::TechCard& tech, const ArrayConfig& arrayConfig,
-                         int entries, const WorkloadProfile& workload = {},
+                         std::int64_t entries, const WorkloadProfile& workload = {},
                          const PriorityEncoderModel& encoder = {},
-                         recover::FailurePolicy onFailure = recover::FailurePolicy::Strict);
+                         recover::FailurePolicy onFailure = recover::FailurePolicy::Strict,
+                         const WordSimFn& sim = {});
 
 }  // namespace fetcam::array

@@ -58,12 +58,15 @@ struct StageSims {
 }  // namespace
 
 ArrayMetrics evaluateArray(const device::TechCard& tech, const ArrayConfig& config,
-                           const WorkloadProfile& workload) {
+                           const WorkloadProfile& workload, const WordSimFn& sim) {
     if (config.wordBits < 1 || config.rows < 1)
         throw recover::SimError(recover::SimErrorReason::InvalidSpec, "evaluateArray",
                                 "bad geometry");
 
     const auto widths = stageWidths(config);
+    const auto runSim = [&](const WordSimOptions& o) {
+        return sim ? sim(o) : simulateWordSearch(o);
+    };
 
     // --- calibration circuit simulations, one pair per distinct stage width ---
     std::map<int, StageSims> sims;
@@ -76,9 +79,9 @@ ArrayMetrics evaluateArray(const device::TechCard& tech, const ArrayConfig& conf
         o.stored = calibrationWord(w);
         o.key = o.stored;  // exact match
         StageSims s;
-        s.match = simulateWordSearch(o);
+        s.match = runSim(o);
         o.key = keyWithMismatches(o.stored, 1);  // worst-case single mismatch
-        s.mismatch = simulateWordSearch(o);
+        s.mismatch = runSim(o);
         sims.emplace(w, std::move(s));
     }
 

@@ -13,9 +13,18 @@
 // activation probabilities derived from the workload's bit-match statistics.
 #pragma once
 
+#include <functional>
+
 #include "array/word_sim.hpp"
 
 namespace fetcam::array {
+
+/// Pluggable word-simulation provider. The analytic array/bank models run
+/// every calibration circuit simulation through this hook, so a caller can
+/// substitute a memoizing provider (serve::CharacterizationCache) for the
+/// real solver; an empty function means simulateWordSearch. Providers must
+/// be deterministic: same options, bit-identical result.
+using WordSimFn = std::function<WordSimResult(const WordSimOptions&)>;
 
 /// Workload statistics the analytic scaling needs.
 struct WorkloadProfile {
@@ -50,9 +59,11 @@ struct ArrayMetrics {
 };
 
 /// Evaluate a full array configuration. Runs 2 word-level circuit
-/// simulations per distinct stage width; everything else is analytic.
+/// simulations per distinct stage width (through `sim` when provided);
+/// everything else is analytic.
 ArrayMetrics evaluateArray(const device::TechCard& tech, const ArrayConfig& config,
-                           const WorkloadProfile& workload = {});
+                           const WorkloadProfile& workload = {},
+                           const WordSimFn& sim = {});
 
 /// Deterministic pseudo-random definite word used for calibration sims.
 tcam::TernaryWord calibrationWord(int bits, std::uint64_t seed = 7);

@@ -9,14 +9,24 @@
 namespace fetcam::core {
 
 TcamMacro::TcamMacro(const device::TechCard& tech, const array::ArrayConfig& subArray,
-                     std::size_t capacity, const array::WorkloadProfile& workload)
+                     std::size_t capacity, const array::WorkloadProfile& workload,
+                     const array::WordSimFn& sim)
     : config_(subArray) {
     if (capacity == 0)
         throw recover::SimError(recover::SimErrorReason::InvalidSpec, "TcamMacro",
                                 "capacity must be > 0");
+    if (capacity > kMaxFunctionalCapacity)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "TcamMacro",
+                                "capacity exceeds functional storage limit (2^28 words)");
     obs::SpanGuard span("core.macro.build", {{"capacity", static_cast<long long>(capacity)},
                                              {"wordBits", subArray.wordBits}});
-    bank_ = evaluateBank(tech, subArray, static_cast<int>(capacity), workload);
+    bank_ = evaluateBank(tech, subArray, static_cast<std::int64_t>(capacity), workload, {},
+                         recover::FailurePolicy::Strict, sim);
+    // Rounding up to whole sub-arrays can inflate the provisioned capacity
+    // past the functional ceiling (tiny capacity, huge sub-array rows).
+    if (bank_.totalEntries > static_cast<std::int64_t>(kMaxFunctionalCapacity))
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "TcamMacro",
+                                "provisioned capacity exceeds functional storage limit");
     entries_.resize(static_cast<std::size_t>(bank_.totalEntries));
     const auto perBit = measureWriteEnergy(subArray.cell, tech);
     wordWrite_ = planWordWrite(subArray.cell, perBit, subArray.wordBits);

@@ -25,10 +25,19 @@ struct MacroStats {
 
 class TcamMacro {
 public:
+    /// Functional (word-storage) capacity ceiling. The analytic bank model
+    /// prices arbitrarily large capacities, but a macro also materializes
+    /// every entry in memory; beyond this the constructor raises a
+    /// structured InvalidSpec instead of attempting a multi-GiB resize (or,
+    /// worse, silently truncating the capacity as the old int cast did).
+    static constexpr std::size_t kMaxFunctionalCapacity = std::size_t{1} << 28;
+
     /// Build a macro of at least `capacity` words. Runs the calibration
-    /// circuit simulations once, up front.
+    /// circuit simulations once, up front — through `sim` when provided, so
+    /// a characterization cache can stand in for the solver.
     TcamMacro(const device::TechCard& tech, const array::ArrayConfig& subArray,
-              std::size_t capacity, const array::WorkloadProfile& workload = {});
+              std::size_t capacity, const array::WorkloadProfile& workload = {},
+              const array::WordSimFn& sim = {});
 
     std::size_t capacity() const { return entries_.size(); }
     std::size_t occupancy() const { return occupied_; }

@@ -1,6 +1,8 @@
 #include "numeric/interp.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace fetcam::numeric {
@@ -8,28 +10,47 @@ namespace fetcam::numeric {
 PiecewiseLinear::PiecewiseLinear(std::vector<double> xs, std::vector<double> ys)
     : xs_(std::move(xs)), ys_(std::move(ys)) {
     if (xs_.size() != ys_.size()) throw std::invalid_argument("PiecewiseLinear: size mismatch");
+    // A NaN knot would also pass the pairwise comparison below (every
+    // comparison with NaN is false) and then break upper_bound's partition
+    // invariant, so finiteness has to be checked explicitly.
+    for (const double x : xs_)
+        if (!std::isfinite(x))
+            throw std::invalid_argument("PiecewiseLinear: x knots must be finite");
     for (std::size_t i = 1; i < xs_.size(); ++i)
         if (xs_[i] <= xs_[i - 1])
             throw std::invalid_argument("PiecewiseLinear: x must be strictly increasing");
 }
 
+std::size_t PiecewiseLinear::segmentUpper(double x) const {
+    // Callers have already excluded x <= front and x >= back, so the result
+    // is in [1, size-1] for any well-ordered knot vector; the clamp below is
+    // a belt-and-braces guard so no comparison pathology can ever index
+    // one-past-the-end or produce a zero-width interval at the boundary.
+    const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+    const auto hi = static_cast<std::size_t>(it - xs_.begin());
+    return std::clamp<std::size_t>(hi, 1, xs_.size() - 1);
+}
+
 double PiecewiseLinear::operator()(double x) const {
     if (xs_.empty()) return 0.0;
+    if (std::isnan(x)) return std::numeric_limits<double>::quiet_NaN();
     if (x <= xs_.front()) return ys_.front();
     if (x >= xs_.back()) return ys_.back();
-    const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
-    const std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
+    const std::size_t hi = segmentUpper(x);
     const std::size_t lo = hi - 1;
-    const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+    const double dx = xs_[hi] - xs_[lo];
+    if (!(dx > 0.0)) return ys_[hi];
+    const double t = (x - xs_[lo]) / dx;
     return ys_[lo] + t * (ys_[hi] - ys_[lo]);
 }
 
 double PiecewiseLinear::slope(double x) const {
+    if (std::isnan(x)) return 0.0;
     if (xs_.size() < 2 || x <= xs_.front() || x >= xs_.back()) return 0.0;
-    const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
-    const std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
+    const std::size_t hi = segmentUpper(x);
     const std::size_t lo = hi - 1;
-    return (ys_[hi] - ys_[lo]) / (xs_[hi] - xs_[lo]);
+    const double dx = xs_[hi] - xs_[lo];
+    return dx > 0.0 ? (ys_[hi] - ys_[lo]) / dx : 0.0;
 }
 
 std::optional<double> firstCrossing(const std::vector<double>& xs, const std::vector<double>& ys,

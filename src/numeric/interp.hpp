@@ -10,12 +10,15 @@
 namespace fetcam::numeric {
 
 /// A piecewise-linear function y(x) defined by sorted breakpoints.
-/// Outside the covered range the first/last y value is held (clamped).
+/// Outside the covered range the first/last y value is held (clamped);
+/// x exactly on a knot evaluates to that knot's y. A NaN x yields NaN
+/// (and slope 0) rather than undefined behaviour.
 class PiecewiseLinear {
 public:
     PiecewiseLinear() = default;
 
-    /// Points must be sorted by strictly increasing x; throws otherwise.
+    /// Points must be sorted by strictly increasing, finite x; throws
+    /// std::invalid_argument otherwise (duplicated or NaN knots rejected).
     PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
 
     double operator()(double x) const;
@@ -28,6 +31,10 @@ public:
     const std::vector<double>& ys() const { return ys_; }
 
 private:
+    /// Index of the segment's upper knot for an interior x, clamped into
+    /// [1, size-1] so lookups can never step past either end.
+    std::size_t segmentUpper(double x) const;
+
     std::vector<double> xs_;
     std::vector<double> ys_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -33,6 +34,20 @@ int resolveJobs(int jobs) {
     if (jobs == 0) return defaultJobs();
     if (jobs < 0) return hardwareConcurrency();
     return jobs;
+}
+
+int parseJobs(const std::string& text) {
+    std::size_t consumed = 0;
+    long long value = 0;
+    try {
+        value = std::stoll(text, &consumed, 10);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("--jobs expects an integer, got '" + text + "'");
+    }
+    if (consumed != text.size() || text.empty())
+        throw std::invalid_argument("--jobs expects an integer, got '" + text + "'");
+    if (value <= 0) return hardwareConcurrency();
+    return static_cast<int>(std::min<long long>(value, kMaxJobs));
 }
 
 void parallelFor(int jobs, int count, const std::function<void(int)>& fn) {

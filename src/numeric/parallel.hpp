@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
 namespace fetcam::numeric {
 
@@ -31,6 +32,19 @@ void setDefaultJobs(int jobs);
 /// Resolve a user-facing jobs parameter: 0 -> defaultJobs(), negative ->
 /// hardwareConcurrency(), otherwise the value itself.
 int resolveJobs(int jobs);
+
+/// Ceiling applied by parseJobs: a fat-fingered `--jobs 100000` should not
+/// turn into a hundred thousand threads.
+inline constexpr int kMaxJobs = 1024;
+
+/// The one parser behind every `--jobs` flag (CLI tools and benches), so all
+/// call sites agree on the semantics:
+///   * strict decimal integer — anything else (empty, trailing junk, "4k")
+///     throws std::invalid_argument instead of silently becoming 0,
+///   * 0 or negative -> hardwareConcurrency() ("use every core"),
+///   * positive values clamp to kMaxJobs.
+/// Returns the resolved worker count (always in [1, kMaxJobs]).
+int parseJobs(const std::string& text);
 
 /// Run fn(i) for i in [0, count). With jobs <= 1 (or count <= 1, or when
 /// called from inside another parallelFor) the loop runs inline on the

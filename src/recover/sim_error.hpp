@@ -40,6 +40,21 @@ enum class FailurePolicy {
     Lenient,  ///< record the failure (count + reason histogram) and continue
 };
 
+/// Process exit code for a reason, shared by every CLI tool so scripts can
+/// tell a bad spec from a solver collapse regardless of which binary they
+/// drove. 1 stays the generic-exception code, 2 DC non-convergence.
+inline int exitCodeFor(SimErrorReason reason) noexcept {
+    switch (reason) {
+        case SimErrorReason::InvalidSpec: return 3;
+        case SimErrorReason::StepUnderflow: return 4;
+        case SimErrorReason::SingularMatrix: return 5;
+        case SimErrorReason::NanResidual: return 6;
+        case SimErrorReason::NonConvergence: return 7;
+        case SimErrorReason::IoError: return 8;
+    }
+    return 1;
+}
+
 class SimError : public std::runtime_error {
 public:
     /// Everything about the failure besides the human-readable message.

@@ -1,0 +1,88 @@
+// Application services on the query engine: the F9/F14 case studies (IP
+// longest-prefix match, packet classification, superpage TLB) re-run through
+// serve::QueryEngine, so the same workloads that were priced per-query on
+// evaluateArray now stream through the sharded, batched, cache-backed path.
+//
+// Each service loads the application's rules/entries into the engine in
+// priority order and translates batch results back into application answers.
+// Functional answers are exact: they must agree with the app-layer reference
+// implementations (RoutingTable::lookupLinear, Tlb::translate,
+// PacketClassifier::classify) — serve_test holds that contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "apps/classifier.hpp"
+#include "apps/lpm.hpp"
+#include "apps/tlb.hpp"
+#include "serve/query_engine.hpp"
+
+namespace fetcam::serve {
+
+/// Engine options tuned for an application: word width forced to the app's,
+/// capacity to its table size (rounded up to whole shards).
+EngineOptions appEngineOptions(EngineOptions base, int wordBits, std::int64_t capacity);
+
+/// IP longest-prefix match served from the engine. Routes are stored longest
+/// prefix first (the RoutingTable invariant), so the engine's global
+/// priority result IS the longest match.
+class LpmService {
+public:
+    explicit LpmService(const apps::RoutingTable& table, EngineOptions base = {},
+                        std::shared_ptr<CharacterizationCache> cache = {});
+
+    /// Next hop per address; nullopt on miss. Matches lookupLinear exactly.
+    std::vector<std::optional<int>> lookupBatch(const std::vector<std::uint32_t>& addresses,
+                                                int jobs = 0);
+
+    QueryEngine& engine() { return engine_; }
+    const QueryEngine& engine() const { return engine_; }
+
+private:
+    QueryEngine engine_;
+    std::vector<int> nextHops_;  ///< by stored row
+};
+
+/// Fully-associative, superpage-aware TLB served from the engine.
+class TlbService {
+public:
+    explicit TlbService(const apps::Tlb& tlb, EngineOptions base = {},
+                        std::shared_ptr<CharacterizationCache> cache = {});
+
+    /// Physical address per virtual address; nullopt on TLB miss. Matches
+    /// Tlb::translate exactly (first entry in insertion order wins).
+    std::vector<std::optional<std::uint64_t>> translateBatch(
+        const std::vector<std::uint64_t>& vaddrs, int jobs = 0);
+
+    QueryEngine& engine() { return engine_; }
+    const QueryEngine& engine() const { return engine_; }
+
+private:
+    QueryEngine engine_;
+    std::vector<apps::TlbEntry> entries_;  ///< by stored row
+};
+
+/// Multi-field packet classification served from the engine.
+class ClassifierService {
+public:
+    explicit ClassifierService(const apps::PacketClassifier& classifier,
+                               EngineOptions base = {},
+                               std::shared_ptr<CharacterizationCache> cache = {});
+
+    /// Action per header; nullopt when no rule matches. Matches
+    /// PacketClassifier::classify exactly.
+    std::vector<std::optional<int>> classifyBatch(const std::vector<apps::PacketHeader>& headers,
+                                                  int jobs = 0);
+
+    QueryEngine& engine() { return engine_; }
+    const QueryEngine& engine() const { return engine_; }
+
+private:
+    QueryEngine engine_;
+    std::vector<int> actions_;  ///< by stored row
+};
+
+}  // namespace fetcam::serve

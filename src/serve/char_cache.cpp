@@ -1,0 +1,178 @@
+#include "serve/char_cache.hpp"
+
+#include <cstring>
+
+#include "obs/obs.hpp"
+
+namespace fetcam::serve {
+
+namespace {
+
+void packBytes(std::string& key, const void* data, std::size_t size) {
+    key.append(static_cast<const char*>(data), size);
+}
+
+void pack(std::string& key, double v) { packBytes(key, &v, sizeof v); }
+void pack(std::string& key, int v) { packBytes(key, &v, sizeof v); }
+void pack(std::string& key, bool v) { key.push_back(v ? '\1' : '\0'); }
+
+void packMos(std::string& key, const device::MosfetParams& p) {
+    pack(key, static_cast<int>(p.type));
+    pack(key, p.w);
+    pack(key, p.l);
+    pack(key, p.vt0);
+    pack(key, p.kp);
+    pack(key, p.n);
+    pack(key, p.lambda);
+    pack(key, p.cox);
+    pack(key, p.cOverlap);
+    pack(key, p.cJunction);
+    pack(key, p.ut);
+}
+
+void packFerro(std::string& key, const device::FerroParams& p) {
+    pack(key, p.ps);
+    pack(key, p.vcMean);
+    pack(key, p.vcSigma);
+    pack(key, p.tau0);
+    pack(key, p.kMerz);
+    pack(key, p.epsR);
+    pack(key, p.thickness);
+    pack(key, p.numHysterons);
+    pack(key, p.tauRetention);
+    pack(key, p.pristineFactor);
+    pack(key, p.wakeupCycles);
+    pack(key, p.fatigueOnsetCycles);
+    pack(key, p.fatiguePerDecade);
+    pack(key, p.fatigueFloor);
+}
+
+void packTech(std::string& key, const device::TechCard& t) {
+    pack(key, t.vdd);
+    pack(key, t.temperatureK);
+    pack(key, t.vWriteFe);
+    pack(key, t.tWriteFe);
+    pack(key, t.vWriteReram);
+    pack(key, t.tWriteReram);
+    packMos(key, t.nmos);
+    packMos(key, t.pmos);
+    packMos(key, t.fefet.mos);
+    packFerro(key, t.fefet.ferro);
+    pack(key, t.fefet.deltaVt);
+    pack(key, t.fefet.feArea);
+    pack(key, t.reram.rOn);
+    pack(key, t.reram.rOff);
+    pack(key, t.reram.vSet);
+    pack(key, t.reram.vReset);
+    pack(key, t.reram.tauSet);
+    pack(key, t.reram.tauReset);
+    pack(key, t.reram.vAccel);
+    pack(key, t.reram.cPar);
+    pack(key, t.mlWireCapPerCell);
+    pack(key, t.mlWireResPerCell);
+    pack(key, t.slWireCapPerCell);
+    pack(key, t.slDriverRes);
+    pack(key, t.ctrlDriverRes);
+}
+
+void packConfig(std::string& key, const array::ArrayConfig& c) {
+    pack(key, static_cast<int>(c.cell));
+    pack(key, static_cast<int>(c.sense));
+    pack(key, c.wordBits);
+    // Note: c.rows deliberately not packed — a word simulation is one row;
+    // the analytic scaling to the array happens outside the cache.
+    pack(key, c.vSearch);
+    pack(key, c.vPrecharge);
+    pack(key, c.mlKeeper);
+    pack(key, c.distributedMl);
+    pack(key, c.mlSegments);
+    pack(key, c.selectivePrecharge);
+    pack(key, c.prefilterBits);
+    pack(key, c.timing.tSetup);
+    pack(key, c.timing.tEval);
+    pack(key, c.timing.tGap);
+    pack(key, c.timing.tPrecharge);
+    pack(key, c.timing.tTail);
+    pack(key, c.timing.slEdge);
+    pack(key, c.timing.saStrobeDelay);
+    pack(key, c.timing.saStrobeLen);
+}
+
+void packWord(std::string& key, const tcam::TernaryWord& w) {
+    for (std::size_t i = 0; i < w.size(); ++i)
+        key.push_back(static_cast<char>('0' + static_cast<int>(w[i])));
+    key.push_back('|');
+}
+
+}  // namespace
+
+std::string CharacterizationCache::keyOf(const array::WordSimOptions& o) {
+    std::string key;
+    key.reserve(512);
+    packConfig(key, o.config);
+    packWord(key, o.stored);
+    packWord(key, o.key);
+    pack(key, static_cast<int>(o.stored.mismatchCount(o.key)));
+    packTech(key, o.tech);
+    return key;
+}
+
+bool CharacterizationCache::cacheable(const array::WordSimOptions& o) {
+    return o.variations.empty() && !o.recordWaveforms;
+}
+
+array::WordSimResult CharacterizationCache::characterize(const array::WordSimOptions& o) {
+    if (!cacheable(o)) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.bypasses;
+        }
+        return array::simulateWordSearch(o);
+    }
+
+    std::string key = keyOf(o);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++stats_.hits;
+            if (obs::enabled()) {
+                static obs::Counter& hits = obs::counter("serve.cache.hits");
+                hits.add();
+            }
+            return it->second;
+        }
+    }
+
+    // Miss: pay the one real transient, outside the lock so concurrent
+    // distinct keys characterize in parallel.
+    const auto result = array::simulateWordSearch(o);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        entries_.emplace(std::move(key), result);  // racing insert: same value
+        stats_.entries = static_cast<std::int64_t>(entries_.size());
+    }
+    if (obs::enabled()) {
+        static obs::Counter& misses = obs::counter("serve.cache.misses");
+        misses.add();
+    }
+    return result;
+}
+
+array::WordSimFn CharacterizationCache::provider() {
+    return [this](const array::WordSimOptions& o) { return characterize(o); };
+}
+
+CacheStats CharacterizationCache::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void CharacterizationCache::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    stats_ = {};
+}
+
+}  // namespace fetcam::serve

@@ -1,0 +1,70 @@
+// Characterization cache: the simulate-once / serve-forever half of the
+// characterize-then-serve split (see DESIGN.md).
+//
+// A TCAM deployment answers millions of queries, but only ever exercises a
+// handful of distinct *electrical* situations: a cell design, its option
+// flags, a stage width, a mismatch count, a supply and a temperature fully
+// determine the transient the solver would run. The cache keys word-level
+// simulations on exactly that tuple, lazily runs the real simulateWordSearch
+// on the first miss, and replays the stored result — bit-identical, since
+// the solver itself is deterministic — on every subsequent hit.
+//
+// The cache plugs into the analytic models through array::WordSimFn
+// (evaluateArray / evaluateBank / TcamMacro all accept a provider), so the
+// cached and uncached paths share every line of scaling arithmetic.
+//
+// Thread safety: characterize() may be called concurrently; a map mutex
+// protects lookups/inserts and misses simulate outside the lock. Two threads
+// racing on the same cold key both simulate and insert identical results, so
+// served values never depend on the schedule.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "array/energy_model.hpp"
+
+namespace fetcam::serve {
+
+struct CacheStats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;    ///< each miss paid one full word transient
+    std::int64_t bypasses = 0;  ///< uncacheable requests (variations/waveforms)
+    std::int64_t entries = 0;   ///< resident characterized points
+};
+
+class CharacterizationCache {
+public:
+    /// The cache key serialized from a request: cell kind, sense scheme and
+    /// every design option, stage width, stored/key trits (which carry the
+    /// mismatch count), search-cycle timing, and the full tech card (VDD,
+    /// temperature, and every device parameter, so corner or re-derived
+    /// cards can never alias). Exposed for tests.
+    static std::string keyOf(const array::WordSimOptions& options);
+
+    /// Whether a request is cacheable: per-cell Monte Carlo variations and
+    /// waveform recording are pass-through (each trial is unique / waveforms
+    /// are too big to pin), everything else is served from the cache.
+    static bool cacheable(const array::WordSimOptions& options);
+
+    /// Serve a word simulation: cache hit, or run the real solver and
+    /// remember the result. Bit-identical to simulateWordSearch(options).
+    array::WordSimResult characterize(const array::WordSimOptions& options);
+
+    /// Adapter for the evaluateArray/evaluateBank/TcamMacro `sim` hook.
+    /// The returned function references *this; keep the cache alive.
+    array::WordSimFn provider();
+
+    CacheStats stats() const;
+    void clear();
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, array::WordSimResult> entries_;
+    CacheStats stats_;
+};
+
+}  // namespace fetcam::serve

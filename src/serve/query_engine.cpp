@@ -1,0 +1,171 @@
+#include "serve/query_engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/report.hpp"
+#include "numeric/parallel.hpp"
+#include "obs/obs.hpp"
+#include "recover/sim_error.hpp"
+
+namespace fetcam::serve {
+
+QueryEngine::QueryEngine(EngineOptions options, std::shared_ptr<CharacterizationCache> cache)
+    : options_(std::move(options)),
+      cache_(cache ? std::move(cache) : std::make_shared<CharacterizationCache>()) {
+    if (options_.capacity < 1)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "QueryEngine",
+                                "capacity must be >= 1");
+    if (options_.capacity > kMaxCapacity)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "QueryEngine",
+                                "capacity exceeds functional storage limit (2^28 words)");
+    if (options_.batchSize < 1)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "QueryEngine",
+                                "batchSize must be >= 1");
+    obs::SpanGuard span("serve.engine.build",
+                        {{"capacity", static_cast<long long>(options_.capacity)},
+                         {"wordBits", options_.shard.wordBits}});
+    bank_ = evaluateBank(options_.tech, options_.shard, options_.capacity, options_.workload,
+                         options_.encoder, recover::FailurePolicy::Strict,
+                         cache_->provider());
+    if (bank_.totalEntries > kMaxCapacity)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "QueryEngine",
+                                "provisioned capacity exceeds functional storage limit");
+    entries_.resize(static_cast<std::size_t>(bank_.totalEntries));
+}
+
+void QueryEngine::checkRow(std::int64_t row) const {
+    if (row < 0 || row >= capacity())
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "QueryEngine",
+                                "row out of range");
+}
+
+std::int64_t QueryEngine::insert(const tcam::TernaryWord& word) {
+    for (std::int64_t r = 0; r < capacity(); ++r) {
+        if (!entries_[static_cast<std::size_t>(r)]) {
+            insertAt(r, word);
+            return r;
+        }
+    }
+    throw std::length_error("QueryEngine::insert: engine full");
+}
+
+void QueryEngine::insertAt(std::int64_t row, const tcam::TernaryWord& word) {
+    checkRow(row);
+    if (static_cast<int>(word.size()) != options_.shard.wordBits)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec,
+                                "QueryEngine::insertAt", "word width mismatch");
+    auto& slot = entries_[static_cast<std::size_t>(row)];
+    if (!slot) ++occupied_;
+    slot = word;
+}
+
+void QueryEngine::erase(std::int64_t row) {
+    checkRow(row);
+    auto& slot = entries_[static_cast<std::size_t>(row)];
+    if (slot) {
+        slot.reset();
+        --occupied_;
+    }
+}
+
+const std::optional<tcam::TernaryWord>& QueryEngine::entryAt(std::int64_t row) const {
+    checkRow(row);
+    return entries_[static_cast<std::size_t>(row)];
+}
+
+std::int64_t QueryEngine::scanShard(std::int64_t shard, const tcam::TernaryWord& key) const {
+    const std::int64_t begin = shard * bank_.rowsPerArray;
+    const std::int64_t end = std::min(begin + bank_.rowsPerArray, capacity());
+    for (std::int64_t r = begin; r < end; ++r) {
+        const auto& slot = entries_[static_cast<std::size_t>(r)];
+        if (slot && slot->matches(key)) return r;
+    }
+    return -1;
+}
+
+BatchResult QueryEngine::searchBatch(const std::vector<tcam::TernaryWord>& keys, int jobs) {
+    // Validate every key up front so a bad key fails before any accounting.
+    for (const auto& key : keys)
+        if (static_cast<int>(key.size()) != options_.shard.wordBits)
+            throw recover::SimError(recover::SimErrorReason::InvalidSpec,
+                                    "QueryEngine::searchBatch", "key width mismatch");
+
+    const bool obsOn = obs::enabled();
+    if (obsOn && shardHists_.empty()) {
+        shardHists_.reserve(static_cast<std::size_t>(shards()));
+        for (std::int64_t s = 0; s < shards(); ++s)
+            shardHists_.push_back(
+                &obs::histogram("serve.shard" + std::to_string(s) + ".seconds"));
+    }
+    const double t0 = obsOn ? obs::monotonicSeconds() : 0.0;
+
+    BatchResult out;
+    out.rows.assign(keys.size(), -1);
+
+    const auto n = static_cast<std::int64_t>(keys.size());
+    const std::int64_t tileSize = options_.batchSize;
+    const auto tiles = static_cast<int>((n + tileSize - 1) / tileSize);
+    const std::int64_t numShards = shards();
+
+    // Fan the tiles out across the team. Each worker owns its tile's result
+    // slots outright, and the shard scans inside a tile run in a fixed
+    // order, so the merge below never depends on the schedule.
+    numeric::parallelFor(jobs, tiles, [&](int tile) {
+        const std::int64_t lo = static_cast<std::int64_t>(tile) * tileSize;
+        const std::int64_t hi = std::min(lo + tileSize, n);
+        for (std::int64_t s = 0; s < numShards; ++s) {
+            const double ts0 = obsOn ? obs::monotonicSeconds() : 0.0;
+            for (std::int64_t i = lo; i < hi; ++i) {
+                // Per-shard priority-encoder result for this query...
+                const std::int64_t local = scanShard(s, keys[static_cast<std::size_t>(i)]);
+                // ...merged on global priority: the lowest row wins. Shards
+                // cover ascending row ranges, so the first shard to report a
+                // match holds the global winner.
+                auto& best = out.rows[static_cast<std::size_t>(i)];
+                if (local >= 0 && (best < 0 || local < best)) best = local;
+            }
+            if (obsOn && hi > lo)
+                shardHists_[static_cast<std::size_t>(s)]->observe(
+                    (obs::monotonicSeconds() - ts0) / static_cast<double>(hi - lo));
+        }
+    });
+
+    for (const auto r : out.rows) out.hits += r >= 0;
+    out.energy = bank_.totalPerSearch() * static_cast<double>(n);
+    out.latency = bank_.searchDelay;
+
+    stats_.queries += n;
+    stats_.hits += out.hits;
+    stats_.batches += 1;
+    stats_.searchEnergy += out.energy;
+
+    if (obsOn) {
+        static obs::Counter& queries = obs::counter("serve.queries");
+        static obs::Counter& hits = obs::counter("serve.hits");
+        static obs::Counter& batches = obs::counter("serve.batches");
+        static obs::Histogram& batchSeconds = obs::histogram("serve.batch.seconds");
+        queries.add(static_cast<long long>(n));
+        hits.add(static_cast<long long>(out.hits));
+        batches.add();
+        const double dt = obs::monotonicSeconds() - t0;
+        batchSeconds.observe(dt);
+        if (dt > 0.0) obs::gauge("serve.qps").set(static_cast<double>(n) / dt);
+    }
+    return out;
+}
+
+std::string QueryEngine::report() const {
+    std::ostringstream os;
+    os << "serve::QueryEngine " << capacity() << " words (" << shards() << " shards x "
+       << rowsPerShard() << " rows, " << wordBits() << "b)\n";
+    os << "  occupancy      " << occupancy() << "\n";
+    os << "  queries        " << stats_.queries << " (" << stats_.hits << " hits, "
+       << stats_.batches << " batches)\n";
+    os << "  energy/query   " << core::engFormat(energyPerQuery(), "J") << "\n";
+    os << "  query latency  " << core::engFormat(queryLatency(), "s") << "\n";
+    os << "  search energy  " << core::engFormat(stats_.searchEnergy, "J") << "\n";
+    return os.str();
+}
+
+}  // namespace fetcam::serve

@@ -1,0 +1,123 @@
+// QueryEngine: the serving half of the characterize-then-serve split.
+//
+// Separates what a production TCAM service actually does per query —
+// *functional* ternary match over the stored words (exact, per the F9
+// golden-model cross-checks) — from *electrical costing* (energy / delay /
+// margin), which comes from the characterization cache and is charged
+// analytically per query without ever touching the solver.
+//
+// Organization mirrors the hardware (and the F14 bank model):
+//   * entries shard across sub-array banks (`options.shard.rows` rows each),
+//   * incoming queries batch, and batches fan out across worker threads with
+//     numeric::parallelFor (deterministic for any jobs value),
+//   * every shard reports its local priority-encoder result (lowest matching
+//     row) and a merge stage picks the globally lowest row, exactly like the
+//     two-level priority encoder the bank model prices.
+//
+// obs integration (when obs::enabled()): serve.queries / serve.hits /
+// serve.batches counters, serve.qps gauge, a serve.batch.seconds histogram,
+// per-shard serve.shard<i>.seconds latency histograms, and serve.cache.*
+// from the underlying cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "array/bank.hpp"
+#include "serve/char_cache.hpp"
+
+namespace fetcam::obs {
+class Histogram;
+}
+
+namespace fetcam::serve {
+
+struct EngineOptions {
+    device::TechCard tech = device::TechCard::cmos45();
+    /// Per-shard sub-array geometry; shard.rows is the shard size.
+    array::ArrayConfig shard;
+    /// Total words the engine must hold (rounded up to whole shards).
+    std::int64_t capacity = 0;
+    array::WorkloadProfile workload;
+    array::PriorityEncoderModel encoder;
+    /// Queries per fan-out tile: batches split into tiles of this many
+    /// queries and tiles run across the worker team.
+    int batchSize = 4096;
+};
+
+/// Result of one batched search. `rows[i]` is the globally lowest matching
+/// row for keys[i], -1 when nothing matched — what the hardware priority
+/// encoder would report.
+struct BatchResult {
+    std::vector<std::int64_t> rows;
+    std::int64_t hits = 0;
+    double energy = 0.0;   ///< whole-batch search energy [J]
+    double latency = 0.0;  ///< per-query hardware latency [s]
+};
+
+struct EngineStats {
+    std::int64_t queries = 0;
+    std::int64_t hits = 0;
+    std::int64_t batches = 0;
+    double searchEnergy = 0.0;  ///< [J] accumulated
+};
+
+class QueryEngine {
+public:
+    /// Functional storage ceiling (same rationale as TcamMacro's).
+    static constexpr std::int64_t kMaxCapacity = std::int64_t{1} << 28;
+
+    /// Characterizes the bank up front through `cache` (shared across
+    /// engines to amortize; a private cache is created when omitted). After
+    /// construction, serving never runs the solver.
+    explicit QueryEngine(EngineOptions options,
+                         std::shared_ptr<CharacterizationCache> cache = {});
+
+    // --- entry management (global row index = priority, lowest wins) ---
+    std::int64_t insert(const tcam::TernaryWord& word);  ///< first free row
+    void insertAt(std::int64_t row, const tcam::TernaryWord& word);
+    void erase(std::int64_t row);
+    const std::optional<tcam::TernaryWord>& entryAt(std::int64_t row) const;
+
+    // --- serving ---
+    /// Batched priority search across `jobs` workers (0 = process default).
+    /// Results and accounting are bit-identical for any jobs value and for
+    /// cold vs. warm caches.
+    BatchResult searchBatch(const std::vector<tcam::TernaryWord>& keys, int jobs = 0);
+
+    // --- introspection ---
+    std::int64_t capacity() const { return static_cast<std::int64_t>(entries_.size()); }
+    std::int64_t occupancy() const { return occupied_; }
+    int wordBits() const { return options_.shard.wordBits; }
+    std::int64_t shards() const { return bank_.subArrays; }
+    std::int64_t rowsPerShard() const { return bank_.rowsPerArray; }
+    const array::BankMetrics& hardware() const { return bank_; }
+    double energyPerQuery() const { return bank_.totalPerSearch(); }
+    double queryLatency() const { return bank_.searchDelay; }
+    const EngineStats& stats() const { return stats_; }
+    const std::shared_ptr<CharacterizationCache>& cache() const { return cache_; }
+
+    /// Deterministic text report: geometry, served-query accounting and the
+    /// per-query hardware price. Identical for cold/warm caches and any
+    /// jobs value (cache and wall-clock stats deliberately excluded).
+    std::string report() const;
+
+private:
+    void checkRow(std::int64_t row) const;
+    /// Shard-local priority encoder: lowest matching occupied global row in
+    /// shard s, or -1.
+    std::int64_t scanShard(std::int64_t shard, const tcam::TernaryWord& key) const;
+
+    EngineOptions options_;
+    std::shared_ptr<CharacterizationCache> cache_;
+    array::BankMetrics bank_;
+    std::vector<std::optional<tcam::TernaryWord>> entries_;
+    std::int64_t occupied_ = 0;
+    EngineStats stats_;
+    std::vector<obs::Histogram*> shardHists_;  ///< filled lazily when obs is on
+};
+
+}  // namespace fetcam::serve

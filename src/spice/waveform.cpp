@@ -21,10 +21,14 @@ std::vector<double> Waveforms::branch(int branch) const {
 
 double Waveforms::nodeAt(NodeId n, double t) const {
     if (time_.empty()) throw std::runtime_error("Waveforms::nodeAt: empty record");
+    // A NaN t slips past both range clamps (every NaN comparison is false)
+    // and would send upper_bound to end(), indexing one past the record.
+    if (std::isnan(t)) throw std::runtime_error("Waveforms::nodeAt: t is NaN");
     if (t <= time_.front()) return sampleValue(0, n);
     if (t >= time_.back()) return sampleValue(time_.size() - 1, n);
     const auto it = std::upper_bound(time_.begin(), time_.end(), t);
-    const std::size_t hi = static_cast<std::size_t>(it - time_.begin());
+    const std::size_t hi =
+        std::min(static_cast<std::size_t>(it - time_.begin()), time_.size() - 1);
     const std::size_t lo = hi - 1;
     const double span = time_[hi] - time_[lo];
     const double frac = span > 0.0 ? (t - time_[lo]) / span : 0.0;

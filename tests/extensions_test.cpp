@@ -6,6 +6,8 @@
 #include "recover/sim_error.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "apps/tlb.hpp"
 #include "array/bank.hpp"
@@ -151,6 +153,59 @@ TEST(Bank, EncoderModelDepth) {
     EXPECT_DOUBLE_EQ(pe.delay(1), pe.delayPerLevel);
     EXPECT_DOUBLE_EQ(pe.delay(256), 8.0 * pe.delayPerLevel);
     EXPECT_DOUBLE_EQ(pe.energy(100), 100 * pe.energyPerRowFj * 1e-15);
+}
+
+TEST(Bank, TwoLevelEncoderStructure) {
+    array::PriorityEncoderModel pe;
+    // n parallel per-sub-array encoders plus a merge tree over n results —
+    // not one flat tree over n*rows flags (the old double-count charged the
+    // merge inputs as if every row fed the final stage directly).
+    EXPECT_DOUBLE_EQ(pe.bankDelay(5, 5), pe.delay(5) + pe.delay(5));
+    EXPECT_LT(pe.bankDelay(5, 5), pe.delay(25) + pe.delay(5));
+    EXPECT_DOUBLE_EQ(pe.bankEnergy(5, 5), 5.0 * pe.energy(5) + pe.energy(5));
+    // One sub-array collapses to the flat encoder: banked and flat pricing
+    // of the same geometry agree exactly.
+    EXPECT_DOUBLE_EQ(pe.bankDelay(1, 64), pe.delay(64));
+    EXPECT_DOUBLE_EQ(pe.bankEnergy(1, 64), pe.energy(64));
+}
+
+TEST(Bank, EvaluateBankUsesTwoLevelEncoder) {
+    const auto tech = device::TechCard::cmos45();
+    array::ArrayConfig cfg;
+    cfg.cell = tcam::CellKind::FeFet2;
+    cfg.wordBits = 8;
+    cfg.rows = 64;
+    const array::PriorityEncoderModel pe;
+    const auto b = evaluateBank(tech, cfg, 130);  // 3 sub-arrays of 64
+    EXPECT_DOUBLE_EQ(b.encoderEnergy, pe.bankEnergy(3, 64));
+    const auto flat = evaluateBank(tech, cfg, 64);
+    EXPECT_DOUBLE_EQ(flat.encoderEnergy, pe.energy(64));
+    EXPECT_DOUBLE_EQ(b.searchDelay - pe.bankDelay(3, 64),
+                     flat.searchDelay - pe.delay(64));  // same sub-array delay
+}
+
+TEST(Bank, Int64CapacitiesDoNotWrap) {
+    array::PriorityEncoderModel pe;
+    // Row counts past 2^31 are legal inputs; the old int interface wrapped.
+    EXPECT_DOUBLE_EQ(pe.delay(std::int64_t{1} << 33), 33.0 * pe.delayPerLevel);
+    EXPECT_GT(pe.energy(std::int64_t{1} << 33), 0.0);
+
+    const auto tech = device::TechCard::cmos45();
+    array::ArrayConfig cfg;
+    cfg.cell = tcam::CellKind::FeFet2;
+    cfg.wordBits = 2;  // keep the calibration sims tiny
+    cfg.rows = 1 << 20;
+    const std::int64_t entries = 5'000'000'000;  // > INT32_MAX
+    const auto b = evaluateBank(tech, cfg, entries);
+    EXPECT_EQ(b.subArrays, (entries + cfg.rows - 1) / cfg.rows);
+    EXPECT_GE(b.totalEntries, entries);
+    EXPECT_GT(b.totalEntries, std::int64_t{std::numeric_limits<std::int32_t>::max()});
+    EXPECT_TRUE(std::isfinite(b.totalPerSearch()));
+
+    // Entry counts whose rounded-up provisioning would overflow int64 raise
+    // a structured InvalidSpec instead of wrapping silently.
+    EXPECT_THROW(evaluateBank(tech, cfg, std::numeric_limits<std::int64_t>::max() - 1),
+                 recover::SimError);
 }
 
 // ---------------------------------------------------------------------------

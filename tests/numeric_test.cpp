@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "numeric/dense_matrix.hpp"
 #include "numeric/interp.hpp"
@@ -329,6 +330,53 @@ TEST(Interp, PiecewiseLinearBasics) {
 
 TEST(Interp, RejectsUnsortedX) {
     EXPECT_THROW(num::PiecewiseLinear({0.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Interp, NanQueryDoesNotIndexPastTheEnd) {
+    // Regression: NaN compares false against every knot, so upper_bound
+    // returned end() and the interpolation read one past the y vector. A NaN
+    // query now propagates NaN (operator()) / a zero slope instead of UB.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    num::PiecewiseLinear f({0.0, 1.0, 3.0}, {0.0, 2.0, 0.0});
+    EXPECT_TRUE(std::isnan(f(nan)));
+    EXPECT_DOUBLE_EQ(f.slope(nan), 0.0);
+}
+
+TEST(Interp, RejectsNanKnots) {
+    // A NaN knot passes the pairwise strictly-increasing check (NaN
+    // comparisons are all false) and then breaks upper_bound's partition
+    // precondition; the constructor must reject it up front.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(num::PiecewiseLinear({0.0, nan, 2.0}, {1.0, 2.0, 3.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(num::PiecewiseLinear({nan}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(num::PiecewiseLinear({0.0, std::numeric_limits<double>::infinity()},
+                                      {1.0, 2.0}),
+                 std::invalid_argument);
+}
+
+TEST(Interp, ExactKnotAndBoundaryQueries) {
+    num::PiecewiseLinear f({0.0, 1.0, 3.0}, {0.5, 2.0, -1.0});
+    // Exact knot hits land on the stored value, not an interpolation of a
+    // zero-width interval.
+    EXPECT_DOUBLE_EQ(f(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(f(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(f(3.0), -1.0);
+    // Just inside the last interval still interpolates finitely.
+    const double x = std::nextafter(3.0, 0.0);
+    EXPECT_TRUE(std::isfinite(f(x)));
+    EXPECT_NEAR(f(x), -1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(f.slope(x), -1.5);
+    // Boundary slopes are clamped to zero outside the knot span.
+    EXPECT_DOUBLE_EQ(f.slope(3.0), 0.0);
+    EXPECT_DOUBLE_EQ(f.slope(-1.0), 0.0);
+
+    // Single-knot tables degenerate to a constant.
+    num::PiecewiseLinear one({2.0}, {7.0});
+    EXPECT_DOUBLE_EQ(one(-10.0), 7.0);
+    EXPECT_DOUBLE_EQ(one(2.0), 7.0);
+    EXPECT_DOUBLE_EQ(one(10.0), 7.0);
+    EXPECT_DOUBLE_EQ(one.slope(2.0), 0.0);
 }
 
 TEST(Interp, FirstCrossing) {

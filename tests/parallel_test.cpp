@@ -70,6 +70,25 @@ TEST(ParallelFor, ResolveJobsSemantics) {
     EXPECT_GE(numeric::hardwareConcurrency(), 1);
 }
 
+TEST(ParallelFor, ParseJobsSharedSemantics) {
+    // The one --jobs parser every CLI/bench shares.
+    EXPECT_EQ(numeric::parseJobs("4"), 4);
+    EXPECT_EQ(numeric::parseJobs("1"), 1);
+    // 0 and negatives mean "all hardware threads".
+    EXPECT_EQ(numeric::parseJobs("0"), numeric::hardwareConcurrency());
+    EXPECT_EQ(numeric::parseJobs("-2"), numeric::hardwareConcurrency());
+    // Oversubscription clamps to the sanity ceiling instead of spawning an
+    // absurd team.
+    EXPECT_EQ(numeric::parseJobs("99999"), numeric::kMaxJobs);
+    // Non-integers are rejected outright, not silently truncated the way a
+    // bare atoi would ("4k" -> 4).
+    EXPECT_THROW(numeric::parseJobs("abc"), std::invalid_argument);
+    EXPECT_THROW(numeric::parseJobs("4k"), std::invalid_argument);
+    EXPECT_THROW(numeric::parseJobs("1e9"), std::invalid_argument);
+    EXPECT_THROW(numeric::parseJobs(""), std::invalid_argument);
+    EXPECT_THROW(numeric::parseJobs("2.5"), std::invalid_argument);
+}
+
 namespace {
 
 array::MonteCarloSpec mcSpec(int trials = 6) {

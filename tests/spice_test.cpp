@@ -6,6 +6,7 @@
 #include "recover/sim_error.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "device/passives.hpp"
 #include "device/sources.hpp"
@@ -271,4 +272,25 @@ TEST(Waveforms, InterpolationAndPeak) {
     EXPECT_DOUBLE_EQ(w.peakNode(1), 4.0);
     EXPECT_DOUBLE_EQ(w.finalNode(1), -4.0);
     EXPECT_DOUBLE_EQ(w.nodeAt(spice::kGround, 1.0), 0.0);
+}
+
+TEST(Waveforms, NodeAtBoundaryAndNanQueries) {
+    spice::Waveforms w(2, 0);
+    w.record(0.0, {0.0});
+    w.record(1.0, {2.0});
+    w.record(2.0, {-4.0});
+    // Exact sample times return the recorded value (no zero-width division).
+    EXPECT_DOUBLE_EQ(w.nodeAt(1, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(w.nodeAt(1, 1.0), 2.0);
+    EXPECT_DOUBLE_EQ(w.nodeAt(1, 2.0), -4.0);
+    // Clamped on both sides.
+    EXPECT_DOUBLE_EQ(w.nodeAt(1, -5.0), 0.0);
+    EXPECT_DOUBLE_EQ(w.nodeAt(1, 1e9), -4.0);
+    // Just inside the last interval stays finite and close to the endpoint.
+    EXPECT_NEAR(w.nodeAt(1, std::nextafter(2.0, 0.0)), -4.0, 1e-6);
+    // Regression: a NaN query used to slip past the range clamps (NaN
+    // comparisons are false) and index one past the sample vector; it now
+    // raises a structured error instead.
+    EXPECT_THROW(w.nodeAt(1, std::numeric_limits<double>::quiet_NaN()),
+                 std::runtime_error);
 }

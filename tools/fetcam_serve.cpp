@@ -1,0 +1,305 @@
+// fetcam_serve — TCAM query-service front-end on the characterize-then-serve
+// engine: build a workload (LPM routing / TLB translation / packet
+// classification), characterize its electrical cost once through the shared
+// cache, then stream batched queries and report functional + electrical
+// accounting.
+//
+// Usage:
+//   fetcam_serve [--workload lpm|tlb|classifier|all] [--entries N]
+//                [--queries N] [--rows N] [--batch N] [--jobs N] [--seed S]
+//                [--json FILE] [--trace FILE]
+//
+// Exit codes follow the structured SimError taxonomy (see recover/sim_error).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/fetcam.hpp"
+#include "numeric/parallel.hpp"
+#include "obs/obs.hpp"
+#include "recover/sim_error.hpp"
+#include "serve/adapters.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+double now() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct Args {
+    std::string workload = "all";
+    std::int64_t entries = 64;
+    std::int64_t queries = 100'000;
+    int rows = 16;
+    int batch = 4096;
+    int jobs = 0;
+    std::uint64_t seed = 42;
+    std::string jsonPath;
+    std::string tracePath;
+};
+
+Args parseArgs(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+        const std::string opt = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                throw recover::SimError(recover::SimErrorReason::InvalidSpec,
+                                        "fetcam_serve", "missing value after " + opt);
+            return argv[i];
+        };
+        if (opt == "--workload") {
+            a.workload = next();
+            if (a.workload != "lpm" && a.workload != "tlb" &&
+                a.workload != "classifier" && a.workload != "all")
+                throw recover::SimError(recover::SimErrorReason::InvalidSpec,
+                                        "fetcam_serve",
+                                        "--workload expects lpm|tlb|classifier|all");
+        } else if (opt == "--entries") {
+            a.entries = std::atoll(next().c_str());
+        } else if (opt == "--queries") {
+            a.queries = std::atoll(next().c_str());
+        } else if (opt == "--rows") {
+            a.rows = std::atoi(next().c_str());
+        } else if (opt == "--batch") {
+            a.batch = std::atoi(next().c_str());
+        } else if (opt == "--seed") {
+            a.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+        } else if (opt == "--jobs") {
+            try {
+                a.jobs = numeric::parseJobs(next());
+            } catch (const std::invalid_argument& e) {
+                throw recover::SimError(recover::SimErrorReason::InvalidSpec,
+                                        "fetcam_serve", e.what());
+            }
+        } else if (opt == "--json") {
+            a.jsonPath = next();
+        } else if (opt == "--trace") {
+            a.tracePath = next();
+        } else {
+            throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
+                                    "unknown option " + opt);
+        }
+    }
+    if (a.entries < 1)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
+                                "--entries must be >= 1");
+    if (a.queries < 1)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
+                                "--queries must be >= 1");
+    return a;
+}
+
+serve::EngineOptions baseOptions(const Args& a) {
+    serve::EngineOptions base;
+    base.shard.cell = tcam::CellKind::FeFet2;
+    base.shard.sense = array::SenseScheme::LowSwing;
+    base.shard.rows = a.rows;
+    base.batchSize = a.batch;
+    return base;
+}
+
+struct ServeSummary {
+    std::string name;
+    std::int64_t queries = 0;
+    std::int64_t hits = 0;
+    double seconds = 0.0;
+    double qps = 0.0;
+    double energyPerQuery = 0.0;
+    double latency = 0.0;
+    std::string report;
+};
+
+void printSummary(const ServeSummary& s, const serve::CharacterizationCache& cache) {
+    std::printf("--- %s: %lld queries, %lld hits, %s ---\n", s.name.c_str(),
+                static_cast<long long>(s.queries), static_cast<long long>(s.hits),
+                core::engFormat(s.qps, "q/s").c_str());
+    std::printf("%s", s.report.c_str());
+    const auto cs = cache.stats();
+    std::printf("  cache          %lld entries (%lld hits / %lld misses / %lld bypasses)\n\n",
+                static_cast<long long>(cs.entries), static_cast<long long>(cs.hits),
+                static_cast<long long>(cs.misses), static_cast<long long>(cs.bypasses));
+}
+
+ServeSummary summarize(const std::string& name, const serve::QueryEngine& engine,
+                       std::int64_t queries, std::int64_t hits, double seconds) {
+    ServeSummary s;
+    s.name = name;
+    s.queries = queries;
+    s.hits = hits;
+    s.seconds = seconds;
+    s.qps = static_cast<double>(queries) / seconds;
+    s.energyPerQuery = engine.energyPerQuery();
+    s.latency = engine.queryLatency();
+    s.report = engine.report();
+    return s;
+}
+
+ServeSummary runLpm(const Args& a, const std::shared_ptr<serve::CharacterizationCache>& cache) {
+    apps::RoutingTable table;
+    numeric::Rng rng(a.seed);
+    table.addRoute(0, 0, 1);
+    for (std::int64_t i = 1; i < a.entries; ++i) {
+        const int len = 8 * rng.uniformInt(1, 3);  // /8, /16 or /24
+        const auto addr = static_cast<std::uint32_t>(rng.nextU64());
+        const std::uint32_t mask = len == 32 ? ~0u : ~0u << (32 - len);
+        table.addRoute(addr & mask, len, static_cast<int>(100 + i));
+    }
+
+    std::vector<std::uint32_t> addresses(static_cast<std::size_t>(a.queries));
+    for (auto& addr : addresses) addr = static_cast<std::uint32_t>(rng.nextU64());
+
+    serve::LpmService svc(table, baseOptions(a), cache);
+    const double t0 = now();
+    const auto out = svc.lookupBatch(addresses, a.jobs);
+    const double dt = now() - t0;
+    std::int64_t hits = 0;
+    for (const auto& h : out) hits += h.has_value();
+    return summarize("lpm", svc.engine(), a.queries, hits, dt);
+}
+
+ServeSummary runTlb(const Args& a, const std::shared_ptr<serve::CharacterizationCache>& cache) {
+    apps::Tlb tlb(static_cast<std::size_t>(a.entries));
+    numeric::Rng rng(a.seed);
+    for (std::int64_t i = 0; i < a.entries; ++i) {
+        if (i % 16 == 0) {  // sprinkle 2M superpages among the 4K pages
+            tlb.insert(static_cast<std::uint64_t>(i) << 9, apps::PageSize::Page2M,
+                       static_cast<std::uint64_t>(5000 + i));
+        } else {
+            tlb.insert((1ULL << 20) + static_cast<std::uint64_t>(i), apps::PageSize::Page4K,
+                       static_cast<std::uint64_t>(1000 + i));
+        }
+    }
+
+    std::vector<std::uint64_t> vaddrs(static_cast<std::size_t>(a.queries));
+    for (auto& vaddr : vaddrs) {
+        if (rng.uniform() < 0.8) {  // mostly resident pages
+            const auto i = static_cast<std::uint64_t>(
+                rng.uniformInt(0, static_cast<int>(a.entries) - 1));
+            vaddr = (((1ULL << 20) + i) << 12) + (rng.nextU64() & 0xFFF);
+        } else {
+            vaddr = rng.nextU64() & ((1ULL << apps::Tlb::kVaBits) - 1);
+        }
+    }
+
+    serve::TlbService svc(tlb, baseOptions(a), cache);
+    const double t0 = now();
+    const auto out = svc.translateBatch(vaddrs, a.jobs);
+    const double dt = now() - t0;
+    std::int64_t hits = 0;
+    for (const auto& h : out) hits += h.has_value();
+    return summarize("tlb", svc.engine(), a.queries, hits, dt);
+}
+
+ServeSummary runClassifier(const Args& a,
+                           const std::shared_ptr<serve::CharacterizationCache>& cache) {
+    apps::PacketClassifier classifier;
+    numeric::Rng rng(a.seed);
+    for (std::int64_t i = 0; i < a.entries; ++i) {
+        const auto src = static_cast<std::uint32_t>(rng.nextU64());
+        apps::RuleBuilder b;
+        b.srcPrefix(src & (~0u << 8), 24).protocol(rng.bernoulli(0.5) ? 6 : 17);
+        classifier.addRule(b.build(static_cast<int>(i), "rule" + std::to_string(i)));
+    }
+
+    const auto& rules = classifier.rules();
+    std::vector<apps::PacketHeader> headers(static_cast<std::size_t>(a.queries));
+    for (auto& h : headers) {
+        h.srcIp = static_cast<std::uint32_t>(rng.nextU64());
+        if (rng.uniform() < 0.5 && !rules.empty()) {
+            // Steer into a known rule's /24 so a fair share of packets match.
+            const auto& w = rules[static_cast<std::size_t>(rng.uniformInt(
+                                      0, static_cast<int>(rules.size()) - 1))]
+                                .pattern;
+            std::uint32_t prefix = 0;
+            for (int bit = 0; bit < 24; ++bit)
+                prefix = (prefix << 1) |
+                         (w[static_cast<std::size_t>(bit)] == tcam::Trit::One ? 1u : 0u);
+            h.srcIp = (prefix << 8) | (h.srcIp & 0xFF);
+        }
+        h.dstIp = static_cast<std::uint32_t>(rng.nextU64());
+        h.srcPort = static_cast<std::uint16_t>(rng.nextU64());
+        h.dstPort = static_cast<std::uint16_t>(rng.nextU64());
+        h.protocol = rng.bernoulli(0.5) ? 6 : 17;
+    }
+
+    serve::ClassifierService svc(classifier, baseOptions(a), cache);
+    const double t0 = now();
+    const auto out = svc.classifyBatch(headers, a.jobs);
+    const double dt = now() - t0;
+    std::int64_t hits = 0;
+    for (const auto& h : out) hits += h.has_value();
+    return summarize("classifier", svc.engine(), a.queries, hits, dt);
+}
+
+void writeJson(const std::string& path, const std::vector<ServeSummary>& summaries,
+               const serve::CharacterizationCache& cache) {
+    std::ofstream os(path);
+    if (!os)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
+                                "cannot open " + path + " for writing");
+    const auto cs = cache.stats();
+    os << "{\n  \"tool\": \"fetcam_serve\",\n  \"workloads\": [\n";
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+        const auto& s = summaries[i];
+        os << "    {\n";
+        os << "      \"name\": \"" << s.name << "\",\n";
+        os << "      \"queries\": " << s.queries << ",\n";
+        os << "      \"hits\": " << s.hits << ",\n";
+        os << "      \"seconds\": " << s.seconds << ",\n";
+        os << "      \"qps\": " << s.qps << ",\n";
+        os << "      \"energyPerQueryJ\": " << s.energyPerQuery << ",\n";
+        os << "      \"latencyS\": " << s.latency << "\n";
+        os << "    }" << (i + 1 < summaries.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"cache\": {\"entries\": " << cs.entries << ", \"hits\": " << cs.hits
+       << ", \"misses\": " << cs.misses << ", \"bypasses\": " << cs.bypasses << "}\n";
+    os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        const Args a = parseArgs(argc, argv);
+        if (!a.tracePath.empty()) {
+            if (!obs::TraceSink::global().open(a.tracePath))
+                std::fprintf(stderr, "warning: cannot open trace file %s\n",
+                             a.tracePath.c_str());
+            obs::setEnabled(true);
+        } else {
+            obs::initFromEnv();
+        }
+
+        auto cache = std::make_shared<serve::CharacterizationCache>();
+        std::vector<ServeSummary> summaries;
+        if (a.workload == "lpm" || a.workload == "all") {
+            summaries.push_back(runLpm(a, cache));
+            printSummary(summaries.back(), *cache);
+        }
+        if (a.workload == "tlb" || a.workload == "all") {
+            summaries.push_back(runTlb(a, cache));
+            printSummary(summaries.back(), *cache);
+        }
+        if (a.workload == "classifier" || a.workload == "all") {
+            summaries.push_back(runClassifier(a, cache));
+            printSummary(summaries.back(), *cache);
+        }
+        if (!a.jsonPath.empty()) writeJson(a.jsonPath, summaries, *cache);
+        return 0;
+    } catch (const recover::SimError& e) {
+        std::fprintf(stderr, "fetcam_serve: [%s] %s\n", recover::reasonName(e.reason()),
+                     e.what());
+        return recover::exitCodeFor(e.reason());
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "fetcam_serve: %s\n", e.what());
+        return 1;
+    }
+}

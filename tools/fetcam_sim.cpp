@@ -28,21 +28,6 @@ using namespace fetcam;
 
 namespace {
 
-/// Distinct non-zero exit codes per structured failure reason, so scripts
-/// driving the CLI can tell a bad spec from a solver collapse. 1 stays the
-/// generic-exception code and 2 the DC non-convergence code.
-int exitCodeFor(recover::SimErrorReason reason) {
-    switch (reason) {
-        case recover::SimErrorReason::InvalidSpec: return 3;
-        case recover::SimErrorReason::StepUnderflow: return 4;
-        case recover::SimErrorReason::SingularMatrix: return 5;
-        case recover::SimErrorReason::NanResidual: return 6;
-        case recover::SimErrorReason::NonConvergence: return 7;
-        case recover::SimErrorReason::IoError: return 8;
-    }
-    return 1;
-}
-
 std::string readFile(const std::string& path) {
     std::ifstream in(path);
     if (!in) throw std::runtime_error("cannot open '" + path + "'");
@@ -102,9 +87,15 @@ Args parseArgs(int argc, char** argv) {
         } else if (opt == "--trace") {
             a.tracePath = next();
         } else if (opt == "--jobs") {
-            // Worker threads for any parallel sweep the run triggers
-            // (0 or negative = all hardware threads).
-            numeric::setDefaultJobs(static_cast<int>(device::parseSpiceNumber(next())));
+            // Worker threads for any parallel sweep the run triggers.
+            // Shared parseJobs semantics: 0/negative = all hardware threads,
+            // non-integers rejected as a structured InvalidSpec.
+            try {
+                numeric::setDefaultJobs(numeric::parseJobs(next()));
+            } catch (const std::invalid_argument& e) {
+                throw recover::SimError(recover::SimErrorReason::InvalidSpec,
+                                        "fetcam_sim", e.what());
+            }
         } else if (opt == "--ic") {
             const std::string kv = next();
             const auto eq = kv.find('=');
@@ -217,7 +208,7 @@ int main(int argc, char** argv) {
     } catch (const recover::SimError& e) {
         std::fprintf(stderr, "fetcam_sim: [%s] %s\n", recover::reasonName(e.reason()),
                      e.what());
-        return exitCodeFor(e.reason());
+        return recover::exitCodeFor(e.reason());
     } catch (const std::exception& e) {
         std::fprintf(stderr, "fetcam_sim: %s\n", e.what());
         return 1;
