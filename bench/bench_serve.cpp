@@ -1,15 +1,21 @@
 // SERVE — characterize-then-serve throughput study: LPM and TLB workloads
 // streamed through serve::QueryEngine, comparing warm-cache serving against
 // the uncached pay-per-query solver cost, with bit-identity checks between
-// the cached and uncached paths and across worker counts.
+// the cached and uncached paths and across worker counts. Also benchmarks
+// the persistent characterization store (append / load / compact throughput
+// with a round-trip bit-identity check) so BENCH tracking covers the
+// warm-restart path.
 //
 // Flags (beyond the shared --trace/--jobs): --queries N (default 1M),
-// --seed S, --json FILE (machine-readable results for CI).
+// --store-records N (default 20000), --seed S, --json FILE
+// (machine-readable results for CI).
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 
 #include "bench_util.hpp"
 #include "serve/adapters.hpp"
+#include "store/char_store.hpp"
 
 using namespace fetcam;
 
@@ -55,7 +61,113 @@ serve::EngineOptions baseOptions() {
     return base;
 }
 
-void writeJson(const std::string& path, const std::vector<WorkloadResult>& results) {
+struct StoreBenchResult {
+    std::int64_t uniqueRecords = 0;
+    std::int64_t appendedRecords = 0;  ///< includes deliberate duplicates
+    double appendSeconds = 0.0;        ///< append + flush (durable)
+    double loadSeconds = 0.0;
+    double compactSeconds = 0.0;
+    double appendPerSec = 0.0;
+    double loadPerSec = 0.0;
+    std::int64_t logBytes = 0;        ///< before compaction (with duplicates)
+    std::int64_t compactedBytes = 0;  ///< deduplicated snapshot
+    bool roundTripIdentical = false;
+};
+
+/// Store micro-benchmark: realistic packed keys/payloads streamed through
+/// the actual CharStore append / load / compact paths on a throwaway
+/// directory. Every key is written twice so compaction has duplicates to
+/// fold away, like a long-lived append log would.
+StoreBenchResult runStoreBench(std::int64_t records, std::uint64_t seed) {
+    namespace fs = std::filesystem;
+    StoreBenchResult r;
+    r.uniqueRecords = records;
+
+    const fs::path dir = fs::temp_directory_path() / "fetcam_bench_serve_store";
+    fs::remove_all(dir);
+
+    store::StoreConfig cfg;
+    cfg.dir = dir.string();
+    cfg.schemaVersion = serve::kCharSchemaVersion;
+
+    // Realistic record shapes: real keyOf() packings over varying 32-bit
+    // ternary words, real packResult() payloads.
+    numeric::Rng rng(seed);
+    array::WordSimOptions opts;
+    opts.config.cell = tcam::CellKind::FeFet2;
+    opts.config.sense = array::SenseScheme::LowSwing;
+    opts.config.wordBits = 32;
+    std::vector<store::Record> written;
+    written.reserve(static_cast<std::size_t>(records));
+    for (std::int64_t i = 0; i < records; ++i) {
+        tcam::TernaryWord w(32);
+        for (std::size_t b = 0; b < 32; ++b)
+            w[b] = rng.uniform() < 0.25 ? tcam::Trit::X
+                                        : (rng.bernoulli(0.5) ? tcam::Trit::One
+                                                              : tcam::Trit::Zero);
+        opts.stored = w;
+        opts.key = w;
+        array::WordSimResult res;
+        res.expectedMatch = true;
+        res.matchDetected = true;
+        res.mlAtSense = rng.uniform();
+        res.mlMin = rng.uniform();
+        res.vPrecharge = 0.8;
+        res.energyMl = rng.uniform() * 1e-15;
+        res.energySl = rng.uniform() * 1e-15;
+        res.energySa = rng.uniform() * 1e-16;
+        res.energyTotal = res.energyMl + res.energySl + res.energySa;
+        written.push_back({serve::CharacterizationCache::keyOf(opts),
+                           serve::packResult(res)});
+    }
+
+    {
+        store::CharStore writer(cfg);
+        (void)writer.load();
+        const double t0 = now();
+        for (const auto& rec : written) writer.append(rec.key, rec.payload);
+        for (const auto& rec : written) writer.append(rec.key, rec.payload);  // dups
+        writer.flush();
+        r.appendSeconds = now() - t0;
+        r.appendedRecords = writer.appendedRecords();
+        r.logBytes = writer.logBytes();
+    }
+    r.appendPerSec = static_cast<double>(r.appendedRecords) / r.appendSeconds;
+
+    {
+        store::StoreConfig ro = cfg;
+        ro.readOnly = true;
+        store::CharStore reader(ro);
+        const double t0 = now();
+        const auto loaded = reader.load();
+        r.loadSeconds = now() - t0;
+        r.loadPerSec = static_cast<double>(loaded.size()) / r.loadSeconds;
+        bool ok = loaded.size() == written.size() * 2;
+        for (std::size_t i = 0; i < written.size() && ok; ++i)
+            ok = loaded[i] == written[i] && loaded[i + written.size()] == written[i];
+        r.roundTripIdentical = ok;
+    }
+
+    {
+        store::CharStore writer(cfg);
+        (void)writer.load();
+        const double t0 = now();
+        writer.compact(written);  // deduplicated snapshot
+        r.compactSeconds = now() - t0;
+        r.compactedBytes = writer.logBytes();
+        store::StoreConfig ro = cfg;
+        ro.readOnly = true;
+        store::CharStore reader(ro);
+        const auto loaded = reader.load();
+        r.roundTripIdentical = r.roundTripIdentical && loaded == written;
+    }
+
+    fs::remove_all(dir);
+    return r;
+}
+
+void writeJson(const std::string& path, const std::vector<WorkloadResult>& results,
+               const StoreBenchResult& sb) {
     std::ofstream os(path);
     if (!os) {
         std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
@@ -78,7 +190,20 @@ void writeJson(const std::string& path, const std::vector<WorkloadResult>& resul
         os << "      \"identical\": " << (r.identical ? "true" : "false") << "\n";
         os << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
     }
-    os << "  ]\n}\n";
+    os << "  ],\n";
+    os << "  \"store\": {\n";
+    os << "    \"uniqueRecords\": " << sb.uniqueRecords << ",\n";
+    os << "    \"appendedRecords\": " << sb.appendedRecords << ",\n";
+    os << "    \"appendSeconds\": " << sb.appendSeconds << ",\n";
+    os << "    \"loadSeconds\": " << sb.loadSeconds << ",\n";
+    os << "    \"compactSeconds\": " << sb.compactSeconds << ",\n";
+    os << "    \"appendPerSec\": " << sb.appendPerSec << ",\n";
+    os << "    \"loadPerSec\": " << sb.loadPerSec << ",\n";
+    os << "    \"logBytes\": " << sb.logBytes << ",\n";
+    os << "    \"compactedBytes\": " << sb.compactedBytes << ",\n";
+    os << "    \"roundTripIdentical\": " << (sb.roundTripIdentical ? "true" : "false")
+       << "\n";
+    os << "  }\n}\n";
 }
 
 WorkloadResult runLpm(std::int64_t queries, std::uint64_t seed) {
@@ -222,23 +347,28 @@ int main(int argc, char** argv) {
     bench::initObs(argc, argv);
 
     std::int64_t queries = 1'000'000;
+    std::int64_t storeRecords = 20'000;
     std::uint64_t seed = 42;
     std::string jsonPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--queries" && i + 1 < argc) {
             queries = std::atoll(argv[++i]);
+        } else if (arg == "--store-records" && i + 1 < argc) {
+            storeRecords = std::atoll(argv[++i]);
         } else if (arg == "--seed" && i + 1 < argc) {
             seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
         } else if (arg == "--json" && i + 1 < argc) {
             jsonPath = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: bench_serve [--queries N] [--seed S] [--json FILE]\n");
+            std::fprintf(stderr,
+                         "usage: bench_serve [--queries N] [--store-records N] "
+                         "[--seed S] [--json FILE]\n");
             return 2;
         }
     }
-    if (queries < 1) {
-        std::fprintf(stderr, "error: --queries must be >= 1\n");
+    if (queries < 1 || storeRecords < 1) {
+        std::fprintf(stderr, "error: --queries/--store-records must be >= 1\n");
         return 2;
     }
 
@@ -266,8 +396,27 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", t.toAligned().c_str());
 
-    if (!jsonPath.empty()) writeJson(jsonPath, results);
+    const StoreBenchResult sb = runStoreBench(storeRecords, seed);
+    core::Table st({"store path", "records", "rate", "bytes", "round trip"});
+    st.addRow({"append+flush", std::to_string(sb.appendedRecords),
+               core::engFormat(sb.appendPerSec, "rec/s"), std::to_string(sb.logBytes),
+               sb.roundTripIdentical ? "yes" : "NO"});
+    st.addRow({"load", std::to_string(sb.appendedRecords),
+               core::engFormat(sb.loadPerSec, "rec/s"), std::to_string(sb.logBytes),
+               ""});
+    st.addRow({"compact", std::to_string(sb.uniqueRecords),
+               core::engFormat(static_cast<double>(sb.uniqueRecords) /
+                                   sb.compactSeconds,
+                               "rec/s"),
+               std::to_string(sb.compactedBytes), ""});
+    std::printf("%s\n", st.toAligned().c_str());
 
+    if (!jsonPath.empty()) writeJson(jsonPath, results, sb);
+
+    if (!sb.roundTripIdentical) {
+        std::fprintf(stderr, "FAIL: store round trip diverged from written records\n");
+        return 1;
+    }
     if (!allIdentical) {
         std::fprintf(stderr, "FAIL: served results diverged from the reference path\n");
         return 1;

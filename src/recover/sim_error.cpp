@@ -12,6 +12,7 @@ const char* reasonName(SimErrorReason reason) noexcept {
         case SimErrorReason::NanResidual: return "nan_residual";
         case SimErrorReason::NonConvergence: return "non_convergence";
         case SimErrorReason::IoError: return "io_error";
+        case SimErrorReason::CorruptData: return "corrupt_data";
     }
     return "unknown";
 }

@@ -26,13 +26,14 @@ enum class SimErrorReason {
     NanResidual,     ///< non-finite solution or update (NaN/Inf in the solve)
     NonConvergence,  ///< Newton exhausted its iteration budget
     IoError,         ///< file read/write failure
+    CorruptData,     ///< persisted data failed validation (magic/CRC/version)
 };
 
 /// Short stable identifier ("invalid_spec", "step_underflow", ...).
 const char* reasonName(SimErrorReason reason) noexcept;
 
 /// Number of distinct reasons (histogram sizing).
-inline constexpr int kNumSimErrorReasons = 6;
+inline constexpr int kNumSimErrorReasons = 7;
 
 /// How a sweep reacts to one of its trials throwing SimError.
 enum class FailurePolicy {
@@ -51,6 +52,7 @@ inline int exitCodeFor(SimErrorReason reason) noexcept {
         case SimErrorReason::NanResidual: return 6;
         case SimErrorReason::NonConvergence: return 7;
         case SimErrorReason::IoError: return 8;
+        case SimErrorReason::CorruptData: return 9;
     }
     return 1;
 }

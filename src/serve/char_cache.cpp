@@ -104,11 +104,118 @@ void packWord(std::string& key, const tcam::TernaryWord& w) {
     key.push_back('|');
 }
 
+// --- packed WordSimResult payload (fixed layout, kCharSchemaVersion) ------
+
+constexpr std::size_t kPackedDoubles = 9;
+constexpr std::size_t kPackedResultSize = 1 + kPackedDoubles * sizeof(double);
+
 }  // namespace
+
+std::string packResult(const array::WordSimResult& r) {
+    if (r.waveforms.size() != 0)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "serve::packResult",
+                                "results carrying waveforms are not persistable");
+    std::string out;
+    out.reserve(kPackedResultSize);
+    const char flags = static_cast<char>((r.expectedMatch ? 1 : 0) |
+                                         (r.matchDetected ? 2 : 0) |
+                                         (r.detectDelay.has_value() ? 4 : 0));
+    out.push_back(flags);
+    const double doubles[kPackedDoubles] = {
+        r.detectDelay.value_or(0.0), r.mlAtSense, r.mlMin,
+        r.vPrecharge, r.energyMl,    r.energySl,
+        r.energySa,   r.energyStatic, r.energyTotal,
+    };
+    packBytes(out, doubles, sizeof doubles);
+    return out;
+}
+
+std::optional<array::WordSimResult> unpackResult(std::string_view bytes) {
+    if (bytes.size() != kPackedResultSize) return std::nullopt;
+    const char flags = bytes[0];
+    if (flags & ~0x7) return std::nullopt;
+    double doubles[kPackedDoubles];
+    std::memcpy(doubles, bytes.data() + 1, sizeof doubles);
+
+    array::WordSimResult r;
+    r.expectedMatch = flags & 1;
+    r.matchDetected = flags & 2;
+    if (flags & 4) r.detectDelay = doubles[0];
+    r.mlAtSense = doubles[1];
+    r.mlMin = doubles[2];
+    r.vPrecharge = doubles[3];
+    r.energyMl = doubles[4];
+    r.energySl = doubles[5];
+    r.energySa = doubles[6];
+    r.energyStatic = doubles[7];
+    r.energyTotal = doubles[8];
+    return r;
+}
+
+CharacterizationCache::CharacterizationCache(const store::StoreConfig& config) {
+    store::StoreConfig cfg = config;
+    cfg.schemaVersion = kCharSchemaVersion;
+    attachStore(cfg);
+}
+
+CharacterizationCache::~CharacterizationCache() {
+    try {
+        flush();
+    } catch (...) {
+        // Destructor: best effort; complete frames are already buffered.
+    }
+}
+
+void CharacterizationCache::attachStore(const store::StoreConfig& config) {
+    // Constructor-only: no other thread can touch the cache yet, so the map
+    // is filled without taking mutex_ (which also keeps the degrade path
+    // below re-entrancy-safe).
+    try {
+        auto candidate = std::make_unique<store::CharStore>(config);
+        const auto records = candidate->load();
+        for (const auto& rec : records) {
+            const auto result = unpackResult(rec.payload);
+            if (!result || rec.key.empty() ||
+                static_cast<std::uint8_t>(rec.key[0]) != kCharSchemaVersion)
+                throw recover::SimError(
+                    recover::SimErrorReason::CorruptData, "serve::CharacterizationCache",
+                    "store record failed to unpack despite schema gate");
+            entries_.emplace(rec.key, Entry{*result, /*fromStore=*/true});
+        }
+        stats_.entries = static_cast<std::int64_t>(entries_.size());
+        storeStatus_.attached = true;
+        storeStatus_.readOnly = candidate->readOnly();
+        storeStatus_.load = candidate->loadStats();
+        store_ = std::move(candidate);
+    } catch (const recover::SimError& e) {
+        // Typed degradation: serve memory-only (always correct, just cold).
+        entries_.clear();
+        stats_ = {};
+        store_.reset();
+        storeStatus_.attached = true;
+        storeStatus_.readOnly = config.readOnly;
+        storeStatus_.degraded = true;
+        storeStatus_.errorReason = e.reason();
+        storeStatus_.error = e.what();
+        if (obs::enabled()) obs::counter("store.degraded").add();
+    }
+}
+
+void CharacterizationCache::degradeStore(const recover::SimError& e) {
+    storeStatus_.degraded = true;
+    storeStatus_.errorReason = e.reason();
+    storeStatus_.error = e.what();
+    store_.reset();
+    if (obs::enabled()) obs::counter("store.degraded").add();
+}
 
 std::string CharacterizationCache::keyOf(const array::WordSimOptions& o) {
     std::string key;
     key.reserve(512);
+    // Schema-version byte first: any change to the packed layouts below
+    // bumps kCharSchemaVersion, so keys from different layouts can never
+    // alias — in memory or on disk.
+    key.push_back(static_cast<char>(kCharSchemaVersion));
     packConfig(key, o.config);
     packWord(key, o.stored);
     packWord(key, o.key);
@@ -136,22 +243,44 @@ array::WordSimResult CharacterizationCache::characterize(const array::WordSimOpt
         const auto it = entries_.find(key);
         if (it != entries_.end()) {
             ++stats_.hits;
+            const bool fromStore = it->second.fromStore;
+            if (fromStore) ++stats_.storeHits;
             if (obs::enabled()) {
                 static obs::Counter& hits = obs::counter("serve.cache.hits");
                 hits.add();
+                if (fromStore) {
+                    static obs::Counter& storeHits = obs::counter("store.hits");
+                    storeHits.add();
+                    // Fraction of characterizations the warm restart avoided:
+                    // without the store every storeHit's first touch would
+                    // have been a solver miss.
+                    obs::gauge("store.hit_rate_delta")
+                        .set(static_cast<double>(stats_.storeHits) /
+                             static_cast<double>(stats_.hits + stats_.misses));
+                }
             }
-            return it->second;
+            return it->second.result;
         }
     }
 
     // Miss: pay the one real transient, outside the lock so concurrent
     // distinct keys characterize in parallel.
     const auto result = array::simulateWordSearch(o);
+    bool inserted = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.misses;
-        entries_.emplace(std::move(key), result);  // racing insert: same value
+        // Racing insert: same key, same value; only the winner persists it.
+        inserted = entries_.emplace(key, Entry{result, /*fromStore=*/false}).second;
         stats_.entries = static_cast<std::int64_t>(entries_.size());
+        if (inserted && store_ && !store_->readOnly()) {
+            try {
+                store_->append(key, packResult(result));
+                ++storeStatus_.appended;
+            } catch (const recover::SimError& e) {
+                degradeStore(e);
+            }
+        }
     }
     if (obs::enabled()) {
         static obs::Counter& misses = obs::counter("serve.cache.misses");
@@ -164,9 +293,40 @@ array::WordSimFn CharacterizationCache::provider() {
     return [this](const array::WordSimOptions& o) { return characterize(o); };
 }
 
+void CharacterizationCache::flush() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!store_ || store_->readOnly()) return;
+    try {
+        store_->flush();
+    } catch (const recover::SimError& e) {
+        degradeStore(e);
+    }
+}
+
+bool CharacterizationCache::compact() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!store_ || store_->readOnly()) return false;
+    std::vector<store::Record> records;
+    records.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_)
+        records.push_back({key, packResult(entry.result)});
+    try {
+        store_->compact(records);
+    } catch (const recover::SimError& e) {
+        degradeStore(e);
+        return false;
+    }
+    return true;
+}
+
 CacheStats CharacterizationCache::stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
+}
+
+StoreStatus CharacterizationCache::storeStatus() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return storeStatus_;
 }
 
 void CharacterizationCache::clear() {

@@ -13,6 +13,14 @@
 // (evaluateArray / evaluateBank / TcamMacro all accept a provider), so the
 // cached and uncached paths share every line of scaling arithmetic.
 //
+// Persistence: constructed with a store::StoreConfig the cache becomes a
+// warm-restartable service — prior characterizations load from the on-disk
+// record log at build time, misses append write-behind, and flush()/
+// compact() manage durability. A store that fails to open or validate
+// (locked, corrupt, version drift) degrades the cache to memory-only with a
+// typed error in storeStatus(): cold characterization is always correct,
+// stale or torn bytes never are.
+//
 // Thread safety: characterize() may be called concurrently; a map mutex
 // protects lookups/inserts and misses simulate outside the lock. Two threads
 // racing on the same cold key both simulate and insert identical results, so
@@ -23,24 +31,70 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "array/energy_model.hpp"
+#include "recover/sim_error.hpp"
+#include "store/char_store.hpp"
 
 namespace fetcam::serve {
+
+/// Layout version of the packed characterization schema: the cache key bytes
+/// (every packed struct below keyOf) AND the packed WordSimResult payload.
+/// It is the first byte of every key and the schemaVersion of every store
+/// file. Bump it whenever TechCard / MosfetParams / FerroParams /
+/// ArrayConfig / the key packing / the result packing change shape, so a
+/// rebuilt binary can never read a stale store as current physics.
+/// (Version 1 was the unversioned PR-4 in-memory-only key layout.)
+inline constexpr std::uint8_t kCharSchemaVersion = 2;
 
 struct CacheStats {
     std::int64_t hits = 0;
     std::int64_t misses = 0;    ///< each miss paid one full word transient
     std::int64_t bypasses = 0;  ///< uncacheable requests (variations/waveforms)
     std::int64_t entries = 0;   ///< resident characterized points
+    std::int64_t storeHits = 0;  ///< hits served by store-loaded entries
 };
+
+/// Health of the persistent backing, for tools and tests.
+struct StoreStatus {
+    bool attached = false;  ///< a store is live behind this cache
+    bool readOnly = false;
+    bool degraded = false;  ///< open/load failed; serving memory-only
+    recover::SimErrorReason errorReason = recover::SimErrorReason::IoError;
+    std::string error;  ///< empty when healthy
+    store::LoadStats load;
+    std::int64_t appended = 0;
+};
+
+/// Pack a cacheable WordSimResult (no waveforms) into the fixed-layout store
+/// payload. Throws SimError(InvalidSpec) if the result carries waveforms.
+std::string packResult(const array::WordSimResult& result);
+
+/// Inverse of packResult. nullopt when `bytes` is not a valid payload (e.g.
+/// schema drift that slipped past the version gate).
+std::optional<array::WordSimResult> unpackResult(std::string_view bytes);
 
 class CharacterizationCache {
 public:
-    /// The cache key serialized from a request: cell kind, sense scheme and
-    /// every design option, stage width, stored/key trits (which carry the
-    /// mismatch count), search-cycle timing, and the full tech card (VDD,
+    /// In-memory-only cache (PR-4 behavior).
+    CharacterizationCache() = default;
+
+    /// Store-backed cache: opens `config.dir`, loads every persisted
+    /// characterization, and write-behind-appends future misses (unless
+    /// read-only). Never throws for store trouble — a store that cannot be
+    /// used leaves the cache memory-only with the typed failure recorded in
+    /// storeStatus().
+    explicit CharacterizationCache(const store::StoreConfig& config);
+
+    ~CharacterizationCache();
+
+    /// The cache key serialized from a request: one schema-version byte
+    /// (kCharSchemaVersion), then cell kind, sense scheme and every design
+    /// option, stage width, stored/key trits (which carry the mismatch
+    /// count), search-cycle timing, and the full tech card (VDD,
     /// temperature, and every device parameter, so corner or re-derived
     /// cards can never alias). Exposed for tests.
     static std::string keyOf(const array::WordSimOptions& options);
@@ -58,13 +112,32 @@ public:
     /// The returned function references *this; keep the cache alive.
     array::WordSimFn provider();
 
+    /// Push write-behind appends to disk (no-op without a writable store).
+    void flush();
+
+    /// Snapshot the resident entries into a deduplicated log, atomically
+    /// replacing the append history. Returns false (doing nothing) without a
+    /// writable store.
+    bool compact();
+
     CacheStats stats() const;
-    void clear();
+    StoreStatus storeStatus() const;
+    void clear();  ///< resident entries + stats; the on-disk log is untouched
 
 private:
+    struct Entry {
+        array::WordSimResult result;
+        bool fromStore = false;
+    };
+
+    void attachStore(const store::StoreConfig& config);
+    void degradeStore(const recover::SimError& e);
+
     mutable std::mutex mutex_;
-    std::map<std::string, array::WordSimResult> entries_;
+    std::map<std::string, Entry> entries_;
     CacheStats stats_;
+    std::unique_ptr<store::CharStore> store_;  ///< null when memory-only
+    StoreStatus storeStatus_;
 };
 
 }  // namespace fetcam::serve

@@ -10,9 +10,19 @@
 
 namespace fetcam::serve {
 
+namespace {
+
+std::shared_ptr<CharacterizationCache> makeCache(const EngineOptions& options) {
+    if (options.store.enabled())
+        return std::make_shared<CharacterizationCache>(options.store);
+    return std::make_shared<CharacterizationCache>();
+}
+
+}  // namespace
+
 QueryEngine::QueryEngine(EngineOptions options, std::shared_ptr<CharacterizationCache> cache)
     : options_(std::move(options)),
-      cache_(cache ? std::move(cache) : std::make_shared<CharacterizationCache>()) {
+      cache_(cache ? std::move(cache) : makeCache(options_)) {
     if (options_.capacity < 1)
         throw recover::SimError(recover::SimErrorReason::InvalidSpec, "QueryEngine",
                                 "capacity must be >= 1");
@@ -22,6 +32,9 @@ QueryEngine::QueryEngine(EngineOptions options, std::shared_ptr<Characterization
     if (options_.batchSize < 1)
         throw recover::SimError(recover::SimErrorReason::InvalidSpec, "QueryEngine",
                                 "batchSize must be >= 1");
+    if (options_.admission.maxInFlightBatches < 0)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "QueryEngine",
+                                "admission.maxInFlightBatches must be >= 0");
     obs::SpanGuard span("serve.engine.build",
                         {{"capacity", static_cast<long long>(options_.capacity)},
                          {"wordBits", options_.shard.wordBits}});
@@ -92,11 +105,14 @@ BatchResult QueryEngine::searchBatch(const std::vector<tcam::TernaryWord>& keys,
                                     "QueryEngine::searchBatch", "key width mismatch");
 
     const bool obsOn = obs::enabled();
-    if (obsOn && shardHists_.empty()) {
-        shardHists_.reserve(static_cast<std::size_t>(shards()));
-        for (std::int64_t s = 0; s < shards(); ++s)
-            shardHists_.push_back(
-                &obs::histogram("serve.shard" + std::to_string(s) + ".seconds"));
+    if (obsOn) {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        if (shardHists_.empty()) {
+            shardHists_.reserve(static_cast<std::size_t>(shards()));
+            for (std::int64_t s = 0; s < shards(); ++s)
+                shardHists_.push_back(
+                    &obs::histogram("serve.shard" + std::to_string(s) + ".seconds"));
+        }
     }
     const double t0 = obsOn ? obs::monotonicSeconds() : 0.0;
 
@@ -135,10 +151,13 @@ BatchResult QueryEngine::searchBatch(const std::vector<tcam::TernaryWord>& keys,
     out.energy = bank_.totalPerSearch() * static_cast<double>(n);
     out.latency = bank_.searchDelay;
 
-    stats_.queries += n;
-    stats_.hits += out.hits;
-    stats_.batches += 1;
-    stats_.searchEnergy += out.energy;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        stats_.queries += n;
+        stats_.hits += out.hits;
+        stats_.batches += 1;
+        stats_.searchEnergy += out.energy;
+    }
 
     if (obsOn) {
         static obs::Counter& queries = obs::counter("serve.queries");
@@ -155,16 +174,59 @@ BatchResult QueryEngine::searchBatch(const std::vector<tcam::TernaryWord>& keys,
     return out;
 }
 
+SubmitResult QueryEngine::submitBatch(const std::vector<tcam::TernaryWord>& keys, int jobs) {
+    const int limit = options_.admission.maxInFlightBatches;
+    // fetch_add-then-check keeps the bound exact under races: whoever reads
+    // a pre-increment count at or above the limit backs out, so at most
+    // `limit` submissions ever run concurrently.
+    if (inFlight_.fetch_add(1, std::memory_order_acq_rel) >= limit && limit > 0) {
+        inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.shed;
+        }
+        if (obs::enabled()) {
+            static obs::Counter& shed = obs::counter("serve.admission.shed");
+            shed.add();
+        }
+        return {BatchAdmission::Shed, {}};
+    }
+
+    SubmitResult out;
+    try {
+        out.result = searchBatch(keys, jobs);
+    } catch (...) {
+        inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+        throw;
+    }
+    inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.accepted;
+    }
+    if (obs::enabled()) {
+        static obs::Counter& accepted = obs::counter("serve.admission.accepted");
+        accepted.add();
+    }
+    return out;
+}
+
+EngineStats QueryEngine::stats() const {
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return stats_;
+}
+
 std::string QueryEngine::report() const {
+    const EngineStats s = stats();
     std::ostringstream os;
     os << "serve::QueryEngine " << capacity() << " words (" << shards() << " shards x "
        << rowsPerShard() << " rows, " << wordBits() << "b)\n";
     os << "  occupancy      " << occupancy() << "\n";
-    os << "  queries        " << stats_.queries << " (" << stats_.hits << " hits, "
-       << stats_.batches << " batches)\n";
+    os << "  queries        " << s.queries << " (" << s.hits << " hits, "
+       << s.batches << " batches)\n";
     os << "  energy/query   " << core::engFormat(energyPerQuery(), "J") << "\n";
     os << "  query latency  " << core::engFormat(queryLatency(), "s") << "\n";
-    os << "  search energy  " << core::engFormat(stats_.searchEnergy, "J") << "\n";
+    os << "  search energy  " << core::engFormat(s.searchEnergy, "J") << "\n";
     return os.str();
 }
 

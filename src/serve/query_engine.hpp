@@ -14,14 +14,28 @@
 //     row) and a merge stage picks the globally lowest row, exactly like the
 //     two-level priority encoder the bank model prices.
 //
+// Persistence: EngineOptions.store names a characterization-store directory;
+// when set (and no shared cache is passed in) the engine builds on a
+// store-backed cache, so a restarted service replays prior characterizations
+// from disk instead of re-running the solver — bit-identical by the same
+// provider contract that makes the in-memory cache invisible.
+//
+// Admission control: submitBatch() bounds the number of concurrently
+// in-flight batches (EngineOptions.admission) and sheds the excess with a
+// typed result instead of queueing unboundedly — what a loaded service does
+// when offered queries/s exceeds what the worker team sustains.
+//
 // obs integration (when obs::enabled()): serve.queries / serve.hits /
-// serve.batches counters, serve.qps gauge, a serve.batch.seconds histogram,
-// per-shard serve.shard<i>.seconds latency histograms, and serve.cache.*
-// from the underlying cache.
+// serve.batches counters, serve.admission.accepted / serve.admission.shed,
+// serve.qps gauge, a serve.batch.seconds histogram, per-shard
+// serve.shard<i>.seconds latency histograms, serve.cache.* from the
+// underlying cache, and store.* from its persistent backing.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,6 +49,12 @@ class Histogram;
 
 namespace fetcam::serve {
 
+struct AdmissionOptions {
+    /// Batches allowed in flight at once through submitBatch(); offered
+    /// batches beyond this are shed with a typed result. 0 = unbounded.
+    int maxInFlightBatches = 0;
+};
+
 struct EngineOptions {
     device::TechCard tech = device::TechCard::cmos45();
     /// Per-shard sub-array geometry; shard.rows is the shard size.
@@ -46,6 +66,10 @@ struct EngineOptions {
     /// Queries per fan-out tile: batches split into tiles of this many
     /// queries and tiles run across the worker team.
     int batchSize = 4096;
+    /// Persistent characterization store (store.dir empty = memory-only).
+    /// Only consulted when no shared cache is passed to the constructor.
+    store::StoreConfig store;
+    AdmissionOptions admission;
 };
 
 /// Result of one batched search. `rows[i]` is the globally lowest matching
@@ -63,6 +87,20 @@ struct EngineStats {
     std::int64_t hits = 0;
     std::int64_t batches = 0;
     double searchEnergy = 0.0;  ///< [J] accumulated
+    std::int64_t accepted = 0;  ///< batches admitted through submitBatch
+    std::int64_t shed = 0;      ///< batches refused by admission control
+};
+
+/// Typed outcome of an admission-controlled submission.
+enum class BatchAdmission {
+    Accepted,  ///< ran; `result` is valid
+    Shed,      ///< refused: too many batches already in flight
+};
+
+struct SubmitResult {
+    BatchAdmission admission = BatchAdmission::Accepted;
+    BatchResult result;  ///< valid only when admitted
+    bool admitted() const { return admission == BatchAdmission::Accepted; }
 };
 
 class QueryEngine {
@@ -71,8 +109,9 @@ public:
     static constexpr std::int64_t kMaxCapacity = std::int64_t{1} << 28;
 
     /// Characterizes the bank up front through `cache` (shared across
-    /// engines to amortize; a private cache is created when omitted). After
-    /// construction, serving never runs the solver.
+    /// engines to amortize; when omitted, a private cache is created —
+    /// store-backed if options.store.dir is set). After construction,
+    /// serving never runs the solver.
     explicit QueryEngine(EngineOptions options,
                          std::shared_ptr<CharacterizationCache> cache = {});
 
@@ -88,6 +127,16 @@ public:
     /// cold vs. warm caches.
     BatchResult searchBatch(const std::vector<tcam::TernaryWord>& keys, int jobs = 0);
 
+    /// searchBatch behind admission control: when
+    /// options.admission.maxInFlightBatches concurrent submissions are
+    /// already running, the batch is shed (typed result, no partial work, no
+    /// query accounting) instead of queueing. Thread-safe; entries must not
+    /// be mutated concurrently with serving.
+    SubmitResult submitBatch(const std::vector<tcam::TernaryWord>& keys, int jobs = 0);
+
+    /// Batches currently inside submitBatch (admission gauge).
+    int inFlightBatches() const { return inFlight_.load(std::memory_order_relaxed); }
+
     // --- introspection ---
     std::int64_t capacity() const { return static_cast<std::int64_t>(entries_.size()); }
     std::int64_t occupancy() const { return occupied_; }
@@ -97,8 +146,11 @@ public:
     const array::BankMetrics& hardware() const { return bank_; }
     double energyPerQuery() const { return bank_.totalPerSearch(); }
     double queryLatency() const { return bank_.searchDelay; }
-    const EngineStats& stats() const { return stats_; }
+    EngineStats stats() const;
     const std::shared_ptr<CharacterizationCache>& cache() const { return cache_; }
+    /// Persistence health of the underlying cache (memory-only when the
+    /// engine was built without a store).
+    StoreStatus storeStatus() const { return cache_->storeStatus(); }
 
     /// Deterministic text report: geometry, served-query accounting and the
     /// per-query hardware price. Identical for cold/warm caches and any
@@ -116,7 +168,9 @@ private:
     array::BankMetrics bank_;
     std::vector<std::optional<tcam::TernaryWord>> entries_;
     std::int64_t occupied_ = 0;
+    mutable std::mutex statsMutex_;  ///< guards stats_ + shardHists_ init
     EngineStats stats_;
+    std::atomic<int> inFlight_{0};
     std::vector<obs::Histogram*> shardHists_;  ///< filled lazily when obs is on
 };
 

@@ -1,0 +1,111 @@
+// CharStore: crash-safe persistent characterization store.
+//
+// A store is a directory holding one append-only record log (`char.fcs`)
+// plus a writer lock file (`char.lock`). Lifecycle:
+//
+//   * construction creates the directory (read-write mode) and takes an
+//     exclusive advisory lock, so two writing processes can never interleave
+//     appends into one log;
+//   * load() streams and validates the log. A torn tail (crash mid-append)
+//     is salvaged — the valid prefix is kept and the tail truncated before
+//     the writer reattaches. A log that fails validation outright (bad
+//     magic/CRC, container or schema version drift) is *quarantined* to
+//     `char.fcs.corrupt` in read-write mode and a fresh log started; in
+//     read-only mode the typed SimError(CorruptData) propagates so the
+//     caller can fall back to cold characterization;
+//   * append() write-behind-appends one record; flush() makes everything
+//     appended so far durable (fflush + fsync);
+//   * compact() atomically replaces the log with a deduplicated snapshot
+//     (write to `char.fcs.tmp`, fsync, rename over the log).
+//
+// obs metrics (when obs::enabled()): store.records.loaded / .salvaged /
+// .appended counters and a store.load span with per-load fields.
+//
+// Thread safety: load() is construction-time single-shot; append/flush/
+// compact serialize on an internal mutex so the serve cache can append from
+// concurrent characterize() misses.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "store/record_log.hpp"
+
+namespace fetcam::store {
+
+struct StoreConfig {
+    std::string dir;                  ///< store directory; empty = no store
+    bool readOnly = false;            ///< load only: no lock, no appends
+    std::uint32_t schemaVersion = 0;  ///< key/payload layout the caller packs
+
+    bool enabled() const { return !dir.empty(); }
+};
+
+struct LoadStats {
+    std::int64_t recordsLoaded = 0;    ///< usable records handed to the caller
+    std::int64_t recordsSalvaged = 0;  ///< loaded from a log with a torn tail
+    std::int64_t bytesLoaded = 0;
+    std::int64_t tailBytesDropped = 0;  ///< torn bytes truncated away
+    bool truncatedTail = false;
+    bool startedFresh = false;  ///< no usable prior log existed
+    bool quarantined = false;   ///< prior log failed validation, set aside
+    std::string quarantineReason;
+    double loadSeconds = 0.0;
+};
+
+class CharStore {
+public:
+    static constexpr const char* kLogName = "char.fcs";
+    static constexpr const char* kLockName = "char.lock";
+    static constexpr const char* kQuarantineSuffix = ".corrupt";
+    static constexpr const char* kCompactSuffix = ".tmp";
+
+    /// Opens the store directory. Read-write mode creates it when missing
+    /// and takes the writer lock. Throws SimError(IoError) when the
+    /// directory cannot be created or another writer holds the lock.
+    explicit CharStore(StoreConfig config);
+    ~CharStore();
+    CharStore(const CharStore&) = delete;
+    CharStore& operator=(const CharStore&) = delete;
+
+    /// Single-shot: read every valid record and (read-write mode) attach the
+    /// appender after the last valid frame. See class comment for the
+    /// salvage/quarantine rules. Throws SimError(CorruptData) only in
+    /// read-only mode; SimError(InvalidSpec) when called twice.
+    std::vector<Record> load();
+
+    /// Append one record (write-behind: buffered until flush()). Throws
+    /// SimError(InvalidSpec) in read-only mode or before load().
+    void append(std::string_view key, std::string_view payload);
+
+    /// Make every appended record durable.
+    void flush();
+
+    /// Atomically replace the log with exactly `records` (the caller dedups;
+    /// the store just snapshots). Throws SimError(InvalidSpec) in read-only
+    /// mode or before load().
+    void compact(const std::vector<Record>& records);
+
+    const StoreConfig& config() const { return config_; }
+    const LoadStats& loadStats() const { return loadStats_; }
+    std::int64_t appendedRecords() const;
+    std::int64_t logBytes() const;
+    std::string logPath() const;
+    bool readOnly() const { return config_.readOnly; }
+
+private:
+    void openWriterLocked(std::int64_t resumeOffset);
+
+    StoreConfig config_;
+    LoadStats loadStats_;
+    bool loaded_ = false;
+    int lockFd_ = -1;
+
+    mutable std::mutex mutex_;  ///< guards writer_ + appended_
+    LogWriter writer_;
+    std::int64_t appended_ = 0;
+};
+
+}  // namespace fetcam::store

@@ -1,0 +1,68 @@
+#include "store/format.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace fetcam::store {
+
+namespace {
+
+std::array<std::uint32_t, 256> makeCrcTable() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+void put32(std::string& out, std::uint32_t v) {
+    char buf[sizeof v];
+    std::memcpy(buf, &v, sizeof v);
+    out.append(buf, sizeof v);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::string encodeFileHeader(std::uint32_t schemaVersion) {
+    std::string out;
+    out.reserve(kFileHeaderSize);
+    out.append(kFileMagic, kMagicSize);
+    put32(out, kFormatVersion);
+    put32(out, schemaVersion);
+    put32(out, crc32(out.data(), out.size()));
+    return out;
+}
+
+std::string encodeRecord(std::string_view key, std::string_view payload) {
+    std::string out;
+    out.reserve(kRecordHeaderSize + key.size() + payload.size());
+    put32(out, kRecordMagic);
+    const auto keyLen = static_cast<std::uint32_t>(key.size());
+    const auto payloadLen = static_cast<std::uint32_t>(payload.size());
+    // CRC covers the lengths too, so a corrupted length can never frame a
+    // "valid" record out of someone else's bytes.
+    std::string crcInput;
+    crcInput.reserve(2 * sizeof(std::uint32_t) + key.size() + payload.size());
+    put32(crcInput, keyLen);
+    put32(crcInput, payloadLen);
+    crcInput.append(key);
+    crcInput.append(payload);
+    put32(out, keyLen);
+    put32(out, payloadLen);
+    put32(out, crc32(crcInput.data(), crcInput.size()));
+    out.append(key);
+    out.append(payload);
+    return out;
+}
+
+}  // namespace fetcam::store

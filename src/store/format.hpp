@@ -1,0 +1,64 @@
+// On-disk format for the persistent characterization store.
+//
+// A store log is a fixed header followed by append-only records:
+//
+//   file header (20 bytes)
+//     magic          8 bytes   "FCSTORE\0"
+//     formatVersion  u32       container layout (kFormatVersion)
+//     schemaVersion  u32       key/payload packing version supplied by the
+//                              layer above (serve::kCharSchemaVersion) —
+//                              bumped whenever the packed key or result
+//                              layout changes, so stale physics can never
+//                              silently alias into served results
+//     headerCrc      u32       CRC-32 of the 16 preceding bytes
+//
+//   record (16-byte header + body), repeated
+//     recordMagic    u32       kRecordMagic
+//     keyLen         u32
+//     payloadLen     u32
+//     crc            u32       CRC-32 of keyLen || payloadLen || key || payload
+//     key            keyLen bytes
+//     payload        payloadLen bytes
+//
+// Integers and the payload doubles are native-endian: the log is a local
+// warm-restart cache, not an interchange format, and the schema version
+// guards every layout assumption the bytes make.
+//
+// Crash-safety argument: appends only ever grow the file, and a record's CRC
+// is computed over its full body before any byte is written, so a crash mid-
+// append leaves exactly one torn frame at the tail. Readers salvage the
+// valid prefix (kept records are bounded by the last complete, CRC-valid
+// frame) and writers truncate the torn tail before appending again. Any
+// mismatch *inside* the prefix — bad magic, bad CRC, version drift — is real
+// corruption and surfaces as a typed error instead of wrong numbers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fetcam::store {
+
+inline constexpr std::size_t kMagicSize = 8;
+inline constexpr char kFileMagic[kMagicSize] = {'F', 'C', 'S', 'T', 'O', 'R', 'E', '\0'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kRecordMagic = 0x46435245u;  // "FCRE"
+
+inline constexpr std::size_t kFileHeaderSize = kMagicSize + 3 * sizeof(std::uint32_t);
+inline constexpr std::size_t kRecordHeaderSize = 4 * sizeof(std::uint32_t);
+
+/// Per-field sanity ceiling: no packed key or result comes anywhere close,
+/// so a length beyond this is corruption, not a big record.
+inline constexpr std::uint32_t kMaxFieldBytes = 1u << 24;
+
+/// CRC-32 (IEEE 802.3, poly 0xEDB88320). `seed` chains partial computations.
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+/// Serialized 20-byte file header for a log carrying `schemaVersion` data.
+std::string encodeFileHeader(std::uint32_t schemaVersion);
+
+/// Serialized record frame (header + key + payload), CRC filled in.
+std::string encodeRecord(std::string_view key, std::string_view payload);
+
+}  // namespace fetcam::store

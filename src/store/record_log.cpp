@@ -1,0 +1,182 @@
+#include "store/record_log.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "recover/sim_error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define FETCAM_STORE_HAVE_FSYNC 1
+#endif
+
+namespace fetcam::store {
+
+namespace {
+
+using recover::SimError;
+using recover::SimErrorReason;
+
+std::uint32_t get32(const std::string& data, std::size_t offset) {
+    std::uint32_t v;
+    std::memcpy(&v, data.data() + offset, sizeof v);
+    return v;
+}
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& message) {
+    throw SimError(SimErrorReason::CorruptData, "store::readLog", path + ": " + message);
+}
+
+}  // namespace
+
+std::vector<Record> readLog(const std::string& path, std::uint32_t schemaVersion,
+                            ReadStats& stats) {
+    stats = {};
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SimError(SimErrorReason::IoError, "store::readLog", "cannot open " + path);
+    std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    if (in.bad())
+        throw SimError(SimErrorReason::IoError, "store::readLog", "read failed on " + path);
+
+    // Shorter than a header: a crash between create and header write left a
+    // torn stub. Salvage to an empty log.
+    if (data.size() < kFileHeaderSize) {
+        stats.truncatedTail = !data.empty();
+        stats.tailBytesDropped = static_cast<std::int64_t>(data.size());
+        return {};
+    }
+
+    if (std::memcmp(data.data(), kFileMagic, kMagicSize) != 0)
+        corrupt(path, "bad file magic");
+    const std::uint32_t headerCrc = get32(data, kMagicSize + 8);
+    if (crc32(data.data(), kMagicSize + 8) != headerCrc)
+        corrupt(path, "file header CRC mismatch");
+    const std::uint32_t formatVersion = get32(data, kMagicSize);
+    if (formatVersion != kFormatVersion)
+        corrupt(path, "unsupported container format version " + std::to_string(formatVersion) +
+                          " (expected " + std::to_string(kFormatVersion) + ")");
+    const std::uint32_t fileSchema = get32(data, kMagicSize + 4);
+    if (fileSchema != schemaVersion)
+        corrupt(path, "characterization schema version mismatch (file " +
+                          std::to_string(fileSchema) + ", expected " +
+                          std::to_string(schemaVersion) + ")");
+
+    std::vector<Record> records;
+    std::size_t offset = kFileHeaderSize;
+    stats.goodOffset = static_cast<std::int64_t>(offset);
+    while (offset < data.size()) {
+        const std::size_t remaining = data.size() - offset;
+        if (remaining < kRecordHeaderSize) {
+            stats.truncatedTail = true;  // torn mid-header
+            break;
+        }
+        const std::uint32_t magic = get32(data, offset);
+        if (magic != kRecordMagic)
+            corrupt(path, "bad record magic at offset " + std::to_string(offset));
+        const std::uint32_t keyLen = get32(data, offset + 4);
+        const std::uint32_t payloadLen = get32(data, offset + 8);
+        const std::uint32_t crc = get32(data, offset + 12);
+        if (keyLen > kMaxFieldBytes || payloadLen > kMaxFieldBytes)
+            corrupt(path, "implausible record length at offset " + std::to_string(offset));
+        const std::size_t frame =
+            kRecordHeaderSize + static_cast<std::size_t>(keyLen) + payloadLen;
+        if (remaining < frame) {
+            stats.truncatedTail = true;  // torn mid-body
+            break;
+        }
+        // CRC spans lengths + key + payload; the two length words sit right
+        // before the key bytes only in the CRC input, not in the file, so
+        // recompute over a contiguous view of lengths-then-body.
+        std::uint32_t check = crc32(data.data() + offset + 4, 8);
+        check = crc32(data.data() + offset + kRecordHeaderSize, frame - kRecordHeaderSize,
+                      check);
+        if (check != crc)
+            corrupt(path, "record CRC mismatch at offset " + std::to_string(offset));
+
+        Record r;
+        r.key.assign(data, offset + kRecordHeaderSize, keyLen);
+        r.payload.assign(data, offset + kRecordHeaderSize + keyLen, payloadLen);
+        records.push_back(std::move(r));
+        offset += frame;
+        stats.goodOffset = static_cast<std::int64_t>(offset);
+    }
+    stats.records = static_cast<std::int64_t>(records.size());
+    stats.bytes = stats.goodOffset;
+    stats.tailBytesDropped = static_cast<std::int64_t>(data.size()) - stats.goodOffset;
+    return records;
+}
+
+LogWriter::~LogWriter() { close(); }
+
+void LogWriter::open(const std::string& path, std::uint32_t schemaVersion,
+                     std::int64_t resumeOffset) {
+    close();
+    if (resumeOffset >= 0) {
+        // Drop any torn tail before appending: the file must end on the last
+        // valid frame so the next reader never sees our frames mid-garbage.
+        std::error_code ec;
+        std::filesystem::resize_file(path, static_cast<std::uintmax_t>(resumeOffset), ec);
+        if (ec)
+            throw SimError(SimErrorReason::IoError, "store::LogWriter",
+                           "cannot truncate " + path + " to resume offset: " + ec.message());
+        file_ = std::fopen(path.c_str(), "ab");
+        if (!file_)
+            throw SimError(SimErrorReason::IoError, "store::LogWriter",
+                           "cannot open " + path + " for append: " +
+                               std::string(std::strerror(errno)));
+        fileBytes_ = resumeOffset;
+        if (resumeOffset == 0) {
+            const std::string header = encodeFileHeader(schemaVersion);
+            if (std::fwrite(header.data(), 1, header.size(), file_) != header.size())
+                throw SimError(SimErrorReason::IoError, "store::LogWriter",
+                               "header write failed on " + path);
+            fileBytes_ += static_cast<std::int64_t>(header.size());
+        }
+    } else {
+        file_ = std::fopen(path.c_str(), "wb");
+        if (!file_)
+            throw SimError(SimErrorReason::IoError, "store::LogWriter",
+                           "cannot create " + path + ": " + std::string(std::strerror(errno)));
+        const std::string header = encodeFileHeader(schemaVersion);
+        if (std::fwrite(header.data(), 1, header.size(), file_) != header.size())
+            throw SimError(SimErrorReason::IoError, "store::LogWriter",
+                           "header write failed on " + path);
+        fileBytes_ = static_cast<std::int64_t>(header.size());
+    }
+    path_ = path;
+}
+
+void LogWriter::append(std::string_view key, std::string_view payload) {
+    if (!file_)
+        throw SimError(SimErrorReason::InvalidSpec, "store::LogWriter",
+                       "append on a closed writer");
+    const std::string frame = encodeRecord(key, payload);
+    if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size())
+        throw SimError(SimErrorReason::IoError, "store::LogWriter",
+                       "record append failed on " + path_);
+    fileBytes_ += static_cast<std::int64_t>(frame.size());
+}
+
+void LogWriter::flush() {
+    if (!file_) return;
+    if (std::fflush(file_) != 0)
+        throw SimError(SimErrorReason::IoError, "store::LogWriter",
+                       "flush failed on " + path_);
+#ifdef FETCAM_STORE_HAVE_FSYNC
+    if (::fsync(::fileno(file_)) != 0)
+        throw SimError(SimErrorReason::IoError, "store::LogWriter",
+                       "fsync failed on " + path_);
+#endif
+}
+
+void LogWriter::close() {
+    if (!file_) return;
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+}  // namespace fetcam::store

@@ -1,0 +1,81 @@
+// Streaming reader and append-only writer for a single store log file.
+//
+// readLog() validates magic, versions, and every record CRC. A partial frame
+// at end-of-file — the signature of a crash mid-append — is *salvage*: the
+// valid prefix is returned and the torn bytes reported through ReadStats.
+// Anything invalid inside the prefix (bad magic, bad CRC, version drift) is
+// a typed recover::SimError(CorruptData): the caller decides whether to
+// quarantine and re-characterize cold, but it never gets wrong bytes.
+//
+// LogWriter appends complete frames through a stdio stream; flush() pushes
+// them to the OS and fsyncs so a flushed record survives a process crash.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/format.hpp"
+
+namespace fetcam::store {
+
+/// One persisted characterization: packed cache key + packed result.
+struct Record {
+    std::string key;
+    std::string payload;
+
+    bool operator==(const Record&) const = default;
+};
+
+struct ReadStats {
+    std::int64_t records = 0;         ///< valid records returned
+    std::int64_t bytes = 0;           ///< header + valid record bytes
+    std::int64_t goodOffset = 0;      ///< offset just past the last valid record
+    std::int64_t tailBytesDropped = 0;  ///< torn bytes beyond goodOffset
+    bool truncatedTail = false;
+};
+
+/// Read and validate an entire log. Throws recover::SimError:
+///   IoError     — the file cannot be opened or read
+///   CorruptData — bad file magic, header CRC, container/schema version
+///                 mismatch, bad record magic, or a record CRC mismatch
+/// A file too short to hold even the header counts as a torn tail (crash
+/// between create and header write), not corruption.
+std::vector<Record> readLog(const std::string& path, std::uint32_t schemaVersion,
+                            ReadStats& stats);
+
+/// Append-only writer for one log file.
+class LogWriter {
+public:
+    LogWriter() = default;
+    ~LogWriter();
+    LogWriter(const LogWriter&) = delete;
+    LogWriter& operator=(const LogWriter&) = delete;
+
+    /// Open `path` for appending. `resumeOffset < 0` creates/truncates the
+    /// file and writes a fresh header; otherwise the file is truncated to
+    /// `resumeOffset` (dropping any torn tail readLog reported) and appends
+    /// continue from there. Throws SimError(IoError) on failure.
+    void open(const std::string& path, std::uint32_t schemaVersion,
+              std::int64_t resumeOffset = -1);
+
+    void append(std::string_view key, std::string_view payload);
+
+    /// Flush buffered frames and fsync to disk.
+    void flush();
+
+    void close();
+    bool isOpen() const { return file_ != nullptr; }
+
+    /// Total file bytes (resume point plus everything appended since).
+    std::int64_t fileBytes() const { return fileBytes_; }
+
+private:
+    std::FILE* file_ = nullptr;
+    std::string path_;
+    std::int64_t fileBytes_ = 0;
+};
+
+}  // namespace fetcam::store

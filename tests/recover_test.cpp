@@ -67,6 +67,8 @@ TEST(Recover, StableNames) {
     EXPECT_STREQ(recover::reasonName(SimErrorReason::NanResidual), "nan_residual");
     EXPECT_STREQ(recover::reasonName(SimErrorReason::NonConvergence), "non_convergence");
     EXPECT_STREQ(recover::reasonName(SimErrorReason::IoError), "io_error");
+    EXPECT_STREQ(recover::reasonName(SimErrorReason::CorruptData), "corrupt_data");
+    EXPECT_EQ(recover::exitCodeFor(SimErrorReason::CorruptData), 9);
 
     EXPECT_STREQ(recover::rungName(RescueRung::TightenDamping), "damping");
     EXPECT_STREQ(recover::rungName(RescueRung::GminRamp), "gmin");

@@ -9,7 +9,10 @@
 //      app services reproduce their reference implementations exactly.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/tcam_macro.hpp"
@@ -371,4 +374,126 @@ TEST(ServeAdapters, SharedCacheReusedAcrossServices) {
     EXPECT_EQ(afterSecond.misses, afterFirst.misses);  // no new transients
     EXPECT_GT(afterSecond.hits, afterFirst.hits);
     expectSameBank(first.engine().hardware(), second.engine().hardware());
+}
+
+TEST(CharCache, KeyLeadsWithSchemaVersionByte) {
+    array::WordSimOptions o;
+    o.config = smallConfig();
+    o.stored = tcam::TernaryWord(8, tcam::Trit::Zero);
+    o.key = tcam::TernaryWord(8, tcam::Trit::One);
+    const auto key = serve::CharacterizationCache::keyOf(o);
+    ASSERT_FALSE(key.empty());
+    // The first byte is the packed-layout version, so keys from different
+    // layouts can never alias — in memory or in a persisted store.
+    EXPECT_EQ(static_cast<std::uint8_t>(key[0]), serve::kCharSchemaVersion);
+}
+
+TEST(QueryEngineAdmission, UnboundedAndSequentialSubmitsAreAccepted) {
+    auto options = smallOptions();
+    serve::QueryEngine unbounded(options);  // maxInFlightBatches = 0
+    unbounded.insert(tcam::TernaryWord::fromBits(5, 8));
+
+    const std::vector<tcam::TernaryWord> keys = {tcam::TernaryWord::fromBits(5, 8),
+                                                 tcam::TernaryWord::fromBits(9, 8)};
+    const auto direct = unbounded.searchBatch(keys);
+    auto submitted = unbounded.submitBatch(keys);
+    ASSERT_TRUE(submitted.admitted());
+    EXPECT_EQ(submitted.result.rows, direct.rows);
+    EXPECT_EQ(submitted.result.hits, direct.hits);
+
+    // A bound of 1 never sheds sequential submissions.
+    options.admission.maxInFlightBatches = 1;
+    serve::QueryEngine bounded(options);
+    bounded.insert(tcam::TernaryWord::fromBits(5, 8));
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(bounded.submitBatch(keys).admitted());
+    const auto stats = bounded.stats();
+    EXPECT_EQ(stats.accepted, 3);
+    EXPECT_EQ(stats.shed, 0);
+    EXPECT_EQ(bounded.inFlightBatches(), 0);
+}
+
+TEST(QueryEngineAdmission, ConcurrentOverloadSheds) {
+    auto options = smallOptions();
+    options.admission.maxInFlightBatches = 1;
+    serve::QueryEngine engine(options);
+    engine.insert(tcam::TernaryWord::fromBits(5, 8));
+
+    // A batch large enough that the worker is observably in flight. If the
+    // worker finishes before we can collide with it, retry with more keys.
+    const std::vector<tcam::TernaryWord> probe = {tcam::TernaryWord::fromBits(5, 8)};
+    bool shedObserved = false;
+    std::int64_t big = 1 << 16;
+    for (int attempt = 0; attempt < 8 && !shedObserved; ++attempt, big *= 2) {
+        const std::vector<tcam::TernaryWord> bulk(
+            static_cast<std::size_t>(big), tcam::TernaryWord::fromBits(5, 8));
+        serve::SubmitResult bulkResult;
+        std::thread worker(
+            [&] { bulkResult = engine.submitBatch(bulk, /*jobs=*/1); });
+        while (engine.inFlightBatches() > 0) {
+            const auto r = engine.submitBatch(probe, 1);
+            if (!r.admitted()) {
+                shedObserved = true;
+                break;
+            }
+        }
+        worker.join();
+        EXPECT_TRUE(bulkResult.admitted());
+    }
+    EXPECT_TRUE(shedObserved);
+    const auto stats = engine.stats();
+    EXPECT_GT(stats.shed, 0);
+    // Shed batches did zero work: every counted query belongs to an admitted
+    // batch (the bulks plus the admitted single-key probes).
+    EXPECT_EQ(stats.batches, stats.accepted);
+    EXPECT_EQ(engine.inFlightBatches(), 0);
+}
+
+TEST(QueryEngineStore, WarmRestartServesIdenticalResults) {
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() / "fetcam_serve_test_store").string();
+    fs::remove_all(dir);
+
+    auto options = smallOptions();
+    options.store.dir = dir;
+
+    const std::vector<tcam::TernaryWord> keys = {
+        tcam::TernaryWord::fromBits(3, 8), tcam::TernaryWord::fromBits(7, 8),
+        tcam::TernaryWord::fromBits(200, 8)};
+
+    std::string coldReport;
+    serve::BatchResult coldBatch;
+    array::BankMetrics coldBank;
+    std::int64_t coldMisses = 0;
+    {
+        serve::QueryEngine cold(options);
+        ASSERT_FALSE(cold.storeStatus().degraded);
+        coldMisses = cold.cache()->stats().misses;
+        EXPECT_GT(coldMisses, 0);
+        cold.insert(tcam::TernaryWord::fromBits(3, 8));
+        cold.insert(tcam::TernaryWord::fromBits(7, 8));
+        coldBatch = cold.searchBatch(keys);
+        coldReport = cold.report();
+        coldBank = cold.hardware();
+    }  // engine teardown flushes the store
+
+    serve::QueryEngine warm(options);
+    ASSERT_FALSE(warm.storeStatus().degraded);
+    // The warm build replays every characterization from disk: zero solver
+    // transients, and everything served is bit-identical to the cold run.
+    EXPECT_EQ(warm.cache()->stats().misses, 0);
+    EXPECT_GT(warm.cache()->stats().storeHits, 0);
+    EXPECT_EQ(warm.storeStatus().load.recordsLoaded, coldMisses);
+    warm.insert(tcam::TernaryWord::fromBits(3, 8));
+    warm.insert(tcam::TernaryWord::fromBits(7, 8));
+    const auto warmBatch = warm.searchBatch(keys);
+    EXPECT_EQ(warmBatch.rows, coldBatch.rows);
+    EXPECT_EQ(warmBatch.hits, coldBatch.hits);
+    EXPECT_EQ(warmBatch.energy, coldBatch.energy);
+    EXPECT_EQ(warmBatch.latency, coldBatch.latency);
+    EXPECT_EQ(warm.report(), coldReport);
+    expectSameBank(warm.hardware(), coldBank);
+
+    fs::remove_all(dir);
 }

@@ -7,7 +7,19 @@
 // Usage:
 //   fetcam_serve [--workload lpm|tlb|classifier|all] [--entries N]
 //                [--queries N] [--rows N] [--batch N] [--jobs N] [--seed S]
+//                [--store DIR] [--store-readonly] [--compact]
 //                [--json FILE] [--trace FILE]
+//
+// --store DIR backs the characterization cache with a crash-safe on-disk
+// record log: the first run pays the solver transients and persists them;
+// every later run against the same directory warm-restarts with zero
+// characterizations and bit-identical results. --store-readonly loads
+// without locking or appending (share a store across readers); --compact
+// rewrites the log as a deduplicated snapshot after serving.
+//
+// The --json report is split into a "deterministic" object (byte-identical
+// across cold/warm runs and any --jobs value — CI diffs it) and a
+// "volatile" object (wall-clock, cache and store traffic).
 //
 // Exit codes follow the structured SimError taxonomy (see recover/sim_error).
 #include <chrono>
@@ -42,6 +54,9 @@ struct Args {
     std::uint64_t seed = 42;
     std::string jsonPath;
     std::string tracePath;
+    std::string storeDir;
+    bool storeReadonly = false;
+    bool compact = false;
 };
 
 Args parseArgs(int argc, char** argv) {
@@ -82,6 +97,12 @@ Args parseArgs(int argc, char** argv) {
             a.jsonPath = next();
         } else if (opt == "--trace") {
             a.tracePath = next();
+        } else if (opt == "--store") {
+            a.storeDir = next();
+        } else if (opt == "--store-readonly") {
+            a.storeReadonly = true;
+        } else if (opt == "--compact") {
+            a.compact = true;
         } else {
             throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
                                     "unknown option " + opt);
@@ -93,6 +114,12 @@ Args parseArgs(int argc, char** argv) {
     if (a.queries < 1)
         throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
                                 "--queries must be >= 1");
+    if (a.storeDir.empty() && (a.storeReadonly || a.compact))
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
+                                "--store-readonly/--compact require --store DIR");
+    if (a.storeReadonly && a.compact)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
+                                "--compact cannot rewrite a read-only store");
     return a;
 }
 
@@ -122,9 +149,46 @@ void printSummary(const ServeSummary& s, const serve::CharacterizationCache& cac
                 core::engFormat(s.qps, "q/s").c_str());
     std::printf("%s", s.report.c_str());
     const auto cs = cache.stats();
-    std::printf("  cache          %lld entries (%lld hits / %lld misses / %lld bypasses)\n\n",
+    std::printf("  cache          %lld entries (%lld hits / %lld misses / %lld bypasses)\n",
                 static_cast<long long>(cs.entries), static_cast<long long>(cs.hits),
                 static_cast<long long>(cs.misses), static_cast<long long>(cs.bypasses));
+    const auto ss = cache.storeStatus();
+    if (ss.attached) {
+        if (ss.degraded) {
+            std::printf("  store          DEGRADED [%s] %s\n",
+                        recover::reasonName(ss.errorReason), ss.error.c_str());
+        } else {
+            std::printf("  store          %lld loaded (%lld salvaged) / %lld appended%s%s\n",
+                        static_cast<long long>(ss.load.recordsLoaded),
+                        static_cast<long long>(ss.load.recordsSalvaged),
+                        static_cast<long long>(ss.appended),
+                        ss.readOnly ? ", read-only" : "",
+                        ss.load.quarantined ? ", prior log quarantined" : "");
+        }
+    }
+    std::printf("\n");
+}
+
+std::string jsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
 }
 
 ServeSummary summarize(const std::string& name, const serve::QueryEngine& engine,
@@ -244,24 +308,49 @@ void writeJson(const std::string& path, const std::vector<ServeSummary>& summari
     if (!os)
         throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
                                 "cannot open " + path + " for writing");
+    os.precision(17);
     const auto cs = cache.stats();
-    os << "{\n  \"tool\": \"fetcam_serve\",\n  \"workloads\": [\n";
+    const auto ss = cache.storeStatus();
+    os << "{\n  \"tool\": \"fetcam_serve\",\n";
+
+    // Everything under "deterministic" is byte-identical for the same
+    // arguments regardless of cold/warm cache, store state, or --jobs: the
+    // warm-restart CI smoke diffs this object across two runs sharing one
+    // store directory.
+    os << "  \"deterministic\": {\n    \"workloads\": [\n";
     for (std::size_t i = 0; i < summaries.size(); ++i) {
         const auto& s = summaries[i];
-        os << "    {\n";
-        os << "      \"name\": \"" << s.name << "\",\n";
-        os << "      \"queries\": " << s.queries << ",\n";
-        os << "      \"hits\": " << s.hits << ",\n";
-        os << "      \"seconds\": " << s.seconds << ",\n";
-        os << "      \"qps\": " << s.qps << ",\n";
-        os << "      \"energyPerQueryJ\": " << s.energyPerQuery << ",\n";
-        os << "      \"latencyS\": " << s.latency << "\n";
-        os << "    }" << (i + 1 < summaries.size() ? "," : "") << "\n";
+        os << "      {\n";
+        os << "        \"name\": \"" << s.name << "\",\n";
+        os << "        \"queries\": " << s.queries << ",\n";
+        os << "        \"hits\": " << s.hits << ",\n";
+        os << "        \"energyPerQueryJ\": " << s.energyPerQuery << ",\n";
+        os << "        \"latencyS\": " << s.latency << ",\n";
+        os << "        \"report\": \"" << jsonEscape(s.report) << "\"\n";
+        os << "      }" << (i + 1 < summaries.size() ? "," : "") << "\n";
     }
-    os << "  ],\n";
-    os << "  \"cache\": {\"entries\": " << cs.entries << ", \"hits\": " << cs.hits
-       << ", \"misses\": " << cs.misses << ", \"bypasses\": " << cs.bypasses << "}\n";
-    os << "}\n";
+    os << "    ]\n  },\n";
+
+    os << "  \"volatile\": {\n    \"workloads\": [\n";
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+        const auto& s = summaries[i];
+        os << "      {\"name\": \"" << s.name << "\", \"seconds\": " << s.seconds
+           << ", \"qps\": " << s.qps << "}" << (i + 1 < summaries.size() ? "," : "")
+           << "\n";
+    }
+    os << "    ],\n";
+    os << "    \"cache\": {\"entries\": " << cs.entries << ", \"hits\": " << cs.hits
+       << ", \"misses\": " << cs.misses << ", \"bypasses\": " << cs.bypasses
+       << ", \"storeHits\": " << cs.storeHits << "},\n";
+    os << "    \"store\": {\"attached\": " << (ss.attached ? "true" : "false")
+       << ", \"readOnly\": " << (ss.readOnly ? "true" : "false")
+       << ", \"degraded\": " << (ss.degraded ? "true" : "false")
+       << ", \"loaded\": " << ss.load.recordsLoaded
+       << ", \"salvaged\": " << ss.load.recordsSalvaged
+       << ", \"appended\": " << ss.appended
+       << ", \"quarantined\": " << (ss.load.quarantined ? "true" : "false")
+       << ", \"error\": \"" << jsonEscape(ss.error) << "\"}\n";
+    os << "  }\n}\n";
 }
 
 }  // namespace
@@ -278,7 +367,21 @@ int main(int argc, char** argv) {
             obs::initFromEnv();
         }
 
-        auto cache = std::make_shared<serve::CharacterizationCache>();
+        std::shared_ptr<serve::CharacterizationCache> cache;
+        if (!a.storeDir.empty()) {
+            store::StoreConfig cfg;
+            cfg.dir = a.storeDir;
+            cfg.readOnly = a.storeReadonly;
+            cache = std::make_shared<serve::CharacterizationCache>(cfg);
+            const auto ss = cache->storeStatus();
+            if (ss.degraded)
+                std::fprintf(stderr,
+                             "fetcam_serve: warning: store unusable, serving cold "
+                             "[%s] %s\n",
+                             recover::reasonName(ss.errorReason), ss.error.c_str());
+        } else {
+            cache = std::make_shared<serve::CharacterizationCache>();
+        }
         std::vector<ServeSummary> summaries;
         if (a.workload == "lpm" || a.workload == "all") {
             summaries.push_back(runLpm(a, cache));
@@ -292,6 +395,10 @@ int main(int argc, char** argv) {
             summaries.push_back(runClassifier(a, cache));
             printSummary(summaries.back(), *cache);
         }
+        cache->flush();  // everything characterized this run is now durable
+        if (a.compact && cache->compact())
+            std::printf("store compacted: %lld entries snapshotted\n",
+                        static_cast<long long>(cache->stats().entries));
         if (!a.jsonPath.empty()) writeJson(a.jsonPath, summaries, *cache);
         return 0;
     } catch (const recover::SimError& e) {
