@@ -1,0 +1,282 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+#include "store/format.hpp"
+
+namespace fetcam::net {
+
+namespace {
+
+void put8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+
+void put16(std::string& out, std::uint16_t v) {
+    out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void put32(std::string& out, std::uint32_t v) {
+    out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void put64(std::string& out, std::uint64_t v) {
+    out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+/// Bounds-checked little reader over a message body.
+class Reader {
+public:
+    explicit Reader(std::string_view data) : data_(data) {}
+
+    template <typename T>
+    bool get(T& out) {
+        if (data_.size() - pos_ < sizeof(T)) return false;
+        std::memcpy(&out, data_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return true;
+    }
+
+    bool getBytes(std::string& out, std::size_t n) {
+        if (data_.size() - pos_ < n) return false;
+        out.assign(data_.data() + pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    std::string_view rest() const { return data_.substr(pos_); }
+    bool done() const { return pos_ == data_.size(); }
+
+private:
+    std::string_view data_;
+    std::size_t pos_ = 0;
+};
+
+bool fail(std::string* err, const char* what) {
+    if (err) *err = what;
+    return false;
+}
+
+}  // namespace
+
+const char* protoErrorName(ProtoError code) noexcept {
+    switch (code) {
+        case ProtoError::None: return "none";
+        case ProtoError::BadMagic: return "bad_magic";
+        case ProtoError::BadCrc: return "bad_crc";
+        case ProtoError::BadType: return "bad_type";
+        case ProtoError::Oversized: return "oversized";
+        case ProtoError::BadBody: return "bad_body";
+        case ProtoError::WidthMismatch: return "width_mismatch";
+        case ProtoError::ReadTimeout: return "read_timeout";
+        case ProtoError::Draining: return "draining";
+        case ProtoError::TooManyConnections: return "too_many_connections";
+        case ProtoError::Truncated: return "truncated";
+    }
+    return "unknown";
+}
+
+const char* queryStatusName(QueryStatus status) noexcept {
+    switch (status) {
+        case QueryStatus::Hit: return "hit";
+        case QueryStatus::Miss: return "miss";
+        case QueryStatus::Shed: return "shed";
+        case QueryStatus::DeadlineExceeded: return "deadline_exceeded";
+    }
+    return "unknown";
+}
+
+std::string encodeFrame(MsgType type, std::string_view body) {
+    std::string out;
+    out.reserve(kFrameHeaderSize + body.size());
+    put32(out, kFrameMagic);
+    put8(out, static_cast<std::uint8_t>(type));
+    put8(out, 0);   // flags
+    put16(out, 0);  // reserved
+    put32(out, static_cast<std::uint32_t>(body.size()));
+    // CRC over type..length, then the body — same chaining scheme the store
+    // records use, and the same crc32.
+    std::uint32_t crc = store::crc32(out.data() + 4, 8);
+    crc = store::crc32(body.data(), body.size(), crc);
+    put32(out, crc);
+    out.append(body);
+    return out;
+}
+
+DecodeResult decodeFrame(std::string_view buffer, std::size_t maxFrameBytes) {
+    DecodeResult r;
+    if (buffer.size() < kFrameHeaderSize) {
+        r.status = DecodeResult::Status::NeedMore;
+        return r;
+    }
+    std::uint32_t magic;
+    std::memcpy(&magic, buffer.data(), 4);
+    if (magic != kFrameMagic) {
+        r.status = DecodeResult::Status::Bad;
+        r.error = ProtoError::BadMagic;
+        r.message = "bad frame magic (garbage preamble)";
+        return r;
+    }
+    const auto type = static_cast<std::uint8_t>(buffer[4]);
+    std::uint32_t length;
+    std::memcpy(&length, buffer.data() + 8, 4);
+    if (length > maxFrameBytes) {
+        r.status = DecodeResult::Status::Bad;
+        r.error = ProtoError::Oversized;
+        r.message = "declared frame body of " + std::to_string(length) +
+                    " bytes exceeds the " + std::to_string(maxFrameBytes) + "-byte limit";
+        return r;
+    }
+    if (buffer.size() < kFrameHeaderSize + length) {
+        r.status = DecodeResult::Status::NeedMore;
+        return r;
+    }
+    std::uint32_t crc;
+    std::memcpy(&crc, buffer.data() + 12, 4);
+    std::uint32_t check = store::crc32(buffer.data() + 4, 8);
+    check = store::crc32(buffer.data() + kFrameHeaderSize, length, check);
+    if (check != crc) {
+        r.status = DecodeResult::Status::Bad;
+        r.error = ProtoError::BadCrc;
+        r.message = "frame CRC mismatch";
+        return r;
+    }
+    if (type < static_cast<std::uint8_t>(MsgType::Hello) ||
+        type > static_cast<std::uint8_t>(MsgType::Drain)) {
+        r.status = DecodeResult::Status::Bad;
+        r.error = ProtoError::BadType;
+        r.message = "unknown message type " + std::to_string(type);
+        return r;
+    }
+    r.status = DecodeResult::Status::Ok;
+    r.frame.type = static_cast<MsgType>(type);
+    r.frame.body.assign(buffer.data() + kFrameHeaderSize, length);
+    r.consumed = kFrameHeaderSize + length;
+    return r;
+}
+
+std::string encodeHello(const HelloBody& hello) {
+    std::string body;
+    put32(body, hello.version);
+    put32(body, hello.wordBits);
+    put32(body, hello.maxBatch);
+    put32(body, hello.maxFrameBytes);
+    return body;
+}
+
+std::optional<HelloBody> decodeHello(std::string_view body, std::string* err) {
+    Reader r(body);
+    HelloBody h;
+    if (!r.get(h.version) || !r.get(h.wordBits) || !r.get(h.maxBatch) ||
+        !r.get(h.maxFrameBytes) || !r.done()) {
+        fail(err, "malformed Hello body");
+        return std::nullopt;
+    }
+    return h;
+}
+
+std::string encodeQueryBatch(const QueryBatchBody& batch) {
+    std::string body;
+    put64(body, batch.requestId);
+    put32(body, batch.deadlineMicros);
+    put32(body, static_cast<std::uint32_t>(batch.keys.size()));
+    for (const auto& key : batch.keys)
+        for (std::size_t i = 0; i < key.size(); ++i)
+            put8(body, static_cast<std::uint8_t>(key[i]));
+    return body;
+}
+
+std::optional<QueryBatchBody> decodeQueryBatch(std::string_view body, std::uint32_t wordBits,
+                                               std::uint32_t maxBatch, std::string* err) {
+    Reader r(body);
+    QueryBatchBody b;
+    std::uint32_t count;
+    if (!r.get(b.requestId) || !r.get(b.deadlineMicros) || !r.get(count)) {
+        fail(err, "malformed QueryBatch header");
+        return std::nullopt;
+    }
+    if (count == 0 || count > maxBatch) {
+        fail(err, "query count outside [1, maxBatch]");
+        return std::nullopt;
+    }
+    if (r.rest().size() != static_cast<std::size_t>(count) * wordBits) {
+        fail(err, "QueryBatch body length does not match count * wordBits");
+        return std::nullopt;
+    }
+    b.keys.reserve(count);
+    for (std::uint32_t k = 0; k < count; ++k) {
+        tcam::TernaryWord word(wordBits);
+        for (std::uint32_t i = 0; i < wordBits; ++i) {
+            std::uint8_t trit = 0;
+            r.get(trit);
+            if (trit > 2) {
+                fail(err, "trit byte outside {0,1,2}");
+                return std::nullopt;
+            }
+            word[i] = static_cast<tcam::Trit>(trit);
+        }
+        b.keys.push_back(std::move(word));
+    }
+    return b;
+}
+
+std::string encodeBatchReply(const BatchReplyBody& reply) {
+    std::string body;
+    put64(body, reply.requestId);
+    put8(body, reply.admission);
+    put32(body, static_cast<std::uint32_t>(reply.rows.size()));
+    for (std::size_t i = 0; i < reply.rows.size(); ++i) {
+        put64(body, static_cast<std::uint64_t>(reply.rows[i]));
+        put8(body, static_cast<std::uint8_t>(reply.status[i]));
+    }
+    return body;
+}
+
+std::optional<BatchReplyBody> decodeBatchReply(std::string_view body, std::string* err) {
+    Reader r(body);
+    BatchReplyBody b;
+    std::uint32_t count;
+    if (!r.get(b.requestId) || !r.get(b.admission) || !r.get(count)) {
+        fail(err, "malformed BatchReply header");
+        return std::nullopt;
+    }
+    if (r.rest().size() != static_cast<std::size_t>(count) * 9) {
+        fail(err, "BatchReply body length does not match count");
+        return std::nullopt;
+    }
+    b.rows.reserve(count);
+    b.status.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint64_t row = 0;
+        std::uint8_t status = 0;
+        r.get(row);
+        r.get(status);
+        if (status > static_cast<std::uint8_t>(QueryStatus::DeadlineExceeded)) {
+            fail(err, "unknown query status byte");
+            return std::nullopt;
+        }
+        b.rows.push_back(static_cast<std::int64_t>(row));
+        b.status.push_back(static_cast<QueryStatus>(status));
+    }
+    return b;
+}
+
+std::string encodeError(const ErrorBody& error) {
+    std::string body;
+    put16(body, static_cast<std::uint16_t>(error.code));
+    body.append(error.message);
+    return body;
+}
+
+std::optional<ErrorBody> decodeError(std::string_view body, std::string* err) {
+    Reader r(body);
+    ErrorBody e;
+    std::uint16_t code;
+    if (!r.get(code)) {
+        fail(err, "malformed Error body");
+        return std::nullopt;
+    }
+    e.code = static_cast<ProtoError>(code);
+    e.message = std::string(r.rest());
+    return e;
+}
+
+}  // namespace fetcam::net

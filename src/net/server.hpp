@@ -1,0 +1,168 @@
+// fetcam::net::Server — deadline-aware TCP front-end for serve::QueryEngine.
+//
+// A zero-dependency, single-threaded poll(2) event loop (parallelism lives
+// inside the engine's worker team, where it already is) that:
+//
+//   * accepts connections and greets each with a Hello frame carrying the
+//     engine word width and the protocol limits,
+//   * reads CRC-framed QueryBatch requests and coalesces them — across
+//     connections — into engine batches, flushed when options.maxBatch
+//     queries are waiting or the oldest request has waited
+//     options.coalesceWindow seconds, whichever is first,
+//   * propagates per-request deadlines into QueryEngine::submitBatch, so
+//     expired queries are shed before any entry is scanned and answered with
+//     a typed DeadlineExceeded status,
+//   * sheds whole requests with typed Shed replies the moment the pending
+//     queue would exceed options.maxPendingQueries — overload never queues
+//     unboundedly, and every shed is counted,
+//   * kills exactly one connection on a protocol error (bad magic/CRC/type,
+//     oversized frame, malformed body), answering a typed Error frame first;
+//     a peer that stalls mid-frame longer than options.readTimeout is cut
+//     the same way (slowloris defense),
+//   * drains gracefully on requestStop() — async-signal-safe, so the tools
+//     wire it straight into SIGTERM: stop accepting, answer everything
+//     in flight (executing what still meets its deadline), flush write
+//     buffers, then return from run() with deterministic final accounting.
+//
+// obs metrics (when obs::enabled()): net.connections.accepted/.dropped,
+// net.frames.in/.out, net.queries, net.hits, net.shed,
+// net.deadline_expired, net.proto_errors, net.batches counters and a
+// net.request.seconds histogram (receipt -> reply queued).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "serve/query_engine.hpp"
+
+namespace fetcam::net {
+
+struct ServerOptions {
+    std::string host = "127.0.0.1";
+    int port = 0;  ///< 0 = ephemeral; the bound port is port() after start()
+    int backlog = 64;
+    int maxConnections = 256;
+    std::uint32_t maxFrameBytes = kDefaultMaxFrameBytes;
+    /// Queries per coalesced engine batch (and per-request ceiling).
+    std::uint32_t maxBatch = 4096;
+    /// Longest a query waits for batchmates before the batch flushes [s].
+    double coalesceWindow = 0.5e-3;
+    /// Overload bound: pending (received, not yet executed) queries beyond
+    /// this are shed immediately with typed replies.
+    std::int64_t maxPendingQueries = 1 << 16;
+    /// A peer stalled mid-frame longer than this is dropped [s].
+    double readTimeout = 5.0;
+    /// Deadline applied when a request carries none (0 = none) [s].
+    double defaultDeadline = 0.0;
+    /// Hard cap on the graceful-drain phase [s].
+    double drainTimeout = 5.0;
+    /// Worker count handed to the engine per batch (0 = process default).
+    int jobs = 0;
+};
+
+/// Deterministic request/shed/error accounting (no wall-clock anywhere), so
+/// CI can assert every query is accounted for: queries ==
+/// hits + misses + shedQueries + expiredQueries.
+struct ServerStats {
+    std::int64_t connectionsAccepted = 0;
+    std::int64_t connectionsDropped = 0;  ///< protocol errors + timeouts + over limit
+    std::int64_t requests = 0;            ///< QueryBatch frames parsed
+    std::int64_t queries = 0;             ///< queries received in those requests
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t shedQueries = 0;     ///< refused by overload protection / drain
+    std::int64_t expiredQueries = 0;  ///< deadline passed before simulation
+    std::int64_t batches = 0;         ///< engine submitBatch calls
+    std::int64_t framesIn = 0;
+    std::int64_t framesOut = 0;
+    std::int64_t protoErrors = 0;  ///< sum of errorCounts
+    /// Per-ProtoError occurrence counts, indexed by the enum value.
+    std::array<std::int64_t, kNumProtoErrors> errorCounts{};
+    bool drained = false;       ///< run() exited through graceful drain
+    bool drainForced = false;   ///< drainTimeout expired with work unflushed
+};
+
+class Server {
+public:
+    /// The engine must outlive the server. Entries must not be mutated while
+    /// run() is live (same contract as searchBatch).
+    Server(serve::QueryEngine& engine, ServerOptions options);
+    ~Server();
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Bind + listen (+ create the stop pipe). Throws SimError(IoError).
+    void start();
+
+    /// Port actually bound (resolves options.port == 0).
+    int port() const { return boundPort_; }
+
+    /// Event loop; returns after requestStop() completes the graceful drain.
+    /// Throws SimError(IoError) only for unrecoverable listener/poll
+    /// failures — per-connection trouble is handled and counted.
+    void run();
+
+    /// Begin graceful drain. Async-signal-safe (one write(2) to a pipe);
+    /// callable from any thread or from a signal handler.
+    void requestStop() noexcept;
+
+    /// Install SIGTERM/SIGINT handlers that requestStop() this server.
+    /// One server per process may hold the handlers at a time.
+    static void installStopSignals(Server& server);
+
+    bool draining() const { return draining_; }
+    const ServerStats& stats() const { return stats_; }
+
+    /// Deterministic JSON object (sorted, no wall-clock) for the tool report.
+    std::string statsJson() const;
+
+private:
+    struct Conn {
+        int fd = -1;
+        std::string readBuf;
+        std::string writeBuf;
+        double lastActivity = 0.0;  ///< monotonic; read-side progress
+        bool closeAfterFlush = false;
+    };
+
+    struct Request {
+        int fd = -1;
+        std::uint64_t requestId = 0;
+        double arrival = 0.0;
+        double deadline = 0.0;  ///< absolute monotonic; 0 = none
+        std::vector<tcam::TernaryWord> keys;
+    };
+
+    void acceptConnections(double now);
+    void readConn(int fd, double now);
+    void writeConn(int fd);
+    void handleFrame(int fd, const Frame& frame, double now);
+    void sendFrame(int fd, MsgType type, std::string_view body);
+    void sendShedReply(int fd, std::uint64_t requestId, std::size_t count);
+    void protoFail(int fd, ProtoError code, const std::string& message);
+    void dropConn(int fd, bool countDropped);
+    void executeBatch(double now);
+    void checkReadTimeouts(double now);
+    int pollTimeoutMillis(double now) const;
+    bool drainComplete() const;
+    void noteError(ProtoError code);
+
+    serve::QueryEngine& engine_;
+    ServerOptions options_;
+    int listenFd_ = -1;
+    int boundPort_ = 0;
+    int stopPipe_[2] = {-1, -1};
+    bool draining_ = false;
+    double drainStart_ = 0.0;
+    std::map<int, Conn> conns_;
+    std::deque<Request> pending_;
+    std::int64_t pendingQueries_ = 0;
+    ServerStats stats_;
+};
+
+}  // namespace fetcam::net

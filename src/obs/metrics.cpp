@@ -77,6 +77,33 @@ void Histogram::reset() noexcept {
     max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
 }
 
+double quantile(const Histogram& hist, double q) {
+    const auto counts = hist.counts();
+    const long long total = hist.count();
+    if (total <= 0) return std::numeric_limits<double>::quiet_NaN();
+    q = std::clamp(q, 0.0, 1.0);
+    const auto& bounds = hist.bounds();
+    // Rank of the target observation (1-based), then walk the buckets.
+    const double rank = q * static_cast<double>(total);
+    long long seen = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0) continue;
+        const long long before = seen;
+        seen += counts[i];
+        if (static_cast<double>(seen) < rank) continue;
+        // Interpolate inside bucket i: (lo, hi] with lo = previous bound
+        // (observed min for the first populated bucket) and hi = bounds[i]
+        // (observed max for the overflow bucket).
+        const double lo = i == 0 ? hist.min() : bounds[i - 1];
+        const double hi = i < bounds.size() ? bounds[i] : hist.max();
+        const double frac =
+            (rank - static_cast<double>(before)) / static_cast<double>(counts[i]);
+        const double v = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+        return std::clamp(v, hist.min(), hist.max());
+    }
+    return hist.max();
+}
+
 std::vector<double> Histogram::exponentialBounds(double lo, double hi, int perDecade) {
     std::vector<double> bounds;
     if (lo <= 0.0 || hi <= lo || perDecade < 1) return bounds;

@@ -86,6 +86,14 @@ private:
     std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
+/// Estimated q-quantile (q in [0, 1]) from a histogram's buckets: finds the
+/// bucket holding the q-th observation and interpolates linearly inside it,
+/// clamped to the observed min/max so tail estimates never exceed reality.
+/// Returns NaN for an empty histogram. Resolution is bucket-bounded — with
+/// the default exponential seconds buckets, good to a factor of ~2 at p999 —
+/// which is what the load tools report as p50/p99/p999.
+double quantile(const Histogram& hist, double q);
+
 /// Process-wide registry of named instruments. Lookups are heterogeneous
 /// (string_view), so repeated lookups of a registered name do not allocate.
 class Registry {

@@ -11,9 +11,29 @@ const char* faultKindName(FaultKind kind) noexcept {
         case FaultKind::NanCurrent: return "nan_current";
         case FaultKind::SingularStamp: return "singular_stamp";
         case FaultKind::StuckPolarization: return "stuck_polarization";
+        case FaultKind::TornFrame: return "torn_frame";
+        case FaultKind::GarbageBytes: return "garbage_bytes";
+        case FaultKind::Disconnect: return "disconnect";
+        case FaultKind::StalledRead: return "stalled_read";
     }
     return "unknown";
 }
+
+namespace {
+
+bool isNetFault(FaultKind kind) noexcept {
+    switch (kind) {
+        case FaultKind::TornFrame:
+        case FaultKind::GarbageBytes:
+        case FaultKind::Disconnect:
+        case FaultKind::StalledRead:
+            return true;
+        default:
+            return false;
+    }
+}
+
+}  // namespace
 
 SolveFaults FaultPlan::beginSolve() noexcept {
     const long long ordinal = nextSolve_++;
@@ -31,9 +51,27 @@ SolveFaults FaultPlan::beginSolve() noexcept {
                 f.node = spec.node;
                 ++injections_;
                 break;
-            case FaultKind::StuckPolarization:
-                break;  // not a per-solve fault
+            default:
+                break;  // stuck polarization / net faults: not per-solve
         }
+    }
+    return f;
+}
+
+FrameFaults FaultPlan::beginNetFrame() noexcept {
+    const long long ordinal = nextFrame_++;
+    FrameFaults f;
+    for (const auto& spec : specs_) {
+        if (!isNetFault(spec.kind)) continue;
+        if (ordinal < spec.fromSolve || ordinal >= spec.toSolve) continue;
+        switch (spec.kind) {
+            case FaultKind::TornFrame: f.tornFrame = true; break;
+            case FaultKind::GarbageBytes: f.garbageBytes = true; break;
+            case FaultKind::Disconnect: f.disconnect = true; break;
+            case FaultKind::StalledRead: f.stalledRead = true; break;
+            default: break;
+        }
+        ++injections_;
     }
     return f;
 }

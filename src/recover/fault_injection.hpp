@@ -38,14 +38,22 @@ enum class FaultKind {
     NanCurrent,
     SingularStamp,
     StuckPolarization,
+    // --- network faults (consulted by net::Client's send path; the window
+    // counts outbound frame ordinals via beginNetFrame, not Newton solves) ---
+    TornFrame,     ///< send a prefix of the frame, then close the connection
+    GarbageBytes,  ///< corrupt frame bytes before sending (CRC/magic damage)
+    Disconnect,    ///< close the connection instead of sending the frame
+    StalledRead,   ///< send only the frame header, then stall (slowloris)
 };
 
 const char* faultKindName(FaultKind kind) noexcept;
 
 struct FaultSpec {
     FaultKind kind = FaultKind::NanCurrent;
-    /// Half-open Newton-solve ordinal window [fromSolve, toSolve) during
-    /// which the fault is live. Defaults cover the whole run.
+    /// Half-open ordinal window [fromSolve, toSolve) during which the fault
+    /// is live. Solver faults count Newton solves (beginSolve); network
+    /// faults count outbound frames (beginNetFrame). Defaults cover the
+    /// whole run.
     long long fromSolve = 0;
     long long toSolve = std::numeric_limits<long long>::max();
     /// Node whose row is poisoned (NanCurrent / SingularStamp).
@@ -60,6 +68,17 @@ struct SolveFaults {
     bool any() const noexcept { return nanCurrent || singularStamp; }
 };
 
+/// Faults live for one particular outbound network frame.
+struct FrameFaults {
+    bool tornFrame = false;
+    bool garbageBytes = false;
+    bool disconnect = false;
+    bool stalledRead = false;
+    bool any() const noexcept {
+        return tornFrame || garbageBytes || disconnect || stalledRead;
+    }
+};
+
 class FaultPlan {
 public:
     FaultPlan() = default;
@@ -71,11 +90,18 @@ public:
     /// Called once per solveNewton invocation.
     SolveFaults beginSolve() noexcept;
 
+    /// Advance the outbound-frame ordinal and report the network faults live
+    /// for this frame. Called once per frame the net client sends; the
+    /// ordinal stream is independent of the solver's, so one plan can window
+    /// both without interference.
+    FrameFaults beginNetFrame() noexcept;
+
     /// True while any StuckPolarization spec is present (not solve-windowed:
     /// polarization commits happen on accepted steps, not solves).
     bool stuckPolarization() const noexcept;
 
     long long solvesSeen() const noexcept { return nextSolve_; }
+    long long framesSeen() const noexcept { return nextFrame_; }
     long long injectionCount() const noexcept { return injections_; }
 
     const std::vector<FaultSpec>& specs() const noexcept { return specs_; }
@@ -96,6 +122,7 @@ private:
 
     std::vector<FaultSpec> specs_;
     long long nextSolve_ = 0;
+    long long nextFrame_ = 0;
     long long injections_ = 0;
 };
 

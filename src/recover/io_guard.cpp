@@ -1,0 +1,31 @@
+#include "recover/io_guard.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include "recover/sim_error.hpp"
+
+namespace fetcam::recover {
+
+void ignoreSigpipe() noexcept {
+#ifdef SIGPIPE
+    std::signal(SIGPIPE, SIG_IGN);
+#endif
+}
+
+void checkStdout(const char* tool) {
+    const bool flushFailed = std::fflush(stdout) != 0;
+    const int err = errno;
+    if (flushFailed || std::ferror(stdout)) {
+        std::string detail = "stdout write failed";
+        if (flushFailed && err != 0)
+            detail += std::string(": ") + std::strerror(err);
+        else
+            detail += " (closed pipe or short write)";
+        throw SimError(SimErrorReason::IoError, tool, detail);
+    }
+}
+
+}  // namespace fetcam::recover

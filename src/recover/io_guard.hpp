@@ -1,0 +1,24 @@
+// Process-level I/O guards for the CLI tools.
+//
+// Writing a report into a closed pipe (`fetcam_serve ... | head`) raises
+// SIGPIPE, which kills the process silently with no exit-code story at all.
+// The tools instead:
+//   * ignore SIGPIPE at startup (ignoreSigpipe), so a write into a closed
+//     pipe fails with EPIPE and sets the stream's error flag, and
+//   * flush + check stdout before exiting (checkStdout), turning any short
+//     or failed report write — EPIPE, ENOSPC, a full disk — into a typed
+//     SimError(IoError) with the io_error exit code instead of dying with a
+//     half-written report and no diagnosis.
+#pragma once
+
+namespace fetcam::recover {
+
+/// Ignore SIGPIPE process-wide (no-op on platforms without it). Call once at
+/// tool startup, before any pipe/socket writes.
+void ignoreSigpipe() noexcept;
+
+/// Flush stdout and throw SimError(IoError) if the stream saw any write
+/// failure (closed pipe, short write, disk full). `tool` names the thrower.
+void checkStdout(const char* tool);
+
+}  // namespace fetcam::recover

@@ -13,6 +13,7 @@ const char* reasonName(SimErrorReason reason) noexcept {
         case SimErrorReason::NonConvergence: return "non_convergence";
         case SimErrorReason::IoError: return "io_error";
         case SimErrorReason::CorruptData: return "corrupt_data";
+        case SimErrorReason::DeadlineExceeded: return "deadline_exceeded";
     }
     return "unknown";
 }

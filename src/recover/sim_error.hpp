@@ -27,13 +27,14 @@ enum class SimErrorReason {
     NonConvergence,  ///< Newton exhausted its iteration budget
     IoError,         ///< file read/write failure
     CorruptData,     ///< persisted data failed validation (magic/CRC/version)
+    DeadlineExceeded,  ///< a query/request deadline expired before completion
 };
 
 /// Short stable identifier ("invalid_spec", "step_underflow", ...).
 const char* reasonName(SimErrorReason reason) noexcept;
 
 /// Number of distinct reasons (histogram sizing).
-inline constexpr int kNumSimErrorReasons = 7;
+inline constexpr int kNumSimErrorReasons = 8;
 
 /// How a sweep reacts to one of its trials throwing SimError.
 enum class FailurePolicy {
@@ -53,6 +54,7 @@ inline int exitCodeFor(SimErrorReason reason) noexcept {
         case SimErrorReason::NonConvergence: return 7;
         case SimErrorReason::IoError: return 8;
         case SimErrorReason::CorruptData: return 9;
+        case SimErrorReason::DeadlineExceeded: return 10;
     }
     return 1;
 }

@@ -98,6 +98,11 @@ std::int64_t QueryEngine::scanShard(std::int64_t shard, const tcam::TernaryWord&
 }
 
 BatchResult QueryEngine::searchBatch(const std::vector<tcam::TernaryWord>& keys, int jobs) {
+    return searchBatchMasked(keys, nullptr, jobs);
+}
+
+BatchResult QueryEngine::searchBatchMasked(const std::vector<tcam::TernaryWord>& keys,
+                                           const std::vector<char>* expired, int jobs) {
     // Validate every key up front so a bad key fails before any accounting.
     for (const auto& key : keys)
         if (static_cast<int>(key.size()) != options_.shard.wordBits)
@@ -133,6 +138,11 @@ BatchResult QueryEngine::searchBatch(const std::vector<tcam::TernaryWord>& keys,
         for (std::int64_t s = 0; s < numShards; ++s) {
             const double ts0 = obsOn ? obs::monotonicSeconds() : 0.0;
             for (std::int64_t i = lo; i < hi; ++i) {
+                // Deadline-shed queries never reach the scan: mark and skip.
+                if (expired && (*expired)[static_cast<std::size_t>(i)]) {
+                    out.rows[static_cast<std::size_t>(i)] = kRowDeadlineExpired;
+                    continue;
+                }
                 // Per-shard priority-encoder result for this query...
                 const std::int64_t local = scanShard(s, keys[static_cast<std::size_t>(i)]);
                 // ...merged on global priority: the lowest row wins. Shards
@@ -147,8 +157,12 @@ BatchResult QueryEngine::searchBatch(const std::vector<tcam::TernaryWord>& keys,
         }
     });
 
-    for (const auto r : out.rows) out.hits += r >= 0;
-    out.energy = bank_.totalPerSearch() * static_cast<double>(n);
+    for (const auto r : out.rows) {
+        out.hits += r >= 0;
+        out.expired += r == kRowDeadlineExpired;
+    }
+    // Expired queries were shed before simulation, so they draw no energy.
+    out.energy = bank_.totalPerSearch() * static_cast<double>(n - out.expired);
     out.latency = bank_.searchDelay;
 
     {
@@ -157,6 +171,7 @@ BatchResult QueryEngine::searchBatch(const std::vector<tcam::TernaryWord>& keys,
         stats_.hits += out.hits;
         stats_.batches += 1;
         stats_.searchEnergy += out.energy;
+        stats_.deadlineExpired += out.expired;
     }
 
     if (obsOn) {
@@ -167,6 +182,11 @@ BatchResult QueryEngine::searchBatch(const std::vector<tcam::TernaryWord>& keys,
         queries.add(static_cast<long long>(n));
         hits.add(static_cast<long long>(out.hits));
         batches.add();
+        if (out.expired > 0) {
+            static obs::Counter& deadlineExpired =
+                obs::counter("serve.admission.deadline_expired");
+            deadlineExpired.add(static_cast<long long>(out.expired));
+        }
         const double dt = obs::monotonicSeconds() - t0;
         batchSeconds.observe(dt);
         if (dt > 0.0) obs::gauge("serve.qps").set(static_cast<double>(n) / dt);
@@ -175,6 +195,15 @@ BatchResult QueryEngine::searchBatch(const std::vector<tcam::TernaryWord>& keys,
 }
 
 SubmitResult QueryEngine::submitBatch(const std::vector<tcam::TernaryWord>& keys, int jobs) {
+    return submitBatch(keys, SubmitOptions{}, jobs);
+}
+
+SubmitResult QueryEngine::submitBatch(const std::vector<tcam::TernaryWord>& keys,
+                                      const SubmitOptions& opts, int jobs) {
+    if (opts.deadlines && opts.deadlines->size() != keys.size())
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec,
+                                "QueryEngine::submitBatch",
+                                "deadlines must align with keys");
     const int limit = options_.admission.maxInFlightBatches;
     // fetch_add-then-check keeps the bound exact under races: whoever reads
     // a pre-increment count at or above the limit backs out, so at most
@@ -192,9 +221,31 @@ SubmitResult QueryEngine::submitBatch(const std::vector<tcam::TernaryWord>& keys
         return {BatchAdmission::Shed, {}};
     }
 
+    // Admitted. Record how long the front-end's oldest query queued before
+    // the engine picked the batch up — the satellite metric CI diffs under
+    // load — and evaluate deadlines exactly once, at admission: a query
+    // whose deadline has already passed is shed before any entry is scanned.
+    const double now = obs::monotonicSeconds();
+    if (obs::enabled() && opts.enqueuedAt > 0.0) {
+        static obs::Histogram& queueWait = obs::histogram("serve.admission.queue_wait");
+        queueWait.observe(std::max(0.0, now - opts.enqueuedAt));
+    }
+    std::vector<char> expired;
+    bool anyExpired = false;
+    if (opts.deadlines) {
+        expired.resize(keys.size(), 0);
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+            const double d = (*opts.deadlines)[i];
+            if (d > 0.0 && now >= d) {
+                expired[i] = 1;
+                anyExpired = true;
+            }
+        }
+    }
+
     SubmitResult out;
     try {
-        out.result = searchBatch(keys, jobs);
+        out.result = searchBatchMasked(keys, anyExpired ? &expired : nullptr, jobs);
     } catch (...) {
         inFlight_.fetch_sub(1, std::memory_order_acq_rel);
         throw;
@@ -224,6 +275,8 @@ std::string QueryEngine::report() const {
     os << "  occupancy      " << occupancy() << "\n";
     os << "  queries        " << s.queries << " (" << s.hits << " hits, "
        << s.batches << " batches)\n";
+    os << "  admission      " << s.accepted << " accepted / " << s.shed << " shed / "
+       << s.deadlineExpired << " deadline-expired\n";
     os << "  energy/query   " << core::engFormat(energyPerQuery(), "J") << "\n";
     os << "  query latency  " << core::engFormat(queryLatency(), "s") << "\n";
     os << "  search energy  " << core::engFormat(s.searchEnergy, "J") << "\n";

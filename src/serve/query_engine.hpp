@@ -72,13 +72,19 @@ struct EngineOptions {
     AdmissionOptions admission;
 };
 
+/// Per-query row sentinel: the query's deadline expired before the scan, so
+/// it was shed without touching the entries (no scan work, no energy).
+inline constexpr std::int64_t kRowDeadlineExpired = -2;
+
 /// Result of one batched search. `rows[i]` is the globally lowest matching
 /// row for keys[i], -1 when nothing matched — what the hardware priority
-/// encoder would report.
+/// encoder would report — and kRowDeadlineExpired (-2) when the query's
+/// deadline passed before simulation and it was shed unscanned.
 struct BatchResult {
     std::vector<std::int64_t> rows;
     std::int64_t hits = 0;
-    double energy = 0.0;   ///< whole-batch search energy [J]
+    std::int64_t expired = 0;  ///< queries shed by their deadline (rows[i] == -2)
+    double energy = 0.0;   ///< whole-batch search energy [J], executed queries only
     double latency = 0.0;  ///< per-query hardware latency [s]
 };
 
@@ -89,6 +95,7 @@ struct EngineStats {
     double searchEnergy = 0.0;  ///< [J] accumulated
     std::int64_t accepted = 0;  ///< batches admitted through submitBatch
     std::int64_t shed = 0;      ///< batches refused by admission control
+    std::int64_t deadlineExpired = 0;  ///< queries shed by their deadline
 };
 
 /// Typed outcome of an admission-controlled submission.
@@ -101,6 +108,19 @@ struct SubmitResult {
     BatchAdmission admission = BatchAdmission::Accepted;
     BatchResult result;  ///< valid only when admitted
     bool admitted() const { return admission == BatchAdmission::Accepted; }
+};
+
+/// Deadline / queueing context a front-end attaches to a submission. All
+/// times are absolute obs::monotonicSeconds() values.
+struct SubmitOptions {
+    /// Per-query absolute deadlines aligned with `keys` (0 = no deadline for
+    /// that query); queries whose deadline has already passed at admission
+    /// are shed *before* any entry is scanned (rows[i] = kRowDeadlineExpired)
+    /// and charged no search energy. nullptr = no deadlines.
+    const std::vector<double>* deadlines = nullptr;
+    /// When the front-end first queued the batch's oldest query; > 0 feeds
+    /// the serve.admission.queue_wait histogram at admission time.
+    double enqueuedAt = 0.0;
 };
 
 class QueryEngine {
@@ -134,6 +154,14 @@ public:
     /// be mutated concurrently with serving.
     SubmitResult submitBatch(const std::vector<tcam::TernaryWord>& keys, int jobs = 0);
 
+    /// submitBatch with deadline / queue-wait context: queries whose
+    /// deadline expired before admission are shed unscanned (see
+    /// SubmitOptions), counted in stats().deadlineExpired and the
+    /// serve.admission.deadline_expired counter. `opts.deadlines`, when set,
+    /// must be keys.size() long.
+    SubmitResult submitBatch(const std::vector<tcam::TernaryWord>& keys,
+                             const SubmitOptions& opts, int jobs = 0);
+
     /// Batches currently inside submitBatch (admission gauge).
     int inFlightBatches() const { return inFlight_.load(std::memory_order_relaxed); }
 
@@ -162,6 +190,10 @@ private:
     /// Shard-local priority encoder: lowest matching occupied global row in
     /// shard s, or -1.
     std::int64_t scanShard(std::int64_t shard, const tcam::TernaryWord& key) const;
+    /// searchBatch with an optional per-query skip mask (expired deadlines):
+    /// masked queries get kRowDeadlineExpired without being scanned.
+    BatchResult searchBatchMasked(const std::vector<tcam::TernaryWord>& keys,
+                                  const std::vector<char>* expired, int jobs);
 
     EngineOptions options_;
     std::shared_ptr<CharacterizationCache> cache_;

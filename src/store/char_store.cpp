@@ -140,6 +140,11 @@ std::vector<Record> CharStore::load() {
 
 void CharStore::openWriterLocked(std::int64_t resumeOffset) {
     writer_.open(logPath(), config_.schemaVersion, resumeOffset);
+    // A fresh log (or a header rewritten at offset 0) is a new directory
+    // entry: fsync the directory too, or a crash between file creation and
+    // dir-entry durability could orphan the first appends. Typed, not
+    // best-effort — losing durability must not be silent.
+    if (resumeOffset <= 0) syncDirectory(config_.dir);
 }
 
 void CharStore::append(std::string_view key, std::string_view payload) {
@@ -195,6 +200,9 @@ void CharStore::compact(const std::vector<Record>& records) {
         throw SimError(SimErrorReason::IoError, "store::CharStore",
                        "compaction rename failed: " + ec.message());
     }
+    // The rename replaced the directory entry; make that durable before
+    // acknowledging the compaction.
+    syncDirectory(config_.dir);
     writer_.open(path, config_.schemaVersion,
                  static_cast<std::int64_t>(fs::file_size(path)));
 }

@@ -8,6 +8,7 @@
 #include "recover/sim_error.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #define FETCAM_STORE_HAVE_FSYNC 1
 #endif
@@ -30,6 +31,25 @@ std::uint32_t get32(const std::string& data, std::size_t offset) {
 }
 
 }  // namespace
+
+void syncDirectory(const std::string& dir) {
+#ifdef FETCAM_STORE_HAVE_FSYNC
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        throw SimError(SimErrorReason::IoError, "store::syncDirectory",
+                       "cannot open directory " + dir + ": " +
+                           std::string(std::strerror(errno)));
+    const int rc = ::fsync(fd);
+    const int err = errno;
+    ::close(fd);
+    if (rc != 0)
+        throw SimError(SimErrorReason::IoError, "store::syncDirectory",
+                       "fsync failed on directory " + dir + ": " +
+                           std::string(std::strerror(err)));
+#else
+    (void)dir;
+#endif
+}
 
 std::vector<Record> readLog(const std::string& path, std::uint32_t schemaVersion,
                             ReadStats& stats) {

@@ -37,6 +37,13 @@ struct ReadStats {
     bool truncatedTail = false;
 };
 
+/// fsync a directory so a freshly created / renamed file inside it survives
+/// a crash between file creation and directory-entry durability. Throws
+/// SimError(IoError) when the directory cannot be opened or synced — never
+/// best-effort, so callers can surface durability loss as a typed failure.
+/// No-op on platforms without directory fsync.
+void syncDirectory(const std::string& dir);
+
 /// Read and validate an entire log. Throws recover::SimError:
 ///   IoError     — the file cannot be opened or read
 ///   CorruptData — bad file magic, header CRC, container/schema version

@@ -1,0 +1,531 @@
+// fetcam::net contract tests.
+//
+// Two layers:
+//   1. Wire protocol (no sockets) — the corruption matrix: truncated
+//      headers, bad magic/CRC, oversized declarations, malformed bodies must
+//      each produce the right typed ProtoError, never a partially-parsed
+//      message.
+//   2. Server (loopback sockets, server on its own thread) — correct
+//      answers against the engine, overload shedding, deadline expiry,
+//      one-bad-connection isolation, slowloris read timeout, mid-batch
+//      disconnect, graceful-drain accounting, and a random-byte fuzz smoke:
+//      whatever bytes arrive, the server keeps serving well-formed peers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "numeric/stats.hpp"
+#include "obs/obs.hpp"
+#include "recover/fault_injection.hpp"
+#include "recover/sim_error.hpp"
+#include "serve/query_engine.hpp"
+#include "store/format.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+serve::EngineOptions smallOptions() {
+    serve::EngineOptions o;
+    o.shard.cell = tcam::CellKind::FeFet2;
+    o.shard.sense = array::SenseScheme::LowSwing;
+    o.shard.wordBits = 8;
+    o.shard.rows = 4;
+    o.capacity = 8;
+    return o;
+}
+
+net::QueryBatchBody makeBatch(std::uint64_t id, std::initializer_list<int> values,
+                              std::uint32_t deadlineMicros = 0) {
+    net::QueryBatchBody b;
+    b.requestId = id;
+    b.deadlineMicros = deadlineMicros;
+    for (const int v : values)
+        b.keys.push_back(tcam::TernaryWord::fromBits(static_cast<std::uint64_t>(v), 8));
+    return b;
+}
+
+/// Engine + Server on a background thread; entries 0..entries-1 stored as
+/// exact words, so querying value v hits row v iff v < entries.
+class ServerHarness {
+public:
+    explicit ServerHarness(net::ServerOptions options = {}, int entries = 4)
+        : engine_(smallOptions()) {
+        for (int i = 0; i < entries; ++i)
+            engine_.insert(tcam::TernaryWord::fromBits(static_cast<std::uint64_t>(i), 8));
+        options.port = 0;
+        server_ = std::make_unique<net::Server>(engine_, options);
+        server_->start();
+        thread_ = std::thread([this] {
+            try {
+                server_->run();
+            } catch (const recover::SimError& e) {
+                runError_ = e.what();
+            }
+        });
+    }
+
+    ~ServerHarness() { stop(); }
+
+    void stop() {
+        if (thread_.joinable()) {
+            server_->requestStop();
+            thread_.join();
+        }
+        EXPECT_EQ(runError_, "");
+    }
+
+    int port() const { return server_->port(); }
+    const net::ServerStats& stats() const { return server_->stats(); }
+    net::Server& server() { return *server_; }
+    serve::QueryEngine& engine() { return engine_; }
+
+private:
+    serve::QueryEngine engine_;
+    std::unique_ptr<net::Server> server_;
+    std::thread thread_;
+    std::string runError_;
+};
+
+void expectAccountingInvariant(const net::ServerStats& s) {
+    EXPECT_EQ(s.queries, s.hits + s.misses + s.shedQueries + s.expiredQueries);
+}
+
+}  // namespace
+
+// --- protocol corruption matrix (no sockets) -------------------------------
+
+TEST(NetProtocol, FrameRoundTrip) {
+    const std::string frame = net::encodeFrame(net::MsgType::QueryBatch, "payload");
+    const auto r = net::decodeFrame(frame, net::kDefaultMaxFrameBytes);
+    ASSERT_EQ(r.status, net::DecodeResult::Status::Ok);
+    EXPECT_EQ(r.frame.type, net::MsgType::QueryBatch);
+    EXPECT_EQ(r.frame.body, "payload");
+    EXPECT_EQ(r.consumed, frame.size());
+}
+
+TEST(NetProtocol, TruncatedHeaderNeedsMore) {
+    const std::string frame = net::encodeFrame(net::MsgType::Drain, "");
+    for (std::size_t n = 0; n < net::kFrameHeaderSize; ++n) {
+        const auto r = net::decodeFrame(frame.substr(0, n), net::kDefaultMaxFrameBytes);
+        EXPECT_EQ(r.status, net::DecodeResult::Status::NeedMore) << "prefix " << n;
+    }
+}
+
+TEST(NetProtocol, TruncatedBodyNeedsMore) {
+    const std::string frame = net::encodeFrame(net::MsgType::Error, "some error text");
+    for (std::size_t n = net::kFrameHeaderSize; n < frame.size(); ++n) {
+        const auto r = net::decodeFrame(frame.substr(0, n), net::kDefaultMaxFrameBytes);
+        EXPECT_EQ(r.status, net::DecodeResult::Status::NeedMore) << "prefix " << n;
+    }
+}
+
+TEST(NetProtocol, GarbagePreambleIsBadMagic) {
+    const auto r = net::decodeFrame("GET / HTTP/1.1\r\nHost: x\r\n\r\n",
+                                    net::kDefaultMaxFrameBytes);
+    EXPECT_EQ(r.status, net::DecodeResult::Status::Bad);
+    EXPECT_EQ(r.error, net::ProtoError::BadMagic);
+}
+
+TEST(NetProtocol, CorruptedByteIsBadCrc) {
+    std::string frame = net::encodeFrame(net::MsgType::QueryBatch, "payload");
+    frame[net::kFrameHeaderSize + 2] ^= 0x01;  // flip one body bit
+    const auto r = net::decodeFrame(frame, net::kDefaultMaxFrameBytes);
+    EXPECT_EQ(r.status, net::DecodeResult::Status::Bad);
+    EXPECT_EQ(r.error, net::ProtoError::BadCrc);
+}
+
+TEST(NetProtocol, OversizedRejectedBeforeBodyArrives) {
+    // Header declaring a body over the limit must fail immediately — waiting
+    // for the body would let a hostile peer hold the buffer hostage.
+    std::string frame = net::encodeFrame(net::MsgType::QueryBatch, "x");
+    const std::uint32_t huge = 512 + 1;
+    std::memcpy(frame.data() + 8, &huge, 4);
+    const auto r = net::decodeFrame(frame.substr(0, net::kFrameHeaderSize), 512);
+    EXPECT_EQ(r.status, net::DecodeResult::Status::Bad);
+    EXPECT_EQ(r.error, net::ProtoError::Oversized);
+}
+
+TEST(NetProtocol, UnknownTypeIsBadType) {
+    std::string frame = net::encodeFrame(net::MsgType::Drain, "");
+    frame[4] = 99;  // type byte; re-seal the CRC so only the type is wrong
+    std::uint32_t crc = store::crc32(frame.data() + 4, 8);
+    std::memcpy(frame.data() + 12, &crc, 4);
+    const auto r = net::decodeFrame(frame, net::kDefaultMaxFrameBytes);
+    EXPECT_EQ(r.status, net::DecodeResult::Status::Bad);
+    EXPECT_EQ(r.error, net::ProtoError::BadType);
+}
+
+TEST(NetProtocol, QueryBatchBodyValidation) {
+    const auto batch = makeBatch(7, {1, 2, 3}, 1234);
+    const std::string body = net::encodeQueryBatch(batch);
+    std::string err;
+
+    const auto ok = net::decodeQueryBatch(body, 8, 100, &err);
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(ok->requestId, 7u);
+    EXPECT_EQ(ok->deadlineMicros, 1234u);
+    ASSERT_EQ(ok->keys.size(), 3u);
+    EXPECT_EQ(ok->keys[1], batch.keys[1]);
+
+    // Count above maxBatch.
+    EXPECT_FALSE(net::decodeQueryBatch(body, 8, 2, &err).has_value());
+    // Wrong word width: body length no longer matches count * wordBits.
+    EXPECT_FALSE(net::decodeQueryBatch(body, 16, 100, &err).has_value());
+    // Trailing junk.
+    EXPECT_FALSE(net::decodeQueryBatch(body + "x", 8, 100, &err).has_value());
+    // Truncated.
+    EXPECT_FALSE(
+        net::decodeQueryBatch(body.substr(0, body.size() - 1), 8, 100, &err).has_value());
+    // Trit byte outside {0,1,2}.
+    std::string bad = body;
+    bad[bad.size() - 1] = 3;
+    EXPECT_FALSE(net::decodeQueryBatch(bad, 8, 100, &err).has_value());
+    // Zero queries.
+    net::QueryBatchBody empty;
+    empty.requestId = 1;
+    EXPECT_FALSE(
+        net::decodeQueryBatch(net::encodeQueryBatch(empty), 8, 100, &err).has_value());
+}
+
+TEST(NetProtocol, BatchReplyAndErrorRoundTrip) {
+    net::BatchReplyBody reply;
+    reply.requestId = 42;
+    reply.admission = static_cast<std::uint8_t>(serve::BatchAdmission::Accepted);
+    reply.rows = {0, -1, serve::kRowDeadlineExpired};
+    reply.status = {net::QueryStatus::Hit, net::QueryStatus::Miss,
+                    net::QueryStatus::DeadlineExceeded};
+    std::string err;
+    const auto back = net::decodeBatchReply(net::encodeBatchReply(reply), &err);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->requestId, 42u);
+    EXPECT_EQ(back->rows, reply.rows);
+    EXPECT_EQ(back->status, reply.status);
+
+    net::ErrorBody e{net::ProtoError::ReadTimeout, "too slow"};
+    const auto eb = net::decodeError(net::encodeError(e), &err);
+    ASSERT_TRUE(eb.has_value());
+    EXPECT_EQ(eb->code, net::ProtoError::ReadTimeout);
+    EXPECT_EQ(eb->message, "too slow");
+
+    // Reply with a status byte outside the enum.
+    std::string badReply = net::encodeBatchReply(reply);
+    badReply[badReply.size() - 1] = 9;
+    EXPECT_FALSE(net::decodeBatchReply(badReply, &err).has_value());
+}
+
+TEST(NetProtocol, StableErrorNames) {
+    EXPECT_STREQ(net::protoErrorName(net::ProtoError::BadMagic), "bad_magic");
+    EXPECT_STREQ(net::protoErrorName(net::ProtoError::BadCrc), "bad_crc");
+    EXPECT_STREQ(net::protoErrorName(net::ProtoError::Oversized), "oversized");
+    EXPECT_STREQ(net::protoErrorName(net::ProtoError::ReadTimeout), "read_timeout");
+    EXPECT_STREQ(net::protoErrorName(net::ProtoError::Truncated), "truncated");
+    EXPECT_STREQ(net::queryStatusName(net::QueryStatus::Shed), "shed");
+    EXPECT_STREQ(net::queryStatusName(net::QueryStatus::DeadlineExceeded),
+                 "deadline_exceeded");
+}
+
+// --- server behaviour (loopback) -------------------------------------------
+
+TEST(NetServer, ServesCorrectRowsAndHello) {
+    ServerHarness h;
+    net::Client client;
+    client.connect("127.0.0.1", h.port());
+    EXPECT_EQ(client.hello().version, net::kProtocolVersion);
+    EXPECT_EQ(client.hello().wordBits, 8u);
+
+    const auto res = client.query(makeBatch(1, {0, 3, 7}));
+    ASSERT_TRUE(res.ok);
+    ASSERT_EQ(res.reply.rows.size(), 3u);
+    EXPECT_EQ(res.reply.rows[0], 0);   // entry 0 stored at row 0
+    EXPECT_EQ(res.reply.rows[1], 3);   // entry 3 stored at row 3
+    EXPECT_EQ(res.reply.rows[2], -1);  // 7 was never inserted
+    EXPECT_EQ(res.reply.status[0], net::QueryStatus::Hit);
+    EXPECT_EQ(res.reply.status[2], net::QueryStatus::Miss);
+
+    client.close();
+    h.stop();
+    EXPECT_EQ(h.stats().requests, 1);
+    EXPECT_EQ(h.stats().hits, 2);
+    EXPECT_EQ(h.stats().misses, 1);
+    EXPECT_TRUE(h.stats().drained);
+    expectAccountingInvariant(h.stats());
+}
+
+TEST(NetServer, OverloadShedsWholeRequestsWithTypedReplies) {
+    net::ServerOptions opts;
+    opts.maxPendingQueries = 2;
+    opts.coalesceWindow = 0.2;  // hold queries pending long enough to collide
+    ServerHarness h(opts);
+
+    net::Client client;
+    client.connect("127.0.0.1", h.port());
+
+    // Two requests on one connection: frame order fixes arrival order, so the
+    // first request's two queries fill the pending budget and the second must
+    // be shed immediately (typed, whole-request) while the first is still
+    // answered normally after the coalesce window.
+    ASSERT_TRUE(client.sendRaw(
+        net::encodeFrame(net::MsgType::QueryBatch,
+                         net::encodeQueryBatch(makeBatch(1, {0, 1})))));
+    ASSERT_TRUE(client.sendRaw(
+        net::encodeFrame(net::MsgType::QueryBatch,
+                         net::encodeQueryBatch(makeBatch(2, {2, 3})))));
+
+    net::ClientResult accepted, shed;
+    for (int i = 0; i < 2; ++i) {
+        const auto res = client.readFrame(5.0);
+        ASSERT_TRUE(res.ok);
+        if (res.reply.requestId == 1)
+            accepted = res;
+        else
+            shed = res;
+    }
+    EXPECT_EQ(accepted.reply.requestId, 1u);
+    EXPECT_EQ(accepted.reply.admission,
+              static_cast<std::uint8_t>(serve::BatchAdmission::Accepted));
+    EXPECT_EQ(shed.reply.requestId, 2u);
+    EXPECT_EQ(shed.reply.admission,
+              static_cast<std::uint8_t>(serve::BatchAdmission::Shed));
+    ASSERT_EQ(shed.reply.status.size(), 2u);
+    EXPECT_EQ(shed.reply.status[0], net::QueryStatus::Shed);
+
+    client.close();
+    h.stop();
+    EXPECT_EQ(h.stats().shedQueries, 2);
+    expectAccountingInvariant(h.stats());
+}
+
+TEST(NetServer, ExpiredDeadlinesAnsweredWithoutScanning) {
+    net::ServerOptions opts;
+    opts.coalesceWindow = 0.05;  // longer than the 1us deadline below
+    ServerHarness h(opts);
+    net::Client client;
+    client.connect("127.0.0.1", h.port());
+
+    const auto res = client.query(makeBatch(1, {0, 1}, /*deadlineMicros=*/1));
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.reply.status[0], net::QueryStatus::DeadlineExceeded);
+    EXPECT_EQ(res.reply.status[1], net::QueryStatus::DeadlineExceeded);
+    EXPECT_EQ(res.reply.rows[0], serve::kRowDeadlineExpired);
+
+    client.close();
+    h.stop();
+    EXPECT_EQ(h.stats().expiredQueries, 2);
+    EXPECT_EQ(h.engine().stats().deadlineExpired, 2);
+    expectAccountingInvariant(h.stats());
+}
+
+TEST(NetServer, BadConnectionDiesAloneNeighboursUnaffected) {
+    ServerHarness h;
+    net::Client good;
+    good.connect("127.0.0.1", h.port());
+    net::Client bad;
+    bad.connect("127.0.0.1", h.port());
+
+    // Garbage preamble: the bad peer gets a typed Error frame, then its
+    // connection — and only its connection — is closed.
+    ASSERT_TRUE(bad.sendRaw("this is definitely not a frame"));
+    const auto err = bad.readFrame(5.0);
+    EXPECT_EQ(err.error, net::ProtoError::BadMagic);
+    const auto eof = bad.readFrame(5.0);
+    EXPECT_TRUE(eof.disconnected);
+
+    const auto res = good.query(makeBatch(1, {2}));
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.reply.rows[0], 2);
+
+    good.close();
+    h.stop();
+    EXPECT_EQ(h.stats().errorCounts[static_cast<std::size_t>(net::ProtoError::BadMagic)], 1);
+    EXPECT_EQ(h.stats().connectionsDropped, 1);
+    expectAccountingInvariant(h.stats());
+}
+
+TEST(NetServer, OversizedFrameRejectedWithTypedError) {
+    net::ServerOptions opts;
+    opts.maxFrameBytes = 256;
+    ServerHarness h(opts);
+    net::Client client;
+    client.connect("127.0.0.1", h.port());
+
+    // Header declaring a 1 MiB body against a 256-byte limit.
+    std::string frame = net::encodeFrame(net::MsgType::QueryBatch, "x");
+    const std::uint32_t huge = 1u << 20;
+    std::memcpy(frame.data() + 8, &huge, 4);
+    ASSERT_TRUE(client.sendRaw(frame.substr(0, net::kFrameHeaderSize)));
+    const auto err = client.readFrame(5.0);
+    EXPECT_EQ(err.error, net::ProtoError::Oversized);
+
+    h.stop();
+    EXPECT_EQ(h.stats().errorCounts[static_cast<std::size_t>(net::ProtoError::Oversized)],
+              1);
+}
+
+TEST(NetServer, SlowlorisCutByReadTimeout) {
+    net::ServerOptions opts;
+    opts.readTimeout = 0.15;
+    ServerHarness h(opts);
+    net::Client stalled;
+    stalled.connect("127.0.0.1", h.port());
+    net::Client good;
+    good.connect("127.0.0.1", h.port());
+
+    // Half a frame, then silence: the server must cut the stalled peer after
+    // readTimeout with a typed error, not hold the parse buffer forever.
+    const std::string frame =
+        net::encodeFrame(net::MsgType::QueryBatch, net::encodeQueryBatch(makeBatch(1, {0})));
+    ASSERT_TRUE(stalled.sendRaw(frame.substr(0, net::kFrameHeaderSize + 2)));
+    const auto err = stalled.readFrame(5.0);
+    EXPECT_EQ(err.error, net::ProtoError::ReadTimeout);
+
+    // An idle-but-quiet neighbour (no partial frame) must NOT be cut.
+    const auto res = good.query(makeBatch(2, {1}));
+    ASSERT_TRUE(res.ok);
+
+    good.close();
+    h.stop();
+    EXPECT_EQ(
+        h.stats().errorCounts[static_cast<std::size_t>(net::ProtoError::ReadTimeout)], 1);
+}
+
+TEST(NetServer, DisconnectMidFrameCountedAsTruncated) {
+    ServerHarness h;
+    {
+        net::Client client;
+        client.connect("127.0.0.1", h.port());
+        const std::string frame = net::encodeFrame(
+            net::MsgType::QueryBatch, net::encodeQueryBatch(makeBatch(1, {0, 1, 2})));
+        ASSERT_TRUE(client.sendRaw(frame.substr(0, frame.size() - 3)));
+        client.close();
+    }
+    // On loopback the torn bytes and FIN are already queued, so the drain
+    // pass reads the EOF (and counts it) before run() exits.
+    h.stop();
+    EXPECT_EQ(h.stats().errorCounts[static_cast<std::size_t>(net::ProtoError::Truncated)],
+              1);
+    EXPECT_EQ(h.stats().requests, 0);  // the torn request never parsed
+}
+
+TEST(NetServer, ClientFaultPlanInjectsTornFrame) {
+    ServerHarness h;
+    recover::FaultPlan plan;
+    recover::FaultSpec spec;
+    spec.kind = recover::FaultKind::TornFrame;
+    spec.fromSolve = 0;
+    spec.toSolve = 1;
+    plan.add(spec);
+
+    net::Client client;
+    client.connect("127.0.0.1", h.port());
+    {
+        recover::ScopedFaultPlan guard(plan);
+        const auto res = client.query(makeBatch(1, {0, 1}));
+        EXPECT_TRUE(res.faultInjected);
+        EXPECT_FALSE(res.ok);
+    }
+    EXPECT_EQ(plan.framesSeen(), 1);
+    EXPECT_EQ(plan.injectionCount(), 1);
+
+    // Reconnect and serve normally — the fault consumed its window.
+    client.connect("127.0.0.1", h.port());
+    {
+        recover::ScopedFaultPlan guard(plan);
+        const auto res = client.query(makeBatch(2, {0}));
+        ASSERT_TRUE(res.ok);
+        EXPECT_EQ(res.reply.rows[0], 0);
+    }
+    client.close();
+
+    for (int i = 0; i < 100 && h.stats().protoErrors == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    h.stop();
+    EXPECT_EQ(h.stats().errorCounts[static_cast<std::size_t>(net::ProtoError::Truncated)],
+              1);
+    expectAccountingInvariant(h.stats());
+}
+
+TEST(NetServer, DrainAnswersInFlightThenExits) {
+    net::ServerOptions opts;
+    opts.coalesceWindow = 0.2;  // queries sit pending when the stop arrives
+    ServerHarness h(opts);
+    net::Client client;
+    client.connect("127.0.0.1", h.port());
+
+    std::thread querier([&] {
+        // In flight when requestStop() lands; drain must still answer it.
+        const auto res = client.query(makeBatch(1, {0, 7}), 5.0);
+        ASSERT_TRUE(res.ok);
+        EXPECT_EQ(res.reply.rows[0], 0);
+        EXPECT_EQ(res.reply.rows[1], -1);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    h.server().requestStop();
+    querier.join();
+    h.stop();
+
+    EXPECT_TRUE(h.stats().drained);
+    EXPECT_FALSE(h.stats().drainForced);
+    EXPECT_EQ(h.stats().hits, 1);
+    EXPECT_EQ(h.stats().misses, 1);
+    expectAccountingInvariant(h.stats());
+}
+
+TEST(NetServer, FuzzRandomBytesNeverKillTheServer) {
+    ServerHarness h;
+    numeric::Rng rng(0xF022);
+    for (int round = 0; round < 40; ++round) {
+        net::Client fuzzer;
+        fuzzer.connect("127.0.0.1", h.port());
+        std::string noise(static_cast<std::size_t>(rng.uniformInt(1, 200)), '\0');
+        for (auto& c : noise) c = static_cast<char>(rng.uniformInt(0, 255));
+        fuzzer.sendRaw(noise);
+        // Whatever happened — typed error, silent drop, instant close — the
+        // fuzzer connection is gone or dying; the server must still be up.
+        fuzzer.close();
+    }
+    net::Client wellFormed;
+    wellFormed.connect("127.0.0.1", h.port());
+    const auto res = wellFormed.query(makeBatch(99, {1, 2}));
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.reply.rows[0], 1);
+    EXPECT_EQ(res.reply.rows[1], 2);
+    wellFormed.close();
+    h.stop();
+    expectAccountingInvariant(h.stats());
+}
+
+TEST(NetServer, StatsJsonIsWellFormedAndDeterministicFields) {
+    ServerHarness h;
+    net::Client client;
+    client.connect("127.0.0.1", h.port());
+    ASSERT_TRUE(client.query(makeBatch(1, {0})).ok);
+    client.close();
+    h.stop();
+    const std::string json = h.server().statsJson();
+    EXPECT_NE(json.find("\"requests\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"queries\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"drained\": true"), std::string::npos);
+    EXPECT_EQ(json.find("seconds"), std::string::npos);  // no wall-clock inside
+}
+
+TEST(NetServer, RejectsInvalidOptions) {
+    serve::QueryEngine engine(smallOptions());
+    net::ServerOptions opts;
+    opts.maxBatch = 0;
+    EXPECT_THROW(net::Server(engine, opts), recover::SimError);
+    opts = {};
+    opts.readTimeout = 0.0;
+    EXPECT_THROW(net::Server(engine, opts), recover::SimError);
+    opts = {};
+    opts.host = "not-an-address";
+    net::Server bad(engine, opts);
+    EXPECT_THROW(bad.start(), recover::SimError);
+}

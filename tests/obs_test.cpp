@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <new>
 #include <string>
@@ -228,3 +229,25 @@ TEST(Obs, DisabledHotPathMakesZeroAllocations) {
 }
 
 }  // namespace
+
+TEST(Metrics, QuantileEstimatesFromBuckets) {
+    fetcam::obs::Histogram hist("quantile.test", {1.0, 2.0, 4.0, 8.0});
+    EXPECT_TRUE(std::isnan(fetcam::obs::quantile(hist, 0.5)));
+
+    for (int i = 0; i < 100; ++i) hist.observe(1.5);  // all in bucket (1, 2]
+    const double p50 = fetcam::obs::quantile(hist, 0.5);
+    EXPECT_GE(p50, 1.0);
+    EXPECT_LE(p50, 2.0);
+    // Clamped to observed extremes, so the estimate never exceeds reality.
+    EXPECT_GE(fetcam::obs::quantile(hist, 0.001), hist.min());
+    EXPECT_LE(fetcam::obs::quantile(hist, 0.999), hist.max());
+
+    hist.reset();
+    hist.observe(0.5);
+    hist.observe(3.0);
+    hist.observe(6.0);
+    hist.observe(100.0);  // overflow bucket
+    EXPECT_LE(fetcam::obs::quantile(hist, 0.25), fetcam::obs::quantile(hist, 0.9));
+    EXPECT_LE(fetcam::obs::quantile(hist, 0.999), 100.0);
+    EXPECT_GE(fetcam::obs::quantile(hist, 0.01), 0.5);
+}

@@ -13,6 +13,7 @@
 #include "device/tech.hpp"
 #include "obs/obs.hpp"
 #include "recover/fault_injection.hpp"
+#include "recover/io_guard.hpp"
 #include "recover/rescue.hpp"
 #include "recover/sim_error.hpp"
 #include "spice/dcop.hpp"
@@ -68,7 +69,10 @@ TEST(Recover, StableNames) {
     EXPECT_STREQ(recover::reasonName(SimErrorReason::NonConvergence), "non_convergence");
     EXPECT_STREQ(recover::reasonName(SimErrorReason::IoError), "io_error");
     EXPECT_STREQ(recover::reasonName(SimErrorReason::CorruptData), "corrupt_data");
+    EXPECT_STREQ(recover::reasonName(SimErrorReason::DeadlineExceeded),
+                 "deadline_exceeded");
     EXPECT_EQ(recover::exitCodeFor(SimErrorReason::CorruptData), 9);
+    EXPECT_EQ(recover::exitCodeFor(SimErrorReason::DeadlineExceeded), 10);
 
     EXPECT_STREQ(recover::rungName(RescueRung::TightenDamping), "damping");
     EXPECT_STREQ(recover::rungName(RescueRung::GminRamp), "gmin");
@@ -78,10 +82,42 @@ TEST(Recover, StableNames) {
     EXPECT_STREQ(recover::faultKindName(FaultKind::NanCurrent), "nan_current");
     EXPECT_STREQ(recover::faultKindName(FaultKind::SingularStamp), "singular_stamp");
     EXPECT_STREQ(recover::faultKindName(FaultKind::StuckPolarization), "stuck_polarization");
+    EXPECT_STREQ(recover::faultKindName(FaultKind::TornFrame), "torn_frame");
+    EXPECT_STREQ(recover::faultKindName(FaultKind::GarbageBytes), "garbage_bytes");
+    EXPECT_STREQ(recover::faultKindName(FaultKind::Disconnect), "disconnect");
+    EXPECT_STREQ(recover::faultKindName(FaultKind::StalledRead), "stalled_read");
 
     EXPECT_STREQ(spice::newtonFailureName(spice::NewtonFailure::None), "none");
     EXPECT_STREQ(spice::newtonFailureName(spice::NewtonFailure::SingularMatrix),
                  "singular_matrix");
+}
+
+TEST(Recover, NetFrameFaultsUseTheirOwnOrdinalStream) {
+    recover::FaultPlan plan;
+    recover::FaultSpec torn;
+    torn.kind = FaultKind::TornFrame;
+    torn.fromSolve = 1;
+    torn.toSolve = 2;
+    plan.add(torn);
+    recover::FaultSpec nan;
+    nan.kind = FaultKind::NanCurrent;
+    nan.fromSolve = 0;
+    nan.toSolve = 1;
+    plan.add(nan);
+
+    // Solver ordinals do not advance the frame stream or trip net faults.
+    EXPECT_TRUE(plan.beginSolve().nanCurrent);
+    EXPECT_FALSE(plan.beginSolve().any());
+    EXPECT_EQ(plan.framesSeen(), 0);
+
+    EXPECT_FALSE(plan.beginNetFrame().any());  // frame 0: outside [1, 2)
+    const auto f1 = plan.beginNetFrame();      // frame 1: torn
+    EXPECT_TRUE(f1.tornFrame);
+    EXPECT_FALSE(f1.garbageBytes);
+    EXPECT_FALSE(plan.beginNetFrame().any());  // frame 2: window closed
+    EXPECT_EQ(plan.framesSeen(), 3);
+    EXPECT_EQ(plan.solvesSeen(), 2);
+    EXPECT_EQ(plan.injectionCount(), 2);  // one solve fault + one frame fault
 }
 
 TEST(Recover, SimErrorCarriesContext) {
@@ -456,4 +492,10 @@ TEST(Recover, MonteCarloCleanRunHasNoFailures) {
     EXPECT_EQ(r.failedTrials, 0);
     EXPECT_EQ(r.completedTrials, spec.trials);
     for (const int n : r.failureReasons) EXPECT_EQ(n, 0);
+}
+
+TEST(IoGuard, CleanStdoutPassesAndSigpipeIgnored) {
+    recover::ignoreSigpipe();  // idempotent; must not throw
+    recover::ignoreSigpipe();
+    EXPECT_NO_THROW(recover::checkStdout("recover_test"));
 }

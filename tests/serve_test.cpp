@@ -17,6 +17,7 @@
 
 #include "core/tcam_macro.hpp"
 #include "numeric/stats.hpp"
+#include "obs/obs.hpp"
 #include "recover/sim_error.hpp"
 #include "serve/adapters.hpp"
 #include "serve/char_cache.hpp"
@@ -496,4 +497,79 @@ TEST(QueryEngineStore, WarmRestartServesIdenticalResults) {
     expectSameBank(warm.hardware(), coldBank);
 
     fs::remove_all(dir);
+}
+
+// --- per-query deadlines (network front-end contract) ----------------------
+
+TEST(QueryEngineDeadline, ExpiredQueriesShedBeforeSimulation) {
+    serve::QueryEngine engine(smallOptions());
+    engine.insert(tcam::TernaryWord::fromBits(5, 8));
+
+    const std::vector<tcam::TernaryWord> keys = {
+        tcam::TernaryWord::fromBits(5, 8),  // hit, expired
+        tcam::TernaryWord::fromBits(5, 8),  // hit, live deadline
+        tcam::TernaryWord::fromBits(9, 8),  // miss, no deadline
+    };
+    const double now = obs::monotonicSeconds();
+    const std::vector<double> deadlines = {now - 1.0, now + 100.0, 0.0};
+    serve::SubmitOptions opts;
+    opts.deadlines = &deadlines;
+    const auto out = engine.submitBatch(keys, opts);
+    ASSERT_TRUE(out.admitted());
+
+    EXPECT_EQ(out.result.rows[0], serve::kRowDeadlineExpired);
+    EXPECT_EQ(out.result.rows[1], 0);
+    EXPECT_EQ(out.result.rows[2], -1);
+    EXPECT_EQ(out.result.expired, 1);
+    EXPECT_EQ(out.result.hits, 1);
+    // Shed-before-scan means shed-before-energy: only the two executed
+    // queries are charged.
+    EXPECT_EQ(out.result.energy, engine.energyPerQuery() * 2);
+
+    EXPECT_EQ(engine.stats().deadlineExpired, 1);
+    EXPECT_EQ(engine.stats().queries, 3);
+    EXPECT_NE(engine.report().find("1 deadline-expired"), std::string::npos);
+}
+
+TEST(QueryEngineDeadline, AllExpiredChargesNoEnergy) {
+    serve::QueryEngine engine(smallOptions());
+    engine.insert(tcam::TernaryWord::fromBits(5, 8));
+    const std::vector<tcam::TernaryWord> keys(4, tcam::TernaryWord::fromBits(5, 8));
+    const std::vector<double> deadlines(4, 1e-9);  // long past
+    serve::SubmitOptions opts;
+    opts.deadlines = &deadlines;
+    const auto out = engine.submitBatch(keys, opts);
+    ASSERT_TRUE(out.admitted());
+    EXPECT_EQ(out.result.expired, 4);
+    EXPECT_EQ(out.result.hits, 0);
+    EXPECT_EQ(out.result.energy, 0.0);
+    for (const auto row : out.result.rows) EXPECT_EQ(row, serve::kRowDeadlineExpired);
+}
+
+TEST(QueryEngineDeadline, MisalignedDeadlinesRejected) {
+    serve::QueryEngine engine(smallOptions());
+    const std::vector<tcam::TernaryWord> keys(3, tcam::TernaryWord::fromBits(5, 8));
+    const std::vector<double> deadlines(2, 0.0);
+    serve::SubmitOptions opts;
+    opts.deadlines = &deadlines;
+    EXPECT_THROW(engine.submitBatch(keys, opts), recover::SimError);
+}
+
+TEST(QueryEngineDeadline, NoDeadlinesMatchesPlainSearch) {
+    const auto options = smallOptions();
+    serve::QueryEngine a(options);
+    serve::QueryEngine b(options);
+    for (auto* e : {&a, &b}) {
+        e->insert(tcam::TernaryWord::fromBits(5, 8));
+        e->insert(tcam::TernaryWord::fromBits(6, 8));
+    }
+    std::vector<tcam::TernaryWord> keys;
+    for (int i = 0; i < 8; ++i) keys.push_back(tcam::TernaryWord::fromBits(i, 8));
+    const auto plain = a.searchBatch(keys);
+    const auto submitted = b.submitBatch(keys, serve::SubmitOptions{});
+    ASSERT_TRUE(submitted.admitted());
+    EXPECT_EQ(submitted.result.rows, plain.rows);
+    EXPECT_EQ(submitted.result.hits, plain.hits);
+    EXPECT_EQ(submitted.result.energy, plain.energy);
+    EXPECT_EQ(submitted.result.expired, 0);
 }

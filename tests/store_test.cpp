@@ -443,3 +443,17 @@ TEST(CharPayload, WaveformResultsAreNotPersistable) {
     ASSERT_GT(r.waveforms.size(), 0u);
     EXPECT_THROW((void)serve::packResult(r), SimError);
 }
+
+TEST(RecordLog, SyncDirectoryIsTypedNeverBestEffort) {
+    EXPECT_THROW(store::syncDirectory("/definitely/not/a/real/dir"), SimError);
+    try {
+        store::syncDirectory("/definitely/not/a/real/dir");
+        FAIL() << "expected SimError";
+    } catch (const SimError& e) {
+        EXPECT_EQ(e.reason(), SimErrorReason::IoError);
+    }
+    const auto dir = fs::temp_directory_path() / "fetcam_syncdir_test";
+    fs::create_directories(dir);
+    EXPECT_NO_THROW(store::syncDirectory(dir.string()));
+    fs::remove_all(dir);
+}

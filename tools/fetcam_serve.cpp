@@ -9,6 +9,19 @@
 //                [--queries N] [--rows N] [--batch N] [--jobs N] [--seed S]
 //                [--store DIR] [--store-readonly] [--compact]
 //                [--json FILE] [--trace FILE]
+//   fetcam_serve --listen PORT [--host H] [--port-file FILE] [--word-bits N]
+//                [--entries N] [--rows N] [--seed S] [--deadline-ms D]
+//                [--coalesce-us U] [--max-pending N] [--max-connections N]
+//                [--read-timeout S] [--drain-timeout S] [--max-batch N]
+//                [--store DIR] [--compact] [--json FILE]
+//
+// --listen turns the tool into a network front-end: a net::Server speaking
+// the CRC-framed fetcam protocol on PORT (0 = ephemeral; --port-file
+// publishes the bound port for scripts), serving a deterministic entry set
+// generated from --seed/--entries/--word-bits (the same set fetcam_load
+// regenerates client-side). SIGTERM/SIGINT begin a graceful drain: stop
+// accepting, answer everything in flight, flush the store, then emit the
+// final report and exit 0.
 //
 // --store DIR backs the characterization cache with a crash-safe on-disk
 // record log: the first run pays the solver transients and persists them;
@@ -29,10 +42,13 @@
 #include <vector>
 
 #include "core/fetcam.hpp"
+#include "net/server.hpp"
 #include "numeric/parallel.hpp"
 #include "obs/obs.hpp"
+#include "recover/io_guard.hpp"
 #include "recover/sim_error.hpp"
 #include "serve/adapters.hpp"
+#include "listen_workload.hpp"
 
 using namespace fetcam;
 
@@ -57,6 +73,18 @@ struct Args {
     std::string storeDir;
     bool storeReadonly = false;
     bool compact = false;
+    // --- network front-end (--listen) ---
+    int listenPort = -1;  ///< < 0 = batch mode; >= 0 = listen (0 ephemeral)
+    std::string host = "127.0.0.1";
+    std::string portFile;
+    int wordBits = 32;
+    double deadlineMs = 0.0;
+    double coalesceUs = 500.0;
+    std::int64_t maxPending = 1 << 16;
+    int maxConnections = 256;
+    int maxBatch = 4096;
+    double readTimeout = 5.0;
+    double drainTimeout = 5.0;
 };
 
 Args parseArgs(int argc, char** argv) {
@@ -103,6 +131,28 @@ Args parseArgs(int argc, char** argv) {
             a.storeReadonly = true;
         } else if (opt == "--compact") {
             a.compact = true;
+        } else if (opt == "--listen") {
+            a.listenPort = std::atoi(next().c_str());
+        } else if (opt == "--host") {
+            a.host = next();
+        } else if (opt == "--port-file") {
+            a.portFile = next();
+        } else if (opt == "--word-bits") {
+            a.wordBits = std::atoi(next().c_str());
+        } else if (opt == "--deadline-ms") {
+            a.deadlineMs = std::atof(next().c_str());
+        } else if (opt == "--coalesce-us") {
+            a.coalesceUs = std::atof(next().c_str());
+        } else if (opt == "--max-pending") {
+            a.maxPending = std::atoll(next().c_str());
+        } else if (opt == "--max-connections") {
+            a.maxConnections = std::atoi(next().c_str());
+        } else if (opt == "--max-batch") {
+            a.maxBatch = std::atoi(next().c_str());
+        } else if (opt == "--read-timeout") {
+            a.readTimeout = std::atof(next().c_str());
+        } else if (opt == "--drain-timeout") {
+            a.drainTimeout = std::atof(next().c_str());
         } else {
             throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
                                     "unknown option " + opt);
@@ -120,6 +170,11 @@ Args parseArgs(int argc, char** argv) {
     if (a.storeReadonly && a.compact)
         throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
                                 "--compact cannot rewrite a read-only store");
+    if (a.listenPort >= 0 &&
+        (a.wordBits < 1 || a.wordBits > 512 || a.maxBatch < 1 || a.maxPending < 1 ||
+         a.coalesceUs < 0.0 || a.readTimeout <= 0.0 || a.drainTimeout <= 0.0))
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
+                                "--listen argument out of range");
     return a;
 }
 
@@ -136,6 +191,9 @@ struct ServeSummary {
     std::string name;
     std::int64_t queries = 0;
     std::int64_t hits = 0;
+    std::int64_t accepted = 0;  ///< batches through engine admission control
+    std::int64_t shed = 0;      ///< batches refused by admission control
+    std::int64_t deadlineExpired = 0;
     double seconds = 0.0;
     double qps = 0.0;
     double energyPerQuery = 0.0;
@@ -199,6 +257,10 @@ ServeSummary summarize(const std::string& name, const serve::QueryEngine& engine
     s.hits = hits;
     s.seconds = seconds;
     s.qps = static_cast<double>(queries) / seconds;
+    const auto es = engine.stats();
+    s.accepted = es.accepted;
+    s.shed = es.shed;
+    s.deadlineExpired = es.deadlineExpired;
     s.energyPerQuery = engine.energyPerQuery();
     s.latency = engine.queryLatency();
     s.report = engine.report();
@@ -324,6 +386,9 @@ void writeJson(const std::string& path, const std::vector<ServeSummary>& summari
         os << "        \"name\": \"" << s.name << "\",\n";
         os << "        \"queries\": " << s.queries << ",\n";
         os << "        \"hits\": " << s.hits << ",\n";
+        os << "        \"accepted\": " << s.accepted << ",\n";
+        os << "        \"shed\": " << s.shed << ",\n";
+        os << "        \"deadlineExpired\": " << s.deadlineExpired << ",\n";
         os << "        \"energyPerQueryJ\": " << s.energyPerQuery << ",\n";
         os << "        \"latencyS\": " << s.latency << ",\n";
         os << "        \"report\": \"" << jsonEscape(s.report) << "\"\n";
@@ -353,9 +418,113 @@ void writeJson(const std::string& path, const std::vector<ServeSummary>& summari
     os << "  }\n}\n";
 }
 
+void writeListenJson(const std::string& path, const net::Server& server,
+                     const serve::QueryEngine& engine,
+                     const serve::CharacterizationCache& cache) {
+    std::ofstream os(path);
+    if (!os)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
+                                "cannot open " + path + " for writing");
+    os.precision(17);
+    const auto es = engine.stats();
+    const auto cs = cache.stats();
+    const auto ss = cache.storeStatus();
+    const auto& qw = obs::histogram("serve.admission.queue_wait");
+    os << "{\n  \"tool\": \"fetcam_serve\",\n  \"mode\": \"listen\",\n";
+    // Deterministic = pure accounting, no wall-clock: CI asserts the
+    // invariant queries == hits + misses + shedQueries + expiredQueries and
+    // that every protocol error carries a typed code.
+    os << "  \"deterministic\": {\n";
+    os << "    \"server\": " << server.statsJson() << ",\n";
+    os << "    \"engine\": {\"queries\": " << es.queries << ", \"hits\": " << es.hits
+       << ", \"batches\": " << es.batches << ", \"accepted\": " << es.accepted
+       << ", \"shed\": " << es.shed << ", \"deadlineExpired\": " << es.deadlineExpired
+       << "},\n";
+    os << "    \"energyPerQueryJ\": " << engine.energyPerQuery()
+       << ",\n    \"latencyS\": " << engine.queryLatency() << "\n  },\n";
+    os << "  \"volatile\": {\n";
+    os << "    \"queueWait\": {\"count\": " << qw.count() << ", \"meanSeconds\": "
+       << (qw.count() > 0 ? qw.mean() : 0.0)
+       << ", \"p50\": " << (qw.count() > 0 ? obs::quantile(qw, 0.5) : 0.0)
+       << ", \"p99\": " << (qw.count() > 0 ? obs::quantile(qw, 0.99) : 0.0) << "},\n";
+    os << "    \"cache\": {\"entries\": " << cs.entries << ", \"hits\": " << cs.hits
+       << ", \"misses\": " << cs.misses << "},\n";
+    os << "    \"store\": {\"attached\": " << (ss.attached ? "true" : "false")
+       << ", \"degraded\": " << (ss.degraded ? "true" : "false")
+       << ", \"loaded\": " << ss.load.recordsLoaded << ", \"appended\": " << ss.appended
+       << "}\n  }\n}\n";
+}
+
+int runListen(const Args& a, const std::shared_ptr<serve::CharacterizationCache>& cache) {
+    // The queue-wait histogram and net.* counters live behind obs::enabled().
+    obs::setEnabled(true);
+
+    serve::EngineOptions base = baseOptions(a);
+    base.shard.wordBits = a.wordBits;
+    base.capacity = a.entries;
+    serve::QueryEngine engine(base, cache);
+    const auto entries = tools::makeListenEntries(a.seed, a.entries, a.wordBits);
+    for (const auto& word : entries) engine.insert(word);
+
+    net::ServerOptions opts;
+    opts.host = a.host;
+    opts.port = a.listenPort;
+    opts.maxConnections = a.maxConnections;
+    opts.maxBatch = static_cast<std::uint32_t>(a.maxBatch);
+    opts.coalesceWindow = a.coalesceUs * 1e-6;
+    opts.maxPendingQueries = a.maxPending;
+    opts.readTimeout = a.readTimeout;
+    opts.defaultDeadline = a.deadlineMs * 1e-3;
+    opts.drainTimeout = a.drainTimeout;
+    opts.jobs = a.jobs;
+
+    net::Server server(engine, opts);
+    server.start();
+    net::Server::installStopSignals(server);
+    if (!a.portFile.empty()) {
+        std::ofstream pf(a.portFile);
+        if (!pf)
+            throw recover::SimError(recover::SimErrorReason::IoError, "fetcam_serve",
+                                    "cannot write port file " + a.portFile);
+        pf << server.port() << "\n";
+    }
+    std::printf("fetcam_serve: listening on %s:%d (%lld entries, %d-bit words)\n",
+                a.host.c_str(), server.port(), static_cast<long long>(a.entries),
+                a.wordBits);
+    std::fflush(stdout);
+
+    server.run();  // returns after the SIGTERM/SIGINT graceful drain
+
+    // Drain contract: the engine answered everything in flight; now make the
+    // characterization store durable before reporting.
+    cache->flush();
+    if (a.compact && cache->compact())
+        std::printf("store compacted: %lld entries snapshotted\n",
+                    static_cast<long long>(cache->stats().entries));
+
+    const auto& st = server.stats();
+    std::printf("fetcam_serve: drained%s — %lld conns, %lld requests, %lld queries "
+                "(%lld hit / %lld miss / %lld shed / %lld expired), %lld proto errors\n",
+                st.drainForced ? " (forced)" : "",
+                static_cast<long long>(st.connectionsAccepted),
+                static_cast<long long>(st.requests), static_cast<long long>(st.queries),
+                static_cast<long long>(st.hits), static_cast<long long>(st.misses),
+                static_cast<long long>(st.shedQueries),
+                static_cast<long long>(st.expiredQueries),
+                static_cast<long long>(st.protoErrors));
+    std::printf("%s", engine.report().c_str());
+
+    if (!a.jsonPath.empty()) writeListenJson(a.jsonPath, server, engine, *cache);
+    recover::checkStdout("fetcam_serve");
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+    // A reader (pipe, CI log collector) going away must surface as a typed
+    // I/O error through checkStdout, not a silent SIGPIPE death.
+    recover::ignoreSigpipe();
     try {
         const Args a = parseArgs(argc, argv);
         if (!a.tracePath.empty()) {
@@ -382,6 +551,7 @@ int main(int argc, char** argv) {
         } else {
             cache = std::make_shared<serve::CharacterizationCache>();
         }
+        if (a.listenPort >= 0) return runListen(a, cache);
         std::vector<ServeSummary> summaries;
         if (a.workload == "lpm" || a.workload == "all") {
             summaries.push_back(runLpm(a, cache));
@@ -400,6 +570,7 @@ int main(int argc, char** argv) {
             std::printf("store compacted: %lld entries snapshotted\n",
                         static_cast<long long>(cache->stats().entries));
         if (!a.jsonPath.empty()) writeJson(a.jsonPath, summaries, *cache);
+        recover::checkStdout("fetcam_serve");
         return 0;
     } catch (const recover::SimError& e) {
         std::fprintf(stderr, "fetcam_serve: [%s] %s\n", recover::reasonName(e.reason()),

@@ -21,6 +21,7 @@
 #include "core/fetcam.hpp"
 #include "numeric/parallel.hpp"
 #include "obs/obs.hpp"
+#include "recover/io_guard.hpp"
 #include "recover/sim_error.hpp"
 #include "spice/waveform_io.hpp"
 
@@ -182,6 +183,9 @@ int runAcCmd(spice::Circuit& c, const Args& a) {
 }  // namespace
 
 int main(int argc, char** argv) {
+    // Waveform output commonly goes to a pipe (`fetcam_sim tran | head`); a
+    // closed reader must become a typed I/O error, not a silent SIGPIPE kill.
+    recover::ignoreSigpipe();
     try {
         const Args a = parseArgs(argc, argv);
         if (!a.tracePath.empty()) {
@@ -197,14 +201,18 @@ int main(int argc, char** argv) {
         const int n = parseNetlist(readFile(a.netlistPath), c, tech);
         std::fprintf(stderr, "parsed %d elements, %d nodes, %d branches\n", n,
                      c.numNodes() - 1, c.numBranches());
-        if (a.command == "op") return runOp(c);
-        if (a.command == "tran") return runTran(c, a);
-        if (a.command == "ac") return runAcCmd(c, a);
-        if (a.command == "describe") {
+        int rc = 1;
+        if (a.command == "op") rc = runOp(c);
+        else if (a.command == "tran") rc = runTran(c, a);
+        else if (a.command == "ac") rc = runAcCmd(c, a);
+        else if (a.command == "describe") {
             std::printf("%s", device::describeCircuit(c).c_str());
-            return 0;
+            rc = 0;
+        } else {
+            throw std::runtime_error("unknown command '" + a.command + "'");
         }
-        throw std::runtime_error("unknown command '" + a.command + "'");
+        recover::checkStdout("fetcam_sim");
+        return rc;
     } catch (const recover::SimError& e) {
         std::fprintf(stderr, "fetcam_sim: [%s] %s\n", recover::reasonName(e.reason()),
                      e.what());

@@ -1,0 +1,61 @@
+// Shared deterministic workload for the network serving pair: fetcam_serve
+// --listen populates its engine with makeListenEntries(seed, ...), and
+// fetcam_load regenerates the identical entry list from the same seed to
+// craft guaranteed-hit queries. Both sides must use the same seed / entries /
+// wordBits for the hit mix to be meaningful; with different seeds the load is
+// all misses, which is legal but less interesting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/stats.hpp"
+#include "tcam/ternary.hpp"
+
+namespace fetcam::tools {
+
+/// Entry i: ternary word with ~25% wildcard trits, from Rng stream i of
+/// `seed`. Stream-per-entry keeps the list independent of generation order.
+inline std::vector<tcam::TernaryWord> makeListenEntries(std::uint64_t seed,
+                                                        std::int64_t entries,
+                                                        int wordBits) {
+    std::vector<tcam::TernaryWord> out;
+    out.reserve(static_cast<std::size_t>(entries));
+    for (std::int64_t i = 0; i < entries; ++i) {
+        numeric::Rng rng = numeric::Rng::forStream(seed, static_cast<std::uint64_t>(i));
+        tcam::TernaryWord word(static_cast<std::size_t>(wordBits));
+        for (int b = 0; b < wordBits; ++b) {
+            if (rng.uniform() < 0.25)
+                word[static_cast<std::size_t>(b)] = tcam::Trit::X;
+            else
+                word[static_cast<std::size_t>(b)] =
+                    rng.bernoulli(0.5) ? tcam::Trit::One : tcam::Trit::Zero;
+        }
+        out.push_back(std::move(word));
+    }
+    return out;
+}
+
+/// Fully-specified key matching `pattern` (wildcards resolved from `rng`).
+inline tcam::TernaryWord specializeKey(const tcam::TernaryWord& pattern,
+                                       numeric::Rng& rng) {
+    tcam::TernaryWord key(pattern.size());
+    for (std::size_t b = 0; b < pattern.size(); ++b) {
+        if (pattern[b] == tcam::Trit::X)
+            key[b] = rng.bernoulli(0.5) ? tcam::Trit::One : tcam::Trit::Zero;
+        else
+            key[b] = pattern[b];
+    }
+    return key;
+}
+
+/// Fully-specified random key (usually a miss against sparse entries).
+inline tcam::TernaryWord randomKey(int wordBits, numeric::Rng& rng) {
+    tcam::TernaryWord key(static_cast<std::size_t>(wordBits));
+    for (int b = 0; b < wordBits; ++b)
+        key[static_cast<std::size_t>(b)] =
+            rng.bernoulli(0.5) ? tcam::Trit::One : tcam::Trit::Zero;
+    return key;
+}
+
+}  // namespace fetcam::tools
