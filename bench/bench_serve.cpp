@@ -1,7 +1,11 @@
 // SERVE — characterize-then-serve throughput study: LPM and TLB workloads
 // streamed through serve::QueryEngine, comparing warm-cache serving against
 // the uncached pay-per-query solver cost, with bit-identity checks between
-// the cached and uncached paths and across worker counts. Also benchmarks
+// the cached and uncached paths and across worker counts. Each workload also
+// serves the identical query stream through the scalar match-backend oracle,
+// so the committed baseline records both backends' throughput and the
+// bit-plane path's answers are re-checked against the row-at-a-time scan
+// (see bench_match for the isolated kernel numbers). Also benchmarks
 // the persistent characterization store (append / load / compact throughput
 // with a round-trip bit-identity check) so BENCH tracking covers the
 // warm-restart path.
@@ -34,11 +38,14 @@ struct WorkloadResult {
     double coldBuildSeconds = 0.0;  ///< engine build paying real transients
     double warmBuildSeconds = 0.0;  ///< engine build on the warm cache
     double serveSeconds = 0.0;      ///< 1M-query serving time (warm engine)
-    double warmQps = 0.0;
+    double warmQps = 0.0;           ///< bit-plane backend (the default)
+    double scalarQps = 0.0;         ///< same queries on the scalar oracle
+    double backendSpeedup = 0.0;    ///< warmQps / scalarQps
     double uncachedQps = 0.0;  ///< solver-transient-per-query rate
     double speedup = 0.0;
     std::int64_t cacheMisses = 0;  ///< real transients paid, total
-    bool identical = false;  ///< cached==uncached hardware, jobs/cold/warm agree
+    bool identical = false;  ///< cached==uncached hardware, jobs/cold/warm
+                             ///< AND scalar/bit-plane backends agree
 };
 
 /// Cached and uncached paths must price the hardware identically, bit for
@@ -184,6 +191,8 @@ void writeJson(const std::string& path, const std::vector<WorkloadResult>& resul
         os << "      \"warmBuildSeconds\": " << r.warmBuildSeconds << ",\n";
         os << "      \"serveSeconds\": " << r.serveSeconds << ",\n";
         os << "      \"warmQps\": " << r.warmQps << ",\n";
+        os << "      \"scalarQps\": " << r.scalarQps << ",\n";
+        os << "      \"backendSpeedup\": " << r.backendSpeedup << ",\n";
         os << "      \"uncachedQps\": " << r.uncachedQps << ",\n";
         os << "      \"speedup\": " << r.speedup << ",\n";
         os << "      \"cacheMisses\": " << r.cacheMisses << ",\n";
@@ -257,6 +266,18 @@ WorkloadResult runLpm(std::int64_t queries, std::uint64_t seed) {
     r.warmQps = static_cast<double>(queries) / r.serveSeconds;
     for (const auto& h : served) r.hits += h.has_value();
 
+    // Same queries on the scalar oracle backend (warm cache, so only the
+    // functional scan differs): the answers must be bit-identical and the
+    // bit-plane path must not be slower.
+    auto scalarBase = base;
+    scalarBase.backend = serve::MatchBackendKind::Scalar;
+    serve::LpmService scalar(table, scalarBase, cache);
+    t0 = now();
+    const auto scalarServed = scalar.lookupBatch(addresses);
+    r.scalarQps = static_cast<double>(queries) / (now() - t0);
+    r.backendSpeedup = r.warmQps / r.scalarQps;
+    const bool backendsAgree = scalarServed == served;
+
     // Uncached: every query pays one real word transient before it can be
     // priced. Rate = transients per second the solver actually delivered
     // during cold characterization.
@@ -273,6 +294,7 @@ WorkloadResult runLpm(std::int64_t queries, std::uint64_t seed) {
                                        base.workload, base.encoder);
     bool ok = sameHardware(warm.engine().hardware(), uncached);
     ok = ok && sameHardware(cold.engine().hardware(), warm.engine().hardware());
+    ok = ok && backendsAgree;
     const auto serial = cold.lookupBatch(addresses, 1);
     ok = ok && serial == served;
     for (std::size_t i = 0; i < addresses.size() && ok; i += 997)
@@ -328,11 +350,20 @@ WorkloadResult runTlb(std::int64_t queries, std::uint64_t seed) {
     r.warmQps = static_cast<double>(queries) / r.serveSeconds;
     for (const auto& h : served) r.hits += h.has_value();
 
+    auto scalarBase = base;
+    scalarBase.backend = serve::MatchBackendKind::Scalar;
+    serve::TlbService scalar(tlb, scalarBase, cache);
+    t0 = now();
+    const auto scalarServed = scalar.translateBatch(vaddrs);
+    r.scalarQps = static_cast<double>(queries) / (now() - t0);
+    r.backendSpeedup = r.warmQps / r.scalarQps;
+
     const double perSim = r.coldBuildSeconds / static_cast<double>(r.cacheMisses);
     r.uncachedQps = 1.0 / perSim;
     r.speedup = r.warmQps / r.uncachedQps;
 
     bool ok = sameHardware(cold.engine().hardware(), warm.engine().hardware());
+    ok = ok && scalarServed == served;
     const auto serial = cold.translateBatch(vaddrs, 1);
     ok = ok && serial == served;
     for (std::size_t i = 0; i < vaddrs.size() && ok; i += 997)
@@ -380,8 +411,8 @@ int main(int argc, char** argv) {
     const std::vector<WorkloadResult> results = {runLpm(queries, seed),
                                                  runTlb(queries, seed)};
 
-    core::Table t({"workload", "queries", "hit rate", "warm qps", "uncached qps",
-                   "speedup", "identical"});
+    core::Table t({"workload", "queries", "hit rate", "warm qps", "scalar qps",
+                   "backend", "uncached qps", "speedup", "identical"});
     bool allIdentical = true;
     bool allFast = true;
     for (const auto& r : results) {
@@ -389,7 +420,9 @@ int main(int argc, char** argv) {
                   core::numFormat(100.0 * static_cast<double>(r.hits) /
                                       static_cast<double>(r.queries),
                                   1) + "%",
-                  core::engFormat(r.warmQps, "q/s"), core::engFormat(r.uncachedQps, "q/s"),
+                  core::engFormat(r.warmQps, "q/s"), core::engFormat(r.scalarQps, "q/s"),
+                  core::numFormat(r.backendSpeedup, 1) + "x",
+                  core::engFormat(r.uncachedQps, "q/s"),
                   core::numFormat(r.speedup, 1) + "x", r.identical ? "yes" : "NO"});
         allIdentical = allIdentical && r.identical;
         allFast = allFast && r.speedup >= 10.0;

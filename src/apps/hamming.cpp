@@ -10,13 +10,19 @@ void AssociativeMemory::add(const tcam::TernaryWord& word) {
         throw std::invalid_argument("AssociativeMemory::add: width mismatch");
     if (word.wildcardCount() != 0)
         throw std::invalid_argument("AssociativeMemory::add: wildcards not allowed");
+    const auto row = static_cast<std::int64_t>(rows_.size());
     rows_.push_back(word);
+    planes_.ensureRows(row + 1);
+    planes_.set(row, word);
 }
 
 std::vector<std::size_t> AssociativeMemory::distances(const tcam::TernaryWord& query) const {
-    std::vector<std::size_t> out;
-    out.reserve(rows_.size());
-    for (const auto& row : rows_) out.push_back(row.mismatchCount(query));
+    // Width is validated once per query; the per-row counts come from the
+    // bit-plane kernel, 64 rows per machine word.
+    if (query.size() != bits_)
+        throw std::invalid_argument("AssociativeMemory::distances: width mismatch");
+    std::vector<std::size_t> out(rows_.size());
+    if (!rows_.empty()) planes_.mismatchCounts(tcam::KeySlices::of(query), out.data());
     return out;
 }
 
@@ -36,13 +42,12 @@ NearestResult AssociativeMemory::nearest(const tcam::TernaryWord& query) const {
 
 std::vector<double> AssociativeMemory::dischargeTimes(const tcam::TernaryWord& query,
                                                       double tauUnit) const {
+    const auto d = distances(query);
     std::vector<double> out;
-    out.reserve(rows_.size());
-    for (const auto& row : rows_) {
-        const auto d = row.mismatchCount(query);
-        out.push_back(d == 0 ? std::numeric_limits<double>::infinity()
-                             : tauUnit / static_cast<double>(d));
-    }
+    out.reserve(d.size());
+    for (const auto di : d)
+        out.push_back(di == 0 ? std::numeric_limits<double>::infinity()
+                              : tauUnit / static_cast<double>(di));
     return out;
 }
 
@@ -50,13 +55,18 @@ NearestResult AssociativeMemory::nearestViaDischarge(const tcam::TernaryWord& qu
                                                      double tauUnit) const {
     if (rows_.empty())
         throw std::logic_error("AssociativeMemory::nearestViaDischarge: empty memory");
-    const auto times = dischargeTimes(query, tauUnit);
-    NearestResult best{0, rows_[0].mismatchCount(query), true};
+    const auto d = distances(query);
+    std::vector<double> times;
+    times.reserve(d.size());
+    for (const auto di : d)
+        times.push_back(di == 0 ? std::numeric_limits<double>::infinity()
+                                : tauUnit / static_cast<double>(di));
+    NearestResult best{0, d[0], true};
     double bestTime = times[0];
     for (std::size_t i = 1; i < times.size(); ++i) {
         if (times[i] > bestTime) {
             bestTime = times[i];
-            best = {i, rows_[i].mismatchCount(query), true};
+            best = {i, d[i], true};
         } else if (times[i] == bestTime) {
             best.unique = false;
         }

@@ -7,11 +7,18 @@
 //
 // This module provides the exact functional model plus the analog
 // discharge-time model that maps distances to ML fall times.
+//
+// Distances ride the same bit-plane kernel as the serving hot path: rows
+// pack into tcam::TernaryPlanes and all per-row mismatch counts come from
+// one bit-sliced XOR+mask+popcount pass (64 rows per machine word) instead
+// of a trit-by-trit walk — bit-identical to TernaryWord::mismatchCount by
+// the planes' contract (cross-checked in apps_test).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "tcam/bitplanes.hpp"
 #include "tcam/ternary.hpp"
 
 namespace fetcam::apps {
@@ -24,7 +31,8 @@ struct NearestResult {
 
 class AssociativeMemory {
 public:
-    explicit AssociativeMemory(std::size_t bits) : bits_(bits) {}
+    explicit AssociativeMemory(std::size_t bits)
+        : bits_(bits), planes_(static_cast<int>(bits)) {}
 
     /// Store a fully-definite word. Throws on width mismatch or wildcards.
     void add(const tcam::TernaryWord& word);
@@ -54,6 +62,7 @@ public:
 private:
     std::size_t bits_;
     std::vector<tcam::TernaryWord> rows_;
+    tcam::TernaryPlanes planes_;  ///< bit-sliced mirror of rows_, all occupied
 };
 
 }  // namespace fetcam::apps

@@ -44,7 +44,8 @@ QueryEngine::QueryEngine(EngineOptions options, std::shared_ptr<Characterization
     if (bank_.totalEntries > kMaxCapacity)
         throw recover::SimError(recover::SimErrorReason::InvalidSpec, "QueryEngine",
                                 "provisioned capacity exceeds functional storage limit");
-    entries_.resize(static_cast<std::size_t>(bank_.totalEntries));
+    backend_ = makeMatchBackend(options_.backend, bank_.totalEntries,
+                                options_.shard.wordBits);
 }
 
 void QueryEngine::checkRow(std::int64_t row) const {
@@ -55,7 +56,7 @@ void QueryEngine::checkRow(std::int64_t row) const {
 
 std::int64_t QueryEngine::insert(const tcam::TernaryWord& word) {
     for (std::int64_t r = 0; r < capacity(); ++r) {
-        if (!entries_[static_cast<std::size_t>(r)]) {
+        if (!backend_->at(r)) {
             insertAt(r, word);
             return r;
         }
@@ -68,33 +69,23 @@ void QueryEngine::insertAt(std::int64_t row, const tcam::TernaryWord& word) {
     if (static_cast<int>(word.size()) != options_.shard.wordBits)
         throw recover::SimError(recover::SimErrorReason::InvalidSpec,
                                 "QueryEngine::insertAt", "word width mismatch");
-    auto& slot = entries_[static_cast<std::size_t>(row)];
-    if (!slot) ++occupied_;
-    slot = word;
+    // Backends maintain their planes incrementally on set/clear, so online
+    // mutation never pays a rebuild.
+    if (!backend_->at(row)) ++occupied_;
+    backend_->set(row, word);
 }
 
 void QueryEngine::erase(std::int64_t row) {
     checkRow(row);
-    auto& slot = entries_[static_cast<std::size_t>(row)];
-    if (slot) {
-        slot.reset();
+    if (backend_->at(row)) {
+        backend_->clear(row);
         --occupied_;
     }
 }
 
 const std::optional<tcam::TernaryWord>& QueryEngine::entryAt(std::int64_t row) const {
     checkRow(row);
-    return entries_[static_cast<std::size_t>(row)];
-}
-
-std::int64_t QueryEngine::scanShard(std::int64_t shard, const tcam::TernaryWord& key) const {
-    const std::int64_t begin = shard * bank_.rowsPerArray;
-    const std::int64_t end = std::min(begin + bank_.rowsPerArray, capacity());
-    for (std::int64_t r = begin; r < end; ++r) {
-        const auto& slot = entries_[static_cast<std::size_t>(r)];
-        if (slot && slot->matches(key)) return r;
-    }
-    return -1;
+    return backend_->at(row);
 }
 
 BatchResult QueryEngine::searchBatch(const std::vector<tcam::TernaryWord>& keys, int jobs) {
@@ -132,10 +123,21 @@ BatchResult QueryEngine::searchBatchMasked(const std::vector<tcam::TernaryWord>&
     // Fan the tiles out across the team. Each worker owns its tile's result
     // slots outright, and the shard scans inside a tile run in a fixed
     // order, so the merge below never depends on the schedule.
+    const std::int64_t rowsPerShard = bank_.rowsPerArray;
+    const std::int64_t cap = capacity();
     numeric::parallelFor(jobs, tiles, [&](int tile) {
         const std::int64_t lo = static_cast<std::int64_t>(tile) * tileSize;
         const std::int64_t hi = std::min(lo + tileSize, n);
+        // Each key is decomposed once per tile (widths were validated above)
+        // and the prepared form is reused across every shard scan.
+        std::vector<PreparedKey> prepared;
+        prepared.reserve(static_cast<std::size_t>(hi - lo));
+        for (std::int64_t i = lo; i < hi; ++i)
+            prepared.push_back(backend_->prepare(keys[static_cast<std::size_t>(i)]));
         for (std::int64_t s = 0; s < numShards; ++s) {
+            // Shard bounds depend only on the shard, not the query.
+            const std::int64_t begin = s * rowsPerShard;
+            const std::int64_t end = std::min(begin + rowsPerShard, cap);
             const double ts0 = obsOn ? obs::monotonicSeconds() : 0.0;
             for (std::int64_t i = lo; i < hi; ++i) {
                 // Deadline-shed queries never reach the scan: mark and skip.
@@ -143,13 +145,14 @@ BatchResult QueryEngine::searchBatchMasked(const std::vector<tcam::TernaryWord>&
                     out.rows[static_cast<std::size_t>(i)] = kRowDeadlineExpired;
                     continue;
                 }
-                // Per-shard priority-encoder result for this query...
-                const std::int64_t local = scanShard(s, keys[static_cast<std::size_t>(i)]);
-                // ...merged on global priority: the lowest row wins. Shards
-                // cover ascending row ranges, so the first shard to report a
-                // match holds the global winner.
                 auto& best = out.rows[static_cast<std::size_t>(i)];
-                if (local >= 0 && (best < 0 || local < best)) best = local;
+                // Shards cover ascending row ranges, so the first shard to
+                // report a match holds the global winner: later shards
+                // cannot beat it and are skipped.
+                if (best >= 0) continue;
+                const std::int64_t local =
+                    backend_->findFirst(begin, end, prepared[static_cast<std::size_t>(i - lo)]);
+                if (local >= 0) best = local;
             }
             if (obsOn && hi > lo)
                 shardHists_[static_cast<std::size_t>(s)]->observe(
@@ -271,7 +274,8 @@ std::string QueryEngine::report() const {
     const EngineStats s = stats();
     std::ostringstream os;
     os << "serve::QueryEngine " << capacity() << " words (" << shards() << " shards x "
-       << rowsPerShard() << " rows, " << wordBits() << "b)\n";
+       << rowsPerShard() << " rows, " << wordBits() << "b, "
+       << backendName(backendKind()) << " backend)\n";
     os << "  occupancy      " << occupancy() << "\n";
     os << "  queries        " << s.queries << " (" << s.hits << " hits, "
        << s.batches << " batches)\n";

@@ -12,7 +12,11 @@
 //     numeric::parallelFor (deterministic for any jobs value),
 //   * every shard reports its local priority-encoder result (lowest matching
 //     row) and a merge stage picks the globally lowest row, exactly like the
-//     two-level priority encoder the bank model prices.
+//     two-level priority encoder the bank model prices,
+//   * the scan itself runs on a pluggable MatchBackend — bit-plane
+//     (value/care bit-slices, 64 entries per machine word) by default, with
+//     the scalar row-scan kept as a bit-identical cross-check oracle and a
+//     checked mode that runs both (see match_backend.hpp).
 //
 // Persistence: EngineOptions.store names a characterization-store directory;
 // when set (and no shared cache is passed in) the engine builds on a
@@ -42,6 +46,7 @@
 
 #include "array/bank.hpp"
 #include "serve/char_cache.hpp"
+#include "serve/match_backend.hpp"
 
 namespace fetcam::obs {
 class Histogram;
@@ -70,6 +75,10 @@ struct EngineOptions {
     /// Only consulted when no shared cache is passed to the constructor.
     store::StoreConfig store;
     AdmissionOptions admission;
+    /// Functional match implementation: bit-plane (64 entries per machine
+    /// word, the default), the scalar row-scan oracle, or checked (both,
+    /// cross-asserted per query). All three are bit-identical.
+    MatchBackendKind backend = MatchBackendKind::BitPlane;
 };
 
 /// Per-query row sentinel: the query's deadline expired before the scan, so
@@ -166,8 +175,9 @@ public:
     int inFlightBatches() const { return inFlight_.load(std::memory_order_relaxed); }
 
     // --- introspection ---
-    std::int64_t capacity() const { return static_cast<std::int64_t>(entries_.size()); }
+    std::int64_t capacity() const { return backend_->rows(); }
     std::int64_t occupancy() const { return occupied_; }
+    MatchBackendKind backendKind() const { return backend_->kind(); }
     int wordBits() const { return options_.shard.wordBits; }
     std::int64_t shards() const { return bank_.subArrays; }
     std::int64_t rowsPerShard() const { return bank_.rowsPerArray; }
@@ -187,9 +197,6 @@ public:
 
 private:
     void checkRow(std::int64_t row) const;
-    /// Shard-local priority encoder: lowest matching occupied global row in
-    /// shard s, or -1.
-    std::int64_t scanShard(std::int64_t shard, const tcam::TernaryWord& key) const;
     /// searchBatch with an optional per-query skip mask (expired deadlines):
     /// masked queries get kRowDeadlineExpired without being scanned.
     BatchResult searchBatchMasked(const std::vector<tcam::TernaryWord>& keys,
@@ -198,7 +205,8 @@ private:
     EngineOptions options_;
     std::shared_ptr<CharacterizationCache> cache_;
     array::BankMetrics bank_;
-    std::vector<std::optional<tcam::TernaryWord>> entries_;
+    /// Entry storage + shard-local priority encoder (see match_backend.hpp).
+    std::unique_ptr<MatchBackend> backend_;
     std::int64_t occupied_ = 0;
     mutable std::mutex statsMutex_;  ///< guards stats_ + shardHists_ init
     EngineStats stats_;

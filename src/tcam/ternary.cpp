@@ -45,17 +45,25 @@ std::string TernaryWord::toString() const {
 bool TernaryWord::matches(const TernaryWord& key) const {
     if (key.size() != size())
         throw std::invalid_argument("TernaryWord::matches: width mismatch");
-    for (std::size_t i = 0; i < size(); ++i)
-        if (!tritMatches(trits_[i], key[i])) return false;
-    return true;
+    return matchesUnchecked(key);
 }
 
 std::size_t TernaryWord::mismatchCount(const TernaryWord& key) const {
     if (key.size() != size())
         throw std::invalid_argument("TernaryWord::mismatchCount: width mismatch");
+    return mismatchCountUnchecked(key);
+}
+
+bool TernaryWord::matchesUnchecked(const TernaryWord& key) const noexcept {
+    for (std::size_t i = 0; i < trits_.size(); ++i)
+        if (!tritMatches(trits_[i], key.trits_[i])) return false;
+    return true;
+}
+
+std::size_t TernaryWord::mismatchCountUnchecked(const TernaryWord& key) const noexcept {
     std::size_t n = 0;
-    for (std::size_t i = 0; i < size(); ++i)
-        if (!tritMatches(trits_[i], key[i])) ++n;
+    for (std::size_t i = 0; i < trits_.size(); ++i)
+        if (!tritMatches(trits_[i], key.trits_[i])) ++n;
     return n;
 }
 

@@ -39,11 +39,22 @@ public:
 
     bool operator==(const TernaryWord&) const = default;
 
-    /// Word-level match: every trit position matches.
+    /// Word-level match: every trit position matches. Throws on width
+    /// mismatch — use the unchecked variant inside validated batch loops.
     bool matches(const TernaryWord& key) const;
 
     /// Number of definite-and-differing positions (drives ML discharge rate).
+    /// Throws on width mismatch.
     std::size_t mismatchCount(const TernaryWord& key) const;
+
+    /// matches() without the per-call width check: callers that validated
+    /// the key width once per batch (QueryEngine, the match backends) call
+    /// this inside the scan loop. Precondition: key.size() == size().
+    bool matchesUnchecked(const TernaryWord& key) const noexcept;
+
+    /// mismatchCount() without the per-call width check. Precondition:
+    /// key.size() == size().
+    std::size_t mismatchCountUnchecked(const TernaryWord& key) const noexcept;
 
     /// Number of don't-care positions.
     std::size_t wildcardCount() const;

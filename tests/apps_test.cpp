@@ -8,6 +8,7 @@
 #include "apps/hamming.hpp"
 #include "apps/lpm.hpp"
 #include "apps/workloads.hpp"
+#include "numeric/stats.hpp"
 
 using namespace fetcam;
 using namespace fetcam::apps;
@@ -142,6 +143,32 @@ TEST(Hamming, TieDetection) {
     mem.add(tcam::TernaryWord::fromString("1111"));
     const auto r = mem.nearest(tcam::TernaryWord::fromString("0011"));
     EXPECT_FALSE(r.unique);
+}
+
+TEST(Hamming, DistancesMatchPerRowMismatchCount) {
+    // The bit-plane kernel behind distances() must agree with the scalar
+    // TernaryWord::mismatchCount row by row — including widths that are not
+    // a multiple of 64 and memories spanning several 64-row blocks.
+    numeric::Rng rng(5);
+    for (const std::size_t bits : {5u, 64u, 77u}) {
+        AssociativeMemory mem(bits);
+        const int rows = 70;
+        for (int r = 0; r < rows; ++r) {
+            tcam::TernaryWord w(bits);
+            for (std::size_t b = 0; b < bits; ++b)
+                w[b] = rng.bernoulli(0.5) ? tcam::Trit::One : tcam::Trit::Zero;
+            mem.add(w);
+        }
+        for (int q = 0; q < 10; ++q) {
+            tcam::TernaryWord key(bits);
+            for (std::size_t b = 0; b < bits; ++b)
+                key[b] = rng.bernoulli(0.5) ? tcam::Trit::One : tcam::Trit::Zero;
+            const auto d = mem.distances(key);
+            ASSERT_EQ(d.size(), mem.size());
+            for (std::size_t r = 0; r < d.size(); ++r)
+                EXPECT_EQ(d[r], mem.rows()[r].mismatchCount(key));
+        }
+    }
 }
 
 TEST(Hamming, RejectsWildcardsAndWidthMismatch) {

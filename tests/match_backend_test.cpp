@@ -1,0 +1,213 @@
+// Differential tests for the pluggable functional-match backends.
+//
+// The contract under test: every backend is bit-identical to a naive
+// reference built directly on TernaryWord::matches / mismatchCount over the
+// stored entries. The fuzz sweeps widths across machine-word boundaries
+// (1..256, deliberately including non-multiples of 64), row counts beyond
+// one 64-row block, all-X rows, empty slots, keys with X trits, and random
+// [begin, end) sub-ranges — everywhere the bit-plane partial-block masking
+// could go wrong.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "numeric/stats.hpp"
+#include "recover/sim_error.hpp"
+#include "serve/char_cache.hpp"
+#include "serve/match_backend.hpp"
+#include "serve/query_engine.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+tcam::TernaryWord randomWord(numeric::Rng& rng, int bits, double xDensity) {
+    tcam::TernaryWord w(static_cast<std::size_t>(bits));
+    for (int b = 0; b < bits; ++b)
+        w[static_cast<std::size_t>(b)] =
+            rng.uniform() < xDensity
+                ? tcam::Trit::X
+                : (rng.bernoulli(0.5) ? tcam::Trit::One : tcam::Trit::Zero);
+    return w;
+}
+
+/// The trusted reference: a plain row-major table queried through the
+/// public TernaryWord operations, no backend machinery involved.
+struct NaiveTable {
+    std::vector<std::optional<tcam::TernaryWord>> rows;
+
+    std::int64_t findFirst(std::int64_t begin, std::int64_t end,
+                           const tcam::TernaryWord& key) const {
+        for (std::int64_t r = begin; r < end; ++r)
+            if (rows[static_cast<std::size_t>(r)] &&
+                rows[static_cast<std::size_t>(r)]->matches(key))
+                return r;
+        return -1;
+    }
+
+    std::vector<std::size_t> mismatchCounts(const tcam::TernaryWord& key) const {
+        std::vector<std::size_t> out(rows.size(), tcam::kNoEntry);
+        for (std::size_t r = 0; r < rows.size(); ++r)
+            if (rows[r]) out[r] = rows[r]->mismatchCount(key);
+        return out;
+    }
+};
+
+}  // namespace
+
+TEST(MatchBackend, ParseAndNameRoundTrip) {
+    EXPECT_EQ(serve::parseBackendKind("scalar"), serve::MatchBackendKind::Scalar);
+    EXPECT_EQ(serve::parseBackendKind("bitplane"), serve::MatchBackendKind::BitPlane);
+    EXPECT_EQ(serve::parseBackendKind("checked"), serve::MatchBackendKind::Checked);
+    for (const auto kind :
+         {serve::MatchBackendKind::Scalar, serve::MatchBackendKind::BitPlane,
+          serve::MatchBackendKind::Checked})
+        EXPECT_EQ(serve::parseBackendKind(serve::backendName(kind)), kind);
+    EXPECT_THROW(serve::parseBackendKind("simd"), recover::SimError);
+    EXPECT_THROW(serve::parseBackendKind(""), recover::SimError);
+}
+
+TEST(MatchBackend, FactoryProducesRequestedKindAllRowsEmpty) {
+    for (const auto kind :
+         {serve::MatchBackendKind::Scalar, serve::MatchBackendKind::BitPlane,
+          serve::MatchBackendKind::Checked}) {
+        const auto b = serve::makeMatchBackend(kind, 70, 8);
+        EXPECT_EQ(b->kind(), kind);
+        EXPECT_EQ(b->rows(), 70);
+        EXPECT_EQ(b->bits(), 8);
+        for (std::int64_t r = 0; r < 70; ++r) EXPECT_FALSE(b->at(r).has_value());
+        const auto key = tcam::TernaryWord(8, tcam::Trit::Zero);
+        EXPECT_EQ(b->findFirst(0, 70, b->prepare(key)), -1);
+    }
+}
+
+// The main differential fuzz: scalar, bit-plane and checked backends vs the
+// naive reference, across widths that straddle 64-bit boundaries.
+TEST(MatchBackend, DifferentialFuzzAgainstNaiveReference) {
+    numeric::Rng rng(2026);
+    for (const int bits : {1, 3, 7, 31, 64, 65, 127, 128, 200, 256}) {
+        // Row counts cross the one-block boundary for every width at least
+        // once; 130 exercises two full blocks plus a partial third.
+        const std::int64_t rows = (bits <= 31) ? 130 : 70;
+
+        NaiveTable naive;
+        naive.rows.resize(static_cast<std::size_t>(rows));
+        auto scalar = serve::makeMatchBackend(serve::MatchBackendKind::Scalar, rows, bits);
+        auto planes = serve::makeMatchBackend(serve::MatchBackendKind::BitPlane, rows, bits);
+        auto checked = serve::makeMatchBackend(serve::MatchBackendKind::Checked, rows, bits);
+        const auto store = [&](std::int64_t r, const tcam::TernaryWord& w) {
+            naive.rows[static_cast<std::size_t>(r)] = w;
+            scalar->set(r, w);
+            planes->set(r, w);
+            checked->set(r, w);
+        };
+        const auto drop = [&](std::int64_t r) {
+            naive.rows[static_cast<std::size_t>(r)].reset();
+            scalar->clear(r);
+            planes->clear(r);
+            checked->clear(r);
+        };
+
+        for (std::int64_t r = 0; r < rows; ++r) {
+            if (rng.uniform() < 0.10) continue;  // empty slot
+            store(r, rng.uniform() < 0.05
+                         ? tcam::TernaryWord(static_cast<std::size_t>(bits))  // all-X
+                         : randomWord(rng, bits, 0.25));
+        }
+
+        for (int round = 0; round < 3; ++round) {
+            for (int q = 0; q < 25; ++q) {
+                // Keys may themselves carry X trits (skipped bit-planes).
+                const auto key = randomWord(rng, bits, q % 5 == 0 ? 0.3 : 0.0);
+                const auto ps = scalar->prepare(key);
+                const auto pp = planes->prepare(key);
+                const auto pc = checked->prepare(key);
+
+                // Full range plus random sub-ranges, including empty ones.
+                std::int64_t begin = 0, end = rows;
+                if (q % 3 == 1) {
+                    begin = rng.uniformInt(0, static_cast<int>(rows));
+                    end = rng.uniformInt(static_cast<int>(begin), static_cast<int>(rows));
+                }
+                const auto want = naive.findFirst(begin, end, key);
+                EXPECT_EQ(scalar->findFirst(begin, end, ps), want)
+                    << "scalar bits=" << bits << " [" << begin << "," << end << ")";
+                EXPECT_EQ(planes->findFirst(begin, end, pp), want)
+                    << "bitplane bits=" << bits << " [" << begin << "," << end << ")";
+                EXPECT_EQ(checked->findFirst(begin, end, pc), want)
+                    << "checked bits=" << bits << " [" << begin << "," << end << ")";
+
+                const auto wantCounts = naive.mismatchCounts(key);
+                std::vector<std::size_t> got(static_cast<std::size_t>(rows));
+                scalar->mismatchCounts(ps, got.data());
+                EXPECT_EQ(got, wantCounts) << "scalar bits=" << bits;
+                planes->mismatchCounts(pp, got.data());
+                EXPECT_EQ(got, wantCounts) << "bitplane bits=" << bits;
+                checked->mismatchCounts(pc, got.data());
+                EXPECT_EQ(got, wantCounts) << "checked bits=" << bits;
+            }
+            // Mutate between rounds: the planes must stay consistent under
+            // incremental set/clear, not just bulk load.
+            for (int m = 0; m < 20; ++m) {
+                const auto r = rng.uniformInt(0, static_cast<int>(rows) - 1);
+                if (rng.bernoulli(0.4))
+                    drop(r);
+                else
+                    store(r, randomWord(rng, bits, 0.25));
+            }
+        }
+
+        // at() mirrors the naive table exactly after all the churn.
+        for (std::int64_t r = 0; r < rows; ++r) {
+            const auto& want = naive.rows[static_cast<std::size_t>(r)];
+            for (const auto* b : {scalar.get(), planes.get(), checked.get()}) {
+                const auto& got = b->at(r);
+                ASSERT_EQ(got.has_value(), want.has_value());
+                if (want) EXPECT_EQ(got->toString(), want->toString());
+            }
+        }
+    }
+}
+
+// Engine-level equivalence: the backend choice must be invisible in results
+// — cold vs warm, jobs=1 vs jobs=N, across all three backends.
+TEST(MatchBackend, QueryEngineResultsIdenticalAcrossBackends) {
+    auto cache = std::make_shared<serve::CharacterizationCache>();
+    numeric::Rng rng(7);
+
+    std::vector<tcam::TernaryWord> words;
+    for (int i = 0; i < 12; ++i) words.push_back(randomWord(rng, 8, 0.25));
+    std::vector<tcam::TernaryWord> keys;
+    for (int i = 0; i < 64; ++i) keys.push_back(randomWord(rng, 8, 0.0));
+
+    std::vector<std::vector<std::int64_t>> perBackend;
+    for (const auto kind :
+         {serve::MatchBackendKind::Scalar, serve::MatchBackendKind::BitPlane,
+          serve::MatchBackendKind::Checked}) {
+        serve::EngineOptions options;
+        options.shard.cell = tcam::CellKind::FeFet2;
+        options.shard.sense = array::SenseScheme::LowSwing;
+        options.shard.wordBits = 8;
+        options.shard.rows = 4;
+        options.capacity = 12;
+        options.backend = kind;
+
+        serve::QueryEngine engine(options, cache);
+        EXPECT_EQ(engine.backendKind(), kind);
+        for (std::int64_t i = 0; i < 12; ++i)
+            engine.insertAt(i, words[static_cast<std::size_t>(i)]);
+        engine.erase(3);
+        engine.erase(7);
+
+        const auto serial = engine.searchBatch(keys, 1);
+        const auto parallel = engine.searchBatch(keys, 5);
+        EXPECT_EQ(serial.rows, parallel.rows);
+        EXPECT_EQ(serial.hits, parallel.hits);
+        perBackend.push_back(serial.rows);
+    }
+    ASSERT_EQ(perBackend.size(), 3u);
+    EXPECT_EQ(perBackend[0], perBackend[1]);  // scalar == bitplane
+    EXPECT_EQ(perBackend[0], perBackend[2]);  // scalar == checked
+}

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "array/word_sim.hpp"
+#include "numeric/stats.hpp"
 #include "tcam/cell.hpp"
 #include "tcam/cell_builder.hpp"
 #include "tcam/ternary.hpp"
@@ -47,6 +48,29 @@ TEST(Ternary, WordMatchAndMismatchCount) {
     EXPECT_EQ(stored.mismatchCount(TernaryWord::fromString("0111")), 2u);
     EXPECT_EQ(stored.mismatchCount(TernaryWord::fromString("1X0X")), 0u);
     EXPECT_THROW(stored.matches(TernaryWord::fromString("11")), std::invalid_argument);
+}
+
+TEST(Ternary, UncheckedPathsAgreeWithChecked) {
+    // The unchecked variants exist so batch callers can hoist the width
+    // validation; on valid inputs they must be indistinguishable.
+    numeric::Rng rng(11);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto bits = static_cast<std::size_t>(rng.uniformInt(1, 24));
+        TernaryWord stored(bits), key(bits);
+        for (std::size_t b = 0; b < bits; ++b) {
+            const auto pick = [&] {
+                const int t = rng.uniformInt(0, 2);
+                return t == 0 ? Trit::Zero : (t == 1 ? Trit::One : Trit::X);
+            };
+            stored[b] = pick();
+            key[b] = pick();
+        }
+        EXPECT_EQ(stored.matchesUnchecked(key), stored.matches(key));
+        EXPECT_EQ(stored.mismatchCountUnchecked(key), stored.mismatchCount(key));
+    }
+    // The checked entry points still reject width mismatches.
+    EXPECT_THROW(TernaryWord(4).matches(TernaryWord(5)), std::invalid_argument);
+    EXPECT_THROW(TernaryWord(4).mismatchCount(TernaryWord(5)), std::invalid_argument);
 }
 
 TEST(Cell, DeviceCounts) {

@@ -7,6 +7,7 @@
 // Usage:
 //   fetcam_serve [--workload lpm|tlb|classifier|all] [--entries N]
 //                [--queries N] [--rows N] [--batch N] [--jobs N] [--seed S]
+//                [--backend scalar|bitplane|checked]
 //                [--store DIR] [--store-readonly] [--compact]
 //                [--json FILE] [--trace FILE]
 //   fetcam_serve --listen PORT [--host H] [--port-file FILE] [--word-bits N]
@@ -22,6 +23,11 @@
 // regenerates client-side). SIGTERM/SIGINT begin a graceful drain: stop
 // accepting, answer everything in flight, flush the store, then emit the
 // final report and exit 0.
+//
+// --backend selects the functional match implementation: the bit-plane
+// engine (64 entries per machine word, default), the scalar row-scan oracle,
+// or checked mode (both run per query, divergence is a typed CorruptData
+// error). All three serve bit-identical results.
 //
 // --store DIR backs the characterization cache with a crash-safe on-disk
 // record log: the first run pays the solver transients and persists them;
@@ -68,6 +74,7 @@ struct Args {
     int batch = 4096;
     int jobs = 0;
     std::uint64_t seed = 42;
+    serve::MatchBackendKind backend = serve::MatchBackendKind::BitPlane;
     std::string jsonPath;
     std::string tracePath;
     std::string storeDir;
@@ -121,6 +128,8 @@ Args parseArgs(int argc, char** argv) {
                 throw recover::SimError(recover::SimErrorReason::InvalidSpec,
                                         "fetcam_serve", e.what());
             }
+        } else if (opt == "--backend") {
+            a.backend = serve::parseBackendKind(next());
         } else if (opt == "--json") {
             a.jsonPath = next();
         } else if (opt == "--trace") {
@@ -184,6 +193,7 @@ serve::EngineOptions baseOptions(const Args& a) {
     base.shard.sense = array::SenseScheme::LowSwing;
     base.shard.rows = a.rows;
     base.batchSize = a.batch;
+    base.backend = a.backend;
     return base;
 }
 
