@@ -1,0 +1,79 @@
+#include "apps/churn.hpp"
+
+#include <stdexcept>
+
+namespace fetcam::apps {
+
+ChurnWorkload::ChurnWorkload(const ChurnSpec& spec) : spec_(spec), flapRng_(spec.seed) {
+    if (spec_.rows < 1) throw std::invalid_argument("ChurnWorkload: rows must be >= 1");
+    if (spec_.wordBits < 1)
+        throw std::invalid_argument("ChurnWorkload: wordBits must be >= 1");
+    if (spec_.wildcardFraction < 0.0 || spec_.wildcardFraction > 1.0 ||
+        spec_.allWildcardFraction < 0.0 || spec_.allWildcardFraction > 1.0)
+        throw std::invalid_argument("ChurnWorkload: fractions must be in [0, 1]");
+
+    // The word universe comes from its own stream so the flap sequence stays
+    // identical however many words are generated.
+    numeric::Rng wordRng(spec_.seed ^ 0x5eed7ab1eULL);
+    words_.reserve(static_cast<std::size_t>(spec_.rows));
+    for (std::int64_t r = 0; r < spec_.rows; ++r) {
+        tcam::TernaryWord word(static_cast<std::size_t>(spec_.wordBits));
+        if (wordRng.bernoulli(spec_.allWildcardFraction)) {
+            // Leave the all-X fill: a match-everything entry.
+        } else {
+            for (std::size_t i = 0; i < word.size(); ++i) {
+                if (wordRng.bernoulli(spec_.wildcardFraction)) continue;  // keep X
+                word[i] = wordRng.bernoulli(0.5) ? tcam::Trit::One : tcam::Trit::Zero;
+            }
+        }
+        words_.push_back(std::move(word));
+    }
+    present_.assign(static_cast<std::size_t>(spec_.rows), 1);
+    installed_ = spec_.rows;
+}
+
+ChurnOp ChurnWorkload::next() {
+    const auto row = static_cast<std::int64_t>(
+        flapRng_.uniformInt(0, static_cast<int>(spec_.rows) - 1));
+    ChurnOp op;
+    op.row = row;
+    if (present_[static_cast<std::size_t>(row)]) {
+        op.insert = false;
+        present_[static_cast<std::size_t>(row)] = 0;
+        --installed_;
+    } else {
+        op.insert = true;
+        op.word = words_[static_cast<std::size_t>(row)];
+        present_[static_cast<std::size_t>(row)] = 1;
+        ++installed_;
+    }
+    return op;
+}
+
+std::vector<tcam::TernaryWord> ChurnWorkload::queryStream(std::size_t count,
+                                                          double hitFraction,
+                                                          std::uint64_t streamSeed) const {
+    numeric::Rng rng(streamSeed);
+    std::vector<tcam::TernaryWord> out;
+    out.reserve(count);
+    for (std::size_t q = 0; q < count; ++q) {
+        tcam::TernaryWord key(static_cast<std::size_t>(spec_.wordBits));
+        if (rng.bernoulli(hitFraction)) {
+            // A definite key covered by some seed row: its word with every X
+            // pinned to a random bit.
+            const auto& word = words_[static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<int>(spec_.rows) - 1))];
+            for (std::size_t i = 0; i < word.size(); ++i)
+                key[i] = word[i] == tcam::Trit::X
+                             ? (rng.bernoulli(0.5) ? tcam::Trit::One : tcam::Trit::Zero)
+                             : word[i];
+        } else {
+            for (std::size_t i = 0; i < key.size(); ++i)
+                key[i] = rng.bernoulli(0.5) ? tcam::Trit::One : tcam::Trit::Zero;
+        }
+        out.push_back(std::move(key));
+    }
+    return out;
+}
+
+}  // namespace fetcam::apps

@@ -1,0 +1,77 @@
+// Route-churn replay workload: the mutation-under-load case study.
+//
+// Models what a deployed TCAM actually experiences between searches: BGP
+// flaps / rule updates that erase and re-install table entries while the
+// query stream keeps running. The workload owns a fixed universe of `rows`
+// ternary words (the seed table, with a realistic wildcard mix), a
+// present/absent membership bitmap, and a deterministic flap sequence: each
+// op picks a uniform row and toggles it — present rows are erased, absent
+// rows are re-inserted with their original word. That keeps the reachable
+// state space equal to the power set of one fixed table, so an oracle can
+// verify any engine state by membership alone, and a replayed delta log must
+// land on exactly the final bitmap.
+//
+// Everything is seed-deterministic (numeric::Rng): the same spec produces
+// the same seed table, the same flap order, and the same query stream on
+// every run — what bench_churn and the differential tests require.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/stats.hpp"
+#include "tcam/ternary.hpp"
+
+namespace fetcam::apps {
+
+struct ChurnSpec {
+    std::int64_t rows = 1024;  ///< seed-table entries (all present at start)
+    int wordBits = 64;
+    /// Probability that a seed-word trit is X (prefix-style wildcarding).
+    double wildcardFraction = 0.25;
+    /// Fraction of seed rows stored as all-X (match-everything) entries —
+    /// the degenerate case the bit-plane care masks must get right.
+    double allWildcardFraction = 0.02;
+    std::uint64_t seed = 1;
+};
+
+/// One table mutation in the flap sequence.
+struct ChurnOp {
+    bool insert = false;     ///< true: re-install `word` at `row`; false: erase
+    std::int64_t row = 0;
+    tcam::TernaryWord word;  ///< the row's seed word (empty for erases)
+};
+
+class ChurnWorkload {
+public:
+    explicit ChurnWorkload(const ChurnSpec& spec);
+
+    const ChurnSpec& spec() const { return spec_; }
+    /// The fixed word universe, indexed by row.
+    const std::vector<tcam::TernaryWord>& words() const { return words_; }
+    /// Current membership (updated by next()); words()[r] is installed when
+    /// present()[r] != 0. Starts all-present.
+    const std::vector<char>& present() const { return present_; }
+    std::int64_t installed() const { return installed_; }
+
+    /// The next flap: erase a present row or re-insert an absent one,
+    /// deterministically. Updates the membership bitmap.
+    ChurnOp next();
+
+    /// Deterministic query stream: `hitFraction` of the keys are crafted to
+    /// match a uniformly chosen seed row (its word with every X replaced by
+    /// a definite bit), the rest are uniform random definite words. Whether
+    /// a crafted key actually hits depends on the membership state when it
+    /// is searched — which is the point of the scenario.
+    std::vector<tcam::TernaryWord> queryStream(std::size_t count, double hitFraction,
+                                               std::uint64_t streamSeed) const;
+
+private:
+    ChurnSpec spec_;
+    std::vector<tcam::TernaryWord> words_;
+    std::vector<char> present_;
+    std::int64_t installed_ = 0;
+    numeric::Rng flapRng_;
+};
+
+}  // namespace fetcam::apps

@@ -170,6 +170,13 @@ ClientResult Client::readFrame(double timeout) {
                     result.reply = std::move(*reply);
                     return result;
                 }
+                case MsgType::MutateReply: {
+                    auto reply = decodeMutateReply(r.frame.body, &err);
+                    if (!reply) break;
+                    result.ok = true;
+                    result.mutateReply = std::move(*reply);
+                    return result;
+                }
                 case MsgType::Error: {
                     auto error = decodeError(r.frame.body, &err);
                     if (!error) break;
@@ -221,6 +228,44 @@ ClientResult Client::readFrame(double timeout) {
     }
 }
 
+ClientResult Client::mutate(const MutateBody& ops, double timeout) {
+    ClientResult result;
+    if (hello_.wordBits != 0)
+        for (const auto& op : ops.ops)
+            if (op.op != MutateOp::Erase && op.word.size() != hello_.wordBits) {
+                result.error = ProtoError::WidthMismatch;
+                result.message = "mutation word width does not match the server";
+                return result;
+            }
+    if (!sendFrame(MsgType::Mutate, encodeMutate(ops), result)) return result;
+
+    const double deadline = obs::monotonicSeconds() + timeout;
+    while (true) {
+        const double wait = deadline - obs::monotonicSeconds();
+        if (wait <= 0.0) {
+            result.timedOut = true;
+            result.message = "timed out waiting for a mutate reply";
+            return result;
+        }
+        ClientResult frame = readFrame(wait);
+        if (frame.drainNotice) {
+            result.drainNotice = true;
+            continue;
+        }
+        if (frame.ok && !frame.mutateReply) continue;  // interleaved batch reply
+        if (frame.ok && frame.mutateReply->requestId != ops.requestId) continue;  // stale
+        frame.drainNotice = frame.drainNotice || result.drainNotice;
+        frame.faultInjected = result.faultInjected;
+        if (frame.ok && frame.mutateReply->rows.size() != ops.ops.size()) {
+            frame.ok = false;
+            frame.error = ProtoError::BadBody;
+            frame.message = "mutate reply op count does not match the request";
+            close();
+        }
+        return frame;
+    }
+}
+
 ClientResult Client::query(const QueryBatchBody& batch, double timeout) {
     ClientResult result;
     if (!batch.keys.empty() && hello_.wordBits != 0 &&
@@ -245,6 +290,7 @@ ClientResult Client::query(const QueryBatchBody& batch, double timeout) {
             result.drainNotice = true;
             continue;
         }
+        if (frame.ok && frame.mutateReply) continue;  // interleaved mutate reply
         if (frame.ok && frame.reply.requestId != batch.requestId) continue;  // stale
         frame.drainNotice = frame.drainNotice || result.drainNotice;
         frame.faultInjected = result.faultInjected;

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -26,10 +27,11 @@
 
 namespace fetcam::net {
 
-/// Typed outcome of one query() round trip.
+/// Typed outcome of one query() / mutate() round trip.
 struct ClientResult {
     bool ok = false;             ///< reply holds a validated BatchReply
-    BatchReplyBody reply;        ///< valid when ok
+    BatchReplyBody reply;        ///< valid when ok (query path)
+    std::optional<MutateReplyBody> mutateReply;  ///< set when a MutateReply arrived
     bool drainNotice = false;    ///< a Drain frame arrived (server shutting down)
     bool faultInjected = false;  ///< an installed FaultPlan consumed this send
     bool timedOut = false;       ///< no complete reply within the wait
@@ -58,6 +60,11 @@ public:
     /// against the request (id and count); a Drain frame arriving first is
     /// reported in drainNotice and the wait continues for the reply.
     ClientResult query(const QueryBatchBody& batch, double timeout = 10.0);
+
+    /// Send one Mutate and wait for its MutateReply (in result.mutateReply).
+    /// Validates id and per-op count like query(); same fault-injection
+    /// behavior on the send side.
+    ClientResult mutate(const MutateBody& ops, double timeout = 10.0);
 
     /// Send raw bytes as-is (protocol-corruption tests). Returns false when
     /// the peer is gone.

@@ -74,6 +74,25 @@ const char* protoErrorName(ProtoError code) noexcept {
     return "unknown";
 }
 
+const char* mutateOpName(MutateOp op) noexcept {
+    switch (op) {
+        case MutateOp::Insert: return "insert";
+        case MutateOp::InsertAt: return "insert_at";
+        case MutateOp::Erase: return "erase";
+    }
+    return "unknown";
+}
+
+const char* mutateStatusName(MutateStatus status) noexcept {
+    switch (status) {
+        case MutateStatus::Ok: return "ok";
+        case MutateStatus::TableFull: return "table_full";
+        case MutateStatus::InvalidRow: return "invalid_row";
+        case MutateStatus::Rejected: return "rejected";
+    }
+    return "unknown";
+}
+
 const char* queryStatusName(QueryStatus status) noexcept {
     switch (status) {
         case QueryStatus::Hit: return "hit";
@@ -140,7 +159,7 @@ DecodeResult decodeFrame(std::string_view buffer, std::size_t maxFrameBytes) {
         return r;
     }
     if (type < static_cast<std::uint8_t>(MsgType::Hello) ||
-        type > static_cast<std::uint8_t>(MsgType::Drain)) {
+        type > static_cast<std::uint8_t>(MsgType::MutateReply)) {
         r.status = DecodeResult::Status::Bad;
         r.error = ProtoError::BadType;
         r.message = "unknown message type " + std::to_string(type);
@@ -255,6 +274,114 @@ std::optional<BatchReplyBody> decodeBatchReply(std::string_view body, std::strin
         }
         b.rows.push_back(static_cast<std::int64_t>(row));
         b.status.push_back(static_cast<QueryStatus>(status));
+    }
+    return b;
+}
+
+std::string encodeMutate(const MutateBody& mutate) {
+    std::string body;
+    put64(body, mutate.requestId);
+    put32(body, static_cast<std::uint32_t>(mutate.ops.size()));
+    for (const auto& op : mutate.ops) {
+        put8(body, static_cast<std::uint8_t>(op.op));
+        put64(body, static_cast<std::uint64_t>(op.row));
+        if (op.op != MutateOp::Erase)
+            for (std::size_t i = 0; i < op.word.size(); ++i)
+                put8(body, static_cast<std::uint8_t>(op.word[i]));
+    }
+    return body;
+}
+
+std::optional<MutateBody> decodeMutate(std::string_view body, std::uint32_t wordBits,
+                                       std::uint32_t maxBatch, std::string* err) {
+    Reader r(body);
+    MutateBody b;
+    std::uint32_t count;
+    if (!r.get(b.requestId) || !r.get(count)) {
+        fail(err, "malformed Mutate header");
+        return std::nullopt;
+    }
+    if (count == 0 || count > maxBatch) {
+        fail(err, "mutation count outside [1, maxBatch]");
+        return std::nullopt;
+    }
+    b.ops.reserve(count);
+    for (std::uint32_t k = 0; k < count; ++k) {
+        MutateOpSpec spec;
+        std::uint8_t op = 0;
+        std::uint64_t row = 0;
+        if (!r.get(op) || !r.get(row)) {
+            fail(err, "truncated Mutate op");
+            return std::nullopt;
+        }
+        if (op < static_cast<std::uint8_t>(MutateOp::Insert) ||
+            op > static_cast<std::uint8_t>(MutateOp::Erase)) {
+            fail(err, "unknown mutate op byte");
+            return std::nullopt;
+        }
+        spec.op = static_cast<MutateOp>(op);
+        spec.row = static_cast<std::int64_t>(row);
+        if (spec.op != MutateOp::Erase) {
+            tcam::TernaryWord word(wordBits);
+            for (std::uint32_t i = 0; i < wordBits; ++i) {
+                std::uint8_t trit = 0;
+                if (!r.get(trit)) {
+                    fail(err, "truncated Mutate word");
+                    return std::nullopt;
+                }
+                if (trit > 2) {
+                    fail(err, "trit byte outside {0,1,2}");
+                    return std::nullopt;
+                }
+                word[i] = static_cast<tcam::Trit>(trit);
+            }
+            spec.word = std::move(word);
+        }
+        b.ops.push_back(std::move(spec));
+    }
+    if (!r.done()) {
+        fail(err, "trailing bytes after Mutate ops");
+        return std::nullopt;
+    }
+    return b;
+}
+
+std::string encodeMutateReply(const MutateReplyBody& reply) {
+    std::string body;
+    put64(body, reply.requestId);
+    put32(body, static_cast<std::uint32_t>(reply.rows.size()));
+    for (std::size_t i = 0; i < reply.rows.size(); ++i) {
+        put64(body, static_cast<std::uint64_t>(reply.rows[i]));
+        put8(body, static_cast<std::uint8_t>(reply.status[i]));
+    }
+    return body;
+}
+
+std::optional<MutateReplyBody> decodeMutateReply(std::string_view body, std::string* err) {
+    Reader r(body);
+    MutateReplyBody b;
+    std::uint32_t count;
+    if (!r.get(b.requestId) || !r.get(count)) {
+        fail(err, "malformed MutateReply header");
+        return std::nullopt;
+    }
+    if (r.rest().size() != static_cast<std::size_t>(count) * 9) {
+        fail(err, "MutateReply body length does not match count");
+        return std::nullopt;
+    }
+    b.rows.reserve(count);
+    b.status.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint64_t row = 0;
+        std::uint8_t status = 0;
+        r.get(row);
+        r.get(status);
+        if (status > static_cast<std::uint8_t>(MutateStatus::Rejected)) {
+            fail(err, "unknown mutate status byte");
+            return std::nullopt;
+        }
+        b.rows.push_back(static_cast<std::int64_t>(row));
+        b.status.push_back(static_cast<MutateStatus>(status));
     }
     return b;
 }

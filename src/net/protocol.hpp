@@ -32,6 +32,13 @@
 //   Drain (server -> client)
 //     empty body: the server stops reading new requests; in-flight replies
 //     still arrive.
+//   Mutate (client -> server)
+//     requestId u64, count u32, then count ops of
+//     { op u8 (MutateOp), row i64 (ignored for Insert), then wordBits
+//       trit-bytes unless op == Erase }
+//   MutateReply (server -> client)
+//     requestId u64, count u32, then count * { row i64 (the assigned /
+//     echoed row, -1 on failure), status u8 (MutateStatus) }
 //
 // decodeFrame is incremental: feed it the connection's receive buffer and it
 // reports NeedMore (keep reading), a complete validated Frame, or a typed
@@ -51,7 +58,8 @@
 namespace fetcam::net {
 
 inline constexpr std::uint32_t kFrameMagic = 0x464E4554u;  // "FNET"
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Version 2 added Mutate / MutateReply (online entry updates).
+inline constexpr std::uint32_t kProtocolVersion = 2;
 inline constexpr std::size_t kFrameHeaderSize = 16;
 /// Default per-frame ceiling: oversized-frame (memory-exhaustion) defense.
 inline constexpr std::uint32_t kDefaultMaxFrameBytes = 1u << 20;
@@ -62,6 +70,8 @@ enum class MsgType : std::uint8_t {
     BatchReply = 3,
     Error = 4,
     Drain = 5,
+    Mutate = 6,
+    MutateReply = 7,
 };
 
 /// Typed protocol failures. Each kills exactly one connection.
@@ -147,10 +157,48 @@ struct ErrorBody {
     std::string message;
 };
 
+/// One entry mutation inside a Mutate frame.
+enum class MutateOp : std::uint8_t {
+    Insert = 1,    ///< first-free-row insert; the reply carries the row
+    InsertAt = 2,  ///< write `row` explicitly (overwrite allowed)
+    Erase = 3,     ///< clear `row` (no word bytes on the wire)
+};
+
+const char* mutateOpName(MutateOp op) noexcept;
+
+/// Per-op outcome carried in a MutateReply.
+enum class MutateStatus : std::uint8_t {
+    Ok = 0,
+    TableFull = 1,   ///< Insert found no free row
+    InvalidRow = 2,  ///< row outside [0, capacity)
+    Rejected = 3,    ///< server is draining; retry elsewhere
+};
+
+const char* mutateStatusName(MutateStatus status) noexcept;
+
+struct MutateOpSpec {
+    MutateOp op = MutateOp::Insert;
+    std::int64_t row = 0;    ///< target row; ignored for Insert
+    tcam::TernaryWord word;  ///< empty for Erase
+};
+
+struct MutateBody {
+    std::uint64_t requestId = 0;
+    std::vector<MutateOpSpec> ops;
+};
+
+struct MutateReplyBody {
+    std::uint64_t requestId = 0;
+    std::vector<std::int64_t> rows;  ///< assigned/echoed row, -1 on failure
+    std::vector<MutateStatus> status;
+};
+
 std::string encodeHello(const HelloBody& hello);
 std::string encodeQueryBatch(const QueryBatchBody& batch);
 std::string encodeBatchReply(const BatchReplyBody& reply);
 std::string encodeError(const ErrorBody& error);
+std::string encodeMutate(const MutateBody& mutate);
+std::string encodeMutateReply(const MutateReplyBody& reply);
 
 /// Body decoders: nullopt (with `err` filled) on any validation failure —
 /// short body, trailing junk, trit bytes outside {0,1,2}, count overflow.
@@ -159,5 +207,8 @@ std::optional<QueryBatchBody> decodeQueryBatch(std::string_view body, std::uint3
                                                std::uint32_t maxBatch, std::string* err);
 std::optional<BatchReplyBody> decodeBatchReply(std::string_view body, std::string* err);
 std::optional<ErrorBody> decodeError(std::string_view body, std::string* err);
+std::optional<MutateBody> decodeMutate(std::string_view body, std::uint32_t wordBits,
+                                       std::uint32_t maxBatch, std::string* err);
+std::optional<MutateReplyBody> decodeMutateReply(std::string_view body, std::string* err);
 
 }  // namespace fetcam::net

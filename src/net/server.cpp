@@ -5,6 +5,7 @@
 #include <csignal>
 #include <cstring>
 #include <sstream>
+#include <stdexcept>
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -258,7 +259,71 @@ void Server::readConn(int fd, double now) {
     }
 }
 
+void Server::handleMutate(int fd, const Frame& frame) {
+    std::string err;
+    auto mutate = decodeMutate(frame.body, static_cast<std::uint32_t>(engine_.wordBits()),
+                               options_.maxBatch, &err);
+    if (!mutate) {
+        protoFail(fd, ProtoError::BadBody, err);
+        return;
+    }
+    ++stats_.mutateRequests;
+    stats_.mutateOps += static_cast<std::int64_t>(mutate->ops.size());
+    if (obs::enabled()) {
+        static obs::Counter& mutations = obs::counter("net.mutations");
+        mutations.add(static_cast<long long>(mutate->ops.size()));
+    }
+
+    MutateReplyBody reply;
+    reply.requestId = mutate->requestId;
+    reply.rows.reserve(mutate->ops.size());
+    reply.status.reserve(mutate->ops.size());
+    for (const auto& op : mutate->ops) {
+        std::int64_t row = -1;
+        MutateStatus status = MutateStatus::Ok;
+        if (draining_) {
+            // Refuse new table state during drain: a mutation applied after
+            // the last reply flushed would be silently lost on restart.
+            status = MutateStatus::Rejected;
+        } else {
+            switch (op.op) {
+                case MutateOp::Insert:
+                    try {
+                        row = engine_.insert(op.word);
+                    } catch (const std::length_error&) {
+                        status = MutateStatus::TableFull;
+                    }
+                    break;
+                case MutateOp::InsertAt:
+                    if (op.row < 0 || op.row >= engine_.capacity()) {
+                        status = MutateStatus::InvalidRow;
+                    } else {
+                        engine_.insertAt(op.row, op.word);
+                        row = op.row;
+                    }
+                    break;
+                case MutateOp::Erase:
+                    if (op.row < 0 || op.row >= engine_.capacity()) {
+                        status = MutateStatus::InvalidRow;
+                    } else {
+                        engine_.erase(op.row);
+                        row = op.row;
+                    }
+                    break;
+            }
+        }
+        if (status != MutateStatus::Ok) ++stats_.mutateFailed;
+        reply.rows.push_back(row);
+        reply.status.push_back(status);
+    }
+    sendFrame(fd, MsgType::MutateReply, encodeMutateReply(reply));
+}
+
 void Server::handleFrame(int fd, const Frame& frame, double now) {
+    if (frame.type == MsgType::Mutate) {
+        handleMutate(fd, frame);
+        return;
+    }
     if (frame.type != MsgType::QueryBatch) {
         protoFail(fd, ProtoError::BadType,
                   std::string("unexpected ") + std::to_string(static_cast<int>(frame.type)) +
@@ -528,7 +593,11 @@ std::string Server::statsJson() const {
        << ", \"hits\": " << stats_.hits << ", \"misses\": " << stats_.misses
        << ", \"shedQueries\": " << stats_.shedQueries
        << ", \"expiredQueries\": " << stats_.expiredQueries
-       << ", \"batches\": " << stats_.batches << ", \"framesIn\": " << stats_.framesIn
+       << ", \"batches\": " << stats_.batches
+       << ", \"mutateRequests\": " << stats_.mutateRequests
+       << ", \"mutateOps\": " << stats_.mutateOps
+       << ", \"mutateFailed\": " << stats_.mutateFailed
+       << ", \"framesIn\": " << stats_.framesIn
        << ", \"framesOut\": " << stats_.framesOut
        << ", \"protoErrors\": " << stats_.protoErrors << ", \"errorCounts\": {";
     bool first = true;

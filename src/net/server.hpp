@@ -12,6 +12,10 @@
 //   * propagates per-request deadlines into QueryEngine::submitBatch, so
 //     expired queries are shed before any entry is scanned and answered with
 //     a typed DeadlineExceeded status,
+//   * applies Mutate frames (insert / insertAt / erase) immediately on
+//     receipt — the engine's snapshot scheme makes that safe against any
+//     in-flight batch — answering each op with a typed MutateStatus;
+//     draining refuses mutations with Rejected,
 //   * sheds whole requests with typed Shed replies the moment the pending
 //     queue would exceed options.maxPendingQueries — overload never queues
 //     unboundedly, and every shed is counted,
@@ -78,6 +82,9 @@ struct ServerStats {
     std::int64_t shedQueries = 0;     ///< refused by overload protection / drain
     std::int64_t expiredQueries = 0;  ///< deadline passed before simulation
     std::int64_t batches = 0;         ///< engine submitBatch calls
+    std::int64_t mutateRequests = 0;  ///< Mutate frames parsed
+    std::int64_t mutateOps = 0;       ///< ops inside those frames
+    std::int64_t mutateFailed = 0;    ///< ops answered with a non-Ok status
     std::int64_t framesIn = 0;
     std::int64_t framesOut = 0;
     std::int64_t protoErrors = 0;  ///< sum of errorCounts
@@ -89,8 +96,9 @@ struct ServerStats {
 
 class Server {
 public:
-    /// The engine must outlive the server. Entries must not be mutated while
-    /// run() is live (same contract as searchBatch).
+    /// The engine must outlive the server. Entry mutations — over the wire
+    /// via Mutate frames or directly on the engine — are safe while run() is
+    /// live (the engine serves from atomically-published table snapshots).
     Server(serve::QueryEngine& engine, ServerOptions options);
     ~Server();
     Server(const Server&) = delete;
@@ -142,6 +150,7 @@ private:
     void readConn(int fd, double now);
     void writeConn(int fd);
     void handleFrame(int fd, const Frame& frame, double now);
+    void handleMutate(int fd, const Frame& frame);
     void sendFrame(int fd, MsgType type, std::string_view body);
     void sendShedReply(int fd, std::uint64_t requestId, std::size_t count);
     void protoFail(int fd, ProtoError code, const std::string& message);

@@ -109,6 +109,11 @@ void packWord(std::string& key, const tcam::TernaryWord& w) {
 constexpr std::size_t kPackedDoubles = 9;
 constexpr std::size_t kPackedResultSize = 1 + kPackedDoubles * sizeof(double);
 
+// --- packed WriteEnergyResult payload (deliberately a different size) -----
+
+constexpr std::size_t kPackedWriteDoubles = 5;
+constexpr std::size_t kPackedWriteSize = 1 + kPackedWriteDoubles * sizeof(double);
+
 }  // namespace
 
 std::string packResult(const array::WordSimResult& r) {
@@ -152,6 +157,34 @@ std::optional<array::WordSimResult> unpackResult(std::string_view bytes) {
     return r;
 }
 
+std::string packWriteResult(const tcam::WriteEnergyResult& r) {
+    std::string out;
+    out.reserve(kPackedWriteSize);
+    out.push_back(r.verified ? '\1' : '\0');
+    const double doubles[kPackedWriteDoubles] = {
+        r.energyPerBit, r.phase1Energy, r.phase2Energy, r.pulseWidth, r.writeLatency,
+    };
+    packBytes(out, doubles, sizeof doubles);
+    return out;
+}
+
+std::optional<tcam::WriteEnergyResult> unpackWriteResult(std::string_view bytes) {
+    if (bytes.size() != kPackedWriteSize) return std::nullopt;
+    const char flags = bytes[0];
+    if (flags & ~0x1) return std::nullopt;
+    double doubles[kPackedWriteDoubles];
+    std::memcpy(doubles, bytes.data() + 1, sizeof doubles);
+
+    tcam::WriteEnergyResult r;
+    r.verified = flags & 1;
+    r.energyPerBit = doubles[0];
+    r.phase1Energy = doubles[1];
+    r.phase2Energy = doubles[2];
+    r.pulseWidth = doubles[3];
+    r.writeLatency = doubles[4];
+    return r;
+}
+
 CharacterizationCache::CharacterizationCache(const store::StoreConfig& config) {
     store::StoreConfig cfg = config;
     cfg.schemaVersion = kCharSchemaVersion;
@@ -174,15 +207,29 @@ void CharacterizationCache::attachStore(const store::StoreConfig& config) {
         auto candidate = std::make_unique<store::CharStore>(config);
         const auto records = candidate->load();
         for (const auto& rec : records) {
-            const auto result = unpackResult(rec.payload);
-            if (!result || rec.key.empty() ||
+            if (rec.key.empty() ||
                 static_cast<std::uint8_t>(rec.key[0]) != kCharSchemaVersion)
+                throw recover::SimError(
+                    recover::SimErrorReason::CorruptData, "serve::CharacterizationCache",
+                    "store record failed to unpack despite schema gate");
+            if (rec.key.size() > 1 && rec.key[1] == kWriteKeyTag) {
+                const auto write = unpackWriteResult(rec.payload);
+                if (!write)
+                    throw recover::SimError(
+                        recover::SimErrorReason::CorruptData,
+                        "serve::CharacterizationCache",
+                        "write record failed to unpack despite schema gate");
+                writeEntries_.emplace(rec.key, WriteEntry{*write, /*fromStore=*/true});
+                continue;
+            }
+            const auto result = unpackResult(rec.payload);
+            if (!result)
                 throw recover::SimError(
                     recover::SimErrorReason::CorruptData, "serve::CharacterizationCache",
                     "store record failed to unpack despite schema gate");
             entries_.emplace(rec.key, Entry{*result, /*fromStore=*/true});
         }
-        stats_.entries = static_cast<std::int64_t>(entries_.size());
+        stats_.entries = static_cast<std::int64_t>(entries_.size() + writeEntries_.size());
         storeStatus_.attached = true;
         storeStatus_.readOnly = candidate->readOnly();
         storeStatus_.load = candidate->loadStats();
@@ -190,6 +237,7 @@ void CharacterizationCache::attachStore(const store::StoreConfig& config) {
     } catch (const recover::SimError& e) {
         // Typed degradation: serve memory-only (always correct, just cold).
         entries_.clear();
+        writeEntries_.clear();
         stats_ = {};
         store_.reset();
         storeStatus_.attached = true;
@@ -226,6 +274,63 @@ std::string CharacterizationCache::keyOf(const array::WordSimOptions& o) {
 
 bool CharacterizationCache::cacheable(const array::WordSimOptions& o) {
     return o.variations.empty() && !o.recordWaveforms;
+}
+
+std::string CharacterizationCache::writeKeyOf(tcam::CellKind kind,
+                                              const device::TechCard& tech) {
+    std::string key;
+    key.reserve(512);
+    key.push_back(static_cast<char>(kCharSchemaVersion));
+    key.push_back(kWriteKeyTag);
+    pack(key, static_cast<int>(kind));
+    packTech(key, tech);
+    return key;
+}
+
+tcam::WriteEnergyResult CharacterizationCache::characterizeWrite(
+    tcam::CellKind kind, const device::TechCard& tech) {
+    std::string key = writeKeyOf(kind, tech);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = writeEntries_.find(key);
+        if (it != writeEntries_.end()) {
+            ++stats_.hits;
+            const bool fromStore = it->second.fromStore;
+            if (fromStore) ++stats_.storeHits;
+            if (obs::enabled()) {
+                static obs::Counter& hits = obs::counter("serve.cache.hits");
+                hits.add();
+                if (fromStore) {
+                    static obs::Counter& storeHits = obs::counter("store.hits");
+                    storeHits.add();
+                }
+            }
+            return it->second.result;
+        }
+    }
+
+    // Miss: run the one real write-waveform transient outside the lock.
+    const auto result = tcam::measureWriteEnergy(kind, tech);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        const bool inserted =
+            writeEntries_.emplace(key, WriteEntry{result, /*fromStore=*/false}).second;
+        stats_.entries = static_cast<std::int64_t>(entries_.size() + writeEntries_.size());
+        if (inserted && store_ && !store_->readOnly()) {
+            try {
+                store_->append(key, packWriteResult(result));
+                ++storeStatus_.appended;
+            } catch (const recover::SimError& e) {
+                degradeStore(e);
+            }
+        }
+    }
+    if (obs::enabled()) {
+        static obs::Counter& misses = obs::counter("serve.cache.misses");
+        misses.add();
+    }
+    return result;
 }
 
 array::WordSimResult CharacterizationCache::characterize(const array::WordSimOptions& o) {
@@ -272,7 +377,7 @@ array::WordSimResult CharacterizationCache::characterize(const array::WordSimOpt
         ++stats_.misses;
         // Racing insert: same key, same value; only the winner persists it.
         inserted = entries_.emplace(key, Entry{result, /*fromStore=*/false}).second;
-        stats_.entries = static_cast<std::int64_t>(entries_.size());
+        stats_.entries = static_cast<std::int64_t>(entries_.size() + writeEntries_.size());
         if (inserted && store_ && !store_->readOnly()) {
             try {
                 store_->append(key, packResult(result));
@@ -307,9 +412,11 @@ bool CharacterizationCache::compact() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!store_ || store_->readOnly()) return false;
     std::vector<store::Record> records;
-    records.reserve(entries_.size());
+    records.reserve(entries_.size() + writeEntries_.size());
     for (const auto& [key, entry] : entries_)
         records.push_back({key, packResult(entry.result)});
+    for (const auto& [key, entry] : writeEntries_)
+        records.push_back({key, packWriteResult(entry.result)});
     try {
         store_->compact(records);
     } catch (const recover::SimError& e) {
@@ -332,6 +439,7 @@ StoreStatus CharacterizationCache::storeStatus() const {
 void CharacterizationCache::clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    writeEntries_.clear();
     stats_ = {};
 }
 

@@ -38,6 +38,7 @@
 #include "array/energy_model.hpp"
 #include "recover/sim_error.hpp"
 #include "store/char_store.hpp"
+#include "tcam/write.hpp"
 
 namespace fetcam::serve {
 
@@ -47,8 +48,13 @@ namespace fetcam::serve {
 /// file. Bump it whenever TechCard / MosfetParams / FerroParams /
 /// ArrayConfig / the key packing / the result packing change shape, so a
 /// rebuilt binary can never read a stale store as current physics.
-/// (Version 1 was the unversioned PR-4 in-memory-only key layout.)
-inline constexpr std::uint8_t kCharSchemaVersion = 2;
+/// (Version 1 was the unversioned PR-4 in-memory-only key layout; version 2
+/// was search-only; version 3 added write-energy records to the same log.)
+inline constexpr std::uint8_t kCharSchemaVersion = 3;
+
+/// Second key byte of a write-energy record. Search keys start with the
+/// packed cell-kind int (first byte 0..2), so 'W' can never alias one.
+inline constexpr char kWriteKeyTag = 'W';
 
 struct CacheStats {
     std::int64_t hits = 0;
@@ -77,6 +83,13 @@ std::string packResult(const array::WordSimResult& result);
 /// schema drift that slipped past the version gate).
 std::optional<array::WordSimResult> unpackResult(std::string_view bytes);
 
+/// Pack a per-bit write-energy measurement (the mutation-path analogue of
+/// packResult; payload size differs from the search payload by design).
+std::string packWriteResult(const tcam::WriteEnergyResult& result);
+
+/// Inverse of packWriteResult.
+std::optional<tcam::WriteEnergyResult> unpackWriteResult(std::string_view bytes);
+
 class CharacterizationCache {
 public:
     /// In-memory-only cache (PR-4 behavior).
@@ -104,9 +117,21 @@ public:
     /// are too big to pin), everything else is served from the cache.
     static bool cacheable(const array::WordSimOptions& options);
 
+    /// The write-record key: version byte, kWriteKeyTag, cell kind, then the
+    /// full tech card (measureWriteEnergy depends on nothing else). Exposed
+    /// for tests.
+    static std::string writeKeyOf(tcam::CellKind kind, const device::TechCard& tech);
+
     /// Serve a word simulation: cache hit, or run the real solver and
     /// remember the result. Bit-identical to simulateWordSearch(options).
     array::WordSimResult characterize(const array::WordSimOptions& options);
+
+    /// Serve a per-bit write-energy measurement: cache hit, or run the real
+    /// write-waveform transient (tcam::measureWriteEnergy) and remember it.
+    /// Persisted next to the search records, so a warm restart prices
+    /// mutations with zero solver calls. Counted in the same hit/miss stats.
+    tcam::WriteEnergyResult characterizeWrite(tcam::CellKind kind,
+                                              const device::TechCard& tech);
 
     /// Adapter for the evaluateArray/evaluateBank/TcamMacro `sim` hook.
     /// The returned function references *this; keep the cache alive.
@@ -130,11 +155,17 @@ private:
         bool fromStore = false;
     };
 
+    struct WriteEntry {
+        tcam::WriteEnergyResult result;
+        bool fromStore = false;
+    };
+
     void attachStore(const store::StoreConfig& config);
     void degradeStore(const recover::SimError& e);
 
     mutable std::mutex mutex_;
     std::map<std::string, Entry> entries_;
+    std::map<std::string, WriteEntry> writeEntries_;
     CacheStats stats_;
     std::unique_ptr<store::CharStore> store_;  ///< null when memory-only
     StoreStatus storeStatus_;

@@ -47,6 +47,10 @@ public:
         return entries_[static_cast<std::size_t>(row)];
     }
 
+    std::unique_ptr<MatchBackend> clone() const override {
+        return std::make_unique<ScalarBackend>(*this);
+    }
+
     PreparedKey prepare(const tcam::TernaryWord& key) const override {
         return {&key, {}};  // the scalar scan needs no slices
     }
@@ -96,6 +100,10 @@ public:
         return mirror_[static_cast<std::size_t>(row)];
     }
 
+    std::unique_ptr<MatchBackend> clone() const override {
+        return std::make_unique<BitPlaneBackend>(*this);
+    }
+
     PreparedKey prepare(const tcam::TernaryWord& key) const override {
         return {&key, tcam::KeySlices::of(key)};
     }
@@ -136,6 +144,10 @@ public:
 
     const std::optional<tcam::TernaryWord>& at(std::int64_t row) const override {
         return planes_.at(row);
+    }
+
+    std::unique_ptr<MatchBackend> clone() const override {
+        return std::make_unique<CheckedBackend>(*this);
     }
 
     PreparedKey prepare(const tcam::TernaryWord& key) const override {

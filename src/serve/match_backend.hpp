@@ -68,7 +68,15 @@ public:
     virtual void clear(std::int64_t row) = 0;
 
     /// Entry at `row` (nullopt when empty) — introspection, not hot path.
+    /// The reference is into this backend's storage: when the backend is a
+    /// copy-on-write snapshot (the engine's shards), keep the snapshot alive
+    /// while the reference is used.
     virtual const std::optional<tcam::TernaryWord>& at(std::int64_t row) const = 0;
+
+    /// Deep copy with identical entries — the copy-on-write primitive behind
+    /// the engine's mutable shard snapshots. Backends are value types
+    /// underneath, so a clone and its source never share storage.
+    virtual std::unique_ptr<MatchBackend> clone() const = 0;
 
     /// Decompose a (width-validated) key once per batch.
     virtual PreparedKey prepare(const tcam::TernaryWord& key) const = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/report.hpp"
 #include "numeric/parallel.hpp"
@@ -16,6 +17,20 @@ std::shared_ptr<CharacterizationCache> makeCache(const EngineOptions& options) {
     if (options.store.enabled())
         return std::make_shared<CharacterizationCache>(options.store);
     return std::make_shared<CharacterizationCache>();
+}
+
+std::string tritsOf(const tcam::TernaryWord& word) {
+    std::string trits(word.size(), '\0');
+    for (std::size_t i = 0; i < word.size(); ++i)
+        trits[i] = static_cast<char>(static_cast<int>(word[i]));
+    return trits;
+}
+
+tcam::TernaryWord wordOf(const std::string& trits) {
+    tcam::TernaryWord word(trits.size());
+    for (std::size_t i = 0; i < trits.size(); ++i)
+        word[i] = static_cast<tcam::Trit>(static_cast<unsigned char>(trits[i]));
+    return word;
 }
 
 }  // namespace
@@ -44,8 +59,103 @@ QueryEngine::QueryEngine(EngineOptions options, std::shared_ptr<Characterization
     if (bank_.totalEntries > kMaxCapacity)
         throw recover::SimError(recover::SimErrorReason::InvalidSpec, "QueryEngine",
                                 "provisioned capacity exceeds functional storage limit");
-    backend_ = makeMatchBackend(options_.backend, bank_.totalEntries,
-                                options_.shard.wordBits);
+    capacity_ = bank_.totalEntries;
+    rowsPerShard_ = bank_.rowsPerArray;
+
+    // One backend per shard, so a mutation clones one shard, not the table.
+    std::vector<std::unique_ptr<MatchBackend>> shards;
+    shards.reserve(static_cast<std::size_t>(bank_.subArrays));
+    for (std::int64_t s = 0; s < bank_.subArrays; ++s)
+        shards.push_back(
+            makeMatchBackend(options_.backend, rowsPerShard_, options_.shard.wordBits));
+
+    // Replay any persisted entry deltas into the still-private shards, then
+    // freeze them into the first published snapshot.
+    attachTableLog(shards);
+
+    auto table = std::make_shared<Table>();
+    table->reserve(shards.size());
+    for (auto& s : shards)
+        table->push_back(std::shared_ptr<const MatchBackend>(std::move(s)));
+    table_.store(std::move(table), std::memory_order_release);
+}
+
+QueryEngine::~QueryEngine() {
+    try {
+        flushTable();
+    } catch (...) {
+        // Destructor: best effort; complete frames are already buffered.
+    }
+}
+
+void QueryEngine::attachTableLog(std::vector<std::unique_ptr<MatchBackend>>& shards) {
+    if (!options_.persistEntries || !options_.store.enabled()) return;
+    store::StoreConfig cfg = options_.store;
+    cfg.schemaVersion = store::kTableSchemaVersion;
+    cfg.logName = store::CharStore::kTableLogName;
+    cfg.lockName = store::CharStore::kTableLockName;
+    try {
+        auto log = std::make_unique<store::CharStore>(cfg);
+        const auto records = log->load();
+        // Validate the whole history against this engine's geometry before
+        // applying anything: a log from a different table shape degrades
+        // cleanly instead of replaying a half-fitting prefix.
+        std::vector<store::DeltaRecord> deltas;
+        deltas.reserve(records.size());
+        for (const auto& rec : records) {
+            auto d = store::unpackDelta(rec);
+            if (!d)
+                throw recover::SimError(recover::SimErrorReason::CorruptData,
+                                        "QueryEngine",
+                                        "table delta record failed to unpack");
+            if (d->row >= capacity_)
+                throw recover::SimError(recover::SimErrorReason::CorruptData,
+                                        "QueryEngine",
+                                        "table delta row out of range for this geometry");
+            if (d->op == store::DeltaOp::Insert &&
+                static_cast<int>(d->trits.size()) != options_.shard.wordBits)
+                throw recover::SimError(recover::SimErrorReason::CorruptData,
+                                        "QueryEngine",
+                                        "table delta word width mismatch");
+            deltas.push_back(std::move(*d));
+        }
+        std::int64_t occupied = 0;
+        for (const auto& d : deltas) {
+            auto& shard = shards[static_cast<std::size_t>(d.row / rowsPerShard_)];
+            const std::int64_t local = d.row % rowsPerShard_;
+            if (d.op == store::DeltaOp::Insert) {
+                if (!shard->at(local)) ++occupied;
+                shard->set(local, wordOf(d.trits));
+            } else if (shard->at(local)) {
+                shard->clear(local);
+                --occupied;
+            }
+        }
+        occupied_.store(occupied, std::memory_order_relaxed);
+        tableLogStatus_.attached = true;
+        tableLogStatus_.readOnly = log->readOnly();
+        tableLogStatus_.load = log->loadStats();
+        tableLogStatus_.replayed = static_cast<std::int64_t>(deltas.size());
+        tableLog_ = std::move(log);
+    } catch (const recover::SimError& e) {
+        // Typed degradation: serve the seed-empty table, entries memory-only.
+        tableLogStatus_.attached = true;
+        tableLogStatus_.readOnly = cfg.readOnly;
+        tableLogStatus_.degraded = true;
+        tableLogStatus_.errorReason = e.reason();
+        tableLogStatus_.error = e.what();
+        tableLog_.reset();
+        occupied_.store(0, std::memory_order_relaxed);
+        if (obs::enabled()) obs::counter("store.degraded").add();
+    }
+}
+
+void QueryEngine::degradeTableLogLocked(const recover::SimError& e) {
+    tableLogStatus_.degraded = true;
+    tableLogStatus_.errorReason = e.reason();
+    tableLogStatus_.error = e.what();
+    tableLog_.reset();
+    if (obs::enabled()) obs::counter("store.degraded").add();
 }
 
 void QueryEngine::checkRow(std::int64_t row) const {
@@ -54,12 +164,86 @@ void QueryEngine::checkRow(std::int64_t row) const {
                                 "row out of range");
 }
 
-std::int64_t QueryEngine::insert(const tcam::TernaryWord& word) {
-    for (std::int64_t r = 0; r < capacity(); ++r) {
-        if (!backend_->at(r)) {
-            insertAt(r, word);
-            return r;
+tcam::WordWriteResult QueryEngine::writeCostLocked() {
+    if (!writeCost_) {
+        const auto perBit = cache_->characterizeWrite(options_.shard.cell, options_.tech);
+        writeCost_ =
+            tcam::planWordWrite(options_.shard.cell, perBit, options_.shard.wordBits);
+    }
+    return *writeCost_;
+}
+
+tcam::WordWriteResult QueryEngine::writeCost() {
+    std::lock_guard<std::mutex> lock(mutMutex_);
+    return writeCostLocked();
+}
+
+void QueryEngine::publishMutationLocked(const Table& table, std::int64_t row,
+                                        const tcam::TernaryWord* word) {
+    const auto shard = static_cast<std::size_t>(row / rowsPerShard_);
+    const std::int64_t local = row % rowsPerShard_;
+    auto next = std::make_shared<Table>(table);
+    auto clone = table[shard]->clone();
+    if (word)
+        clone->set(local, *word);
+    else
+        clone->clear(local);
+    (*next)[shard] = std::shared_ptr<const MatchBackend>(std::move(clone));
+    table_.store(std::move(next), std::memory_order_release);
+}
+
+void QueryEngine::recordMutationLocked(bool isInsert, std::int64_t row,
+                                       const tcam::TernaryWord* word) {
+    const tcam::WordWriteResult cost = writeCostLocked();
+    double accumulated = 0.0;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        if (isInsert)
+            ++stats_.inserts;
+        else
+            ++stats_.erases;
+        stats_.writeEnergy += cost.energy;
+        stats_.writeLatency += cost.latency;
+        stats_.writePulsePhases += cost.pulsePhases;
+        accumulated = stats_.writeEnergy;
+    }
+    if (obs::enabled()) {
+        static obs::Counter& inserts = obs::counter("serve.writes.inserts");
+        static obs::Counter& erases = obs::counter("serve.writes.erases");
+        (isInsert ? inserts : erases).add();
+        obs::gauge("serve.write.energy").set(accumulated);
+    }
+    if (tableLog_ && !tableLog_->readOnly()) {
+        store::DeltaRecord d;
+        d.op = isInsert ? store::DeltaOp::Insert : store::DeltaOp::Erase;
+        d.row = row;
+        if (word) d.trits = tritsOf(*word);
+        const store::Record rec = store::packDelta(d);
+        try {
+            tableLog_->append(rec.key, rec.payload);
+            ++tableLogStatus_.appended;
+        } catch (const recover::SimError& e) {
+            degradeTableLogLocked(e);
         }
+    }
+}
+
+std::int64_t QueryEngine::insert(const tcam::TernaryWord& word) {
+    if (static_cast<int>(word.size()) != options_.shard.wordBits)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec,
+                                "QueryEngine::insert", "word width mismatch");
+    std::lock_guard<std::mutex> lock(mutMutex_);
+    const auto table = table_.load(std::memory_order_acquire);
+    // Every row below freeHint_ is occupied (erase lowers the hint), so
+    // starting the scan there assigns exactly the row a scan from 0 would.
+    for (std::int64_t r = freeHint_; r < capacity_; ++r) {
+        if ((*table)[static_cast<std::size_t>(r / rowsPerShard_)]->at(r % rowsPerShard_))
+            continue;
+        publishMutationLocked(*table, r, &word);
+        occupied_.fetch_add(1, std::memory_order_relaxed);
+        freeHint_ = r + 1;
+        recordMutationLocked(/*isInsert=*/true, r, &word);
+        return r;
     }
     throw std::length_error("QueryEngine::insert: engine full");
 }
@@ -69,23 +253,32 @@ void QueryEngine::insertAt(std::int64_t row, const tcam::TernaryWord& word) {
     if (static_cast<int>(word.size()) != options_.shard.wordBits)
         throw recover::SimError(recover::SimErrorReason::InvalidSpec,
                                 "QueryEngine::insertAt", "word width mismatch");
-    // Backends maintain their planes incrementally on set/clear, so online
-    // mutation never pays a rebuild.
-    if (!backend_->at(row)) ++occupied_;
-    backend_->set(row, word);
+    std::lock_guard<std::mutex> lock(mutMutex_);
+    const auto table = table_.load(std::memory_order_acquire);
+    const bool wasEmpty =
+        !(*table)[static_cast<std::size_t>(row / rowsPerShard_)]->at(row % rowsPerShard_);
+    publishMutationLocked(*table, row, &word);
+    if (wasEmpty) occupied_.fetch_add(1, std::memory_order_relaxed);
+    // Overwriting an occupied row is still a full word program — charge it.
+    recordMutationLocked(/*isInsert=*/true, row, &word);
 }
 
 void QueryEngine::erase(std::int64_t row) {
     checkRow(row);
-    if (backend_->at(row)) {
-        backend_->clear(row);
-        --occupied_;
-    }
+    std::lock_guard<std::mutex> lock(mutMutex_);
+    const auto table = table_.load(std::memory_order_acquire);
+    if (!(*table)[static_cast<std::size_t>(row / rowsPerShard_)]->at(row % rowsPerShard_))
+        return;  // no-op: nothing stored, nothing charged, nothing logged
+    publishMutationLocked(*table, row, nullptr);
+    occupied_.fetch_sub(1, std::memory_order_relaxed);
+    freeHint_ = std::min(freeHint_, row);
+    recordMutationLocked(/*isInsert=*/false, row, nullptr);
 }
 
-const std::optional<tcam::TernaryWord>& QueryEngine::entryAt(std::int64_t row) const {
+std::optional<tcam::TernaryWord> QueryEngine::entryAt(std::int64_t row) const {
     checkRow(row);
-    return backend_->at(row);
+    const auto table = table_.load(std::memory_order_acquire);
+    return (*table)[static_cast<std::size_t>(row / rowsPerShard_)]->at(row % rowsPerShard_);
 }
 
 BatchResult QueryEngine::searchBatch(const std::vector<tcam::TernaryWord>& keys, int jobs) {
@@ -99,6 +292,12 @@ BatchResult QueryEngine::searchBatchMasked(const std::vector<tcam::TernaryWord>&
         if (static_cast<int>(key.size()) != options_.shard.wordBits)
             throw recover::SimError(recover::SimErrorReason::InvalidSpec,
                                     "QueryEngine::searchBatch", "key width mismatch");
+
+    // One root load per batch: every tile and every shard scan below sees
+    // the same table version, however many mutations land meanwhile — the
+    // result is always valid at a single point in the mutation order.
+    const std::shared_ptr<const Table> table = table_.load(std::memory_order_acquire);
+    const Table& shardsRef = *table;
 
     const bool obsOn = obs::enabled();
     if (obsOn) {
@@ -118,13 +317,13 @@ BatchResult QueryEngine::searchBatchMasked(const std::vector<tcam::TernaryWord>&
     const auto n = static_cast<std::int64_t>(keys.size());
     const std::int64_t tileSize = options_.batchSize;
     const auto tiles = static_cast<int>((n + tileSize - 1) / tileSize);
-    const std::int64_t numShards = shards();
+    const std::int64_t numShards = static_cast<std::int64_t>(shardsRef.size());
 
     // Fan the tiles out across the team. Each worker owns its tile's result
     // slots outright, and the shard scans inside a tile run in a fixed
     // order, so the merge below never depends on the schedule.
-    const std::int64_t rowsPerShard = bank_.rowsPerArray;
-    const std::int64_t cap = capacity();
+    const std::int64_t rowsPerShard = rowsPerShard_;
+    const std::int64_t cap = capacity_;
     numeric::parallelFor(jobs, tiles, [&](int tile) {
         const std::int64_t lo = static_cast<std::int64_t>(tile) * tileSize;
         const std::int64_t hi = std::min(lo + tileSize, n);
@@ -133,11 +332,12 @@ BatchResult QueryEngine::searchBatchMasked(const std::vector<tcam::TernaryWord>&
         std::vector<PreparedKey> prepared;
         prepared.reserve(static_cast<std::size_t>(hi - lo));
         for (std::int64_t i = lo; i < hi; ++i)
-            prepared.push_back(backend_->prepare(keys[static_cast<std::size_t>(i)]));
+            prepared.push_back(shardsRef[0]->prepare(keys[static_cast<std::size_t>(i)]));
         for (std::int64_t s = 0; s < numShards; ++s) {
-            // Shard bounds depend only on the shard, not the query.
+            // Shard s holds global rows [s * rowsPerShard, ...) locally.
             const std::int64_t begin = s * rowsPerShard;
-            const std::int64_t end = std::min(begin + rowsPerShard, cap);
+            const std::int64_t localEnd = std::min(rowsPerShard, cap - begin);
+            const MatchBackend& shard = *shardsRef[static_cast<std::size_t>(s)];
             const double ts0 = obsOn ? obs::monotonicSeconds() : 0.0;
             for (std::int64_t i = lo; i < hi; ++i) {
                 // Deadline-shed queries never reach the scan: mark and skip.
@@ -151,8 +351,8 @@ BatchResult QueryEngine::searchBatchMasked(const std::vector<tcam::TernaryWord>&
                 // cannot beat it and are skipped.
                 if (best >= 0) continue;
                 const std::int64_t local =
-                    backend_->findFirst(begin, end, prepared[static_cast<std::size_t>(i - lo)]);
-                if (local >= 0) best = local;
+                    shard.findFirst(0, localEnd, prepared[static_cast<std::size_t>(i - lo)]);
+                if (local >= 0) best = begin + local;
             }
             if (obsOn && hi > lo)
                 shardHists_[static_cast<std::size_t>(s)]->observe(
@@ -265,6 +465,51 @@ SubmitResult QueryEngine::submitBatch(const std::vector<tcam::TernaryWord>& keys
     return out;
 }
 
+std::int64_t QueryEngine::restoredMutations() const {
+    std::lock_guard<std::mutex> lock(mutMutex_);
+    return tableLogStatus_.replayed;
+}
+
+TableLogStatus QueryEngine::tableLogStatus() const {
+    std::lock_guard<std::mutex> lock(mutMutex_);
+    return tableLogStatus_;
+}
+
+void QueryEngine::flushTable() {
+    std::lock_guard<std::mutex> lock(mutMutex_);
+    if (!tableLog_ || tableLog_->readOnly()) return;
+    try {
+        tableLog_->flush();
+    } catch (const recover::SimError& e) {
+        degradeTableLogLocked(e);
+    }
+}
+
+bool QueryEngine::compactTable() {
+    std::lock_guard<std::mutex> lock(mutMutex_);
+    if (!tableLog_ || tableLog_->readOnly()) return false;
+    const auto table = table_.load(std::memory_order_acquire);
+    std::vector<store::Record> records;
+    records.reserve(static_cast<std::size_t>(occupied_.load(std::memory_order_relaxed)));
+    for (std::int64_t row = 0; row < capacity_; ++row) {
+        const auto& entry =
+            (*table)[static_cast<std::size_t>(row / rowsPerShard_)]->at(row % rowsPerShard_);
+        if (!entry) continue;
+        store::DeltaRecord d;
+        d.op = store::DeltaOp::Insert;
+        d.row = row;
+        d.trits = tritsOf(*entry);
+        records.push_back(store::packDelta(d));
+    }
+    try {
+        tableLog_->compact(records);
+    } catch (const recover::SimError& e) {
+        degradeTableLogLocked(e);
+        return false;
+    }
+    return true;
+}
+
 EngineStats QueryEngine::stats() const {
     std::lock_guard<std::mutex> lock(statsMutex_);
     return stats_;
@@ -281,9 +526,11 @@ std::string QueryEngine::report() const {
        << s.batches << " batches)\n";
     os << "  admission      " << s.accepted << " accepted / " << s.shed << " shed / "
        << s.deadlineExpired << " deadline-expired\n";
+    os << "  writes         " << s.inserts << " inserts / " << s.erases << " erases\n";
     os << "  energy/query   " << core::engFormat(energyPerQuery(), "J") << "\n";
     os << "  query latency  " << core::engFormat(queryLatency(), "s") << "\n";
     os << "  search energy  " << core::engFormat(s.searchEnergy, "J") << "\n";
+    os << "  write energy   " << core::engFormat(s.writeEnergy, "J") << "\n";
     return os.str();
 }
 

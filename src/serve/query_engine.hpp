@@ -18,11 +18,39 @@
 //     the scalar row-scan kept as a bit-identical cross-check oracle and a
 //     checked mode that runs both (see match_backend.hpp).
 //
+// Concurrency: mutations are safe while batches are in flight. The table is
+// one atomically-published snapshot — a shared_ptr to an immutable vector of
+// per-shard MatchBackend snapshots. A search loads that root pointer once
+// per batch and scans a fully consistent version of every shard; a mutation
+// (serialized by a writer mutex) clones only the affected shard, swaps the
+// root, and never blocks readers. Publishing the whole table through a
+// single root — rather than one atomic pointer per shard — is what makes a
+// cross-shard search linearizable: with per-shard pointers an ascending scan
+// could mix shard versions and report a result that was valid at no single
+// point in the mutation order. Retired snapshots are reclaimed by
+// shared_ptr refcounts once the last in-flight batch drops them (RCU with
+// reference counting standing in for grace periods). Lock order:
+// mutMutex_ before statsMutex_; searches take only statsMutex_.
+//
+// Write costing: every effective mutation is charged its real program/erase
+// cost — tcam::measureWriteEnergy per bit (served through the
+// characterization cache, so it is persisted and replayed like search
+// characterizations) scheduled across the word by tcam::planWordWrite, which
+// models each technology's pulse parallelism (FeFET two word-parallel
+// phases, ReRAM current-limited groups, CMOS single-cycle). Accumulated in
+// EngineStats and the serve.writes.* / serve.write.energy obs metrics.
+//
 // Persistence: EngineOptions.store names a characterization-store directory;
 // when set (and no shared cache is passed in) the engine builds on a
 // store-backed cache, so a restarted service replays prior characterizations
 // from disk instead of re-running the solver — bit-identical by the same
-// provider contract that makes the in-memory cache invisible.
+// provider contract that makes the in-memory cache invisible. With
+// EngineOptions.persistEntries the same directory additionally carries an
+// entry delta log (store/delta_log.hpp): every insert/erase appends a
+// CRC-framed record, and a restarted engine replays the *mutated* table
+// bit-identically before serving. A log that fails to open, or whose
+// records do not fit this engine's geometry, degrades to memory-only
+// entries with a typed error in tableLogStatus() — never a wrong table.
 //
 // Admission control: submitBatch() bounds the number of concurrently
 // in-flight batches (EngineOptions.admission) and sheds the excess with a
@@ -31,7 +59,8 @@
 //
 // obs integration (when obs::enabled()): serve.queries / serve.hits /
 // serve.batches counters, serve.admission.accepted / serve.admission.shed,
-// serve.qps gauge, a serve.batch.seconds histogram, per-shard
+// serve.writes.inserts / serve.writes.erases, a serve.write.energy gauge,
+// serve.qps, a serve.batch.seconds histogram, per-shard
 // serve.shard<i>.seconds latency histograms, serve.cache.* from the
 // underlying cache, and store.* from its persistent backing.
 #pragma once
@@ -47,6 +76,8 @@
 #include "array/bank.hpp"
 #include "serve/char_cache.hpp"
 #include "serve/match_backend.hpp"
+#include "store/delta_log.hpp"
+#include "tcam/write_schedule.hpp"
 
 namespace fetcam::obs {
 class Histogram;
@@ -74,6 +105,11 @@ struct EngineOptions {
     /// Persistent characterization store (store.dir empty = memory-only).
     /// Only consulted when no shared cache is passed to the constructor.
     store::StoreConfig store;
+    /// Also persist the entry table as a delta log in store.dir: mutations
+    /// append insert/erase records and construction replays them, so a warm
+    /// restart serves the mutated table (see tableLogStatus()). Requires
+    /// store.dir; ignored without it.
+    bool persistEntries = false;
     AdmissionOptions admission;
     /// Functional match implementation: bit-plane (64 entries per machine
     /// word, the default), the scalar row-scan oracle, or checked (both,
@@ -105,6 +141,25 @@ struct EngineStats {
     std::int64_t accepted = 0;  ///< batches admitted through submitBatch
     std::int64_t shed = 0;      ///< batches refused by admission control
     std::int64_t deadlineExpired = 0;  ///< queries shed by their deadline
+    // --- mutation accounting (each effective insert/erase is charged the
+    // --- full word program/erase sequence from tcam::planWordWrite) ---
+    std::int64_t inserts = 0;        ///< effective insert/insertAt mutations
+    std::int64_t erases = 0;         ///< effective erases (occupied rows only)
+    double writeEnergy = 0.0;        ///< [J] accumulated program/erase energy
+    double writeLatency = 0.0;       ///< [s] accumulated write-sequence time
+    std::int64_t writePulsePhases = 0;  ///< sequential pulse groups issued
+};
+
+/// Health of the persistent entry delta log (tableLogStatus()).
+struct TableLogStatus {
+    bool attached = false;  ///< persistEntries was requested with a store dir
+    bool readOnly = false;
+    bool degraded = false;  ///< open/load/replay failed; entries memory-only
+    recover::SimErrorReason errorReason = recover::SimErrorReason::IoError;
+    std::string error;  ///< empty when healthy
+    store::LoadStats load;
+    std::int64_t replayed = 0;  ///< delta records applied at construction
+    std::int64_t appended = 0;  ///< delta records written by this engine
 };
 
 /// Typed outcome of an admission-controlled submission.
@@ -144,23 +199,30 @@ public:
     explicit QueryEngine(EngineOptions options,
                          std::shared_ptr<CharacterizationCache> cache = {});
 
+    ~QueryEngine();
+
     // --- entry management (global row index = priority, lowest wins) ---
+    // Safe to call while batches are in flight: mutations publish a new
+    // table snapshot; searches keep scanning the one they loaded.
     std::int64_t insert(const tcam::TernaryWord& word);  ///< first free row
     void insertAt(std::int64_t row, const tcam::TernaryWord& word);
     void erase(std::int64_t row);
-    const std::optional<tcam::TernaryWord>& entryAt(std::int64_t row) const;
+    /// Entry at `row`, by value: a consistent snapshot read that stays valid
+    /// however the table is mutated afterwards.
+    std::optional<tcam::TernaryWord> entryAt(std::int64_t row) const;
 
     // --- serving ---
     /// Batched priority search across `jobs` workers (0 = process default).
     /// Results and accounting are bit-identical for any jobs value and for
-    /// cold vs. warm caches.
+    /// cold vs. warm caches. Concurrent mutations are safe: the whole batch
+    /// sees one consistent table version.
     BatchResult searchBatch(const std::vector<tcam::TernaryWord>& keys, int jobs = 0);
 
     /// searchBatch behind admission control: when
     /// options.admission.maxInFlightBatches concurrent submissions are
     /// already running, the batch is shed (typed result, no partial work, no
-    /// query accounting) instead of queueing. Thread-safe; entries must not
-    /// be mutated concurrently with serving.
+    /// query accounting) instead of queueing. Thread-safe, including against
+    /// concurrent entry mutations.
     SubmitResult submitBatch(const std::vector<tcam::TernaryWord>& keys, int jobs = 0);
 
     /// submitBatch with deadline / queue-wait context: queries whose
@@ -175,20 +237,36 @@ public:
     int inFlightBatches() const { return inFlight_.load(std::memory_order_relaxed); }
 
     // --- introspection ---
-    std::int64_t capacity() const { return backend_->rows(); }
-    std::int64_t occupancy() const { return occupied_; }
-    MatchBackendKind backendKind() const { return backend_->kind(); }
+    std::int64_t capacity() const { return capacity_; }
+    std::int64_t occupancy() const { return occupied_.load(std::memory_order_relaxed); }
+    MatchBackendKind backendKind() const { return options_.backend; }
     int wordBits() const { return options_.shard.wordBits; }
     std::int64_t shards() const { return bank_.subArrays; }
     std::int64_t rowsPerShard() const { return bank_.rowsPerArray; }
     const array::BankMetrics& hardware() const { return bank_; }
     double energyPerQuery() const { return bank_.totalPerSearch(); }
     double queryLatency() const { return bank_.searchDelay; }
+    /// Price of one word mutation (program/erase sequence) on this
+    /// geometry/technology — what each effective insert/erase is charged.
+    /// Characterized lazily through the cache on first use.
+    tcam::WordWriteResult writeCost();
     EngineStats stats() const;
     const std::shared_ptr<CharacterizationCache>& cache() const { return cache_; }
     /// Persistence health of the underlying cache (memory-only when the
     /// engine was built without a store).
     StoreStatus storeStatus() const { return cache_->storeStatus(); }
+
+    // --- entry persistence (persistEntries) ---
+    /// Delta records replayed into the table at construction (0 for a cold
+    /// start or when persistence is off/degraded).
+    std::int64_t restoredMutations() const;
+    TableLogStatus tableLogStatus() const;
+    /// Push write-behind delta appends to disk (no-op without a log).
+    void flushTable();
+    /// Snapshot the occupied rows into a deduplicated delta log, atomically
+    /// replacing the append history. False (doing nothing) without a
+    /// writable log.
+    bool compactTable();
 
     /// Deterministic text report: geometry, served-query accounting and the
     /// per-query hardware price. Identical for cold/warm caches and any
@@ -196,18 +274,47 @@ public:
     std::string report() const;
 
 private:
+    /// The published table: one immutable snapshot per shard. Readers load
+    /// the root once per batch; writers clone-and-swap under mutMutex_.
+    using Table = std::vector<std::shared_ptr<const MatchBackend>>;
+
     void checkRow(std::int64_t row) const;
     /// searchBatch with an optional per-query skip mask (expired deadlines):
     /// masked queries get kRowDeadlineExpired without being scanned.
     BatchResult searchBatchMasked(const std::vector<tcam::TernaryWord>& keys,
                                   const std::vector<char>* expired, int jobs);
+    /// Clone the affected shard, mutate it, publish the new table. Caller
+    /// holds mutMutex_. `word` null = clear the row.
+    void publishMutationLocked(const Table& table, std::int64_t row,
+                               const tcam::TernaryWord* word);
+    /// Charge one effective mutation: write cost into stats_ + obs, delta
+    /// record into the table log. Caller holds mutMutex_.
+    void recordMutationLocked(bool isInsert, std::int64_t row,
+                              const tcam::TernaryWord* word);
+    tcam::WordWriteResult writeCostLocked();
+    /// Open the delta log and replay it into the pre-publication shards.
+    /// Constructor-only (no concurrency yet).
+    void attachTableLog(std::vector<std::unique_ptr<MatchBackend>>& shards);
+    void degradeTableLogLocked(const recover::SimError& e);
 
     EngineOptions options_;
     std::shared_ptr<CharacterizationCache> cache_;
     array::BankMetrics bank_;
-    /// Entry storage + shard-local priority encoder (see match_backend.hpp).
-    std::unique_ptr<MatchBackend> backend_;
-    std::int64_t occupied_ = 0;
+    std::int64_t capacity_ = 0;       ///< bank_.totalEntries
+    std::int64_t rowsPerShard_ = 0;   ///< bank_.rowsPerArray
+    /// Entry storage root. Readers: one acquire load per batch. Writers:
+    /// copy-on-write swap under mutMutex_.
+    std::atomic<std::shared_ptr<const Table>> table_;
+    std::atomic<std::int64_t> occupied_{0};
+    mutable std::mutex mutMutex_;  ///< serializes writers (and the fields below)
+    /// First-free-row search hint: every row < freeHint_ is occupied.
+    /// insert() scans from here instead of row 0 (erase lowers it), which
+    /// keeps row assignment identical to a scan-from-0 while making a full
+    /// table's Nth insert O(1) instead of O(capacity).
+    std::int64_t freeHint_ = 0;
+    std::optional<tcam::WordWriteResult> writeCost_;  ///< lazy, cached
+    std::unique_ptr<store::CharStore> tableLog_;  ///< null when not persisting
+    TableLogStatus tableLogStatus_;
     mutable std::mutex statsMutex_;  ///< guards stats_ + shardHists_ init
     EngineStats stats_;
     std::atomic<int> inFlight_{0};

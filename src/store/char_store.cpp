@@ -32,7 +32,7 @@ CharStore::CharStore(StoreConfig config) : config_(std::move(config)) {
                            "cannot create store directory " + config_.dir + ": " +
                                ec.message());
 #ifdef FETCAM_STORE_HAVE_FLOCK
-        const std::string lockPath = (fs::path(config_.dir) / kLockName).string();
+        const std::string lockPath = (fs::path(config_.dir) / config_.lockName).string();
         lockFd_ = ::open(lockPath.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
         if (lockFd_ < 0)
             throw SimError(SimErrorReason::IoError, "store::CharStore",
@@ -70,7 +70,7 @@ CharStore::~CharStore() {
 }
 
 std::string CharStore::logPath() const {
-    return (fs::path(config_.dir) / kLogName).string();
+    return (fs::path(config_.dir) / config_.logName).string();
 }
 
 std::vector<Record> CharStore::load() {

@@ -39,6 +39,12 @@ struct StoreConfig {
     std::string dir;                  ///< store directory; empty = no store
     bool readOnly = false;            ///< load only: no lock, no appends
     std::uint32_t schemaVersion = 0;  ///< key/payload layout the caller packs
+    /// Log/lock file names inside the directory. Defaults are the
+    /// characterization log; other record families (the entry delta log)
+    /// share one directory by using distinct names, each with its own
+    /// writer lock.
+    std::string logName = "char.fcs";
+    std::string lockName = "char.lock";
 
     bool enabled() const { return !dir.empty(); }
 };
@@ -59,6 +65,10 @@ class CharStore {
 public:
     static constexpr const char* kLogName = "char.fcs";
     static constexpr const char* kLockName = "char.lock";
+    /// Entry delta-record log names (see delta_log.hpp): same directory, own
+    /// writer lock, so one store dir can hold both record families.
+    static constexpr const char* kTableLogName = "table.fcs";
+    static constexpr const char* kTableLockName = "table.lock";
     static constexpr const char* kQuarantineSuffix = ".corrupt";
     static constexpr const char* kCompactSuffix = ".tmp";
 

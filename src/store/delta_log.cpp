@@ -1,0 +1,46 @@
+#include "store/delta_log.hpp"
+
+#include <cstring>
+
+namespace fetcam::store {
+
+namespace {
+
+constexpr std::size_t kDeltaKeySize = 1 + 1 + sizeof(std::int64_t);
+
+}  // namespace
+
+Record packDelta(const DeltaRecord& delta) {
+    Record r;
+    r.key.reserve(kDeltaKeySize);
+    r.key.push_back(static_cast<char>(kTableSchemaVersion & 0xFF));
+    r.key.push_back(static_cast<char>(delta.op));
+    r.key.append(reinterpret_cast<const char*>(&delta.row), sizeof delta.row);
+    if (delta.op == DeltaOp::Insert) r.payload = delta.trits;
+    return r;
+}
+
+std::optional<DeltaRecord> unpackDelta(const Record& record) {
+    if (record.key.size() != kDeltaKeySize) return std::nullopt;
+    if (static_cast<std::uint8_t>(record.key[0]) != (kTableSchemaVersion & 0xFF))
+        return std::nullopt;
+    DeltaRecord d;
+    const auto op = static_cast<std::uint8_t>(record.key[1]);
+    if (op != static_cast<std::uint8_t>(DeltaOp::Insert) &&
+        op != static_cast<std::uint8_t>(DeltaOp::Erase))
+        return std::nullopt;
+    d.op = static_cast<DeltaOp>(op);
+    std::memcpy(&d.row, record.key.data() + 2, sizeof d.row);
+    if (d.row < 0) return std::nullopt;
+    if (d.op == DeltaOp::Erase) {
+        if (!record.payload.empty()) return std::nullopt;
+        return d;
+    }
+    if (record.payload.empty()) return std::nullopt;
+    for (const char c : record.payload)
+        if (static_cast<std::uint8_t>(c) > 2) return std::nullopt;
+    d.trits = record.payload;
+    return d;
+}
+
+}  // namespace fetcam::store

@@ -1,0 +1,57 @@
+// Entry delta records: the second record family a store directory can hold,
+// alongside the characterization log.
+//
+// A serving engine's entry table mutates while it runs (route churn, rule
+// pushes); replaying only the *seed* table after a restart would silently
+// roll those mutations back. The delta log records every applied mutation as
+// a CRC-framed record in `table.fcs` (the same record_log container as
+// `char.fcs`, with its own writer lock and its own schema version), so a
+// warm restart replays the mutated table bit-identically.
+//
+// Record layout (kTableSchemaVersion 1):
+//   key:     u8 version (kTableSchemaVersion, low byte)
+//            u8 op      (DeltaOp)
+//            i64 row    (native-endian, like every store integer)
+//   payload: Insert — one byte per trit (0/1/2), wordBits long
+//            Erase  — empty
+//
+// The key carries the version byte for the same reason the characterization
+// keys do: the container-level schema gate already rejects foreign logs, and
+// the in-record byte makes a record self-describing if it is ever carved out
+// of a salvaged tail. Compaction rewrites the log as one Insert per occupied
+// row (erases and overwrites collapse away).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "store/record_log.hpp"
+
+namespace fetcam::store {
+
+/// Layout version of the delta-record schema: bump whenever the key or
+/// payload packing below changes shape.
+inline constexpr std::uint32_t kTableSchemaVersion = 1;
+
+enum class DeltaOp : std::uint8_t {
+    Insert = 1,  ///< payload holds the word's trit bytes
+    Erase = 2,   ///< payload empty
+};
+
+struct DeltaRecord {
+    DeltaOp op = DeltaOp::Insert;
+    std::int64_t row = 0;
+    std::string trits;  ///< one byte per trit (0/1/2); empty for Erase
+};
+
+/// Serialize into a record-log Record.
+Record packDelta(const DeltaRecord& delta);
+
+/// Inverse of packDelta. nullopt when the record is not a valid delta of
+/// this schema version (wrong key size, unknown op, version drift, trit
+/// bytes outside {0,1,2}, payload/op mismatch) — the caller treats that as
+/// typed corruption, never as a silent skip.
+std::optional<DeltaRecord> unpackDelta(const Record& record);
+
+}  // namespace fetcam::store

@@ -1,0 +1,429 @@
+// Mutation-under-load contract tests: the RCU-snapshot table, first-free-row
+// insert order, write-cost accounting, the churn workload's differential
+// bit-identity against a naive oracle, and warm restart of a mutated table
+// through the entry delta log.
+//
+// The thread tests are written to be meaningful under TSan (the CI
+// thread-sanitize job runs this binary): concurrent searchers race a mutator
+// and every observed result must have been valid at some point in the
+// mutation order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "apps/churn.hpp"
+#include "numeric/stats.hpp"
+#include "serve/match_backend.hpp"
+#include "serve/query_engine.hpp"
+#include "tcam/write.hpp"
+#include "tcam/write_schedule.hpp"
+
+using namespace fetcam;
+
+namespace {
+
+serve::EngineOptions churnOptions(int wordBits, int shardRows, std::int64_t capacity,
+                                  serve::MatchBackendKind backend) {
+    serve::EngineOptions o;
+    o.shard.cell = tcam::CellKind::FeFet2;
+    o.shard.sense = array::SenseScheme::LowSwing;
+    o.shard.wordBits = wordBits;
+    o.shard.rows = shardRows;
+    o.capacity = capacity;
+    o.backend = backend;
+    return o;
+}
+
+tcam::TernaryWord definiteWord(std::uint64_t bits, int width) {
+    tcam::TernaryWord w(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i)
+        w[static_cast<std::size_t>(i)] =
+            (bits >> (i % 64)) & 1 ? tcam::Trit::One : tcam::Trit::Zero;
+    return w;
+}
+
+/// The stop-the-world oracle: a plain vector of optional words, searched by
+/// linear scan-from-0. Everything the engine does must be bit-identical to
+/// this.
+struct NaiveTable {
+    std::vector<std::optional<tcam::TernaryWord>> rows;
+
+    explicit NaiveTable(std::int64_t capacity)
+        : rows(static_cast<std::size_t>(capacity)) {}
+
+    std::int64_t insert(const tcam::TernaryWord& word) {
+        for (std::size_t r = 0; r < rows.size(); ++r)
+            if (!rows[r]) {
+                rows[r] = word;
+                return static_cast<std::int64_t>(r);
+            }
+        return -1;
+    }
+
+    std::int64_t findFirst(const tcam::TernaryWord& key) const {
+        for (std::size_t r = 0; r < rows.size(); ++r)
+            if (rows[r] && rows[r]->matchesUnchecked(key))
+                return static_cast<std::int64_t>(r);
+        return -1;
+    }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Satellite: first-free-row hint must not change insert row assignment.
+// ---------------------------------------------------------------------------
+
+TEST(ChurnEngine, InsertRowOrderMatchesNaiveScanFromZero) {
+    auto engine = serve::QueryEngine(
+        churnOptions(8, 4, 24, serve::MatchBackendKind::BitPlane));
+    NaiveTable naive(24);
+    numeric::Rng rng(7);
+
+    // A mixed insert/erase sequence: the hint path (scan from freeHint_) must
+    // assign exactly the rows a scan-from-0 would, including re-filling holes
+    // opened by erases.
+    for (int step = 0; step < 200; ++step) {
+        if (rng.bernoulli(0.4) && engine.occupancy() > 0) {
+            const auto row =
+                static_cast<std::int64_t>(rng.uniformInt(0, 23));
+            engine.erase(row);
+            naive.rows[static_cast<std::size_t>(row)].reset();
+        } else if (engine.occupancy() < 24) {
+            const auto word = definiteWord(rng.nextU64(), 8);
+            const std::int64_t got = engine.insert(word);
+            const std::int64_t want = naive.insert(word);
+            ASSERT_EQ(got, want) << "insert diverged from scan-from-0 at step " << step;
+        }
+    }
+    for (std::int64_t r = 0; r < 24; ++r) {
+        const auto entry = engine.entryAt(r);
+        const auto& expect = naive.rows[static_cast<std::size_t>(r)];
+        ASSERT_EQ(entry.has_value(), expect.has_value());
+        if (entry) EXPECT_TRUE(*entry == *expect);
+    }
+}
+
+TEST(ChurnEngine, InsertThrowsWhenFullAndEraseReopensTheRow) {
+    auto engine =
+        serve::QueryEngine(churnOptions(8, 4, 4, serve::MatchBackendKind::BitPlane));
+    for (int i = 0; i < 4; ++i)
+        engine.insert(definiteWord(static_cast<std::uint64_t>(i), 8));
+    EXPECT_THROW(engine.insert(definiteWord(99, 8)), std::length_error);
+    engine.erase(1);
+    EXPECT_EQ(engine.insert(definiteWord(99, 8)), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: entryAt returns a value snapshot, not a dangling reference.
+// ---------------------------------------------------------------------------
+
+TEST(ChurnEngine, EntryAtIsASnapshotSurvivingMutation) {
+    auto engine =
+        serve::QueryEngine(churnOptions(8, 4, 8, serve::MatchBackendKind::BitPlane));
+    const auto word = definiteWord(0xA5, 8);
+    engine.insertAt(3, word);
+
+    const auto entry = engine.entryAt(3);
+    ASSERT_TRUE(entry.has_value());
+    // Mutating (and thereby retiring the snapshot the value was copied from)
+    // must not affect the returned copy.
+    engine.erase(3);
+    engine.insertAt(3, definiteWord(0x3C, 8));
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_TRUE(*entry == word);
+    EXPECT_FALSE(*engine.entryAt(3) == word);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: write-cost accounting from tcam::planWordWrite.
+// ---------------------------------------------------------------------------
+
+TEST(ChurnEngine, MutationsAreChargedThePlannedWordWriteCost) {
+    auto options = churnOptions(8, 4, 12, serve::MatchBackendKind::BitPlane);
+    serve::QueryEngine engine(options);
+
+    engine.insert(definiteWord(1, 8));
+    engine.insert(definiteWord(2, 8));
+    engine.insertAt(5, definiteWord(3, 8));
+    engine.insertAt(5, definiteWord(4, 8));  // overwrite: a full reprogram
+    engine.erase(5);
+    engine.erase(5);  // already empty: free no-op, not charged
+
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.inserts, 4);
+    EXPECT_EQ(stats.erases, 1);
+
+    const auto cost = engine.writeCost();
+    EXPECT_GT(cost.energy, 0.0);
+    EXPECT_GT(cost.latency, 0.0);
+    EXPECT_GT(cost.pulsePhases, 0);
+    EXPECT_DOUBLE_EQ(stats.writeEnergy, 5 * cost.energy);
+    EXPECT_DOUBLE_EQ(stats.writeLatency, 5 * cost.latency);
+    EXPECT_EQ(stats.writePulsePhases, 5 * cost.pulsePhases);
+
+    // The engine's cached price must be exactly the planner's: per-bit pulse
+    // characterization through tcam::measureWriteEnergy, scheduled over the
+    // word by tcam::planWordWrite.
+    const auto direct = tcam::planWordWrite(
+        options.shard.cell, tcam::measureWriteEnergy(options.shard.cell, options.tech),
+        options.shard.wordBits);
+    EXPECT_EQ(cost.energy, direct.energy);
+    EXPECT_EQ(cost.latency, direct.latency);
+    EXPECT_EQ(cost.pulsePhases, direct.pulsePhases);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: differential churn fuzz — every backend, widths straddling the
+// 64-bit plane boundary, all-X rows — against the naive oracle.
+// ---------------------------------------------------------------------------
+
+TEST(ChurnFuzz, AllBackendsAndWidthsStayBitIdenticalToOracle) {
+    const serve::MatchBackendKind backends[] = {serve::MatchBackendKind::Scalar,
+                                                serve::MatchBackendKind::BitPlane,
+                                                serve::MatchBackendKind::Checked};
+    const int widths[] = {1, 63, 64, 65, 130};
+
+    for (const auto backend : backends) {
+        for (const int width : widths) {
+            apps::ChurnSpec spec;
+            spec.rows = 24;
+            spec.wordBits = width;
+            spec.wildcardFraction = 0.3;
+            spec.allWildcardFraction = 0.1;  // force match-everything rows in
+            spec.seed = 11 + static_cast<std::uint64_t>(width);
+            apps::ChurnWorkload workload(spec);
+
+            auto engine = serve::QueryEngine(
+                churnOptions(width, 4, spec.rows, backend));
+            NaiveTable naive(spec.rows);
+            for (std::int64_t r = 0; r < spec.rows; ++r) {
+                engine.insertAt(r, workload.words()[static_cast<std::size_t>(r)]);
+                naive.rows[static_cast<std::size_t>(r)] =
+                    workload.words()[static_cast<std::size_t>(r)];
+            }
+
+            for (int round = 0; round < 6; ++round) {
+                for (int i = 0; i < 10; ++i) {
+                    const auto op = workload.next();
+                    if (op.insert) {
+                        engine.insertAt(op.row, op.word);
+                        naive.rows[static_cast<std::size_t>(op.row)] = op.word;
+                    } else {
+                        engine.erase(op.row);
+                        naive.rows[static_cast<std::size_t>(op.row)].reset();
+                    }
+                }
+                const auto keys = workload.queryStream(
+                    32, 0.6, spec.seed + 1000 + static_cast<std::uint64_t>(round));
+                const auto result = engine.searchBatch(keys);
+                for (std::size_t q = 0; q < keys.size(); ++q)
+                    ASSERT_EQ(result.rows[q], naive.findFirst(keys[q]))
+                        << serve::backendName(backend) << " width " << width
+                        << " round " << round << " query " << q;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: searches racing a mutator never block, never see a torn row —
+// every observed result was valid at some point in the mutation order.
+// (The CI thread-sanitize job runs this under TSan.)
+// ---------------------------------------------------------------------------
+
+TEST(ChurnConcurrency, ConcurrentSearchResultsAreValidAtSomeMutationPoint) {
+    // Row layout: row kFlap flaps between its word and empty; row kFallback
+    // is always present and matches the same probe key. A search taken at any
+    // snapshot must therefore return kFlap (flap present) or kFallback (flap
+    // absent) — anything else (a torn row, a mixed shard view, -1) is a bug.
+    constexpr std::int64_t kFlap = 2;
+    constexpr std::int64_t kFallback = 13;  // second shard: crosses a shard swap
+    auto engine =
+        serve::QueryEngine(churnOptions(16, 8, 16, serve::MatchBackendKind::BitPlane));
+
+    tcam::TernaryWord flapWord(16, tcam::Trit::X);
+    flapWord[0] = tcam::Trit::One;
+    tcam::TernaryWord fallbackWord(16, tcam::Trit::X);  // matches everything
+    engine.insertAt(kFlap, flapWord);
+    engine.insertAt(kFallback, fallbackWord);
+
+    tcam::TernaryWord probe = definiteWord(0xFFFF, 16);  // bit0 = 1: hits both
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::int64_t> failures{0};
+    std::vector<std::thread> searchers;
+    for (int s = 0; s < 3; ++s)
+        searchers.emplace_back([&] {
+            const std::vector<tcam::TernaryWord> keys(8, probe);
+            while (!stop.load(std::memory_order_relaxed)) {
+                const auto result = engine.searchBatch(keys);
+                for (const auto row : result.rows)
+                    if (row != kFlap && row != kFallback)
+                        failures.fetch_add(1, std::memory_order_relaxed);
+                // Exercise the concurrently-written accounting under TSan too.
+                (void)engine.stats();
+                (void)engine.occupancy();
+                (void)engine.entryAt(kFlap);
+            }
+        });
+
+    std::thread mutator([&] {
+        for (int i = 0; i < 400; ++i) {
+            if (i % 2 == 0)
+                engine.erase(kFlap);
+            else
+                engine.insertAt(kFlap, flapWord);
+        }
+        stop.store(true, std::memory_order_relaxed);
+    });
+    mutator.join();
+    for (auto& th : searchers) th.join();
+
+    EXPECT_EQ(failures.load(), 0)
+        << "a search observed a row set that existed at no point in the "
+           "mutation order";
+    // 400 flaps: 200 erases of a present row + 200 re-inserts, plus 2 seeds.
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.inserts, 202);
+    EXPECT_EQ(stats.erases, 200);
+    EXPECT_EQ(engine.occupancy(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: warm restart after churn replays the *mutated* table
+// bit-identically, with zero solver calls.
+// ---------------------------------------------------------------------------
+
+TEST(ChurnPersistence, WarmRestartReplaysMutatedTableBitIdentically) {
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() / "fetcam_churn_test_store").string();
+    fs::remove_all(dir);
+
+    auto options = churnOptions(16, 4, 16, serve::MatchBackendKind::BitPlane);
+    options.store.dir = dir;
+    options.persistEntries = true;
+
+    apps::ChurnSpec spec;
+    spec.rows = 16;
+    spec.wordBits = 16;
+    spec.seed = 3;
+    apps::ChurnWorkload workload(spec);
+    const auto keys = workload.queryStream(40, 0.6, 77);
+
+    serve::BatchResult before;
+    std::int64_t mutations = 0;
+    std::int64_t occupancy = 0;
+    {
+        serve::QueryEngine engine(options);
+        ASSERT_TRUE(engine.tableLogStatus().attached);
+        ASSERT_FALSE(engine.tableLogStatus().degraded);
+        EXPECT_EQ(engine.restoredMutations(), 0);
+        for (std::int64_t r = 0; r < spec.rows; ++r)
+            engine.insertAt(r, workload.words()[static_cast<std::size_t>(r)]);
+        for (int i = 0; i < 37; ++i) {
+            const auto op = workload.next();
+            if (op.insert)
+                engine.insertAt(op.row, op.word);
+            else
+                engine.erase(op.row);
+        }
+        const auto stats = engine.stats();
+        mutations = stats.inserts + stats.erases;
+        occupancy = engine.occupancy();
+        before = engine.searchBatch(keys);
+    }  // teardown flushes the delta log
+
+    serve::QueryEngine warm(options);
+    ASSERT_FALSE(warm.tableLogStatus().degraded);
+    EXPECT_EQ(warm.restoredMutations(), mutations);
+    EXPECT_EQ(warm.occupancy(), occupancy);
+    // Zero solver calls: the characterization store replays every search and
+    // write characterization.
+    EXPECT_EQ(warm.cache()->stats().misses, 0);
+    for (std::int64_t r = 0; r < spec.rows; ++r) {
+        const auto entry = warm.entryAt(r);
+        const bool expect = workload.present()[static_cast<std::size_t>(r)] != 0;
+        ASSERT_EQ(entry.has_value(), expect) << "row " << r;
+        if (entry)
+            EXPECT_TRUE(*entry == workload.words()[static_cast<std::size_t>(r)]);
+    }
+    const auto after = warm.searchBatch(keys);
+    EXPECT_EQ(after.rows, before.rows);
+    EXPECT_EQ(after.hits, before.hits);
+    EXPECT_EQ(after.energy, before.energy);
+    EXPECT_EQ(after.latency, before.latency);
+
+    // Replayed mutations are not re-charged: they were paid when first
+    // applied, and a restart must not double-bill the table.
+    EXPECT_EQ(warm.stats().inserts, 0);
+    EXPECT_EQ(warm.stats().erases, 0);
+
+    fs::remove_all(dir);
+}
+
+TEST(ChurnPersistence, CompactTableSnapshotsOccupiedRowsOnly) {
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() / "fetcam_churn_test_compact").string();
+    fs::remove_all(dir);
+
+    auto options = churnOptions(8, 4, 8, serve::MatchBackendKind::BitPlane);
+    options.store.dir = dir;
+    options.persistEntries = true;
+
+    std::int64_t occupancy = 0;
+    {
+        serve::QueryEngine engine(options);
+        for (int i = 0; i < 6; ++i)
+            engine.insert(definiteWord(static_cast<std::uint64_t>(i), 8));
+        engine.erase(1);
+        engine.erase(4);
+        // 8 delta records so far; the compacted log holds one per occupied row.
+        ASSERT_TRUE(engine.compactTable());
+        occupancy = engine.occupancy();
+    }
+
+    serve::QueryEngine warm(options);
+    ASSERT_FALSE(warm.tableLogStatus().degraded);
+    EXPECT_EQ(warm.restoredMutations(), occupancy);  // deduplicated
+    EXPECT_EQ(warm.occupancy(), occupancy);
+    EXPECT_FALSE(warm.entryAt(1).has_value());
+    EXPECT_FALSE(warm.entryAt(4).has_value());
+    ASSERT_TRUE(warm.entryAt(0).has_value());
+    EXPECT_TRUE(*warm.entryAt(0) == definiteWord(0, 8));
+
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Workload determinism: same spec, same universe / flaps / queries.
+// ---------------------------------------------------------------------------
+
+TEST(ChurnWorkload, IsSeedDeterministic) {
+    apps::ChurnSpec spec;
+    spec.rows = 32;
+    spec.wordBits = 24;
+    spec.seed = 9;
+    apps::ChurnWorkload a(spec);
+    apps::ChurnWorkload b(spec);
+
+    for (std::size_t r = 0; r < a.words().size(); ++r)
+        ASSERT_TRUE(a.words()[r] == b.words()[r]);
+    for (int i = 0; i < 100; ++i) {
+        const auto oa = a.next();
+        const auto ob = b.next();
+        ASSERT_EQ(oa.row, ob.row);
+        ASSERT_EQ(oa.insert, ob.insert);
+    }
+    EXPECT_EQ(a.installed(), b.installed());
+    const auto qa = a.queryStream(16, 0.5, 123);
+    const auto qb = b.queryStream(16, 0.5, 123);
+    for (std::size_t q = 0; q < qa.size(); ++q) ASSERT_TRUE(qa[q] == qb[q]);
+}

@@ -211,3 +211,42 @@ TEST(MatchBackend, QueryEngineResultsIdenticalAcrossBackends) {
     EXPECT_EQ(perBackend[0], perBackend[1]);  // scalar == bitplane
     EXPECT_EQ(perBackend[0], perBackend[2]);  // scalar == checked
 }
+
+TEST(MatchBackend, CloneIsADeepIndependentCopy) {
+    // The copy-on-write primitive behind the engine's snapshot mutations: a
+    // clone and its source must never share storage, on every backend and on
+    // widths/rows straddling the 64-bit plane blocks.
+    const serve::MatchBackendKind kinds[] = {serve::MatchBackendKind::Scalar,
+                                             serve::MatchBackendKind::BitPlane,
+                                             serve::MatchBackendKind::Checked};
+    numeric::Rng rng(31);
+    for (const auto kind : kinds) {
+        for (const int bits : {1, 64, 65}) {
+            for (const std::int64_t rows : {3ll, 64ll, 70ll}) {
+                auto original = serve::makeMatchBackend(kind, rows, bits);
+                for (std::int64_t r = 0; r < rows; r += 2)
+                    original->set(r, randomWord(rng, bits, 0.3));
+
+                auto copy = original->clone();
+                ASSERT_EQ(copy->kind(), original->kind());
+                ASSERT_EQ(copy->rows(), rows);
+                ASSERT_EQ(copy->bits(), bits);
+                for (std::int64_t r = 0; r < rows; ++r)
+                    ASSERT_EQ(copy->at(r), original->at(r))
+                        << serve::backendName(kind) << " " << bits << "b row " << r;
+
+                // Diverge the copy: the original must not move.
+                const auto before = original->at(0);
+                copy->set(0, randomWord(rng, bits, 0.0));
+                copy->clear(2 % rows);
+                EXPECT_EQ(original->at(0), before);
+                if (rows > 2) EXPECT_EQ(original->at(2).has_value(), true);
+
+                // And mutate the original: the copy must not move either.
+                const auto copyRow = copy->at(0);
+                original->clear(0);
+                EXPECT_EQ(copy->at(0), copyRow);
+            }
+        }
+    }
+}

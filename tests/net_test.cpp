@@ -529,3 +529,191 @@ TEST(NetServer, RejectsInvalidOptions) {
     net::Server bad(engine, opts);
     EXPECT_THROW(bad.start(), recover::SimError);
 }
+
+// --- table mutation over the wire (protocol v2) ----------------------------
+
+TEST(NetProtocol, MutateRoundTrip) {
+    net::MutateBody body;
+    body.requestId = 77;
+    net::MutateOpSpec ins;
+    ins.op = net::MutateOp::Insert;
+    ins.word = tcam::TernaryWord::fromBits(0xA5, 8);
+    net::MutateOpSpec at;
+    at.op = net::MutateOp::InsertAt;
+    at.row = 3;
+    at.word = tcam::TernaryWord(8, tcam::Trit::X);
+    net::MutateOpSpec del;
+    del.op = net::MutateOp::Erase;
+    del.row = 5;
+    body.ops = {ins, at, del};
+
+    std::string err;
+    const auto decoded = net::decodeMutate(net::encodeMutate(body), 8, 16, &err);
+    ASSERT_TRUE(decoded.has_value()) << err;
+    EXPECT_EQ(decoded->requestId, 77u);
+    ASSERT_EQ(decoded->ops.size(), 3u);
+    EXPECT_EQ(decoded->ops[0].op, net::MutateOp::Insert);
+    EXPECT_TRUE(decoded->ops[0].word == ins.word);
+    EXPECT_EQ(decoded->ops[1].op, net::MutateOp::InsertAt);
+    EXPECT_EQ(decoded->ops[1].row, 3);
+    EXPECT_TRUE(decoded->ops[1].word == at.word);
+    EXPECT_EQ(decoded->ops[2].op, net::MutateOp::Erase);
+    EXPECT_EQ(decoded->ops[2].row, 5);
+    EXPECT_EQ(decoded->ops[2].word.size(), 0u);  // no word bytes on the wire
+}
+
+TEST(NetProtocol, MutateBodyValidation) {
+    net::MutateBody body;
+    body.requestId = 1;
+    net::MutateOpSpec op;
+    op.op = net::MutateOp::InsertAt;
+    op.row = 0;
+    op.word = tcam::TernaryWord::fromBits(3, 8);
+    body.ops = {op};
+    const std::string good = net::encodeMutate(body);
+    std::string err;
+
+    // Empty op list.
+    net::MutateBody empty;
+    empty.requestId = 2;
+    EXPECT_FALSE(net::decodeMutate(net::encodeMutate(empty), 8, 16, &err).has_value());
+
+    // More ops than the server's batch cap.
+    EXPECT_FALSE(net::decodeMutate(good, 8, 0, &err).has_value());
+
+    // Truncated: cut mid-word.
+    EXPECT_FALSE(
+        net::decodeMutate(std::string_view(good).substr(0, good.size() - 3), 8, 16, &err)
+            .has_value());
+
+    // Trailing junk after the declared ops.
+    EXPECT_FALSE(net::decodeMutate(good + "x", 8, 16, &err).has_value());
+
+    // Trit byte outside {0, 1, 2}.
+    std::string bad = good;
+    bad[bad.size() - 1] = 7;
+    EXPECT_FALSE(net::decodeMutate(bad, 8, 16, &err).has_value());
+
+    // Unknown op byte (first byte after requestId u64 + count u32).
+    bad = good;
+    bad[12] = 9;
+    EXPECT_FALSE(net::decodeMutate(bad, 8, 16, &err).has_value());
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(NetProtocol, MutateReplyRoundTripAndValidation) {
+    net::MutateReplyBody reply;
+    reply.requestId = 9;
+    reply.rows = {4, -1};
+    reply.status = {net::MutateStatus::Ok, net::MutateStatus::TableFull};
+
+    std::string err;
+    const auto decoded = net::decodeMutateReply(net::encodeMutateReply(reply), &err);
+    ASSERT_TRUE(decoded.has_value()) << err;
+    EXPECT_EQ(decoded->requestId, 9u);
+    EXPECT_EQ(decoded->rows, reply.rows);
+    ASSERT_EQ(decoded->status.size(), 2u);
+    EXPECT_EQ(decoded->status[1], net::MutateStatus::TableFull);
+
+    // Status byte out of range.
+    std::string bad = net::encodeMutateReply(reply);
+    bad[bad.size() - 1] = 99;
+    EXPECT_FALSE(net::decodeMutateReply(bad, &err).has_value());
+}
+
+TEST(NetProtocol, StableMutateNames) {
+    EXPECT_STREQ(net::mutateOpName(net::MutateOp::Insert), "insert");
+    EXPECT_STREQ(net::mutateOpName(net::MutateOp::InsertAt), "insert_at");
+    EXPECT_STREQ(net::mutateOpName(net::MutateOp::Erase), "erase");
+    EXPECT_STREQ(net::mutateStatusName(net::MutateStatus::Ok), "ok");
+    EXPECT_STREQ(net::mutateStatusName(net::MutateStatus::TableFull), "table_full");
+    EXPECT_STREQ(net::mutateStatusName(net::MutateStatus::InvalidRow), "invalid_row");
+    EXPECT_STREQ(net::mutateStatusName(net::MutateStatus::Rejected), "rejected");
+}
+
+TEST(NetServer, MutateAppliesOpsAndSearchesSeeThem) {
+    ServerHarness h;  // entries 0..3 at rows 0..3; capacity 8
+    net::Client client;
+    client.connect("127.0.0.1", h.port());
+
+    net::MutateBody body;
+    body.requestId = 50;
+    net::MutateOpSpec ins;  // first-free-row insert lands at row 4
+    ins.op = net::MutateOp::Insert;
+    ins.word = tcam::TernaryWord::fromBits(7, 8);
+    net::MutateOpSpec del;  // drop entry 1
+    del.op = net::MutateOp::Erase;
+    del.row = 1;
+    net::MutateOpSpec oob;  // typed per-op failure, not a dead connection
+    oob.op = net::MutateOp::Erase;
+    oob.row = 100;
+    body.ops = {ins, del, oob};
+
+    const auto res = client.mutate(body);
+    ASSERT_TRUE(res.ok);
+    ASSERT_TRUE(res.mutateReply.has_value());
+    ASSERT_EQ(res.mutateReply->rows.size(), 3u);
+    EXPECT_EQ(res.mutateReply->rows[0], 4);
+    EXPECT_EQ(res.mutateReply->status[0], net::MutateStatus::Ok);
+    EXPECT_EQ(res.mutateReply->rows[1], 1);
+    EXPECT_EQ(res.mutateReply->status[1], net::MutateStatus::Ok);
+    EXPECT_EQ(res.mutateReply->rows[2], -1);
+    EXPECT_EQ(res.mutateReply->status[2], net::MutateStatus::InvalidRow);
+
+    // Same connection immediately observes the mutated table.
+    const auto q = client.query(makeBatch(51, {7, 1, 0}));
+    ASSERT_TRUE(q.ok);
+    EXPECT_EQ(q.reply.rows[0], 4);   // the new entry
+    EXPECT_EQ(q.reply.rows[1], -1);  // erased
+    EXPECT_EQ(q.reply.rows[2], 0);   // untouched
+
+    client.close();
+    h.stop();
+    EXPECT_EQ(h.stats().mutateRequests, 1);
+    EXPECT_EQ(h.stats().mutateOps, 3);
+    EXPECT_EQ(h.stats().mutateFailed, 1);
+    expectAccountingInvariant(h.stats());
+}
+
+TEST(NetServer, MutateInsertIntoFullTableIsTypedTableFull) {
+    ServerHarness h({}, 8);  // capacity 8, fully seeded
+    net::Client client;
+    client.connect("127.0.0.1", h.port());
+
+    net::MutateBody body;
+    body.requestId = 60;
+    net::MutateOpSpec ins;
+    ins.op = net::MutateOp::Insert;
+    ins.word = tcam::TernaryWord::fromBits(0xEE, 8);
+    body.ops = {ins};
+
+    const auto res = client.mutate(body);
+    ASSERT_TRUE(res.ok);
+    ASSERT_TRUE(res.mutateReply.has_value());
+    EXPECT_EQ(res.mutateReply->rows[0], -1);
+    EXPECT_EQ(res.mutateReply->status[0], net::MutateStatus::TableFull);
+
+    client.close();
+    h.stop();
+}
+
+TEST(NetServer, MutateWidthMismatchRejectedClientSide) {
+    ServerHarness h;
+    net::Client client;
+    client.connect("127.0.0.1", h.port());
+
+    net::MutateBody body;
+    body.requestId = 70;
+    net::MutateOpSpec ins;
+    ins.op = net::MutateOp::Insert;
+    ins.word = tcam::TernaryWord::fromBits(1, 16);  // server speaks 8-bit words
+    body.ops = {ins};
+
+    const auto res = client.mutate(body);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.error, net::ProtoError::WidthMismatch);
+
+    client.close();
+    h.stop();
+    EXPECT_EQ(h.stats().mutateRequests, 0);  // never reached the server
+}

@@ -11,9 +11,16 @@
 //               [--qps N] [--connections C] [--queries N | --seconds S]
 //               [--batch B] [--deadline-ms D] [--hit-fraction F]
 //               [--entries N] [--seed S] [--retries R] [--timeout S]
+//               [--churn N]
 //               [--fault-torn N] [--fault-garbage N]
 //               [--fault-disconnect N] [--fault-stall N]
 //               [--json FILE]
+//
+// --churn N adds a dedicated mutator connection sending Mutate frames at N
+// table updates per second while the query load runs: it flaps the known
+// seed entries (erase a present row / re-install its word), mirroring the
+// membership client-side so every op is valid. Mutations ride the same
+// open-loop pacing and are tallied separately from query requests.
 //
 // Shed and failed requests retry with capped exponential backoff plus
 // deterministic jitter (numeric::Rng::forStream per connection); a request
@@ -65,6 +72,7 @@ struct Args {
     std::uint64_t seed = 42;
     int retries = 5;
     double timeout = 5.0;
+    double churn = 0.0;  ///< table updates per second (0 = no mutator)
     int faultTorn = 0;
     int faultGarbage = 0;
     int faultDisconnect = 0;
@@ -96,6 +104,7 @@ Args parseArgs(int argc, char** argv) {
         else if (opt == "--seed") a.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
         else if (opt == "--retries") a.retries = std::atoi(next().c_str());
         else if (opt == "--timeout") a.timeout = std::atof(next().c_str());
+        else if (opt == "--churn") a.churn = std::atof(next().c_str());
         else if (opt == "--fault-torn") a.faultTorn = std::atoi(next().c_str());
         else if (opt == "--fault-garbage") a.faultGarbage = std::atoi(next().c_str());
         else if (opt == "--fault-disconnect") a.faultDisconnect = std::atoi(next().c_str());
@@ -109,7 +118,8 @@ Args parseArgs(int argc, char** argv) {
         throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_load",
                                 "--port or --port-file is required");
     if (a.qps <= 0.0 || a.connections < 1 || a.batch < 1 || a.retries < 0 ||
-        a.timeout <= 0.0 || a.entries < 1 || a.hitFraction < 0.0 || a.hitFraction > 1.0)
+        a.timeout <= 0.0 || a.entries < 1 || a.hitFraction < 0.0 ||
+        a.hitFraction > 1.0 || a.churn < 0.0)
         throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_load",
                                 "argument out of range");
     if (a.seconds > 0.0)
@@ -163,6 +173,8 @@ struct Tally {
     std::int64_t timeouts = 0;
     std::int64_t disconnects = 0;
     std::int64_t drainNotices = 0;
+    std::int64_t mutations = 0;         ///< Mutate ops acknowledged Ok
+    std::int64_t mutationFailures = 0;  ///< non-Ok statuses or exhausted retries
 
     void merge(const Tally& o) {
         requests += o.requests;
@@ -179,6 +191,8 @@ struct Tally {
         timeouts += o.timeouts;
         disconnects += o.disconnects;
         drainNotices += o.drainNotices;
+        mutations += o.mutations;
+        mutationFailures += o.mutationFailures;
     }
 };
 
@@ -286,6 +300,80 @@ void runConnection(const Args& a, int port, int conn, double t0, double interval
     client.close();
 }
 
+/// Dedicated mutator connection: flap the known seed entries at a.churn
+/// updates/s (open-loop schedule, like the query timeline) until told to
+/// stop. Membership is mirrored client-side, so each op is a valid erase of
+/// a present row or a re-install of an absent one.
+void runMutator(const Args& a, int port, const std::vector<tcam::TernaryWord>& entries,
+                const std::atomic<bool>& stop, Tally& tally) {
+    net::Client client;
+    numeric::Rng rng = numeric::Rng::forStream(a.seed, 0xC4C4u);
+    std::vector<char> present(entries.size(), 1);
+    const double t0 = obs::monotonicSeconds();
+    std::int64_t i = 0;
+    // Mutation requestIds live in their own range so a stale query reply can
+    // never be mistaken for a mutate ack.
+    std::uint64_t requestId = 1ULL << 62;
+    while (!stop.load(std::memory_order_relaxed)) {
+        sleepUntil(t0 + static_cast<double>(i) / a.churn);
+        if (stop.load(std::memory_order_relaxed)) break;
+        ++i;
+
+        const auto row = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(entries.size()) - 1));
+        net::MutateBody body;
+        body.requestId = requestId++;
+        net::MutateOpSpec op;
+        op.row = static_cast<std::int64_t>(row);
+        if (present[row]) {
+            op.op = net::MutateOp::Erase;
+        } else {
+            op.op = net::MutateOp::InsertAt;
+            op.word = entries[row];
+        }
+        body.ops.push_back(std::move(op));
+
+        bool done = false;
+        for (int attempt = 0; attempt <= a.retries && !done; ++attempt) {
+            if (attempt > 0) {
+                ++tally.retries;
+                const double base = std::min(1e-3 * std::pow(2.0, attempt - 1), 0.1);
+                sleepUntil(obs::monotonicSeconds() + base * (0.5 + rng.uniform()));
+            }
+            if (!client.connected()) {
+                try {
+                    client.connect(a.host, port, a.timeout);
+                    ++tally.reconnects;
+                } catch (const recover::SimError&) {
+                    continue;
+                }
+            }
+            net::ClientResult res = client.mutate(body, a.timeout);
+            if (res.drainNotice) ++tally.drainNotices;
+            if (res.ok && res.mutateReply) {
+                if (res.mutateReply->status[0] == net::MutateStatus::Ok) {
+                    present[row] = !present[row];
+                    ++tally.mutations;
+                } else {
+                    ++tally.mutationFailures;  // typed refusal; don't retry
+                }
+                done = true;
+            } else if (res.timedOut) {
+                ++tally.timeouts;
+                client.close();
+            } else if (res.error != net::ProtoError::None) {
+                ++tally.protoErrors;
+                client.close();
+            } else {
+                ++tally.disconnects;
+                client.close();
+            }
+        }
+        if (!done) ++tally.mutationFailures;
+    }
+    client.close();
+}
+
 void writeJson(const std::string& path, const Tally& t, const obs::Histogram& latency,
                double wallSeconds) {
     std::ofstream os(path);
@@ -308,7 +396,9 @@ void writeJson(const std::string& path, const Tally& t, const obs::Histogram& la
     os << "    \"protoErrors\": " << t.protoErrors << ",\n";
     os << "    \"timeouts\": " << t.timeouts << ",\n";
     os << "    \"disconnects\": " << t.disconnects << ",\n";
-    os << "    \"drainNotices\": " << t.drainNotices << "\n";
+    os << "    \"drainNotices\": " << t.drainNotices << ",\n";
+    os << "    \"mutations\": " << t.mutations << ",\n";
+    os << "    \"mutationFailures\": " << t.mutationFailures << "\n";
     os << "  },\n";
     os << "  \"latency\": {\n";
     os << "    \"count\": " << latency.count() << ",\n";
@@ -356,11 +446,20 @@ int main(int argc, char** argv) {
                 runConnection(a, port, c, t0, interval, totalRequests, entries,
                               wordBits, latency, tallies[static_cast<std::size_t>(c)]);
             });
+        std::atomic<bool> stopMutator{false};
+        Tally mutatorTally;
+        std::thread mutator;
+        if (a.churn > 0.0)
+            mutator = std::thread(
+                [&] { runMutator(a, port, entries, stopMutator, mutatorTally); });
         for (auto& th : threads) th.join();
+        stopMutator.store(true, std::memory_order_relaxed);
+        if (mutator.joinable()) mutator.join();
         const double wallSeconds = obs::monotonicSeconds() - t0;
 
         Tally t;
         for (const auto& partial : tallies) t.merge(partial);
+        t.merge(mutatorTally);
 
         std::printf("fetcam_load: %lld requests (%lld ok, %lld failed) @ %.0f q/s offered\n",
                     static_cast<long long>(t.requests),
@@ -369,6 +468,10 @@ int main(int argc, char** argv) {
         std::printf("  queries        %lld hit / %lld miss / %lld deadline-expired\n",
                     static_cast<long long>(t.hits), static_cast<long long>(t.misses),
                     static_cast<long long>(t.deadlineExceeded));
+        if (a.churn > 0.0)
+            std::printf("  churn          %lld mutations acked (%lld failed) @ %.0f u/s offered\n",
+                        static_cast<long long>(t.mutations),
+                        static_cast<long long>(t.mutationFailures), a.churn);
         std::printf("  robustness     %lld shed / %lld retries / %lld faults injected / "
                     "%lld proto errors / %lld timeouts / %lld disconnects\n",
                     static_cast<long long>(t.shedReplies),

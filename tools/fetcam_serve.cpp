@@ -14,7 +14,7 @@
 //                [--entries N] [--rows N] [--seed S] [--deadline-ms D]
 //                [--coalesce-us U] [--max-pending N] [--max-connections N]
 //                [--read-timeout S] [--drain-timeout S] [--max-batch N]
-//                [--store DIR] [--compact] [--json FILE]
+//                [--store DIR] [--persist-entries] [--compact] [--json FILE]
 //
 // --listen turns the tool into a network front-end: a net::Server speaking
 // the CRC-framed fetcam protocol on PORT (0 = ephemeral; --port-file
@@ -28,6 +28,12 @@
 // engine (64 entries per machine word, default), the scalar row-scan oracle,
 // or checked mode (both run per query, divergence is a typed CorruptData
 // error). All three serve bit-identical results.
+//
+// --persist-entries (listen mode, requires --store) additionally journals
+// every table mutation (protocol Mutate frames) as CRC-framed delta records
+// in DIR/table.fcs: a restart replays the deltas and serves the *mutated*
+// table bit-identically — the deterministic seed set is only installed on a
+// cold start (restoredMutations() == 0).
 //
 // --store DIR backs the characterization cache with a crash-safe on-disk
 // record log: the first run pays the solver transients and persists them;
@@ -80,6 +86,7 @@ struct Args {
     std::string storeDir;
     bool storeReadonly = false;
     bool compact = false;
+    bool persistEntries = false;
     // --- network front-end (--listen) ---
     int listenPort = -1;  ///< < 0 = batch mode; >= 0 = listen (0 ephemeral)
     std::string host = "127.0.0.1";
@@ -140,6 +147,8 @@ Args parseArgs(int argc, char** argv) {
             a.storeReadonly = true;
         } else if (opt == "--compact") {
             a.compact = true;
+        } else if (opt == "--persist-entries") {
+            a.persistEntries = true;
         } else if (opt == "--listen") {
             a.listenPort = std::atoi(next().c_str());
         } else if (opt == "--host") {
@@ -179,6 +188,9 @@ Args parseArgs(int argc, char** argv) {
     if (a.storeReadonly && a.compact)
         throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
                                 "--compact cannot rewrite a read-only store");
+    if (a.persistEntries && (a.storeDir.empty() || a.listenPort < 0))
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
+                                "--persist-entries requires --listen and --store DIR");
     if (a.listenPort >= 0 &&
         (a.wordBits < 1 || a.wordBits > 512 || a.maxBatch < 1 || a.maxPending < 1 ||
          a.coalesceUs < 0.0 || a.readTimeout <= 0.0 || a.drainTimeout <= 0.0))
@@ -450,6 +462,9 @@ void writeListenJson(const std::string& path, const net::Server& server,
        << ", \"batches\": " << es.batches << ", \"accepted\": " << es.accepted
        << ", \"shed\": " << es.shed << ", \"deadlineExpired\": " << es.deadlineExpired
        << "},\n";
+    os << "    \"writes\": {\"inserts\": " << es.inserts << ", \"erases\": " << es.erases
+       << ", \"energyJ\": " << es.writeEnergy << ", \"latencyS\": " << es.writeLatency
+       << ", \"pulsePhases\": " << es.writePulsePhases << "},\n";
     os << "    \"energyPerQueryJ\": " << engine.energyPerQuery()
        << ",\n    \"latencyS\": " << engine.queryLatency() << "\n  },\n";
     os << "  \"volatile\": {\n";
@@ -462,7 +477,12 @@ void writeListenJson(const std::string& path, const net::Server& server,
     os << "    \"store\": {\"attached\": " << (ss.attached ? "true" : "false")
        << ", \"degraded\": " << (ss.degraded ? "true" : "false")
        << ", \"loaded\": " << ss.load.recordsLoaded << ", \"appended\": " << ss.appended
-       << "}\n  }\n}\n";
+       << "},\n";
+    const auto tls = engine.tableLogStatus();
+    os << "    \"tableLog\": {\"attached\": " << (tls.attached ? "true" : "false")
+       << ", \"degraded\": " << (tls.degraded ? "true" : "false")
+       << ", \"replayed\": " << tls.replayed << ", \"appended\": " << tls.appended
+       << ", \"occupied\": " << engine.occupancy() << "}\n  }\n}\n";
 }
 
 int runListen(const Args& a, const std::shared_ptr<serve::CharacterizationCache>& cache) {
@@ -472,9 +492,29 @@ int runListen(const Args& a, const std::shared_ptr<serve::CharacterizationCache>
     serve::EngineOptions base = baseOptions(a);
     base.shard.wordBits = a.wordBits;
     base.capacity = a.entries;
+    if (a.persistEntries) {
+        base.persistEntries = true;
+        base.store.dir = a.storeDir;
+        base.store.readOnly = a.storeReadonly;
+    }
     serve::QueryEngine engine(base, cache);
-    const auto entries = tools::makeListenEntries(a.seed, a.entries, a.wordBits);
-    for (const auto& word : entries) engine.insert(word);
+    const auto tls = engine.tableLogStatus();
+    if (tls.degraded)
+        std::fprintf(stderr,
+                     "fetcam_serve: warning: table log unusable, entries memory-only "
+                     "[%s] %s\n",
+                     recover::reasonName(tls.errorReason), tls.error.c_str());
+    if (engine.restoredMutations() > 0) {
+        // Warm restart: the delta log already replayed the mutated table;
+        // installing the seed set would clobber it.
+        std::printf("fetcam_serve: warm table restart — %lld mutations replayed, "
+                    "%lld rows occupied\n",
+                    static_cast<long long>(engine.restoredMutations()),
+                    static_cast<long long>(engine.occupancy()));
+    } else {
+        const auto entries = tools::makeListenEntries(a.seed, a.entries, a.wordBits);
+        for (const auto& word : entries) engine.insert(word);
+    }
 
     net::ServerOptions opts;
     opts.host = a.host;
@@ -506,11 +546,15 @@ int runListen(const Args& a, const std::shared_ptr<serve::CharacterizationCache>
     server.run();  // returns after the SIGTERM/SIGINT graceful drain
 
     // Drain contract: the engine answered everything in flight; now make the
-    // characterization store durable before reporting.
+    // characterization store and entry delta log durable before reporting.
     cache->flush();
+    engine.flushTable();
     if (a.compact && cache->compact())
         std::printf("store compacted: %lld entries snapshotted\n",
                     static_cast<long long>(cache->stats().entries));
+    if (a.compact && engine.compactTable())
+        std::printf("table log compacted: %lld rows snapshotted\n",
+                    static_cast<long long>(engine.occupancy()));
 
     const auto& st = server.stats();
     std::printf("fetcam_serve: drained%s — %lld conns, %lld requests, %lld queries "
