@@ -56,11 +56,13 @@ NearestResult AssociativeMemory::nearestViaDischarge(const tcam::TernaryWord& qu
     if (rows_.empty())
         throw std::logic_error("AssociativeMemory::nearestViaDischarge: empty memory");
     const auto d = distances(query);
-    std::vector<double> times;
-    times.reserve(d.size());
-    for (const auto di : d)
-        times.push_back(di == 0 ? std::numeric_limits<double>::infinity()
-                                : tauUnit / static_cast<double>(di));
+    const auto times = dischargeTimes(query, tauUnit);
+    // Winner-take-all on the latest discharge. Tie-breaking matches the
+    // exact model: only a strictly later discharge displaces the incumbent,
+    // so equal times (equal distances — including several exact matches,
+    // whose +inf times compare equal) keep the lowest row index and clear
+    // `unique`. An exact match always beats distance 1 deterministically:
+    // +inf > tauUnit holds for every finite positive tauUnit.
     NearestResult best{0, d[0], true};
     double bestTime = times[0];
     for (std::size_t i = 1; i < times.size(); ++i) {

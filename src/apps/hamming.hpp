@@ -55,7 +55,11 @@ public:
     std::vector<double> dischargeTimes(const tcam::TernaryWord& query,
                                        double tauUnit = 1e-9) const;
 
-    /// Winner via the analog model (latest discharge wins).
+    /// Winner via the analog model (latest discharge wins). Deterministic
+    /// and identical to nearest(): ties — rows at equal distance, whose
+    /// discharge times compare exactly equal (including +inf for several
+    /// exact matches) — resolve to the lowest row index with unique=false,
+    /// and an exact match (+inf, never discharges) always beats distance 1.
     NearestResult nearestViaDischarge(const tcam::TernaryWord& query,
                                       double tauUnit = 1e-9) const;
 

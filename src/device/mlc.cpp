@@ -1,0 +1,32 @@
+#include "device/mlc.hpp"
+
+#include "recover/sim_error.hpp"
+
+namespace fetcam::device {
+
+MlcLevels mlcLevels(const FeFetParams& params, int statesPerCell) {
+    if (statesPerCell < 2 || statesPerCell > (1 << kMaxMlcBitsPerCell))
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "mlcLevels",
+                                "statesPerCell must be in [2, 16]");
+    if (params.deltaVt <= 0.0)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "mlcLevels",
+                                "FeFET memory window must be positive");
+    MlcLevels out;
+    out.statesPerCell = statesPerCell;
+    out.windowV = 2.0 * params.deltaVt;
+    out.vtStepV = out.windowV / static_cast<double>(statesPerCell - 1);
+    out.pnorm.reserve(static_cast<std::size_t>(statesPerCell));
+    out.vt.reserve(static_cast<std::size_t>(statesPerCell));
+    for (int level = 0; level < statesPerCell; ++level) {
+        // Level 0 = fully erased (pnorm -1, highest VT); the ladder climbs
+        // to fully programmed (pnorm +1, lowest VT) in equal pnorm steps —
+        // the same spacing a verify-after-write programming loop targets.
+        const double p =
+            -1.0 + 2.0 * static_cast<double>(level) / static_cast<double>(statesPerCell - 1);
+        out.pnorm.push_back(p);
+        out.vt.push_back(params.mos.vt0 - params.deltaVt * p);
+    }
+    return out;
+}
+
+}  // namespace fetcam::device

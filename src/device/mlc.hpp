@@ -1,0 +1,49 @@
+// Multi-level-cell (MLC) FeFET state ladder.
+//
+// A FeFET stores analog remanent polarization, not just the two saturated
+// states: partial program pulses park the Preisach bank at intermediate
+// pnorm values, each of which shifts the effective threshold by
+// VT_eff = VT_mid - deltaVt * pnorm (see fefet.hpp). SEE-MCAM and the
+// multi-bit FeFET CAM literature exploit exactly this — N evenly spaced
+// polarization targets give an N-state (log2(N) bits) cell whose memory
+// window 2*deltaVt is divided into N-1 VT steps.
+//
+// This module is the *device-side* truth for that ladder: which pnorm
+// targets encode which level, and what VT separation (the raw material of
+// the sense margin) survives the subdivision. The array/serving-side
+// characterization (sim::characterizeMlc) builds on these numbers; the
+// functional similarity queries never consult them — level placement is
+// electrical costing, not match semantics.
+#pragma once
+
+#include <vector>
+
+#include "device/fefet.hpp"
+
+namespace fetcam::device {
+
+/// Densest ladder the model admits: 4 bits/cell = 16 states. Beyond this
+/// the per-step VT separation of a realistic window (~1.1 V) falls under
+/// typical VT variation and the cell stops being sensable.
+inline constexpr int kMaxMlcBitsPerCell = 4;
+
+struct MlcLevels {
+    int statesPerCell = 2;
+    /// Polarization target per level, ascending: pnorm[0] = -1 (high-VT,
+    /// level 0) ... pnorm[N-1] = +1 (low-VT, level N-1).
+    std::vector<double> pnorm;
+    /// Effective threshold per level (descending in level index):
+    /// vt[i] = vt0 - deltaVt * pnorm[i].
+    std::vector<double> vt;
+    /// VT separation between adjacent levels: 2*deltaVt / (N-1) [V].
+    double vtStepV = 0.0;
+    /// Full memory window 2*deltaVt [V].
+    double windowV = 0.0;
+};
+
+/// The evenly spaced N-state ladder for a FeFET. Throws
+/// SimError(InvalidSpec) unless 2 <= statesPerCell <= 2^kMaxMlcBitsPerCell
+/// and the device has a positive memory window.
+MlcLevels mlcLevels(const FeFetParams& params, int statesPerCell);
+
+}  // namespace fetcam::device

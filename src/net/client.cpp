@@ -61,11 +61,16 @@ void Client::connect(const std::string& host, int port, double timeout) {
         throw SimError(SimErrorReason::IoError, "net::Client",
                        "no valid Hello from server: " + greeting.message);
     }
-    if (hello_.version != kProtocolVersion) {
+    // Version negotiation: an older server is fine — its version is recorded
+    // and feature calls (mutate needs v2, similarity v3) gate on it. A
+    // *newer* server is refused outright: this client cannot know the newer
+    // frame layouts, and guessing would defeat the typed-failure contract.
+    if (hello_.version == 0 || hello_.version > kProtocolVersion) {
         close();
         throw SimError(SimErrorReason::CorruptData, "net::Client",
                        "server protocol version " + std::to_string(hello_.version) +
-                           ", client speaks " + std::to_string(kProtocolVersion));
+                           " is newer than this client (speaks " +
+                           std::to_string(kProtocolVersion) + ")");
     }
 }
 
@@ -177,6 +182,13 @@ ClientResult Client::readFrame(double timeout) {
                     result.mutateReply = std::move(*reply);
                     return result;
                 }
+                case MsgType::SimilarityReply: {
+                    auto reply = decodeSimilarityReply(r.frame.body, &err);
+                    if (!reply) break;
+                    result.ok = true;
+                    result.simReply = std::move(*reply);
+                    return result;
+                }
                 case MsgType::Error: {
                     auto error = decodeError(r.frame.body, &err);
                     if (!error) break;
@@ -230,6 +242,13 @@ ClientResult Client::readFrame(double timeout) {
 
 ClientResult Client::mutate(const MutateBody& ops, double timeout) {
     ClientResult result;
+    if (hello_.version < kMinMutateVersion) {
+        result.error = ProtoError::UnsupportedVersion;
+        result.message = "server protocol version " + std::to_string(hello_.version) +
+                         " predates Mutate (needs v" + std::to_string(kMinMutateVersion) +
+                         ")";
+        return result;
+    }
     if (hello_.wordBits != 0)
         for (const auto& op : ops.ops)
             if (op.op != MutateOp::Erase && op.word.size() != hello_.wordBits) {
@@ -252,7 +271,7 @@ ClientResult Client::mutate(const MutateBody& ops, double timeout) {
             result.drainNotice = true;
             continue;
         }
-        if (frame.ok && !frame.mutateReply) continue;  // interleaved batch reply
+        if (frame.ok && !frame.mutateReply) continue;  // interleaved other reply
         if (frame.ok && frame.mutateReply->requestId != ops.requestId) continue;  // stale
         frame.drainNotice = frame.drainNotice || result.drainNotice;
         frame.faultInjected = result.faultInjected;
@@ -260,6 +279,52 @@ ClientResult Client::mutate(const MutateBody& ops, double timeout) {
             frame.ok = false;
             frame.error = ProtoError::BadBody;
             frame.message = "mutate reply op count does not match the request";
+            close();
+        }
+        return frame;
+    }
+}
+
+ClientResult Client::similarity(const SimilarityBody& request, double timeout) {
+    ClientResult result;
+    if (hello_.version < kMinSimilarityVersion) {
+        result.error = ProtoError::UnsupportedVersion;
+        result.message = "server protocol version " + std::to_string(hello_.version) +
+                         " predates Similarity (needs v" +
+                         std::to_string(kMinSimilarityVersion) + ")";
+        return result;
+    }
+    if (!request.keys.empty() && hello_.wordBits != 0 &&
+        request.keys.front().size() != hello_.wordBits) {
+        result.error = ProtoError::WidthMismatch;
+        result.message = "similarity key width does not match the server word width";
+        return result;
+    }
+    if (!sendFrame(MsgType::Similarity, encodeSimilarity(request), result)) return result;
+
+    const double deadline = obs::monotonicSeconds() + timeout;
+    while (true) {
+        const double wait = deadline - obs::monotonicSeconds();
+        if (wait <= 0.0) {
+            result.timedOut = true;
+            result.message = "timed out waiting for a similarity reply";
+            return result;
+        }
+        ClientResult frame = readFrame(wait);
+        if (frame.drainNotice) {
+            result.drainNotice = true;
+            continue;
+        }
+        if (frame.ok && !frame.simReply) continue;  // interleaved other reply
+        if (frame.ok && frame.simReply->requestId != request.requestId) continue;  // stale
+        frame.drainNotice = frame.drainNotice || result.drainNotice;
+        frame.faultInjected = result.faultInjected;
+        if (frame.ok && frame.simReply->hits.size() != request.keys.size() &&
+            frame.simReply->admission ==
+                static_cast<std::uint8_t>(serve::BatchAdmission::Accepted)) {
+            frame.ok = false;
+            frame.error = ProtoError::BadBody;
+            frame.message = "similarity reply key count does not match the request";
             close();
         }
         return frame;
@@ -290,7 +355,7 @@ ClientResult Client::query(const QueryBatchBody& batch, double timeout) {
             result.drainNotice = true;
             continue;
         }
-        if (frame.ok && frame.mutateReply) continue;  // interleaved mutate reply
+        if (frame.ok && (frame.mutateReply || frame.simReply)) continue;  // interleaved
         if (frame.ok && frame.reply.requestId != batch.requestId) continue;  // stale
         frame.drainNotice = frame.drainNotice || result.drainNotice;
         frame.faultInjected = result.faultInjected;

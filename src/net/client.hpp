@@ -32,6 +32,7 @@ struct ClientResult {
     bool ok = false;             ///< reply holds a validated BatchReply
     BatchReplyBody reply;        ///< valid when ok (query path)
     std::optional<MutateReplyBody> mutateReply;  ///< set when a MutateReply arrived
+    std::optional<SimilarityReplyBody> simReply;  ///< set when a SimilarityReply arrived
     bool drainNotice = false;    ///< a Drain frame arrived (server shutting down)
     bool faultInjected = false;  ///< an installed FaultPlan consumed this send
     bool timedOut = false;       ///< no complete reply within the wait
@@ -47,13 +48,18 @@ public:
     Client(const Client&) = delete;
     Client& operator=(const Client&) = delete;
 
-    /// Connect and read the server Hello. Throws SimError(IoError) when the
-    /// connection cannot be established, SimError(CorruptData) when the
-    /// server speaks a different protocol version.
+    /// Connect and read the server Hello, negotiating the protocol version:
+    /// a server at or below kProtocolVersion is accepted and its version
+    /// recorded (feature calls gate on it — see mutate()/similarity()); a
+    /// *newer* server is refused with SimError(CorruptData) since this
+    /// client cannot know its layout. Throws SimError(IoError) when the
+    /// connection cannot be established.
     void connect(const std::string& host, int port, double timeout = 5.0);
 
     bool connected() const { return fd_ >= 0; }
     const HelloBody& hello() const { return hello_; }
+    /// Protocol version the connected server advertised in its Hello.
+    std::uint32_t serverVersion() const { return hello_.version; }
     void close();
 
     /// Send one QueryBatch and wait for its BatchReply. Validates the reply
@@ -63,8 +69,16 @@ public:
 
     /// Send one Mutate and wait for its MutateReply (in result.mutateReply).
     /// Validates id and per-op count like query(); same fault-injection
-    /// behavior on the send side.
+    /// behavior on the send side. Against a pre-v2 server the call fails
+    /// locally with a typed UnsupportedVersion result — nothing is sent, so
+    /// the old server never sees a frame it cannot parse.
     ClientResult mutate(const MutateBody& ops, double timeout = 10.0);
+
+    /// Send one Similarity request (protocol v3) and wait for its
+    /// SimilarityReply (in result.simReply). Validates id and per-key count
+    /// like query(); typed UnsupportedVersion failure against a pre-v3
+    /// server, nothing sent.
+    ClientResult similarity(const SimilarityBody& request, double timeout = 10.0);
 
     /// Send raw bytes as-is (protocol-corruption tests). Returns false when
     /// the peer is gone.

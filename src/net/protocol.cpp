@@ -70,6 +70,7 @@ const char* protoErrorName(ProtoError code) noexcept {
         case ProtoError::Draining: return "draining";
         case ProtoError::TooManyConnections: return "too_many_connections";
         case ProtoError::Truncated: return "truncated";
+        case ProtoError::UnsupportedVersion: return "unsupported_version";
     }
     return "unknown";
 }
@@ -159,7 +160,7 @@ DecodeResult decodeFrame(std::string_view buffer, std::size_t maxFrameBytes) {
         return r;
     }
     if (type < static_cast<std::uint8_t>(MsgType::Hello) ||
-        type > static_cast<std::uint8_t>(MsgType::MutateReply)) {
+        type > static_cast<std::uint8_t>(MsgType::SimilarityReply)) {
         r.status = DecodeResult::Status::Bad;
         r.error = ProtoError::BadType;
         r.message = "unknown message type " + std::to_string(type);
@@ -382,6 +383,136 @@ std::optional<MutateReplyBody> decodeMutateReply(std::string_view body, std::str
         }
         b.rows.push_back(static_cast<std::int64_t>(row));
         b.status.push_back(static_cast<MutateStatus>(status));
+    }
+    return b;
+}
+
+sim::SimilarityOptions SimilarityBody::toOptions() const {
+    sim::SimilarityOptions options;
+    options.kind = kind;
+    options.maxResults = maxResults;
+    if (kind == sim::SimilarityKind::NearestK)
+        options.k = static_cast<int>(param);
+    else
+        options.maxDistance = param;
+    return options;
+}
+
+std::string encodeSimilarity(const SimilarityBody& sim) {
+    std::string body;
+    put64(body, sim.requestId);
+    put8(body, static_cast<std::uint8_t>(sim.kind));
+    put32(body, sim.param);
+    put32(body, sim.maxResults);
+    put32(body, static_cast<std::uint32_t>(sim.keys.size()));
+    for (const auto& key : sim.keys)
+        for (std::size_t i = 0; i < key.size(); ++i)
+            put8(body, static_cast<std::uint8_t>(key[i]));
+    return body;
+}
+
+std::optional<SimilarityBody> decodeSimilarity(std::string_view body, std::uint32_t wordBits,
+                                               std::uint32_t maxBatch, std::string* err) {
+    Reader r(body);
+    SimilarityBody b;
+    std::uint8_t kind = 0;
+    std::uint32_t count = 0;
+    if (!r.get(b.requestId) || !r.get(kind) || !r.get(b.param) || !r.get(b.maxResults) ||
+        !r.get(count)) {
+        fail(err, "malformed Similarity header");
+        return std::nullopt;
+    }
+    if (kind != static_cast<std::uint8_t>(sim::SimilarityKind::NearestK) &&
+        kind != static_cast<std::uint8_t>(sim::SimilarityKind::Threshold)) {
+        fail(err, "unknown similarity kind byte");
+        return std::nullopt;
+    }
+    b.kind = static_cast<sim::SimilarityKind>(kind);
+    if (b.maxResults == 0 || b.maxResults > maxBatch) {
+        fail(err, "similarity maxResults outside [1, maxBatch]");
+        return std::nullopt;
+    }
+    if (b.kind == sim::SimilarityKind::NearestK &&
+        (b.param == 0 || b.param > b.maxResults)) {
+        fail(err, "similarity k outside [1, maxResults]");
+        return std::nullopt;
+    }
+    if (count == 0 || count > maxBatch) {
+        fail(err, "similarity key count outside [1, maxBatch]");
+        return std::nullopt;
+    }
+    if (r.rest().size() != static_cast<std::size_t>(count) * wordBits) {
+        fail(err, "Similarity body length does not match count * wordBits");
+        return std::nullopt;
+    }
+    b.keys.reserve(count);
+    for (std::uint32_t k = 0; k < count; ++k) {
+        tcam::TernaryWord word(wordBits);
+        for (std::uint32_t i = 0; i < wordBits; ++i) {
+            std::uint8_t trit = 0;
+            r.get(trit);
+            if (trit > 2) {
+                fail(err, "trit byte outside {0,1,2}");
+                return std::nullopt;
+            }
+            word[i] = static_cast<tcam::Trit>(trit);
+        }
+        b.keys.push_back(std::move(word));
+    }
+    return b;
+}
+
+std::string encodeSimilarityReply(const SimilarityReplyBody& reply) {
+    std::string body;
+    put64(body, reply.requestId);
+    put8(body, reply.admission);
+    put32(body, static_cast<std::uint32_t>(reply.hits.size()));
+    for (const auto& hits : reply.hits) {
+        put32(body, static_cast<std::uint32_t>(hits.size()));
+        for (const auto& hit : hits) {
+            put64(body, static_cast<std::uint64_t>(hit.row));
+            put32(body, hit.distance);
+        }
+    }
+    return body;
+}
+
+std::optional<SimilarityReplyBody> decodeSimilarityReply(std::string_view body,
+                                                         std::string* err) {
+    Reader r(body);
+    SimilarityReplyBody b;
+    std::uint32_t count = 0;
+    if (!r.get(b.requestId) || !r.get(b.admission) || !r.get(count)) {
+        fail(err, "malformed SimilarityReply header");
+        return std::nullopt;
+    }
+    // Per-key hit lists are variable length, so the remaining size is
+    // validated incrementally and the body must end exactly at the last hit.
+    b.hits.reserve(count);
+    for (std::uint32_t k = 0; k < count; ++k) {
+        std::uint32_t hitCount = 0;
+        if (!r.get(hitCount)) {
+            fail(err, "truncated SimilarityReply hit count");
+            return std::nullopt;
+        }
+        if (r.rest().size() < static_cast<std::size_t>(hitCount) * 12) {
+            fail(err, "SimilarityReply hit list longer than the body");
+            return std::nullopt;
+        }
+        sim::SimilarityHits hits;
+        hits.reserve(hitCount);
+        for (std::uint32_t h = 0; h < hitCount; ++h) {
+            std::uint64_t row = 0;
+            std::uint32_t distance = 0;
+            r.get(row);
+            r.get(distance);
+            hits.push_back({static_cast<std::int64_t>(row), distance});
+        }
+        b.hits.push_back(std::move(hits));
+    }
+    if (!r.done()) {
+        fail(err, "trailing bytes after SimilarityReply hits");
+        return std::nullopt;
     }
     return b;
 }

@@ -39,6 +39,20 @@
 //   MutateReply (server -> client)
 //     requestId u64, count u32, then count * { row i64 (the assigned /
 //     echoed row, -1 on failure), status u8 (MutateStatus) }
+//   Similarity (client -> server, v3)
+//     requestId u64, kind u8 (SimilarityKind: 1 nearest / 2 threshold),
+//     param u32 (k or maxDistance), maxResults u32, count u32, then count
+//     keys of wordBits trit-bytes
+//   SimilarityReply (server -> client, v3)
+//     requestId u64, admission u8 (BatchAdmission), count u32, then per key
+//     { hits u32, then hits * { row i64, distance u32 } }
+//
+// Version negotiation: the Hello carries the server's version; a client
+// accepts any server version <= its own and gates feature use on it (Mutate
+// needs v2, Similarity needs v3 — using one against an older server is a
+// typed UnsupportedVersion failure at the call, and the tools reject the
+// combination at connect). A server *newer* than the client is refused at
+// connect: the client cannot know the newer layout.
 //
 // decodeFrame is incremental: feed it the connection's receive buffer and it
 // reports NeedMore (keep reading), a complete validated Frame, or a typed
@@ -53,13 +67,19 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/similarity.hpp"
 #include "tcam/ternary.hpp"
 
 namespace fetcam::net {
 
 inline constexpr std::uint32_t kFrameMagic = 0x464E4554u;  // "FNET"
-/// Version 2 added Mutate / MutateReply (online entry updates).
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// Version 2 added Mutate / MutateReply (online entry updates); version 3
+/// added Similarity / SimilarityReply (nearest-k / threshold queries).
+inline constexpr std::uint32_t kProtocolVersion = 3;
+/// Lowest feature version that understands Mutate frames.
+inline constexpr std::uint32_t kMinMutateVersion = 2;
+/// Lowest feature version that understands Similarity frames.
+inline constexpr std::uint32_t kMinSimilarityVersion = 3;
 inline constexpr std::size_t kFrameHeaderSize = 16;
 /// Default per-frame ceiling: oversized-frame (memory-exhaustion) defense.
 inline constexpr std::uint32_t kDefaultMaxFrameBytes = 1u << 20;
@@ -72,6 +92,8 @@ enum class MsgType : std::uint8_t {
     Drain = 5,
     Mutate = 6,
     MutateReply = 7,
+    Similarity = 8,
+    SimilarityReply = 9,
 };
 
 /// Typed protocol failures. Each kills exactly one connection.
@@ -87,10 +109,12 @@ enum class ProtoError : std::uint16_t {
     Draining = 8,       ///< server refused new work while draining
     TooManyConnections = 9,
     Truncated = 10,     ///< peer disconnected mid-frame (torn frame at EOF)
+    UnsupportedVersion = 11,  ///< feature (or whole server) beyond the
+                              ///< negotiated protocol version
 };
 
 /// Number of distinct ProtoError codes (accounting-array sizing).
-inline constexpr int kNumProtoErrors = 11;
+inline constexpr int kNumProtoErrors = 12;
 
 const char* protoErrorName(ProtoError code) noexcept;
 
@@ -193,12 +217,35 @@ struct MutateReplyBody {
     std::vector<MutateStatus> status;
 };
 
+/// One batched similarity request (protocol v3). `param` is k for
+/// NearestK and maxDistance for Threshold; `maxResults` caps each key's
+/// reply (validated server-side against maxBatch).
+struct SimilarityBody {
+    std::uint64_t requestId = 0;
+    sim::SimilarityKind kind = sim::SimilarityKind::NearestK;
+    std::uint32_t param = 1;
+    std::uint32_t maxResults = 64;
+    std::vector<tcam::TernaryWord> keys;
+
+    /// The engine-side options this request maps to.
+    sim::SimilarityOptions toOptions() const;
+};
+
+struct SimilarityReplyBody {
+    std::uint64_t requestId = 0;
+    std::uint8_t admission = 0;  ///< serve::BatchAdmission as a byte
+    /// Per-key hit lists, best-first by (distance, row).
+    std::vector<sim::SimilarityHits> hits;
+};
+
 std::string encodeHello(const HelloBody& hello);
 std::string encodeQueryBatch(const QueryBatchBody& batch);
 std::string encodeBatchReply(const BatchReplyBody& reply);
 std::string encodeError(const ErrorBody& error);
 std::string encodeMutate(const MutateBody& mutate);
 std::string encodeMutateReply(const MutateReplyBody& reply);
+std::string encodeSimilarity(const SimilarityBody& sim);
+std::string encodeSimilarityReply(const SimilarityReplyBody& reply);
 
 /// Body decoders: nullopt (with `err` filled) on any validation failure —
 /// short body, trailing junk, trit bytes outside {0,1,2}, count overflow.
@@ -210,5 +257,9 @@ std::optional<ErrorBody> decodeError(std::string_view body, std::string* err);
 std::optional<MutateBody> decodeMutate(std::string_view body, std::uint32_t wordBits,
                                        std::uint32_t maxBatch, std::string* err);
 std::optional<MutateReplyBody> decodeMutateReply(std::string_view body, std::string* err);
+std::optional<SimilarityBody> decodeSimilarity(std::string_view body, std::uint32_t wordBits,
+                                               std::uint32_t maxBatch, std::string* err);
+std::optional<SimilarityReplyBody> decodeSimilarityReply(std::string_view body,
+                                                         std::string* err);
 
 }  // namespace fetcam::net

@@ -207,6 +207,7 @@ void Server::acceptConnections(double now) {
             continue;
         }
         HelloBody hello;
+        hello.version = options_.advertiseVersion;
         hello.wordBits = static_cast<std::uint32_t>(engine_.wordBits());
         hello.maxBatch = options_.maxBatch;
         hello.maxFrameBytes = options_.maxFrameBytes;
@@ -319,9 +320,67 @@ void Server::handleMutate(int fd, const Frame& frame) {
     sendFrame(fd, MsgType::MutateReply, encodeMutateReply(reply));
 }
 
+void Server::handleSimilarity(int fd, const Frame& frame) {
+    std::string err;
+    auto sim = decodeSimilarity(frame.body, static_cast<std::uint32_t>(engine_.wordBits()),
+                                options_.maxBatch, &err);
+    if (!sim) {
+        protoFail(fd, ProtoError::BadBody, err);
+        return;
+    }
+    ++stats_.simRequests;
+    stats_.simQueries += static_cast<std::int64_t>(sim->keys.size());
+    if (obs::enabled()) {
+        static obs::Counter& queries = obs::counter("net.sim.queries");
+        queries.add(static_cast<long long>(sim->keys.size()));
+    }
+
+    SimilarityReplyBody reply;
+    reply.requestId = sim->requestId;
+    // Drain and the pending-query overload bound shed similarity work the
+    // same way query batches are shed: a typed, retryable reply.
+    if (draining_ || pendingQueries_ >= options_.maxPendingQueries) {
+        reply.admission = static_cast<std::uint8_t>(serve::BatchAdmission::Shed);
+        reply.hits.resize(sim->keys.size());
+        stats_.simShed += static_cast<std::int64_t>(sim->keys.size());
+        sendFrame(fd, MsgType::SimilarityReply, encodeSimilarityReply(reply));
+        return;
+    }
+    try {
+        // Executed immediately (like Mutate): similarity scans run on the
+        // engine's snapshot table, so coalescing buys nothing and ordering
+        // against queued QueryBatch work is irrelevant to determinism.
+        auto result = engine_.similarityBatch(sim->keys, sim->toOptions(), options_.jobs);
+        reply.admission = static_cast<std::uint8_t>(serve::BatchAdmission::Accepted);
+        reply.hits = std::move(result.hits);
+        stats_.simRows += result.rowsReturned;
+    } catch (const SimError& e) {
+        // e.g. a non-FeFET geometry cannot price similarity searches; the
+        // request is unservable here, which is a typed body-level failure.
+        protoFail(fd, ProtoError::BadBody, e.what());
+        return;
+    }
+    sendFrame(fd, MsgType::SimilarityReply, encodeSimilarityReply(reply));
+}
+
 void Server::handleFrame(int fd, const Frame& frame, double now) {
     if (frame.type == MsgType::Mutate) {
+        if (options_.advertiseVersion < kMinMutateVersion) {
+            protoFail(fd, ProtoError::UnsupportedVersion,
+                      "Mutate frames need protocol v" + std::to_string(kMinMutateVersion));
+            return;
+        }
         handleMutate(fd, frame);
+        return;
+    }
+    if (frame.type == MsgType::Similarity) {
+        if (options_.advertiseVersion < kMinSimilarityVersion) {
+            protoFail(fd, ProtoError::UnsupportedVersion,
+                      "Similarity frames need protocol v" +
+                          std::to_string(kMinSimilarityVersion));
+            return;
+        }
+        handleSimilarity(fd, frame);
         return;
     }
     if (frame.type != MsgType::QueryBatch) {
@@ -597,6 +656,10 @@ std::string Server::statsJson() const {
        << ", \"mutateRequests\": " << stats_.mutateRequests
        << ", \"mutateOps\": " << stats_.mutateOps
        << ", \"mutateFailed\": " << stats_.mutateFailed
+       << ", \"simRequests\": " << stats_.simRequests
+       << ", \"simQueries\": " << stats_.simQueries
+       << ", \"simRows\": " << stats_.simRows
+       << ", \"simShed\": " << stats_.simShed
        << ", \"framesIn\": " << stats_.framesIn
        << ", \"framesOut\": " << stats_.framesOut
        << ", \"protoErrors\": " << stats_.protoErrors << ", \"errorCounts\": {";

@@ -16,6 +16,10 @@
 //     receipt — the engine's snapshot scheme makes that safe against any
 //     in-flight batch — answering each op with a typed MutateStatus;
 //     draining refuses mutations with Rejected,
+//   * executes Similarity frames (nearest-k / threshold, protocol v3)
+//     immediately on receipt via QueryEngine::similarityBatch, answering a
+//     SimilarityReply with per-key best-first hit lists; drain and the
+//     pending-query overload bound shed them with admission = Shed,
 //   * sheds whole requests with typed Shed replies the moment the pending
 //     queue would exceed options.maxPendingQueries — overload never queues
 //     unboundedly, and every shed is counted,
@@ -67,6 +71,12 @@ struct ServerOptions {
     double drainTimeout = 5.0;
     /// Worker count handed to the engine per batch (0 = process default).
     int jobs = 0;
+    /// Protocol version advertised in the Hello. Lowering it makes the
+    /// server *behave* like that version — feature frames beyond it
+    /// (Mutate < v2, Similarity < v3) are refused with a typed
+    /// UnsupportedVersion error — which is how the version-negotiation
+    /// tests emulate an old server without old code.
+    std::uint32_t advertiseVersion = kProtocolVersion;
 };
 
 /// Deterministic request/shed/error accounting (no wall-clock anywhere), so
@@ -85,6 +95,10 @@ struct ServerStats {
     std::int64_t mutateRequests = 0;  ///< Mutate frames parsed
     std::int64_t mutateOps = 0;       ///< ops inside those frames
     std::int64_t mutateFailed = 0;    ///< ops answered with a non-Ok status
+    std::int64_t simRequests = 0;     ///< Similarity frames parsed
+    std::int64_t simQueries = 0;      ///< keys inside those frames
+    std::int64_t simRows = 0;         ///< hit rows returned across all replies
+    std::int64_t simShed = 0;         ///< similarity keys refused (drain/overload)
     std::int64_t framesIn = 0;
     std::int64_t framesOut = 0;
     std::int64_t protoErrors = 0;  ///< sum of errorCounts
@@ -151,6 +165,7 @@ private:
     void writeConn(int fd);
     void handleFrame(int fd, const Frame& frame, double now);
     void handleMutate(int fd, const Frame& frame);
+    void handleSimilarity(int fd, const Frame& frame);
     void sendFrame(int fd, MsgType type, std::string_view body);
     void sendShedReply(int fd, std::uint64_t requestId, std::size_t count);
     void protoFail(int fd, ProtoError code, const std::string& message);

@@ -178,6 +178,25 @@ tcam::WordWriteResult QueryEngine::writeCost() {
     return writeCostLocked();
 }
 
+sim::MlcCharacterization QueryEngine::simCostLocked() {
+    if (!simCost_) {
+        sim::MlcOptions mlc;
+        mlc.bitsPerCell = options_.simBitsPerCell;
+        mlc.workload = options_.workload;
+        // The two calibration word sims route through the cache provider,
+        // so the characterization is bit-identical cold/warm and replays
+        // from the store with zero solver calls on a warm restart.
+        simCost_ = sim::characterizeMlc(options_.tech, options_.shard, mlc,
+                                        cache_->provider());
+    }
+    return *simCost_;
+}
+
+sim::MlcCharacterization QueryEngine::simCost() {
+    std::lock_guard<std::mutex> lock(mutMutex_);
+    return simCostLocked();
+}
+
 void QueryEngine::publishMutationLocked(const Table& table, std::int64_t row,
                                         const tcam::TernaryWord* word) {
     const auto shard = static_cast<std::size_t>(row / rowsPerShard_);
@@ -397,6 +416,122 @@ BatchResult QueryEngine::searchBatchMasked(const std::vector<tcam::TernaryWord>&
     return out;
 }
 
+SimilarityBatchResult QueryEngine::similarityBatch(
+    const std::vector<tcam::TernaryWord>& keys, const sim::SimilarityOptions& options,
+    int jobs) {
+    sim::validateSimilarityOptions(options);
+    for (const auto& key : keys)
+        if (static_cast<int>(key.size()) != options_.shard.wordBits)
+            throw recover::SimError(recover::SimErrorReason::InvalidSpec,
+                                    "QueryEngine::similarityBatch", "key width mismatch");
+    // Price the batch up front (validates the FeFET geometry too): the MLC
+    // characterization is deterministic and cache-served, so doing it before
+    // the fan-out keeps the parallel region free of cache traffic.
+    const sim::MlcCharacterization cost = simCost();
+
+    // One root load per batch — every tile and shard scan sees the same
+    // table version (see searchBatchMasked).
+    const std::shared_ptr<const Table> table = table_.load(std::memory_order_acquire);
+    const Table& shardsRef = *table;
+
+    const bool obsOn = obs::enabled();
+    const double t0 = obsOn ? obs::monotonicSeconds() : 0.0;
+
+    SimilarityBatchResult out;
+    out.hits.resize(keys.size());
+
+    const auto n = static_cast<std::int64_t>(keys.size());
+    const std::int64_t tileSize = options_.batchSize;
+    const auto tiles = static_cast<int>((n + tileSize - 1) / tileSize);
+    const std::int64_t numShards = static_cast<std::int64_t>(shardsRef.size());
+    const std::int64_t rowsPerShard = rowsPerShard_;
+    const std::int64_t cap = capacity_;
+
+    // Tiles fan out across the team; each worker owns its tile's hit slots.
+    // Unlike the priority search there is no early-out: a nearer row can
+    // live in any shard, so every shard contributes its counts. Shards are
+    // scanned in ascending order and the selector's (distance, row) order
+    // is total, so the merged result is schedule-independent.
+    numeric::parallelFor(jobs, tiles, [&](int tile) {
+        const std::int64_t lo = static_cast<std::int64_t>(tile) * tileSize;
+        const std::int64_t hi = std::min(lo + tileSize, n);
+        std::vector<PreparedKey> prepared;
+        prepared.reserve(static_cast<std::size_t>(hi - lo));
+        std::vector<sim::TopSelector> selectors;
+        selectors.reserve(static_cast<std::size_t>(hi - lo));
+        for (std::int64_t i = lo; i < hi; ++i) {
+            prepared.push_back(shardsRef[0]->prepare(keys[static_cast<std::size_t>(i)]));
+            selectors.emplace_back(options);
+        }
+        std::vector<std::size_t> counts(static_cast<std::size_t>(rowsPerShard));
+        for (std::int64_t s = 0; s < numShards; ++s) {
+            const std::int64_t begin = s * rowsPerShard;
+            const std::int64_t localEnd = std::min(rowsPerShard, cap - begin);
+            const MatchBackend& shard = *shardsRef[static_cast<std::size_t>(s)];
+            for (std::int64_t i = lo; i < hi; ++i) {
+                shard.mismatchCounts(prepared[static_cast<std::size_t>(i - lo)],
+                                     counts.data());
+                auto& sel = selectors[static_cast<std::size_t>(i - lo)];
+                for (std::int64_t r = 0; r < localEnd; ++r) {
+                    const std::size_t d = counts[static_cast<std::size_t>(r)];
+                    if (d == tcam::kNoEntry) continue;  // empty row
+                    sel.consider(begin + r, d);
+                }
+            }
+        }
+        for (std::int64_t i = lo; i < hi; ++i)
+            out.hits[static_cast<std::size_t>(i)] =
+                selectors[static_cast<std::size_t>(i - lo)].take();
+    });
+
+    for (const auto& hits : out.hits)
+        out.rowsReturned += static_cast<std::int64_t>(hits.size());
+    out.energy = cost.energyPerSearchJ * static_cast<double>(n);
+    out.latency = cost.searchDelay;
+
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        stats_.simQueries += n;
+        stats_.simBatches += 1;
+        stats_.simRows += out.rowsReturned;
+        stats_.simEnergy += out.energy;
+    }
+    if (obsOn) {
+        static obs::Counter& queries = obs::counter("serve.sim.queries");
+        static obs::Counter& batches = obs::counter("serve.sim.batches");
+        static obs::Counter& rows = obs::counter("serve.sim.rows");
+        static obs::Histogram& batchSeconds = obs::histogram("serve.sim.batch.seconds");
+        queries.add(static_cast<long long>(n));
+        batches.add();
+        rows.add(static_cast<long long>(out.rowsReturned));
+        double accumulated = 0.0;
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            accumulated = stats_.simEnergy;
+        }
+        obs::gauge("serve.sim.energy").set(accumulated);
+        batchSeconds.observe(obs::monotonicSeconds() - t0);
+    }
+    return out;
+}
+
+sim::SimilarityHits QueryEngine::nearestK(const tcam::TernaryWord& key, int k) {
+    sim::SimilarityOptions options;
+    options.kind = sim::SimilarityKind::NearestK;
+    options.k = k;
+    if (k > 0 && static_cast<std::size_t>(k) > options.maxResults)
+        options.maxResults = static_cast<std::size_t>(k);
+    return similarityBatch({key}, options).hits[0];
+}
+
+sim::SimilarityHits QueryEngine::thresholdMatch(const tcam::TernaryWord& key,
+                                                std::size_t maxDistance) {
+    sim::SimilarityOptions options;
+    options.kind = sim::SimilarityKind::Threshold;
+    options.maxDistance = maxDistance;
+    return similarityBatch({key}, options).hits[0];
+}
+
 SubmitResult QueryEngine::submitBatch(const std::vector<tcam::TernaryWord>& keys, int jobs) {
     return submitBatch(keys, SubmitOptions{}, jobs);
 }
@@ -527,6 +662,8 @@ std::string QueryEngine::report() const {
     os << "  admission      " << s.accepted << " accepted / " << s.shed << " shed / "
        << s.deadlineExpired << " deadline-expired\n";
     os << "  writes         " << s.inserts << " inserts / " << s.erases << " erases\n";
+    os << "  similarity     " << s.simQueries << " queries (" << s.simRows << " rows, "
+       << s.simBatches << " batches)\n";
     os << "  energy/query   " << core::engFormat(energyPerQuery(), "J") << "\n";
     os << "  query latency  " << core::engFormat(queryLatency(), "s") << "\n";
     os << "  search energy  " << core::engFormat(s.searchEnergy, "J") << "\n";

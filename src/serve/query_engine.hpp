@@ -76,6 +76,8 @@
 #include "array/bank.hpp"
 #include "serve/char_cache.hpp"
 #include "serve/match_backend.hpp"
+#include "sim/mlc_model.hpp"
+#include "sim/similarity.hpp"
 #include "store/delta_log.hpp"
 #include "tcam/write_schedule.hpp"
 
@@ -115,6 +117,13 @@ struct EngineOptions {
     /// word, the default), the scalar row-scan oracle, or checked (both,
     /// cross-asserted per query). All three are bit-identical.
     MatchBackendKind backend = MatchBackendKind::BitPlane;
+    /// Bits per FeFET cell the similarity queries are priced at (the MLC
+    /// ladder; 1 = binary cells). Functional similarity results never
+    /// depend on it — only energy/latency/margin accounting does. The MLC
+    /// characterization is lazy: engines that never serve a similarity
+    /// query never pay for it (and non-FeFET geometries only reject
+    /// similarity queries, not construction).
+    int simBitsPerCell = 2;
 };
 
 /// Per-query row sentinel: the query's deadline expired before the scan, so
@@ -133,6 +142,16 @@ struct BatchResult {
     double latency = 0.0;  ///< per-query hardware latency [s]
 };
 
+/// Result of one batched similarity search. hits[i] holds keys[i]'s rows,
+/// best-first by (distance, row) — see sim::SimilarityOptions for the two
+/// query kinds and the ordering contract.
+struct SimilarityBatchResult {
+    std::vector<sim::SimilarityHits> hits;
+    std::int64_t rowsReturned = 0;  ///< total hits across the batch
+    double energy = 0.0;   ///< whole-batch MLC search energy [J]
+    double latency = 0.0;  ///< per-query hardware latency [s]
+};
+
 struct EngineStats {
     std::int64_t queries = 0;
     std::int64_t hits = 0;
@@ -148,6 +167,11 @@ struct EngineStats {
     double writeEnergy = 0.0;        ///< [J] accumulated program/erase energy
     double writeLatency = 0.0;       ///< [s] accumulated write-sequence time
     std::int64_t writePulsePhases = 0;  ///< sequential pulse groups issued
+    // --- similarity accounting (nearestK / thresholdMatch) ---
+    std::int64_t simQueries = 0;  ///< similarity keys served
+    std::int64_t simBatches = 0;  ///< similarityBatch calls
+    std::int64_t simRows = 0;     ///< hit rows returned across all queries
+    double simEnergy = 0.0;       ///< [J] accumulated MLC search energy
 };
 
 /// Health of the persistent entry delta log (tableLogStatus()).
@@ -236,6 +260,32 @@ public:
     /// Batches currently inside submitBatch (admission gauge).
     int inFlightBatches() const { return inFlight_.load(std::memory_order_relaxed); }
 
+    // --- similarity serving (the second product surface) ---
+    /// Batched similarity search: every key gets its best-first hit list
+    /// per `options` (NearestK or Threshold), computed over one consistent
+    /// table snapshot with the bit-sliced mismatchCounts kernel. Same
+    /// determinism contract as searchBatch — bit-identical for any jobs
+    /// value, any backend, cold/warm cache, and across warm restarts.
+    /// Requires an FeFET shard geometry (the MLC pricing);
+    /// throws SimError(InvalidSpec) otherwise or on bad options/widths.
+    SimilarityBatchResult similarityBatch(const std::vector<tcam::TernaryWord>& keys,
+                                          const sim::SimilarityOptions& options,
+                                          int jobs = 0);
+
+    /// The k Hamming-nearest rows to `key`, best-first by (distance, row).
+    /// Fewer than k hits when occupancy < k.
+    sim::SimilarityHits nearestK(const tcam::TernaryWord& key, int k);
+
+    /// Every row within `maxDistance` of `key`, best-first, capped at
+    /// sim::SimilarityOptions{}.maxResults rows.
+    sim::SimilarityHits thresholdMatch(const tcam::TernaryWord& key,
+                                       std::size_t maxDistance);
+
+    /// MLC characterization similarity queries are priced at
+    /// (options.simBitsPerCell). Lazy, cached, served through the
+    /// characterization cache — zero solver calls on a warm store.
+    sim::MlcCharacterization simCost();
+
     // --- introspection ---
     std::int64_t capacity() const { return capacity_; }
     std::int64_t occupancy() const { return occupied_.load(std::memory_order_relaxed); }
@@ -292,6 +342,7 @@ private:
     void recordMutationLocked(bool isInsert, std::int64_t row,
                               const tcam::TernaryWord* word);
     tcam::WordWriteResult writeCostLocked();
+    sim::MlcCharacterization simCostLocked();
     /// Open the delta log and replay it into the pre-publication shards.
     /// Constructor-only (no concurrency yet).
     void attachTableLog(std::vector<std::unique_ptr<MatchBackend>>& shards);
@@ -313,6 +364,7 @@ private:
     /// table's Nth insert O(1) instead of O(capacity).
     std::int64_t freeHint_ = 0;
     std::optional<tcam::WordWriteResult> writeCost_;  ///< lazy, cached
+    std::optional<sim::MlcCharacterization> simCost_;  ///< lazy, cached
     std::unique_ptr<store::CharStore> tableLog_;  ///< null when not persisting
     TableLogStatus tableLogStatus_;
     mutable std::mutex statsMutex_;  ///< guards stats_ + shardHists_ init

@@ -1,0 +1,93 @@
+#include "sim/mlc_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "recover/sim_error.hpp"
+#include "tcam/mlc_encode.hpp"
+
+namespace fetcam::sim {
+
+MlcCharacterization characterizeMlc(const device::TechCard& tech,
+                                    const array::ArrayConfig& config,
+                                    const MlcOptions& options,
+                                    const array::WordSimFn& sim) {
+    if (options.bitsPerCell < 1 || options.bitsPerCell > device::kMaxMlcBitsPerCell)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "characterizeMlc",
+                                "bitsPerCell must be in [1, 4]");
+    if (config.cell != tcam::CellKind::FeFet2 && config.cell != tcam::CellKind::FeFet2Nand)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "characterizeMlc",
+                                "MLC characterization requires an FeFET cell");
+
+    const int statesPerCell = 1 << options.bitsPerCell;
+    const auto ladder = device::mlcLevels(tech.fefet, statesPerCell);
+    const auto base = array::evaluateArray(tech, config, options.workload, sim);
+
+    MlcCharacterization out;
+    out.bitsPerCell = options.bitsPerCell;
+    out.statesPerCell = statesPerCell;
+    out.cellsPerWord = tcam::mlcCellsPerWord(config.wordBits, options.bitsPerCell);
+    out.windowV = ladder.windowV;
+    out.vtStepV = ladder.vtStepV;
+    out.binarySenseMarginV = base.senseMarginV;
+    out.binaryEnergyPerBitFj = base.energyPerBitFj;
+
+    // One-step overdrive instead of full-window: margin and discharge
+    // current both shrink by (N-1), so the per-unit-distance time constant
+    // and the worst-case detect latency stretch by the same factor.
+    const double steps = static_cast<double>(statesPerCell - 1);
+    out.senseMarginV = base.senseMarginV / steps;
+    const double binaryDetect =
+        base.mismatchWord.detectDelay ? *base.mismatchWord.detectDelay : base.searchDelay;
+    out.tauUnitSeconds = binaryDetect * steps;
+    out.searchDelay = base.searchDelay * steps;
+
+    // Line-length energies scale with the shorter word; the sense amp is
+    // per-row and does not.
+    const double lineRatio = static_cast<double>(out.cellsPerWord) /
+                             static_cast<double>(config.wordBits);
+    const auto& e = base.perSearch;
+    out.energyPerSearchJ =
+        (e.ml + e.sl + e.staticRail) * lineRatio + e.sa;
+    const double bitsServed =
+        static_cast<double>(config.rows) * static_cast<double>(config.wordBits);
+    out.energyPerBitFj = out.energyPerSearchJ / bitsServed * 1e15;
+
+    out.functional = base.functional && out.senseMarginV > 0.0;
+    return out;
+}
+
+std::vector<double> dischargeTimes(const std::vector<std::size_t>& distances,
+                                   double tauUnitSeconds) {
+    if (!(tauUnitSeconds > 0.0))
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "dischargeTimes",
+                                "tauUnit must be positive");
+    std::vector<double> out;
+    out.reserve(distances.size());
+    for (const auto d : distances) {
+        if (d == kEmptyRowDistance)
+            out.push_back(0.0);
+        else if (d == 0)
+            out.push_back(std::numeric_limits<double>::infinity());
+        else
+            out.push_back(tauUnitSeconds / static_cast<double>(d));
+    }
+    return out;
+}
+
+double strobeFor(double tauUnitSeconds, std::size_t maxDistance) {
+    if (!(tauUnitSeconds > 0.0))
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "strobeFor",
+                                "tauUnit must be positive");
+    // Accept distances <= D: the slowest rejected row (d = D+1) discharges
+    // at tauUnit/(D+1), the fastest accepted one (d = D, when D > 0) at
+    // tauUnit/D. Strobing at their geometric mean leaves the same *ratio*
+    // of timing slack on both sides. D = 0 (exact match only) has no finite
+    // accepted time; strobe one octave past the first rejected row.
+    const double rejected = tauUnitSeconds / static_cast<double>(maxDistance + 1);
+    if (maxDistance == 0) return rejected * 2.0;
+    const double accepted = tauUnitSeconds / static_cast<double>(maxDistance);
+    return std::sqrt(accepted * rejected);
+}
+
+}  // namespace fetcam::sim

@@ -197,6 +197,54 @@ TEST(Hamming, DischargeModelAgreesWithExactModel) {
     }
 }
 
+TEST(Hamming, DischargeTieBreaksToLowestIndexLikeExactModel) {
+    // Three rows at identical distance from the query: both models must
+    // report the lowest index and flag the tie, on every tie position.
+    AssociativeMemory mem(8);
+    mem.add(tcam::TernaryWord::fromString("10000000"));  // d=1 from all-zeros
+    mem.add(tcam::TernaryWord::fromString("01000000"));  // d=1
+    mem.add(tcam::TernaryWord::fromString("11110000"));  // d=4
+    mem.add(tcam::TernaryWord::fromString("00100000"));  // d=1
+    const auto query = tcam::TernaryWord::fromString("00000000");
+    const auto exact = mem.nearest(query);
+    const auto analog = mem.nearestViaDischarge(query);
+    EXPECT_EQ(analog.index, 0u);
+    EXPECT_EQ(analog.index, exact.index);
+    EXPECT_EQ(analog.distance, 1u);
+    EXPECT_FALSE(analog.unique);
+    EXPECT_FALSE(exact.unique);
+}
+
+TEST(Hamming, ExactMatchBeatsDistanceOneDeterministically) {
+    // An exact-match row never discharges (+inf): it must win over a
+    // distance-1 row regardless of ordering, and two exact matches tie to
+    // the lowest index exactly like the exact model.
+    {
+        AssociativeMemory mem(8);
+        mem.add(tcam::TernaryWord::fromString("10000000"));  // d=1, earlier row
+        mem.add(tcam::TernaryWord::fromString("00000000"));  // exact, later row
+        const auto analog =
+            mem.nearestViaDischarge(tcam::TernaryWord::fromString("00000000"));
+        EXPECT_EQ(analog.index, 1u);
+        EXPECT_EQ(analog.distance, 0u);
+        EXPECT_TRUE(analog.unique);
+    }
+    {
+        AssociativeMemory mem(8);
+        mem.add(tcam::TernaryWord::fromString("00000000"));  // exact
+        mem.add(tcam::TernaryWord::fromString("00000000"));  // exact duplicate
+        mem.add(tcam::TernaryWord::fromString("10000000"));  // d=1
+        const auto query = tcam::TernaryWord::fromString("00000000");
+        const auto exact = mem.nearest(query);
+        const auto analog = mem.nearestViaDischarge(query);
+        EXPECT_EQ(analog.index, 0u);
+        EXPECT_EQ(analog.index, exact.index);
+        EXPECT_EQ(analog.distance, 0u);
+        EXPECT_FALSE(analog.unique);
+        EXPECT_FALSE(exact.unique);
+    }
+}
+
 TEST(Hamming, DischargeTimesInverseToDistance) {
     AssociativeMemory mem(8);
     mem.add(tcam::TernaryWord::fromString("00000000"));

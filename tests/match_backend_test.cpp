@@ -171,6 +171,56 @@ TEST(MatchBackend, DifferentialFuzzAgainstNaiveReference) {
     }
 }
 
+// Dedicated mismatchCounts fuzz at wildcard densities the main fuzz only
+// grazes: stored rows that are 0%, 50% and 100% X trits, at widths exactly
+// straddling the 64-bit plane-word boundary. A stored X never counts as a
+// mismatch regardless of the key bit — the bit-plane care masks and the
+// partial-block tail masking must both get this right, since similarity
+// search (nearestK / thresholdMatch) is built directly on these counts.
+TEST(MatchBackend, MismatchCountsWildcardRowsAtWordBoundaries) {
+    numeric::Rng rng(4242);
+    for (const int bits : {63, 64, 65, 127, 128, 129}) {
+        for (const double xDensity : {0.0, 0.5, 1.0}) {
+            const std::int64_t rows = 70;  // one full 64-row block + a tail
+            NaiveTable naive;
+            naive.rows.resize(static_cast<std::size_t>(rows));
+            auto scalar =
+                serve::makeMatchBackend(serve::MatchBackendKind::Scalar, rows, bits);
+            auto planes =
+                serve::makeMatchBackend(serve::MatchBackendKind::BitPlane, rows, bits);
+            auto checked =
+                serve::makeMatchBackend(serve::MatchBackendKind::Checked, rows, bits);
+
+            for (std::int64_t r = 0; r < rows; ++r) {
+                if (r % 9 == 4) continue;  // empty slots stay kNoEntry
+                const auto w = randomWord(rng, bits, xDensity);
+                naive.rows[static_cast<std::size_t>(r)] = w;
+                scalar->set(r, w);
+                planes->set(r, w);
+                checked->set(r, w);
+            }
+
+            for (int q = 0; q < 20; ++q) {
+                // Keys both fully definite and with their own X trits.
+                const auto key = randomWord(rng, bits, q % 4 == 0 ? 0.3 : 0.0);
+                const auto want = naive.mismatchCounts(key);
+                std::vector<std::size_t> got(static_cast<std::size_t>(rows));
+                scalar->mismatchCounts(scalar->prepare(key), got.data());
+                EXPECT_EQ(got, want) << "scalar bits=" << bits << " x=" << xDensity;
+                planes->mismatchCounts(planes->prepare(key), got.data());
+                EXPECT_EQ(got, want) << "bitplane bits=" << bits << " x=" << xDensity;
+                checked->mismatchCounts(checked->prepare(key), got.data());
+                EXPECT_EQ(got, want) << "checked bits=" << bits << " x=" << xDensity;
+                // All-X rows match every key: their count must be exactly 0.
+                if (xDensity == 1.0)
+                    for (std::int64_t r = 0; r < rows; ++r)
+                        if (naive.rows[static_cast<std::size_t>(r)])
+                            EXPECT_EQ(got[static_cast<std::size_t>(r)], 0u);
+            }
+        }
+    }
+}
+
 // Engine-level equivalence: the backend choice must be invisible in results
 // — cold vs warm, jobs=1 vs jobs=N, across all three backends.
 TEST(MatchBackend, QueryEngineResultsIdenticalAcrossBackends) {

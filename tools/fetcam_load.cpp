@@ -12,6 +12,7 @@
 //               [--batch B] [--deadline-ms D] [--hit-fraction F]
 //               [--entries N] [--seed S] [--retries R] [--timeout S]
 //               [--churn N]
+//               [--similarity F] [--sim-k K] [--sim-threshold D]
 //               [--fault-torn N] [--fault-garbage N]
 //               [--fault-disconnect N] [--fault-stall N]
 //               [--json FILE]
@@ -21,6 +22,18 @@
 // seed entries (erase a present row / re-install its word), mirroring the
 // membership client-side so every op is valid. Mutations ride the same
 // open-loop pacing and are tallied separately from query requests.
+//
+// --similarity F sends that fraction of requests as protocol-v3 Similarity
+// frames (nearest-k by default, --sim-k K; --sim-threshold D switches to
+// threshold matching with max Hamming distance D). The decision is drawn
+// from the same per-request deterministic stream as the keys, so the mix is
+// reproducible. Similarity replies are tallied separately (simRequests /
+// simKeys / simRows).
+//
+// Feature flags are version-gated at connect: --churn needs a protocol-v2
+// server (Mutate frames) and --similarity a v3 one — against an older
+// server the tool fails fast with a typed InvalidSpec error instead of
+// sending frames the server cannot parse.
 //
 // Shed and failed requests retry with capped exponential backoff plus
 // deterministic jitter (numeric::Rng::forStream per connection); a request
@@ -73,6 +86,9 @@ struct Args {
     int retries = 5;
     double timeout = 5.0;
     double churn = 0.0;  ///< table updates per second (0 = no mutator)
+    double similarity = 0.0;  ///< fraction of requests sent as Similarity
+    int simK = 4;             ///< nearest-k per key
+    int simThreshold = -1;    ///< >= 0: threshold matching at this distance
     int faultTorn = 0;
     int faultGarbage = 0;
     int faultDisconnect = 0;
@@ -105,6 +121,9 @@ Args parseArgs(int argc, char** argv) {
         else if (opt == "--retries") a.retries = std::atoi(next().c_str());
         else if (opt == "--timeout") a.timeout = std::atof(next().c_str());
         else if (opt == "--churn") a.churn = std::atof(next().c_str());
+        else if (opt == "--similarity") a.similarity = std::atof(next().c_str());
+        else if (opt == "--sim-k") a.simK = std::atoi(next().c_str());
+        else if (opt == "--sim-threshold") a.simThreshold = std::atoi(next().c_str());
         else if (opt == "--fault-torn") a.faultTorn = std::atoi(next().c_str());
         else if (opt == "--fault-garbage") a.faultGarbage = std::atoi(next().c_str());
         else if (opt == "--fault-disconnect") a.faultDisconnect = std::atoi(next().c_str());
@@ -119,7 +138,8 @@ Args parseArgs(int argc, char** argv) {
                                 "--port or --port-file is required");
     if (a.qps <= 0.0 || a.connections < 1 || a.batch < 1 || a.retries < 0 ||
         a.timeout <= 0.0 || a.entries < 1 || a.hitFraction < 0.0 ||
-        a.hitFraction > 1.0 || a.churn < 0.0)
+        a.hitFraction > 1.0 || a.churn < 0.0 || a.similarity < 0.0 ||
+        a.similarity > 1.0 || a.simK < 1)
         throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_load",
                                 "argument out of range");
     if (a.seconds > 0.0)
@@ -175,6 +195,9 @@ struct Tally {
     std::int64_t drainNotices = 0;
     std::int64_t mutations = 0;         ///< Mutate ops acknowledged Ok
     std::int64_t mutationFailures = 0;  ///< non-Ok statuses or exhausted retries
+    std::int64_t simRequests = 0;       ///< requests sent as Similarity frames
+    std::int64_t simKeys = 0;           ///< keys inside accepted sim replies
+    std::int64_t simRows = 0;           ///< hit rows returned in those replies
 
     void merge(const Tally& o) {
         requests += o.requests;
@@ -193,6 +216,9 @@ struct Tally {
         drainNotices += o.drainNotices;
         mutations += o.mutations;
         mutationFailures += o.mutationFailures;
+        simRequests += o.simRequests;
+        simKeys += o.simKeys;
+        simRows += o.simRows;
     }
 };
 
@@ -240,6 +266,24 @@ void runConnection(const Args& a, int port, int conn, double t0, double interval
         if (batch.keys.empty()) continue;
         ++tally.requests;
 
+        // The similarity decision rides the same deterministic per-request
+        // stream as the keys: the query/similarity mix is reproducible.
+        const bool simRequest = a.similarity > 0.0 && keyRng.uniform() < a.similarity;
+        net::SimilarityBody sim;
+        if (simRequest) {
+            ++tally.simRequests;
+            sim.requestId = batch.requestId;
+            if (a.simThreshold >= 0) {
+                sim.kind = sim::SimilarityKind::Threshold;
+                sim.param = static_cast<std::uint32_t>(a.simThreshold);
+            } else {
+                sim.kind = sim::SimilarityKind::NearestK;
+                sim.param = static_cast<std::uint32_t>(a.simK);
+            }
+            sim.maxResults = static_cast<std::uint32_t>(std::max(a.simK, 64));
+            sim.keys = batch.keys;
+        }
+
         bool done = false;
         for (int attempt = 0; attempt <= a.retries && !done; ++attempt) {
             if (attempt > 0) {
@@ -258,7 +302,8 @@ void runConnection(const Args& a, int port, int conn, double t0, double interval
                     continue;  // server booting or mid-drain; backoff covers us
                 }
             }
-            net::ClientResult res = client.query(batch, a.timeout);
+            net::ClientResult res = simRequest ? client.similarity(sim, a.timeout)
+                                               : client.query(batch, a.timeout);
             if (res.drainNotice) ++tally.drainNotices;
             if (res.faultInjected) {
                 ++tally.faultsInjected;
@@ -267,8 +312,21 @@ void runConnection(const Args& a, int port, int conn, double t0, double interval
                 client.close();
                 continue;
             }
-            if (res.ok && res.reply.admission ==
-                              static_cast<std::uint8_t>(serve::BatchAdmission::Accepted)) {
+            if (simRequest && res.ok && res.simReply) {
+                if (res.simReply->admission ==
+                    static_cast<std::uint8_t>(serve::BatchAdmission::Accepted)) {
+                    tally.simKeys += static_cast<std::int64_t>(res.simReply->hits.size());
+                    for (const auto& hits : res.simReply->hits)
+                        tally.simRows += static_cast<std::int64_t>(hits.size());
+                    latency.observe(obs::monotonicSeconds() - sched);
+                    ++tally.okRequests;
+                    done = true;
+                } else {
+                    ++tally.shedReplies;  // typed whole-request shed; retryable
+                }
+            } else if (!simRequest && res.ok &&
+                       res.reply.admission ==
+                           static_cast<std::uint8_t>(serve::BatchAdmission::Accepted)) {
                 for (const auto status : res.reply.status) {
                     switch (status) {
                         case net::QueryStatus::Hit: ++tally.hits; break;
@@ -398,7 +456,10 @@ void writeJson(const std::string& path, const Tally& t, const obs::Histogram& la
     os << "    \"disconnects\": " << t.disconnects << ",\n";
     os << "    \"drainNotices\": " << t.drainNotices << ",\n";
     os << "    \"mutations\": " << t.mutations << ",\n";
-    os << "    \"mutationFailures\": " << t.mutationFailures << "\n";
+    os << "    \"mutationFailures\": " << t.mutationFailures << ",\n";
+    os << "    \"simRequests\": " << t.simRequests << ",\n";
+    os << "    \"simKeys\": " << t.simKeys << ",\n";
+    os << "    \"simRows\": " << t.simRows << "\n";
     os << "  },\n";
     os << "  \"latency\": {\n";
     os << "    \"count\": " << latency.count() << ",\n";
@@ -422,14 +483,32 @@ int main(int argc, char** argv) {
         const Args a = parseArgs(argc, argv);
         const int port = resolvePort(a);
 
-        // Probe connection: learn the server's word width (and fail fast on
-        // a version mismatch) before spinning up the worker connections.
+        // Probe connection: learn the server's word width and negotiated
+        // protocol version (failing fast on a *newer* server) before
+        // spinning up the worker connections.
         int wordBits = 0;
+        std::uint32_t serverVersion = 0;
         {
             net::Client probe;
             probe.connect(a.host, port, a.timeout);
             wordBits = static_cast<int>(probe.hello().wordBits);
+            serverVersion = probe.serverVersion();
         }
+        // Feature flags against an old server fail fast with a typed error
+        // instead of sending frames the server cannot parse.
+        if (a.churn > 0.0 && serverVersion < net::kMinMutateVersion)
+            throw recover::SimError(
+                recover::SimErrorReason::InvalidSpec, "fetcam_load",
+                "--churn needs a protocol v" + std::to_string(net::kMinMutateVersion) +
+                    " server (Mutate frames); this one speaks v" +
+                    std::to_string(serverVersion));
+        if (a.similarity > 0.0 && serverVersion < net::kMinSimilarityVersion)
+            throw recover::SimError(
+                recover::SimErrorReason::InvalidSpec, "fetcam_load",
+                "--similarity needs a protocol v" +
+                    std::to_string(net::kMinSimilarityVersion) +
+                    " server (Similarity frames); this one speaks v" +
+                    std::to_string(serverVersion));
         const auto entries = tools::makeListenEntries(a.seed, a.entries, wordBits);
 
         const std::int64_t totalRequests = (a.queries + a.batch - 1) / a.batch;
@@ -472,6 +551,11 @@ int main(int argc, char** argv) {
             std::printf("  churn          %lld mutations acked (%lld failed) @ %.0f u/s offered\n",
                         static_cast<long long>(t.mutations),
                         static_cast<long long>(t.mutationFailures), a.churn);
+        if (a.similarity > 0.0)
+            std::printf("  similarity     %lld requests (%lld keys, %lld rows returned)\n",
+                        static_cast<long long>(t.simRequests),
+                        static_cast<long long>(t.simKeys),
+                        static_cast<long long>(t.simRows));
         std::printf("  robustness     %lld shed / %lld retries / %lld faults injected / "
                     "%lld proto errors / %lld timeouts / %lld disconnects\n",
                     static_cast<long long>(t.shedReplies),

@@ -14,6 +14,7 @@
 //                [--entries N] [--rows N] [--seed S] [--deadline-ms D]
 //                [--coalesce-us U] [--max-pending N] [--max-connections N]
 //                [--read-timeout S] [--drain-timeout S] [--max-batch N]
+//                [--bits-per-cell N]
 //                [--store DIR] [--persist-entries] [--compact] [--json FILE]
 //
 // --listen turns the tool into a network front-end: a net::Server speaking
@@ -28,6 +29,12 @@
 // engine (64 entries per machine word, default), the scalar row-scan oracle,
 // or checked mode (both run per query, divergence is a typed CorruptData
 // error). All three serve bit-identical results.
+//
+// Similarity frames (protocol v3 nearest-k / threshold queries, driven by
+// fetcam_load --similarity) are served from the same snapshot table;
+// --bits-per-cell selects the multi-level-cell FeFET model that prices them
+// (2 bits/cell = 4 polarization states by default). Functional results never
+// depend on it.
 //
 // --persist-entries (listen mode, requires --store) additionally journals
 // every table mutation (protocol Mutate frames) as CRC-framed delta records
@@ -54,6 +61,7 @@
 #include <vector>
 
 #include "core/fetcam.hpp"
+#include "device/mlc.hpp"
 #include "net/server.hpp"
 #include "numeric/parallel.hpp"
 #include "obs/obs.hpp"
@@ -99,6 +107,10 @@ struct Args {
     int maxBatch = 4096;
     double readTimeout = 5.0;
     double drainTimeout = 5.0;
+    int bitsPerCell = 2;  ///< MLC model pricing similarity queries
+    /// Test hook: advertise (and behave as) an older protocol version, so
+    /// client-side version negotiation can be exercised end-to-end.
+    int advertiseVersion = static_cast<int>(net::kProtocolVersion);
 };
 
 Args parseArgs(int argc, char** argv) {
@@ -171,6 +183,10 @@ Args parseArgs(int argc, char** argv) {
             a.readTimeout = std::atof(next().c_str());
         } else if (opt == "--drain-timeout") {
             a.drainTimeout = std::atof(next().c_str());
+        } else if (opt == "--bits-per-cell") {
+            a.bitsPerCell = std::atoi(next().c_str());
+        } else if (opt == "--advertise-version") {
+            a.advertiseVersion = std::atoi(next().c_str());
         } else {
             throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
                                     "unknown option " + opt);
@@ -196,6 +212,15 @@ Args parseArgs(int argc, char** argv) {
          a.coalesceUs < 0.0 || a.readTimeout <= 0.0 || a.drainTimeout <= 0.0))
         throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
                                 "--listen argument out of range");
+    if (a.bitsPerCell < 1 || a.bitsPerCell > device::kMaxMlcBitsPerCell)
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
+                                "--bits-per-cell expects 1.." +
+                                    std::to_string(device::kMaxMlcBitsPerCell));
+    if (a.advertiseVersion < 1 ||
+        a.advertiseVersion > static_cast<int>(net::kProtocolVersion))
+        throw recover::SimError(recover::SimErrorReason::InvalidSpec, "fetcam_serve",
+                                "--advertise-version expects 1.." +
+                                    std::to_string(net::kProtocolVersion));
     return a;
 }
 
@@ -465,6 +490,9 @@ void writeListenJson(const std::string& path, const net::Server& server,
     os << "    \"writes\": {\"inserts\": " << es.inserts << ", \"erases\": " << es.erases
        << ", \"energyJ\": " << es.writeEnergy << ", \"latencyS\": " << es.writeLatency
        << ", \"pulsePhases\": " << es.writePulsePhases << "},\n";
+    os << "    \"similarity\": {\"queries\": " << es.simQueries
+       << ", \"batches\": " << es.simBatches << ", \"rows\": " << es.simRows
+       << ", \"energyJ\": " << es.simEnergy << "},\n";
     os << "    \"energyPerQueryJ\": " << engine.energyPerQuery()
        << ",\n    \"latencyS\": " << engine.queryLatency() << "\n  },\n";
     os << "  \"volatile\": {\n";
@@ -492,6 +520,7 @@ int runListen(const Args& a, const std::shared_ptr<serve::CharacterizationCache>
     serve::EngineOptions base = baseOptions(a);
     base.shard.wordBits = a.wordBits;
     base.capacity = a.entries;
+    base.simBitsPerCell = a.bitsPerCell;
     if (a.persistEntries) {
         base.persistEntries = true;
         base.store.dir = a.storeDir;
@@ -527,6 +556,7 @@ int runListen(const Args& a, const std::shared_ptr<serve::CharacterizationCache>
     opts.defaultDeadline = a.deadlineMs * 1e-3;
     opts.drainTimeout = a.drainTimeout;
     opts.jobs = a.jobs;
+    opts.advertiseVersion = static_cast<std::uint32_t>(a.advertiseVersion);
 
     net::Server server(engine, opts);
     server.start();
